@@ -1,0 +1,109 @@
+// Command capsim runs capacity and scheduling algorithms on a link
+// instance: either a generated plane workload or a decay matrix loaded from
+// JSON (as written by scenegen / core.WriteJSON; links pair consecutive
+// nodes: 2i → 2i+1).
+//
+// Usage:
+//
+//	capsim -links 40 -alpha 3 -side 80 -seed 1
+//	capsim -matrix space.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decaynet/internal/capacity"
+	"decaynet/internal/core"
+	"decaynet/internal/schedule"
+	"decaynet/internal/sinr"
+	"decaynet/internal/stats"
+	"decaynet/internal/workload"
+)
+
+func main() {
+	var (
+		nLinks = flag.Int("links", 40, "number of links for generated instances")
+		alpha  = flag.Float64("alpha", 3, "path-loss exponent for generated instances")
+		side   = flag.Float64("side", 80, "deployment square side")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		matrix = flag.String("matrix", "", "JSON decay matrix to load instead of generating")
+		beta   = flag.Float64("beta", 1, "SINR threshold")
+		noise  = flag.Float64("noise", 0, "ambient noise")
+	)
+	flag.Parse()
+	if err := run(*nLinks, *alpha, *side, *seed, *matrix, *beta, *noise); err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) error {
+	sys, err := buildSystem(nLinks, alpha, side, seed, matrix, beta, noise)
+	if err != nil {
+		return err
+	}
+	p := sinr.UniformPower(sys, 1)
+	all := capacity.AllLinks(sys)
+	fmt.Printf("instance: %d links over %d nodes, zeta=%.3f, phi=%.3f\n",
+		sys.Len(), sys.Space().N(), sys.Zeta(), core.Phi(sys.Space()))
+
+	tbl := stats.NewTable("algorithm", "|S|", "feasible")
+	alg1 := capacity.Algorithm1(sys, p, all)
+	tbl.AddRow("Algorithm 1", len(alg1), sinr.IsFeasible(sys, p, alg1))
+	greedy := capacity.GreedyGeneral(sys, p, all)
+	tbl.AddRow("greedy (general metric)", len(greedy), sinr.IsFeasible(sys, p, greedy))
+	ff := capacity.FirstFit(sys, p, all)
+	tbl.AddRow("first fit", len(ff), sinr.IsFeasible(sys, p, ff))
+	if sys.Len() <= 22 {
+		opt := capacity.Exact(sys, p, all)
+		tbl.AddRow("exact optimum", len(opt), true)
+	}
+	fmt.Print(tbl)
+
+	slots, err := schedule.ByCapacity(sys, p, all, capacity.Algorithm1)
+	if err != nil {
+		return fmt.Errorf("schedule: %w", err)
+	}
+	if err := schedule.Validate(sys, p, all, slots); err != nil {
+		return err
+	}
+	fmt.Printf("schedule via Algorithm 1: %d slots\n", len(slots))
+	ffSlots, err := schedule.FirstFit(sys, p, all)
+	if err != nil {
+		return fmt.Errorf("first-fit schedule: %w", err)
+	}
+	fmt.Printf("schedule via first fit:   %d slots\n", len(ffSlots))
+	return nil
+}
+
+func buildSystem(nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) (*sinr.System, error) {
+	opts := []sinr.Option{sinr.WithBeta(beta), sinr.WithNoise(noise)}
+	if matrix != "" {
+		f, err := os.Open(matrix)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		space, err := core.ReadJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		if space.N() < 2 {
+			return nil, fmt.Errorf("matrix has %d nodes", space.N())
+		}
+		links := make([]sinr.Link, space.N()/2)
+		for i := range links {
+			links[i] = sinr.Link{Sender: 2 * i, Receiver: 2*i + 1}
+		}
+		return sinr.NewSystem(space, links, opts...)
+	}
+	inst, err := workload.Plane(workload.Config{
+		Links: nLinks, Side: side, MinLen: 1, MaxLen: 3, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return workload.GeometricSystem(inst, alpha, opts...)
+}

@@ -1,0 +1,54 @@
+// Command decaybench runs the paper-reproduction experiment suite (E1–E14)
+// and the design ablations (A1–A4), printing each experiment's measured
+// series. See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded outcomes.
+//
+// Usage:
+//
+//	decaybench [-only E5] [-skip-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"decaynet/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this id (e.g. E5 or A2)")
+	skipAblations := flag.Bool("skip-ablations", false, "skip the A1-A4 ablations")
+	flag.Parse()
+	if err := run(*only, *skipAblations); err != nil {
+		fmt.Fprintln(os.Stderr, "decaybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string, skipAblations bool) error {
+	reports, err := experiments.All()
+	if err != nil {
+		return err
+	}
+	if !skipAblations {
+		abl, err := experiments.Ablations()
+		if err != nil {
+			return err
+		}
+		reports = append(reports, abl...)
+	}
+	printed := 0
+	for _, r := range reports {
+		if only != "" && !strings.EqualFold(r.ID, only) {
+			continue
+		}
+		fmt.Println(r)
+		printed++
+	}
+	if only != "" && printed == 0 {
+		return fmt.Errorf("no experiment with id %q", only)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package decaynet reproduces "Beyond Geometry: Towards Fully Realistic
+// Wireless Models" (Bodlaender & Halldórsson, PODC 2014): decay spaces —
+// SINR wireless models over arbitrary measured decay matrices instead of
+// geometric path loss — together with the paper's metricity parameter ζ,
+// the fading parameter γ for distributed algorithms, the capacity
+// algorithms whose approximation depends on ζ, and the hardness
+// constructions bounding what is possible.
+//
+// This root package is the supported public surface: it re-exports the
+// implementation packages as type aliases and thin wrappers. The layering
+// underneath is
+//
+//	core         decay spaces, ζ/φ, quasi-metrics, packings, γ
+//	sinr         links, power, affectance, feasibility, separations
+//	capacity     Algorithm 1, baselines, exact optimum
+//	schedule     slot scheduling
+//	environment  realistic scenes producing decay matrices
+//	hardness     Theorem 3/6 constructions, example spaces
+//	distributed  slotted simulator, local broadcast, capacity game
+//	workload     plane instance generators
+//
+// A minimal session:
+//
+//	space, _ := (&decaynet.Scene{PathLossExp: 3, ShadowSigmaDB: 6}).
+//		BuildSpace(decaynet.RandomNodes(32, 100, 100, 1))
+//	zeta := decaynet.Zeta(space)
+//	sys, _ := decaynet.NewSystem(space, links)
+//	chosen := decaynet.Algorithm1(sys, decaynet.UniformPower(sys, 1),
+//		decaynet.AllLinks(sys))
+package decaynet
+
+import (
+	"decaynet/internal/capacity"
+	"decaynet/internal/core"
+	"decaynet/internal/distributed"
+	"decaynet/internal/environment"
+	"decaynet/internal/geom"
+	"decaynet/internal/hardness"
+	"decaynet/internal/schedule"
+	"decaynet/internal/sinr"
+	"decaynet/internal/workload"
+)
+
+// Geometry primitives used by scene construction and geometric spaces.
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Segment is a wall segment.
+	Segment = geom.Segment
+)
+
+// Pt and Seg construct geometry primitives.
+var (
+	Pt  = geom.Pt
+	Seg = geom.Seg
+)
+
+// Decay spaces and metricity (the paper's Sec 2).
+type (
+	// Space is a decay space D = (V, f) (Def 2.1).
+	Space = core.Space
+	// Matrix is a dense decay space.
+	Matrix = core.Matrix
+	// GeometricSpace is GEO-SINR decay f = d^α over plane points.
+	GeometricSpace = core.GeometricSpace
+	// QuasiMetric is the induced quasi-distance structure d = f^(1/ζ).
+	QuasiMetric = core.QuasiMetric
+	// AssouadOptions tunes dimension estimation.
+	AssouadOptions = core.AssouadOptions
+)
+
+// SINR machinery (Sec 2.4).
+type (
+	// Link is a sender→receiver pair of node indices.
+	Link = sinr.Link
+	// System binds a space, links and radio parameters.
+	System = sinr.System
+	// Power is a per-link transmit power vector.
+	Power = sinr.Power
+	// Option configures a System.
+	Option = sinr.Option
+	// AmicableWitness reports Theorem 4's extracted subset.
+	AmicableWitness = sinr.AmicableWitness
+)
+
+// Environments (the beyond-geometry substrate).
+type (
+	// Scene is a static propagation environment.
+	Scene = environment.Scene
+	// Wall is an attenuating, reflecting wall segment.
+	Wall = environment.Wall
+	// Material is a wall material.
+	Material = environment.Material
+	// Node is a positioned radio with an antenna.
+	EnvNode = environment.Node
+	// OfficeConfig parameterizes the office preset.
+	OfficeConfig = environment.OfficeConfig
+	// WarehouseConfig parameterizes the warehouse preset.
+	WarehouseConfig = environment.WarehouseConfig
+	// CorridorConfig parameterizes the corridor preset.
+	CorridorConfig = environment.CorridorConfig
+	// Obstacle is a polygonal blocker in a scene.
+	Obstacle = environment.Obstacle
+)
+
+// Workloads and distributed algorithms.
+type (
+	// WorkloadConfig parameterizes plane instance generation.
+	WorkloadConfig = workload.Config
+	// Instance is a generated plane link instance.
+	Instance = workload.Instance
+	// Sim is the slotted-round distributed simulator.
+	Sim = distributed.Sim
+	// GameConfig tunes the distributed capacity game.
+	GameConfig = distributed.GameConfig
+	// HardnessInstance couples a reduction's space and links.
+	HardnessInstance = hardness.Instance
+)
+
+// Core measurements.
+var (
+	// Zeta computes the metricity ζ(D) (Def 2.2).
+	Zeta = core.Zeta
+	// Varphi computes the variant parameter ϕ (Sec 4.2).
+	Varphi = core.Varphi
+	// Phi computes φ = lg ϕ.
+	Phi = core.Phi
+	// InduceQuasiMetric computes ζ and wraps the space.
+	InduceQuasiMetric = core.InduceQuasiMetric
+	// NewQuasiMetric wraps a space with a known exponent.
+	NewQuasiMetric = core.NewQuasiMetric
+	// AssouadDimension estimates the decay-space dimension (Def 3.2).
+	AssouadDimension = core.AssouadDimension
+	// FadingParameter estimates γ(r) (Def 3.1).
+	FadingParameter = core.FadingParameter
+	// Theorem2Bound evaluates the annulus-argument bound of Theorem 2.
+	Theorem2Bound = core.Theorem2Bound
+	// NewMatrix validates and builds a dense decay space.
+	NewMatrix = core.NewMatrix
+	// FromFunc materializes a decay space from a function.
+	FromFunc = core.FromFunc
+	// NewGeometricSpace builds f = d^α over plane points.
+	NewGeometricSpace = core.NewGeometricSpace
+	// ReadJSON and WriteJSON serialize dense decay matrices.
+	ReadJSON  = core.ReadJSON
+	WriteJSON = core.WriteJSON
+)
+
+// System construction and power assignments.
+var (
+	// NewSystem validates and builds a System.
+	NewSystem = sinr.NewSystem
+	// WithNoise, WithBeta and WithZeta configure a System.
+	WithNoise = sinr.WithNoise
+	WithBeta  = sinr.WithBeta
+	WithZeta  = sinr.WithZeta
+	// UniformPower, LinearPower and MeanPower are the standard monotone
+	// assignments.
+	UniformPower = sinr.UniformPower
+	LinearPower  = sinr.LinearPower
+	MeanPower    = sinr.MeanPower
+	// IsFeasible checks simultaneous SINR feasibility.
+	IsFeasible = sinr.IsFeasible
+	// SignalStrengthen partitions into q-feasible classes (Lemma B.1).
+	SignalStrengthen = sinr.SignalStrengthen
+	// ExtractAmicable runs Theorem 4's constructive argument.
+	ExtractAmicable = sinr.ExtractAmicable
+	// InductiveIndependence measures the [45, 38] parameter on a set.
+	InductiveIndependence = sinr.InductiveIndependence
+)
+
+// Capacity and scheduling.
+var (
+	// Algorithm1 is the paper's Algorithm 1 (Theorem 5).
+	Algorithm1 = capacity.Algorithm1
+	// GreedyCapacity is the general-metric baseline.
+	GreedyCapacity = capacity.GreedyGeneral
+	// ExactCapacity is the exact optimum for small instances.
+	ExactCapacity = capacity.Exact
+	// AllLinks lists every link index of a system.
+	AllLinks = capacity.AllLinks
+	// BestOblivious picks the best monotone oblivious power scheme.
+	BestOblivious = capacity.BestOblivious
+	// ScheduleByCapacity and ScheduleFirstFit build slot schedules.
+	ScheduleByCapacity = schedule.ByCapacity
+	ScheduleFirstFit   = schedule.FirstFit
+	// ValidateSchedule checks a schedule's feasibility and coverage.
+	ValidateSchedule = schedule.Validate
+)
+
+// Environments, workloads, distributed algorithms, constructions.
+var (
+	// Office builds the office-floor scene preset.
+	Office = environment.Office
+	// Warehouse builds the rack-obstacle scene preset.
+	Warehouse = environment.Warehouse
+	// Corridor builds the hallway scene preset.
+	Corridor = environment.Corridor
+	// OfficeExtent returns the office floor dimensions.
+	OfficeExtent = environment.OfficeExtent
+	// RandomNodes places isotropic nodes uniformly.
+	RandomNodes = environment.RandomNodes
+	// MeasurementNoise perturbs a measured decay matrix.
+	MeasurementNoise = environment.MeasurementNoise
+	// PlaneWorkload generates random plane link instances.
+	PlaneWorkload = workload.Plane
+	// GeometricSystem binds an instance to geometric decay.
+	GeometricSystem = workload.GeometricSystem
+	// NewSim builds the slotted distributed simulator.
+	NewSim = distributed.NewSim
+	// CapacityGame runs the distributed adaptive capacity protocol.
+	CapacityGame = distributed.CapacityGame
+	// Theorem3Instance and Theorem6Instance build the hardness reductions.
+	Theorem3Instance = hardness.Theorem3
+	Theorem6Instance = hardness.Theorem6
+	// StarSpace and WelzlSpace build the Sec 3.4/4.1 example spaces.
+	StarSpace  = hardness.Star
+	WelzlSpace = hardness.Welzl
+	// GapFamily builds the ζ-vs-φ gap instance.
+	GapFamily = hardness.GapFamily
+	// IndependenceDimension measures Def 4.1's parameter.
+	IndependenceDimension = hardness.IndependenceDimension
+)
+
+// Materials re-exported for scene building.
+var (
+	Drywall  = environment.Drywall
+	Brick    = environment.Brick
+	Concrete = environment.Concrete
+	Glass    = environment.Glass
+	Metal    = environment.Metal
+)
+
+// DistParams are the radio parameters of the distributed simulator.
+type DistParams = distributed.Params

@@ -1,0 +1,162 @@
+package decaynet
+
+// End-to-end tests through the public facade: the workflows the README
+// advertises must work using only exported identifiers.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestQuickstartWorkflow(t *testing.T) {
+	space, err := NewMatrix([][]float64{
+		{0, 2, 9, 40},
+		{2, 0, 35, 12},
+		{9, 35, 0, 3},
+		{40, 12, 3, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := Zeta(space); z <= 0 {
+		t.Fatalf("zeta = %v", z)
+	}
+	sys, err := NewSystem(space, []Link{
+		{Sender: 0, Receiver: 1},
+		{Sender: 2, Receiver: 3},
+	}, WithBeta(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := UniformPower(sys, 1)
+	chosen := Algorithm1(sys, p, AllLinks(sys))
+	if len(chosen) == 0 || !IsFeasible(sys, p, chosen) {
+		t.Fatalf("bad selection %v", chosen)
+	}
+}
+
+func TestSceneToScheduleWorkflow(t *testing.T) {
+	cfg := OfficeConfig{RoomsX: 2, RoomsY: 2, RoomSize: 10, DoorWidth: 2}
+	scene, err := Office(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene.PathLossExp = 3
+	scene.ShadowSigmaDB = 4
+	scene.Seed = 1
+	w, h := OfficeExtent(cfg)
+	senders := RandomNodes(10, w, h, 2)
+	nodes := make([]EnvNode, 0, 20)
+	links := make([]Link, 0, 10)
+	for i, s := range senders {
+		nodes = append(nodes, s, EnvNode{Pos: s.Pos.Add(Pt(1.5, 0.5))})
+		links = append(links, Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := scene.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(space, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := UniformPower(sys, 1)
+	slots, err := ScheduleByCapacity(sys, p, AllLinks(sys), GreedyCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(sys, p, AllLinks(sys), slots); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTripThroughFacade(t *testing.T) {
+	space, err := FromFunc(6, func(i, j int) float64 { return float64(i*7 + j + 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, space); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 6 || back.F(1, 2) != space.F(1, 2) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestHardnessConstructorsExposed(t *testing.T) {
+	star, err := StarSpace(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.N() != 6 {
+		t.Fatalf("star N = %d", star.N())
+	}
+	wz, err := WelzlSpace(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := IndependenceDimension(wz); got < 5 {
+		t.Fatalf("welzl independence dim = %d", got)
+	}
+	gap, err := GapFamily(1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp := Varphi(gap); vp > 2+1e-9 {
+		t.Fatalf("gap varphi = %v", vp)
+	}
+}
+
+func TestGeometricZetaThroughFacade(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(0, 3)}
+	g, err := NewGeometricSpace(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := Zeta(g); math.Abs(z-4) > 1e-6 {
+		t.Fatalf("zeta = %v, want 4", z)
+	}
+	qm := NewQuasiMetric(g, 4)
+	if d := qm.D(0, 1); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("quasi distance = %v", d)
+	}
+}
+
+func TestDistributedThroughFacade(t *testing.T) {
+	pts := make([]Point, 0, 9)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			pts = append(pts, Pt(float64(i)*5, float64(j)*5))
+		}
+	}
+	space, err := NewGeometricSpace(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(space, DistParams{Power: 1, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.LocalBroadcast(126, 0.3, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("broadcast incomplete")
+	}
+}
+
+func TestTheorem2BoundExposed(t *testing.T) {
+	if b := Theorem2Bound(1, 0.5); b <= 0 || math.IsInf(b, 1) {
+		t.Fatalf("bound = %v", b)
+	}
+	if b := Theorem2Bound(1, 1.2); !math.IsInf(b, 1) {
+		t.Fatalf("bound above dim 1 = %v", b)
+	}
+}

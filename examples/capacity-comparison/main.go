@@ -1,0 +1,54 @@
+// Capacity comparison: sweep the path-loss exponent α (= ζ on the plane)
+// and compare Algorithm 1 against the general-metric greedy and the exact
+// optimum — the empirical version of Theorem 5's claim that the plane
+// admits a ζ^O(1) (in fact O(α⁴)) approximation where general metrics
+// need exponential dependence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decaynet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("alpha   opt  alg1  greedy  ratio(alg1)  ratio(greedy)")
+	for _, alpha := range []float64{1, 2, 3, 4, 6} {
+		inst, err := decaynet.PlaneWorkload(decaynet.WorkloadConfig{
+			Links: 18, Side: 20, MinLen: 1, MaxLen: 3, Seed: 99,
+		})
+		if err != nil {
+			return err
+		}
+		sys, err := decaynet.GeometricSystem(inst, alpha)
+		if err != nil {
+			return err
+		}
+		p := decaynet.UniformPower(sys, 1)
+		all := decaynet.AllLinks(sys)
+		opt := decaynet.ExactCapacity(sys, p, all)
+		a1 := decaynet.Algorithm1(sys, p, all)
+		gr := decaynet.GreedyCapacity(sys, p, all)
+		fmt.Printf("%5.1f  %4d  %4d  %6d  %11.2f  %13.2f\n",
+			alpha, len(opt), len(a1), len(gr),
+			float64(len(opt))/float64(max(1, len(a1))),
+			float64(len(opt))/float64(max(1, len(gr))))
+	}
+	fmt.Println("\nshape check: ratios stay flat/polynomial in alpha (Theorem 5),")
+	fmt.Println("rather than growing exponentially as the general-metric bound allows.")
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+// Distributed broadcast: run the randomized local-broadcast protocol of
+// Sec 3 on decay spaces of increasing density, illustrating how completion
+// time tracks the fading parameter γ — the quantity Theorem 2 bounds for
+// fading spaces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"decaynet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("grid   spacing  gamma(r)  rounds  deliveries")
+	for _, cfg := range []struct {
+		k       int
+		spacing float64
+	}{{3, 8}, {4, 6}, {5, 4}, {6, 3}} {
+		pts := make([]decaynet.Point, 0, cfg.k*cfg.k)
+		for i := 0; i < cfg.k; i++ {
+			for j := 0; j < cfg.k; j++ {
+				pts = append(pts, decaynet.Pt(float64(i)*cfg.spacing, float64(j)*cfg.spacing))
+			}
+		}
+		space, err := decaynet.NewGeometricSpace(pts, 3)
+		if err != nil {
+			return err
+		}
+		// Broadcast radius: reach grid-adjacent nodes (decay spacing^3).
+		radius := math.Pow(cfg.spacing, 3) * 1.01
+		gamma := decaynet.FadingParameter(space, radius)
+		sim, err := decaynet.NewSim(space, decaynet.DistParams{Power: 1, Beta: 1})
+		if err != nil {
+			return err
+		}
+		res, err := sim.LocalBroadcast(radius, 0.25, 100000, 5)
+		if err != nil {
+			return err
+		}
+		if !res.Done {
+			return fmt.Errorf("grid %dx%d: broadcast incomplete", cfg.k, cfg.k)
+		}
+		fmt.Printf("%dx%d  %7.1f  %8.3f  %6d  %10d\n",
+			cfg.k, cfg.k, cfg.spacing, gamma, res.Rounds, res.Deliveries)
+	}
+	fmt.Println("\ndenser deployments (larger gamma) need more rounds at fixed")
+	fmt.Println("transmission probability — the cost Sec 3 prices into distributed")
+	fmt.Println("algorithms on arbitrary decay spaces.")
+	return nil
+}

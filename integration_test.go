@@ -1,0 +1,190 @@
+package decaynet
+
+// Cross-module integration tests: full pipelines that chain environment →
+// metricity → capacity → scheduling → distributed execution, and the
+// hardness reductions consumed end to end through the public facade.
+
+import (
+	"math"
+	"testing"
+
+	"decaynet/internal/graph"
+)
+
+// TestPipelineOfficeToDistributed builds an office decay space, plans a
+// schedule on it, then replays each slot in the distributed simulator and
+// checks that planned receivers actually decode.
+func TestPipelineOfficeToDistributed(t *testing.T) {
+	cfg := OfficeConfig{RoomsX: 3, RoomsY: 3, RoomSize: 10, DoorWidth: 2}
+	scene, err := Office(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene.PathLossExp = 3
+	scene.ShadowSigmaDB = 3
+	scene.Seed = 5
+	w, h := OfficeExtent(cfg)
+	senders := RandomNodes(12, w, h, 6)
+	nodes := make([]EnvNode, 0, 24)
+	links := make([]Link, 0, 12)
+	for i, s := range senders {
+		nodes = append(nodes, s, EnvNode{Pos: s.Pos.Add(Pt(1.2, 0.7))})
+		links = append(links, Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := scene.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(space, links, WithBeta(1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := UniformPower(sys, 1)
+	slots, err := ScheduleByCapacity(sys, p, AllLinks(sys), GreedyCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(sys, p, AllLinks(sys), slots); err != nil {
+		t.Fatal(err)
+	}
+	// Replay every slot in the simulator: each scheduled link's receiver
+	// must decode its own sender.
+	sim, err := NewSim(space, DistParams{Power: 1, Beta: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, slot := range slots {
+		var tx []int
+		for _, v := range slot {
+			tx = append(tx, sys.Link(v).Sender)
+		}
+		got := sim.Receptions(tx)
+		for _, v := range slot {
+			l := sys.Link(v)
+			if got[l.Receiver] != l.Sender {
+				t.Fatalf("slot %d: receiver %d decoded %d, want %d",
+					si, l.Receiver, got[l.Receiver], l.Sender)
+			}
+		}
+	}
+}
+
+// TestPipelineHardnessThroughFacade chains a Theorem 3 reduction into the
+// capacity algorithms and checks the IS correspondence at facade level.
+func TestPipelineHardnessThroughFacade(t *testing.T) {
+	// A 5-cycle: max IS = 2.
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		if err := g.AddEdge(i, (i+1)%5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, err := Theorem3Instance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := inst.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := UniformPower(sys, 1)
+	opt := ExactCapacity(sys, p, AllLinks(sys))
+	if len(opt) != 2 {
+		t.Fatalf("C5 capacity = %d, want 2", len(opt))
+	}
+	if !inst.Graph.IsIndependent(opt) {
+		t.Fatal("capacity solution not independent in source graph")
+	}
+}
+
+// TestPipelineWarehouseGame runs the adaptive capacity game on a warehouse
+// decay space and checks it sustains nonzero throughput.
+func TestPipelineWarehouseGame(t *testing.T) {
+	sc, err := Warehouse(WarehouseConfig{Width: 60, Height: 40, Aisles: 3, RackDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.PathLossExp = 2.5
+	senders := RandomNodes(10, 60, 40, 9)
+	nodes := make([]EnvNode, 0, 20)
+	links := make([]Link, 0, 10)
+	for i, s := range senders {
+		nodes = append(nodes, s, EnvNode{Pos: s.Pos.Add(Pt(1, 0.4))})
+		links = append(links, Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(space, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CapacityGame(sys, UniformPower(sys, 1), GameConfig{
+		Rounds: 400, InitialProb: 0.3, Up: 1.2, Down: 0.6,
+		MinProb: 0.01, MaxProb: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgThroughput <= 0 {
+		t.Fatalf("throughput = %v", res.AvgThroughput)
+	}
+}
+
+// TestAlgorithm1OutputsSeparated asserts the structural invariant the
+// Theorem 5 analysis relies on: the selected set is ζ/2-separated.
+func TestAlgorithm1OutputsSeparated(t *testing.T) {
+	inst, err := PlaneWorkload(WorkloadConfig{
+		Links: 40, Side: 50, MinLen: 1, MaxLen: 3, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{2, 3, 4} {
+		sys, err := GeometricSystem(inst, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := UniformPower(sys, 1)
+		got := Algorithm1(sys, p, AllLinks(sys))
+		if len(got) == 0 {
+			t.Fatalf("alpha=%v: empty", alpha)
+		}
+		// Check pairwise ζ/2-separation directly.
+		for _, v := range got {
+			for _, w := range got {
+				if v == w {
+					continue
+				}
+				if sys.LinkDist(v, w) < alpha/2*sys.LinkLength(v)*(1-1e-9) {
+					t.Fatalf("alpha=%v: pair (%d,%d) not zeta/2-separated", alpha, v, w)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasurementNoiseStability: small measurement noise moves ζ only
+// moderately — the property that makes measured decay matrices usable.
+func TestMeasurementNoiseStability(t *testing.T) {
+	inst, err := PlaneWorkload(WorkloadConfig{
+		Links: 12, Side: 40, MinLen: 1, MaxLen: 3, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := NewGeometricSpace(inst.Points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Zeta(space)
+	noisy, err := MeasurementNoise(space, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz := Zeta(noisy)
+	if math.Abs(nz-base) > 2 {
+		t.Fatalf("0.5 dB noise moved zeta %v -> %v", base, nz)
+	}
+}

@@ -1,0 +1,160 @@
+// Package capacity implements the CAPACITY algorithms the paper analyzes:
+// Algorithm 1 (uniform-power capacity in bounded-growth decay spaces,
+// Theorem 5), a general-metric greedy baseline (the 3^ζ-type algorithm of
+// [30] that Proposition 1 transfers), a naive first-fit, and an exact
+// branch-and-bound optimum for small instances. CAPACITY asks for a
+// maximum-cardinality feasible subset of a link set.
+package capacity
+
+import (
+	"sort"
+
+	"decaynet/internal/sinr"
+)
+
+// Algorithm1 is the paper's Algorithm 1: uniform-power capacity for
+// bounded-growth decay spaces, ζ^O(1)-approximate (Theorem 5).
+//
+// It processes links in order of increasing decay f_vv; a link joins the
+// candidate set X when it is ζ/2-separated from X and its combined
+// affectance with X is at most 1/2; the result keeps the members of X whose
+// in-affectance stayed at most 1.
+func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
+	zeta := s.Zeta()
+	var x []int
+	for _, v := range decayOrdered(s, links) {
+		if !viable(s, p, v) {
+			continue
+		}
+		if !sinr.IsSeparatedFrom(s, v, x, zeta/2) {
+			continue
+		}
+		if sinr.OutAffectance(s, p, v, x)+sinr.InAffectance(s, p, x, v) <= 0.5 {
+			x = append(x, v)
+		}
+	}
+	var out []int
+	for _, v := range x {
+		if sinr.InAffectance(s, p, x, v) <= 1 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GreedyGeneral is the general-metric baseline (the capacity algorithm of
+// [30] for monotone powers, whose approximation ratio is exponential in ζ
+// after Proposition 1's transfer). Identical to Algorithm 1 minus the
+// separation test.
+func GreedyGeneral(s *sinr.System, p sinr.Power, links []int) []int {
+	var x []int
+	for _, v := range decayOrdered(s, links) {
+		if !viable(s, p, v) {
+			continue
+		}
+		if sinr.OutAffectance(s, p, v, x)+sinr.InAffectance(s, p, x, v) <= 0.5 {
+			x = append(x, v)
+		}
+	}
+	var out []int
+	for _, v := range x {
+		if sinr.InAffectance(s, p, x, v) <= 1 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FirstFit adds each link (in decay order) whenever the set stays feasible
+// under an exact SINR check — the naive baseline with no guarantee.
+func FirstFit(s *sinr.System, p sinr.Power, links []int) []int {
+	var out []int
+	for _, v := range decayOrdered(s, links) {
+		out = append(out, v)
+		if !sinr.IsFeasible(s, p, out) {
+			out = out[:len(out)-1]
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Exact returns a maximum feasible subset by branch and bound, exploiting
+// that feasibility is downward closed for a fixed power assignment.
+// Exponential worst case: intended for instances up to ~25 links.
+func Exact(s *sinr.System, p sinr.Power, links []int) []int {
+	order := decayOrdered(s, links)
+	best := GreedyGeneral(s, p, links) // warm start for pruning
+	if ff := FirstFit(s, p, links); len(ff) > len(best) {
+		best = ff
+	}
+	cur := make([]int, 0, len(order))
+	var rec func(idx int)
+	rec = func(idx int) {
+		if len(cur) > len(best) {
+			best = append([]int(nil), cur...)
+		}
+		if idx >= len(order) || len(cur)+len(order)-idx <= len(best) {
+			return
+		}
+		v := order[idx]
+		// Include branch: feasibility is downward closed, so pruning an
+		// infeasible extension loses nothing.
+		cur = append(cur, v)
+		if sinr.IsFeasible(s, p, cur) {
+			rec(idx + 1)
+		}
+		cur = cur[:len(cur)-1]
+		// Exclude branch.
+		rec(idx + 1)
+	}
+	rec(0)
+	out := append([]int(nil), best...)
+	sort.Ints(out)
+	return out
+}
+
+// viable reports whether the link can meet its SINR threshold even in
+// isolation (finite noise factor). The affectance-based algorithms must
+// skip dead links: the empty-set affectance check would otherwise admit
+// them.
+func viable(s *sinr.System, p sinr.Power, v int) bool {
+	return sinr.Succeeds(s, p, []int{v}, v)
+}
+
+// AllLinks returns [0, s.Len()) — the usual full-instance argument.
+func AllLinks(s *sinr.System) []int {
+	out := make([]int, s.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// decayOrdered returns the given links sorted by non-decreasing decay with
+// deterministic tie-breaks.
+func decayOrdered(s *sinr.System, links []int) []int {
+	order := append([]int(nil), links...)
+	sort.Slice(order, func(a, b int) bool {
+		da, db := s.Decay(order[a]), s.Decay(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Ratio returns |opt| / |got| (the empirical approximation ratio), and 1
+// when both are empty.
+func Ratio(opt, got []int) float64 {
+	if len(got) == 0 {
+		if len(opt) == 0 {
+			return 1
+		}
+		return float64(len(opt)) + 1 // sentinel: unboundedly bad
+	}
+	return float64(len(opt)) / float64(len(got))
+}

@@ -1,0 +1,243 @@
+package capacity
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+)
+
+// planeSystem builds a random plane instance with geometric decay.
+func planeSystem(t *testing.T, seed uint64, links int, alpha, side float64) *sinr.System {
+	t.Helper()
+	src := rng.New(seed)
+	pts := make([]geom.Point, 0, 2*links)
+	ls := make([]sinr.Link, 0, links)
+	for i := 0; i < links; i++ {
+		s := geom.Pt(src.Range(0, side), src.Range(0, side))
+		theta := src.Range(0, 2*math.Pi)
+		r := s.Add(geom.Pt(src.Range(1, 3), 0).Rotate(theta))
+		pts = append(pts, s, r)
+		ls = append(ls, sinr.Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := core.NewGeometricSpace(pts, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sinr.NewSystem(space, ls, sinr.WithZeta(alpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func assertSubsetOf(t *testing.T, sub, super []int) {
+	t.Helper()
+	in := make(map[int]bool, len(super))
+	for _, v := range super {
+		in[v] = true
+	}
+	for _, v := range sub {
+		if !in[v] {
+			t.Fatalf("selected link %d outside input set", v)
+		}
+	}
+}
+
+func TestAlgorithm1OutputFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		sys := planeSystem(t, seed, 40, 3, 60)
+		p := sinr.UniformPower(sys, 1)
+		got := Algorithm1(sys, p, AllLinks(sys))
+		if len(got) == 0 {
+			t.Fatalf("seed %d: empty selection", seed)
+		}
+		if !sinr.IsFeasible(sys, p, got) {
+			t.Fatalf("seed %d: infeasible selection (max aff %v)",
+				seed, sinr.MaxInAffectance(sys, p, got))
+		}
+		assertSubsetOf(t, got, AllLinks(sys))
+	}
+}
+
+func TestGreedyGeneralOutputFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		sys := planeSystem(t, 100+seed, 40, 3, 60)
+		p := sinr.UniformPower(sys, 1)
+		got := GreedyGeneral(sys, p, AllLinks(sys))
+		if !sinr.IsFeasible(sys, p, got) {
+			t.Fatalf("seed %d: infeasible selection", seed)
+		}
+	}
+}
+
+func TestFirstFitOutputFeasibleAndMaximal(t *testing.T) {
+	sys := planeSystem(t, 7, 30, 3, 40)
+	p := sinr.UniformPower(sys, 1)
+	got := FirstFit(sys, p, AllLinks(sys))
+	if !sinr.IsFeasible(sys, p, got) {
+		t.Fatal("first-fit infeasible")
+	}
+}
+
+func TestExactOptimalSmall(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		sys := planeSystem(t, 200+seed, 10, 3, 12) // dense: conflicts exist
+		p := sinr.UniformPower(sys, 1)
+		exact := Exact(sys, p, AllLinks(sys))
+		if !sinr.IsFeasible(sys, p, exact) {
+			t.Fatal("exact infeasible")
+		}
+		// Brute force.
+		n := sys.Len()
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if len(set) > best && sinr.IsFeasible(sys, p, set) {
+				best = len(set)
+			}
+		}
+		if len(exact) != best {
+			t.Fatalf("seed %d: exact %d != brute %d", seed, len(exact), best)
+		}
+	}
+}
+
+func TestExactDominatesHeuristics(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		sys := planeSystem(t, 300+seed, 14, 3, 15)
+		p := sinr.UniformPower(sys, 1)
+		all := AllLinks(sys)
+		exact := len(Exact(sys, p, all))
+		for name, alg := range map[string]func(*sinr.System, sinr.Power, []int) []int{
+			"alg1":     Algorithm1,
+			"greedy":   GreedyGeneral,
+			"firstfit": FirstFit,
+		} {
+			if got := len(alg(sys, p, all)); got > exact {
+				t.Errorf("seed %d: %s found %d > exact %d", seed, name, got, exact)
+			}
+		}
+	}
+}
+
+func TestAlgorithm1RespectsInputSubset(t *testing.T) {
+	sys := planeSystem(t, 9, 20, 3, 40)
+	p := sinr.UniformPower(sys, 1)
+	sub := []int{3, 5, 7, 11, 13}
+	got := Algorithm1(sys, p, sub)
+	assertSubsetOf(t, got, sub)
+}
+
+func TestAlgorithmsDeterministic(t *testing.T) {
+	sys := planeSystem(t, 13, 25, 3, 40)
+	p := sinr.UniformPower(sys, 1)
+	a := Algorithm1(sys, p, AllLinks(sys))
+	b := Algorithm1(sys, p, AllLinks(sys))
+	if len(a) != len(b) {
+		t.Fatal("Algorithm1 nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Algorithm1 nondeterministic")
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	sys := planeSystem(t, 17, 5, 3, 40)
+	p := sinr.UniformPower(sys, 1)
+	for name, alg := range map[string]func(*sinr.System, sinr.Power, []int) []int{
+		"alg1": Algorithm1, "greedy": GreedyGeneral, "firstfit": FirstFit, "exact": Exact,
+	} {
+		if got := alg(sys, p, nil); len(got) != 0 {
+			t.Errorf("%s on empty input = %v", name, got)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio([]int{1, 2, 3, 4}, []int{1, 2}); got != 2 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(nil, nil); got != 1 {
+		t.Errorf("empty Ratio = %v", got)
+	}
+	if got := Ratio([]int{1, 2}, nil); got != 3 {
+		t.Errorf("sentinel Ratio = %v", got)
+	}
+}
+
+// TestAlgorithm1ApproximationReasonable: on plane instances with alpha=3
+// the ratio vs the exact optimum should be a small constant (the theorem
+// promises zeta^O(1); empirically it is < 4 on these workloads).
+func TestAlgorithm1ApproximationReasonable(t *testing.T) {
+	worst := 1.0
+	for seed := uint64(0); seed < 6; seed++ {
+		sys := planeSystem(t, 400+seed, 16, 3, 18)
+		p := sinr.UniformPower(sys, 1)
+		all := AllLinks(sys)
+		opt := Exact(sys, p, all)
+		got := Algorithm1(sys, p, all)
+		if r := Ratio(opt, got); r > worst {
+			worst = r
+		}
+	}
+	if worst > 6 {
+		t.Errorf("Algorithm 1 worst ratio %v too large for alpha=3 plane instances", worst)
+	}
+}
+
+// TestUniformSpaceCapacity: in the uniform decay space with beta=2 every
+// pair of links conflicts, so any feasible set has size 1 and every
+// algorithm must return exactly one link.
+func TestUniformSpaceCapacity(t *testing.T) {
+	space, err := core.UniformSpace(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []sinr.Link{
+		{Sender: 0, Receiver: 1}, {Sender: 2, Receiver: 3}, {Sender: 4, Receiver: 5},
+		{Sender: 6, Receiver: 7}, {Sender: 8, Receiver: 9},
+	}
+	sys, err := sinr.NewSystem(space, links, sinr.WithBeta(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sinr.UniformPower(sys, 1)
+	for name, alg := range map[string]func(*sinr.System, sinr.Power, []int) []int{
+		"greedy": GreedyGeneral, "firstfit": FirstFit, "exact": Exact,
+	} {
+		got := alg(sys, p, AllLinks(sys))
+		if len(got) != 1 {
+			t.Errorf("%s selected %d links in uniform space, want 1", name, len(got))
+		}
+	}
+}
+
+func TestDecayOrderedStable(t *testing.T) {
+	sys := planeSystem(t, 19, 10, 3, 40)
+	got := decayOrdered(sys, []int{5, 2, 8})
+	if len(got) != 3 {
+		t.Fatal("length changed")
+	}
+	sorted := sort.SliceIsSorted(got, func(a, b int) bool {
+		da, db := sys.Decay(got[a]), sys.Decay(got[b])
+		if da != db {
+			return da < db
+		}
+		return got[a] < got[b]
+	})
+	if !sorted {
+		t.Error("not sorted by decay")
+	}
+}

@@ -1,0 +1,39 @@
+package capacity
+
+import "decaynet/internal/sinr"
+
+// ObliviousResult reports the best selection found across the standard
+// monotone oblivious power schemes.
+type ObliviousResult struct {
+	// Scheme names the winning power assignment.
+	Scheme string
+	// Power is the winning assignment.
+	Power sinr.Power
+	// Links is the selected feasible subset.
+	Links []int
+}
+
+// BestOblivious runs the general-metric greedy under the three canonical
+// monotone oblivious power schemes (uniform, mean/sqrt, linear) and returns
+// the largest feasible selection. This is the practical face of the
+// paper's "relationship between power control regimes" transfer results
+// ([58, 27] via Prop 1): oblivious monotone powers are within the
+// transferred guarantees of full power control.
+func BestOblivious(s *sinr.System, links []int) ObliviousResult {
+	schemes := []struct {
+		name string
+		p    sinr.Power
+	}{
+		{"uniform", sinr.UniformPower(s, 1)},
+		{"mean", sinr.MeanPower(s, 1)},
+		{"linear", sinr.LinearPower(s, 1)},
+	}
+	var best ObliviousResult
+	for _, sch := range schemes {
+		got := GreedyGeneral(s, sch.p, links)
+		if len(got) > len(best.Links) || best.Scheme == "" {
+			best = ObliviousResult{Scheme: sch.name, Power: sch.p, Links: got}
+		}
+	}
+	return best
+}

@@ -1,0 +1,44 @@
+package capacity
+
+import (
+	"testing"
+
+	"decaynet/internal/sinr"
+)
+
+func TestBestObliviousFeasibleAndAtLeastUniform(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		sys := planeSystem(t, 500+seed, 30, 3, 40)
+		all := AllLinks(sys)
+		res := BestOblivious(sys, all)
+		if res.Scheme == "" || len(res.Power) != sys.Len() {
+			t.Fatalf("seed %d: malformed result %+v", seed, res.Scheme)
+		}
+		if !sinr.IsFeasible(sys, res.Power, res.Links) {
+			t.Fatalf("seed %d: infeasible oblivious selection", seed)
+		}
+		uni := GreedyGeneral(sys, sinr.UniformPower(sys, 1), all)
+		if len(res.Links) < len(uni) {
+			t.Fatalf("seed %d: best (%d) below uniform (%d)", seed, len(res.Links), len(uni))
+		}
+	}
+}
+
+func TestBestObliviousPowersAreMonotone(t *testing.T) {
+	sys := planeSystem(t, 510, 20, 3, 40)
+	res := BestOblivious(sys, AllLinks(sys))
+	if !sinr.IsMonotone(sys, res.Power, 1e-9) {
+		t.Errorf("winning scheme %s not monotone", res.Scheme)
+	}
+}
+
+func TestBestObliviousEmptyInput(t *testing.T) {
+	sys := planeSystem(t, 520, 5, 3, 40)
+	res := BestOblivious(sys, nil)
+	if len(res.Links) != 0 {
+		t.Errorf("empty input selected %v", res.Links)
+	}
+	if res.Scheme == "" {
+		t.Error("scheme not reported for empty input")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"decaynet/internal/geom"
+)
+
+// TestAssouadGeometricPlane verifies that for f = d^alpha on a plane grid,
+// the Assouad dimension behaves like 2/alpha in the fading regime: alpha in
+// {3, 4, 6} is classified fading (A < 1) with A within estimator tolerance
+// of 2/alpha. (Resolving A = 2 at alpha = 1 needs more scale octaves than a
+// 64-point grid provides; the estimator is a lower bound there — see the E3
+// bench, which reports both the analytic and estimated dimensions.)
+func TestAssouadGeometricPlane(t *testing.T) {
+	pts := gridPoints(8)
+	for _, alpha := range []float64{3, 4, 6} {
+		g, err := NewGeometricSpace(pts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := AssouadDimension(g, AssouadOptions{})
+		if a >= 1 {
+			t.Errorf("alpha=%v: A=%v, want fading (<1)", alpha, a)
+		}
+		if math.Abs(a-2/alpha) > 0.2 {
+			t.Errorf("alpha=%v: A=%v, want ~%v", alpha, a, 2/alpha)
+		}
+	}
+}
+
+// TestAssouadLine checks the estimator quantitatively on 1D lines, where
+// f = d^alpha has Assouad dimension exactly 1/alpha and a 64-point line
+// provides enough octaves.
+func TestAssouadLine(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 64; i++ {
+		pts = append(pts, geom.Pt(float64(i), 0))
+	}
+	for _, alpha := range []float64{1, 2, 4} {
+		g, err := NewGeometricSpace(pts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := AssouadDimension(g, AssouadOptions{})
+		if math.Abs(a-1/alpha) > 0.25 {
+			t.Errorf("line alpha=%v: A=%v, want ~%v", alpha, a, 1/alpha)
+		}
+	}
+}
+
+func TestAssouadMonotoneInAlpha(t *testing.T) {
+	pts := gridPoints(6)
+	prev := math.Inf(1)
+	for _, alpha := range []float64{2, 3, 4, 6} {
+		g, _ := NewGeometricSpace(pts, alpha)
+		a := AssouadDimension(g, AssouadOptions{})
+		if a > prev+0.1 { // allow small estimator noise
+			t.Errorf("Assouad dimension not ~decreasing: alpha=%v gives %v after %v", alpha, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestPackingProfileUniformSpace(t *testing.T) {
+	// In the uniform space every pair has the same decay v. A ball of
+	// radius > v contains everything; a packing at threshold t needs
+	// pairwise decay > 2t, so with r/q < v/2 all nodes pack: g(q) = n for
+	// large q.
+	u, err := UniformSpace(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := PackingProfile(u, 4, AssouadOptions{})
+	if g != 12 {
+		t.Errorf("uniform packing profile = %d, want 12", g)
+	}
+	// Consequently the uniform space is not doubling: with any fixed
+	// constant C, the paper-literal dimension max_q log_q(g(q)/C) grows
+	// with n (the profile jumps from 1 straight to n at q=4).
+	a := AssouadDimension(u, AssouadOptions{C: 1})
+	if a < 1 {
+		t.Errorf("uniform space reported fading: A=%v", a)
+	}
+	big, err := UniformSpace(24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a24 := AssouadDimension(big, AssouadOptions{C: 1}); a24 <= a {
+		t.Errorf("uniform paper-literal dimension did not grow with n: %v vs %v", a24, a)
+	}
+}
+
+func TestAssouadOptionsDefaults(t *testing.T) {
+	o := AssouadOptions{}.withDefaults()
+	if len(o.Qs) == 0 || o.MaxRadii <= 0 || o.ExactLimit <= 0 || o.C != 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := AssouadOptions{Qs: []float64{3}, MaxRadii: 5, ExactLimit: 7, C: 2}.withDefaults()
+	if len(o2.Qs) != 1 || o2.MaxRadii != 5 || o2.ExactLimit != 7 || o2.C != 2 {
+		t.Errorf("explicit options clobbered: %+v", o2)
+	}
+}
+
+func TestAssouadIgnoresDegenerateQ(t *testing.T) {
+	u, _ := UniformSpace(5, 1)
+	a := AssouadDimension(u, AssouadOptions{Qs: []float64{0.5, 1}})
+	if a != 0 {
+		t.Errorf("degenerate qs gave %v", a)
+	}
+}
+
+func TestDoublingConstantLine(t *testing.T) {
+	// Points on a line with alpha=1: quasi-metric is the line metric, whose
+	// doubling constant is small (an interval is covered by 2-3 half
+	// intervals centered at members).
+	var pts []geom.Point
+	for i := 0; i < 16; i++ {
+		pts = append(pts, geom.Pt(float64(i), 0))
+	}
+	g, _ := NewGeometricSpace(pts, 1)
+	q := NewQuasiMetric(g, 1)
+	c := DoublingConstant(q, 16)
+	if c > 4 {
+		t.Errorf("line doubling constant = %d, want <= 4", c)
+	}
+	if d := DoublingDimension(q, 16); d > 2 {
+		t.Errorf("line doubling dimension = %v", d)
+	}
+}
+
+func TestDoublingConstantPlaneGrid(t *testing.T) {
+	g, _ := NewGeometricSpace(gridPoints(5), 2)
+	q := NewQuasiMetric(g, 2) // quasi-metric = Euclidean plane
+	c := DoublingConstant(q, 16)
+	// Euclidean plane doubling constant is <= 7 in the continuous case;
+	// finite samples stay single-digit.
+	if c < 2 || c > 12 {
+		t.Errorf("plane doubling constant = %d", c)
+	}
+}
+
+func TestDoublingUniformGrowsWithN(t *testing.T) {
+	small, _ := UniformSpace(6, 1)
+	big, _ := UniformSpace(24, 1)
+	cSmall := DoublingConstant(NewQuasiMetric(small, 1), 8)
+	cBig := DoublingConstant(NewQuasiMetric(big, 1), 8)
+	if cBig <= cSmall {
+		t.Errorf("uniform doubling constant did not grow: %d vs %d", cSmall, cBig)
+	}
+}

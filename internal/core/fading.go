@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// IsSeparatedNodes reports whether the node set is r-separated: every
+// ordered pair of distinct nodes has decay strictly greater than r.
+// (An r-separated set is an (r/2)-packing, the form Theorem 2 uses.)
+func IsSeparatedNodes(d Space, set []int, r float64) bool {
+	return IsPacking(d, set, r/2)
+}
+
+// FadingValueGreedy estimates the fading value γ_z(r) of Def 3.1:
+//
+//	γ_z(r) = r · max over r-separated X of Σ_{x∈X} 1/f(x,z),
+//
+// with the additional Theorem 2 convention that members keep decay ≥ r to
+// the listener z (the theorem's S₂ = ∅ condition). Candidates are scanned
+// in decreasing weight 1/f(x,z); the result is a lower bound on γ_z(r).
+func FadingValueGreedy(d Space, z int, r float64) float64 {
+	cands := fadingCandidates(d, z, r)
+	sort.Slice(cands, func(i, j int) bool {
+		return d.F(cands[i], z) < d.F(cands[j], z) // largest weight first
+	})
+	var kept []int
+	total := 0.0
+	for _, x := range cands {
+		ok := true
+		for _, y := range kept {
+			if d.F(x, y) <= r || d.F(y, x) <= r {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, x)
+			total += 1 / d.F(x, z)
+		}
+	}
+	return r * total
+}
+
+// FadingValueExact computes γ_z(r) exactly by branch and bound over
+// r-separated subsets (maximum-weight independent set in the conflict
+// graph). Exponential worst case; intended for spaces with up to ~24
+// eligible candidates.
+func FadingValueExact(d Space, z int, r float64) float64 {
+	cands := fadingCandidates(d, z, r)
+	n := len(cands)
+	if n == 0 {
+		return 0
+	}
+	w := make([]float64, n)
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+		w[i] = 1 / d.F(cands[i], z)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u, v := cands[i], cands[j]
+			if d.F(u, v) <= r || d.F(v, u) <= r {
+				conflict[i][j] = true
+				conflict[j][i] = true
+			}
+		}
+	}
+	// Order candidates by decreasing weight so suffix sums bound tightly.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return w[order[a]] > w[order[b]] })
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + w[order[i]]
+	}
+	best := 0.0
+	var rec func(idx int, curWeight float64, chosen []int)
+	rec = func(idx int, curWeight float64, chosen []int) {
+		if curWeight > best {
+			best = curWeight
+		}
+		if idx >= n || curWeight+suffix[idx] <= best {
+			return
+		}
+		i := order[idx]
+		ok := true
+		for _, j := range chosen {
+			if conflict[i][j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rec(idx+1, curWeight+w[i], append(chosen, i))
+		}
+		rec(idx+1, curWeight, chosen)
+	}
+	rec(0, 0, make([]int, 0, n))
+	return r * best
+}
+
+// fadingCandidates lists nodes eligible for an r-separated interferer set
+// against listener z: distinct from z and at decay ≥ r from z.
+func fadingCandidates(d Space, z int, r float64) []int {
+	var out []int
+	for x := 0; x < d.N(); x++ {
+		if x != z && d.F(x, z) >= r {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FadingParameter returns γ(r) = max_z γ_z(r) using the greedy estimator.
+func FadingParameter(d Space, r float64) float64 {
+	worst := 0.0
+	for z := 0; z < d.N(); z++ {
+		if g := FadingValueGreedy(d, z, r); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// FadingParameterExact returns γ(r) = max_z γ_z(r) with the exact
+// per-listener computation (small spaces only).
+func FadingParameterExact(d Space, r float64) float64 {
+	worst := 0.0
+	for z := 0; z < d.N(); z++ {
+		if g := FadingValueExact(d, z, r); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// RiemannZeta evaluates the Riemann ζ̂ function for x > 1 by direct
+// summation with an integral tail correction:
+//
+//	ζ̂(x) ≈ Σ_{n≤N} n^-x + N^(1-x)/(x-1) + N^-x/2.
+//
+// Accuracy is far below the slack in Theorem 2's constant-factor bound.
+// It returns +Inf for x ≤ 1 (the series diverges).
+func RiemannZeta(x float64) float64 {
+	if x <= 1 {
+		return math.Inf(1)
+	}
+	const terms = 1 << 14
+	sum := 0.0
+	for n := 1; n <= terms; n++ {
+		sum += math.Pow(float64(n), -x)
+	}
+	tail := math.Pow(terms, 1-x)/(x-1) + math.Pow(terms, -x)/2
+	return sum + tail
+}
+
+// Theorem2Bound returns the fading-parameter bound of Theorem 2 for a decay
+// space with Assouad dimension a (< 1) and packing constant c:
+//
+//	γ(r) ≤ c · 2^(a+1) · (ζ̂(2−a) − 1).
+//
+// It returns +Inf when a ≥ 1 (the annulus series need not converge).
+func Theorem2Bound(c, a float64) float64 {
+	if a >= 1 {
+		return math.Inf(1)
+	}
+	return c * math.Pow(2, a+1) * (RiemannZeta(2-a) - 1)
+}
+
+// InterferenceAt returns Σ_{x∈S} P/f(x, z), the total received power at z
+// from senders S using uniform power P — the quantity the fading parameter
+// bounds by γ(r)·P/r (Sec 3).
+func InterferenceAt(d Space, senders []int, z int, power float64) float64 {
+	total := 0.0
+	for _, x := range senders {
+		if x == z {
+			continue
+		}
+		total += power / d.F(x, z)
+	}
+	return total
+}

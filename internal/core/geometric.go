@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"decaynet/internal/geom"
+)
+
+// GeometricSpace is the GEO-SINR decay space over points in the plane:
+// f(i, j) = d(p_i, p_j)^alpha. Its metricity satisfies ζ = α exactly
+// (Sec 2.2 of the paper), which the tests verify.
+type GeometricSpace struct {
+	points []geom.Point
+	alpha  float64
+}
+
+var _ Space = (*GeometricSpace)(nil)
+
+// NewGeometricSpace builds a geometric decay space with path-loss exponent
+// alpha over the given (distinct) points.
+func NewGeometricSpace(points []geom.Point, alpha float64) (*GeometricSpace, error) {
+	if alpha <= 0 {
+		return nil, errors.New("core: path-loss exponent must be positive")
+	}
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if points[i] == points[j] {
+				return nil, errors.New("core: geometric space requires distinct points")
+			}
+		}
+	}
+	return &GeometricSpace{points: append([]geom.Point(nil), points...), alpha: alpha}, nil
+}
+
+// N returns the number of points.
+func (g *GeometricSpace) N() int {
+	return len(g.points)
+}
+
+// F returns d(i,j)^alpha.
+func (g *GeometricSpace) F(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return math.Pow(g.points[i].Dist(g.points[j]), g.alpha)
+}
+
+// Alpha returns the path-loss exponent.
+func (g *GeometricSpace) Alpha() float64 {
+	return g.alpha
+}
+
+// Point returns the i-th point.
+func (g *GeometricSpace) Point(i int) geom.Point {
+	return g.points[i]
+}
+
+// UniformSpace returns the uniform decay space where every off-diagonal
+// decay equals v. It has independence dimension 1 but unbounded doubling
+// dimension (Sec 4.1).
+func UniformSpace(n int, v float64) (*Matrix, error) {
+	return FromFunc(n, func(i, j int) float64 { return v })
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// matrixJSON is the wire format for dense decay spaces: a square matrix of
+// decays, row-major, diagonal ignored.
+type matrixJSON struct {
+	Nodes int         `json:"nodes"`
+	Decay [][]float64 `json:"decay"`
+}
+
+// WriteJSON serializes the space as a dense JSON decay matrix.
+func WriteJSON(w io.Writer, d Space) error {
+	n := d.N()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			if i != j {
+				rows[i][j] = d.F(i, j)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(matrixJSON{Nodes: n, Decay: rows})
+}
+
+// ReadJSON deserializes a dense decay matrix written by WriteJSON,
+// re-validating Def 2.1.
+func ReadJSON(r io.Reader) (*Matrix, error) {
+	var mj matrixJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: decode decay matrix: %w", err)
+	}
+	if mj.Nodes != len(mj.Decay) {
+		return nil, fmt.Errorf("core: header says %d nodes, matrix has %d rows", mj.Nodes, len(mj.Decay))
+	}
+	return NewMatrix(mj.Decay)
+}

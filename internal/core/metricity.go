@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"decaynet/internal/rng"
+)
+
+// DefaultZetaFloor is the value Zeta reports for spaces in which every
+// triplet satisfies the triangle inequality at all exponents (e.g. n < 3).
+// Any ζ > 0 would do; 1 makes the induced quasi-distance equal the decay.
+const DefaultZetaFloor = 1.0
+
+// Zeta computes the metricity ζ(D) of Def 2.2: the smallest ζ such that
+//
+//	f(x,y)^(1/ζ) ≤ f(x,z)^(1/ζ) + f(z,y)^(1/ζ)
+//
+// for every ordered triplet of distinct nodes. Exact up to bisection
+// tolerance; O(n³) triplets. The result is never below DefaultZetaFloor.
+func Zeta(d Space) float64 {
+	return ZetaTol(d, 1e-12)
+}
+
+// ZetaTol is Zeta with an explicit relative bisection tolerance (used by the
+// bisection-tolerance ablation).
+func ZetaTol(d Space, tol float64) float64 {
+	n := d.N()
+	best := DefaultZetaFloor
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			a := math.Log(d.F(x, y))
+			for z := 0; z < n; z++ {
+				if z == x || z == y {
+					continue
+				}
+				zt := zetaTriplet(a, math.Log(d.F(x, z)), math.Log(d.F(z, y)), tol)
+				if zt > best {
+					best = zt
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ZetaSampled estimates ζ from `samples` random triplets — a lower bound on
+// the true ζ, for spaces too large for the O(n³) exact scan.
+func ZetaSampled(d Space, samples int, src *rng.Source) float64 {
+	n := d.N()
+	if n < 3 {
+		return DefaultZetaFloor
+	}
+	best := DefaultZetaFloor
+	for s := 0; s < samples; s++ {
+		x := src.Intn(n)
+		y := src.Intn(n)
+		z := src.Intn(n)
+		if x == y || y == z || x == z {
+			continue
+		}
+		zt := zetaTriplet(math.Log(d.F(x, y)), math.Log(d.F(x, z)), math.Log(d.F(z, y)), 1e-12)
+		if zt > best {
+			best = zt
+		}
+	}
+	return best
+}
+
+// ZetaTriplet returns the smallest ζ at which the triplet with decays
+// (fxy, fxz, fzy) satisfies the relaxed triangle inequality, or
+// DefaultZetaFloor when every positive ζ works.
+func ZetaTriplet(fxy, fxz, fzy float64) float64 {
+	return zetaTriplet(math.Log(fxy), math.Log(fxz), math.Log(fzy), 1e-12)
+}
+
+// zetaTriplet works on logarithms a = ln f(x,y), b = ln f(x,z),
+// c = ln f(z,y). When a ≤ max(b, c) the inequality holds for every ζ > 0
+// (the largest term on the right already dominates). Otherwise the
+// normalized slack
+//
+//	g(t) = e^((b−a)t) + e^((c−a)t),  t = 1/ζ
+//
+// is strictly decreasing from 2 to 0, so the constraint g(t) ≥ 1 holds
+// exactly for t ≤ t*, i.e. ζ ≥ 1/t*, with the unique root t* found by
+// bisection.
+func zetaTriplet(a, b, c float64, tol float64) float64 {
+	if a <= b || a <= c {
+		return DefaultZetaFloor
+	}
+	db, dc := b-a, c-a // both strictly negative
+	g := func(t float64) float64 {
+		return math.Exp(db*t) + math.Exp(dc*t)
+	}
+	// Bracket the root: g(0) = 2 > 1; at tHi the larger term is 1/2 so
+	// g(tHi) ≤ 1.
+	worst := db
+	if dc > db {
+		worst = dc
+	}
+	tHi := math.Ln2 / -worst
+	tLo := 0.0
+	for i := 0; i < 200; i++ {
+		mid := (tLo + tHi) / 2
+		if g(mid) >= 1 {
+			tLo = mid
+		} else {
+			tHi = mid
+		}
+		if tHi-tLo <= tol*tHi {
+			break
+		}
+	}
+	z := 2 / (tLo + tHi)
+	if z < DefaultZetaFloor {
+		return DefaultZetaFloor
+	}
+	return z
+}
+
+// SatisfiesZeta reports whether the space satisfies the relaxed triangle
+// inequality at exponent zeta on all ordered triplets, within relative
+// tolerance tol. Used as the ground-truth check in tests.
+func SatisfiesZeta(d Space, zeta, tol float64) bool {
+	if zeta <= 0 {
+		return false
+	}
+	n := d.N()
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			lhs := math.Pow(d.F(x, y), 1/zeta)
+			for z := 0; z < n; z++ {
+				if z == x || z == y {
+					continue
+				}
+				rhs := math.Pow(d.F(x, z), 1/zeta) + math.Pow(d.F(z, y), 1/zeta)
+				if lhs > rhs*(1+tol) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Varphi computes the variant parameter ϕ of Sec 4.2: the smallest value
+// such that f(x,z) ≤ ϕ·(f(x,y) + f(y,z)) for every triplet, i.e.
+// max over triplets of f(x,z)/(f(x,y)+f(y,z)). Returns at least 1/2
+// (attained when all decays are equal). Requires n ≥ 3; smaller spaces
+// return 1/2.
+func Varphi(d Space) float64 {
+	n := d.N()
+	best := 0.5
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			if z == x {
+				continue
+			}
+			fxz := d.F(x, z)
+			for y := 0; y < n; y++ {
+				if y == x || y == z {
+					continue
+				}
+				if r := fxz / (d.F(x, y) + d.F(y, z)); r > best {
+					best = r
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Phi returns φ = lg ϕ, the logarithmic form of the variant metricity
+// parameter used in the approximability bounds of Sec 4.2. When ϕ < 1
+// (very metric-like spaces) Phi is negative; the hardness statements use
+// max(φ, 0).
+func Phi(d Space) float64 {
+	return math.Log2(Varphi(d))
+}
+
+// ZetaUpperBound returns the a-priori bound ζ₀ = lg(max f / min f) that the
+// paper uses to show ζ is well-defined. It returns an error when the space
+// has fewer than two nodes.
+func ZetaUpperBound(d Space) (float64, error) {
+	if d.N() < 2 {
+		return 0, errors.New("core: need at least two nodes")
+	}
+	lo, hi := DecayRange(d)
+	if lo <= 0 {
+		return 0, errors.New("core: invalid decays")
+	}
+	b := math.Log2(hi / lo)
+	if b < DefaultZetaFloor {
+		return DefaultZetaFloor, nil
+	}
+	return b, nil
+}

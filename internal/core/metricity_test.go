@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+)
+
+func gridPoints(k int) []geom.Point {
+	pts := make([]geom.Point, 0, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			pts = append(pts, geom.Pt(float64(i), float64(j)))
+		}
+	}
+	return pts
+}
+
+// TestZetaEqualsAlphaGeometric verifies the paper's Sec 2.2 claim: in the
+// case of geometric path loss, ζ = α.
+func TestZetaEqualsAlphaGeometric(t *testing.T) {
+	pts := gridPoints(4)
+	for _, alpha := range []float64{1, 1.5, 2, 2.5, 3, 4, 6} {
+		g, err := NewGeometricSpace(pts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := Zeta(g)
+		if math.Abs(z-alpha) > 1e-6*alpha {
+			t.Errorf("alpha=%v: zeta = %v", alpha, z)
+		}
+	}
+}
+
+// With alpha < 1 geometric decay still satisfies the plain triangle
+// inequality at exponent 1 (concavity), so ζ stays at the floor.
+func TestZetaFloorForSubadditiveDecay(t *testing.T) {
+	g, err := NewGeometricSpace(gridPoints(3), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := Zeta(g); z != DefaultZetaFloor {
+		t.Errorf("zeta = %v, want floor %v", z, DefaultZetaFloor)
+	}
+}
+
+func TestZetaSmallSpaces(t *testing.T) {
+	empty, _ := NewMatrix(nil)
+	if z := Zeta(empty); z != DefaultZetaFloor {
+		t.Errorf("empty zeta = %v", z)
+	}
+	two, _ := NewMatrix([][]float64{{0, 5}, {9, 0}})
+	if z := Zeta(two); z != DefaultZetaFloor {
+		t.Errorf("two-node zeta = %v", z)
+	}
+}
+
+func TestZetaTripletKnownValues(t *testing.T) {
+	// Equal two-hop decays m with direct decay M: root at
+	// 2 (m/M)^(1/ζ) = 1, so ζ = lg(M/m).
+	for _, ratio := range []float64{2, 4, 10, 1000} {
+		got := ZetaTriplet(ratio, 1, 1)
+		want := math.Log2(ratio)
+		if want < DefaultZetaFloor {
+			want = DefaultZetaFloor
+		}
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("ZetaTriplet(%v,1,1) = %v, want %v", ratio, got, want)
+		}
+	}
+	// Dominated triplets sit at the floor.
+	if got := ZetaTriplet(1, 2, 1); got != DefaultZetaFloor {
+		t.Errorf("dominated triplet = %v", got)
+	}
+}
+
+// TestZetaIsMinimal checks both directions: the space satisfies the relaxed
+// triangle inequality at the computed ζ, and fails it slightly below.
+func TestZetaIsMinimal(t *testing.T) {
+	m := randomSpace(t, 11, 10, 0.1, 50)
+	z := Zeta(m)
+	if !SatisfiesZeta(m, z, 1e-9) {
+		t.Fatalf("space does not satisfy its own zeta %v", z)
+	}
+	if z > DefaultZetaFloor && SatisfiesZeta(m, z*0.98, 1e-9) {
+		t.Fatalf("zeta %v not minimal: 2%% smaller also works", z)
+	}
+}
+
+func TestZetaUpperBoundHolds(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		m := randomSpace(t, seed, 8, 0.2, 30)
+		z := Zeta(m)
+		ub, err := ZetaUpperBound(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z > ub*(1+1e-9) {
+			t.Fatalf("seed %d: zeta %v exceeds upper bound %v", seed, z, ub)
+		}
+	}
+}
+
+func TestZetaUpperBoundErrors(t *testing.T) {
+	one, _ := NewMatrix([][]float64{{0}})
+	if _, err := ZetaUpperBound(one); err == nil {
+		t.Error("single-node space accepted")
+	}
+}
+
+func TestZetaSampledLowerBoundsExact(t *testing.T) {
+	m := randomSpace(t, 21, 12, 0.5, 40)
+	exact := Zeta(m)
+	sampled := ZetaSampled(m, 20000, rng.New(1))
+	if sampled > exact*(1+1e-9) {
+		t.Fatalf("sampled %v exceeds exact %v", sampled, exact)
+	}
+	// With this many samples on 12 nodes (1320 ordered triplets), the
+	// estimate should be essentially exact.
+	if sampled < exact*0.999 {
+		t.Fatalf("sampled %v too far below exact %v", sampled, exact)
+	}
+}
+
+func TestZetaSampledTinySpace(t *testing.T) {
+	two, _ := NewMatrix([][]float64{{0, 5}, {9, 0}})
+	if z := ZetaSampled(two, 100, rng.New(1)); z != DefaultZetaFloor {
+		t.Errorf("tiny sampled zeta = %v", z)
+	}
+}
+
+func TestVarphiKnownSpace(t *testing.T) {
+	// Theorem 3-style: two decay levels 2 and 1/n on 4 nodes; the extreme
+	// ratio is 2/(1/n + 1/n) = n.
+	n := 4.0
+	m, err := NewMatrix([][]float64{
+		{0, 2, 1 / n, 1 / n},
+		{2, 0, 1 / n, 1 / n},
+		{1 / n, 1 / n, 0, 2},
+		{1 / n, 1 / n, 2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Varphi(m); math.Abs(got-n) > 1e-9 {
+		t.Errorf("varphi = %v, want %v", got, n)
+	}
+	if got := Phi(m); math.Abs(got-2) > 1e-9 {
+		t.Errorf("phi = %v, want 2", got)
+	}
+}
+
+func TestVarphiGapFamily(t *testing.T) {
+	// The paper's Sec 4.2 family: fab=1, fbc=q, fac=2q has ϕ ≤ 2 while ζ
+	// grows like log q / log log q.
+	for _, q := range []float64{1e2, 1e4, 1e6, 1e8} {
+		m, err := NewMatrix([][]float64{
+			{0, 1, 2 * q},
+			{1, 0, q},
+			{2 * q, q, 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vp := Varphi(m); vp > 2+1e-9 {
+			t.Errorf("q=%g: varphi = %v > 2", q, vp)
+		}
+		z := Zeta(m)
+		// ζ solves (2q)^(1/ζ) = 1 + q^(1/ζ): grows with q, unboundedly.
+		if z < math.Log(q)/math.Log(math.Log(q))/2 {
+			t.Errorf("q=%g: zeta = %v unexpectedly small", q, z)
+		}
+	}
+	// Monotone growth in q.
+	zs := make([]float64, 0, 3)
+	for _, q := range []float64{1e2, 1e4, 1e8} {
+		m, _ := NewMatrix([][]float64{{0, 1, 2 * q}, {1, 0, q}, {2 * q, q, 0}})
+		zs = append(zs, Zeta(m))
+	}
+	if !(zs[0] < zs[1] && zs[1] < zs[2]) {
+		t.Errorf("zeta not growing with q: %v", zs)
+	}
+}
+
+// TestPhiAtMostZeta verifies the transfer direction the paper's Sec 4.2
+// derivation establishes (f(x,z) ≤ 2^ζ (f(x,y)+f(y,z)), i.e. φ ≤ ζ).
+// Note the gap family above shows the converse fails.
+func TestPhiAtMostZeta(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		m := randomSpace(t, 100+seed, 8, 0.1, 100)
+		phi, zeta := Phi(m), Zeta(m)
+		if phi > zeta+1e-6 {
+			t.Fatalf("seed %d: phi %v > zeta %v", seed, phi, zeta)
+		}
+	}
+}
+
+func TestSatisfiesZetaRejectsNonPositive(t *testing.T) {
+	m := randomSpace(t, 3, 4, 1, 2)
+	if SatisfiesZeta(m, 0, 1e-9) || SatisfiesZeta(m, -1, 1e-9) {
+		t.Error("non-positive zeta accepted")
+	}
+}
+
+func TestQuickZetaSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 3 + src.Intn(5)
+		m, err := FromFunc(n, func(i, j int) float64 { return src.Range(0.05, 20) })
+		if err != nil {
+			return false
+		}
+		z := Zeta(m)
+		return SatisfiesZeta(m, z, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickZetaScaleInvariant(t *testing.T) {
+	// Scaling all decays by a constant does not change ζ (the inequality is
+	// homogeneous under f -> c·f ... only when c=1 for sums? No: both sides
+	// scale by c^(1/ζ), so satisfaction is preserved).
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := 0.5 + float64(scaleRaw)/32
+		src := rng.New(seed)
+		m, err := FromFunc(5, func(i, j int) float64 { return src.Range(0.1, 10) })
+		if err != nil {
+			return false
+		}
+		scaled := m.Clone()
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if i != j {
+					if err := scaled.Set(i, j, m.F(i, j)*scale); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		z1, z2 := Zeta(m), Zeta(scaled)
+		return math.Abs(z1-z2) < 1e-6*(1+z1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

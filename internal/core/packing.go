@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"decaynet/internal/graph"
+)
+
+// Ball returns the t-ball B(y, t) = {x ∈ V : f(x, y) < t} (Sec 3.1).
+// Note the direction: membership is by decay from x to the center y.
+// The center itself is always included (f(y, y) = 0 < t for t > 0).
+func Ball(d Space, y int, t float64) []int {
+	var out []int
+	n := d.N()
+	for x := 0; x < n; x++ {
+		if x == y {
+			if t > 0 {
+				out = append(out, x)
+			}
+			continue
+		}
+		if d.F(x, y) < t {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// IsPacking reports whether the node set Y is a t-packing: every ordered
+// pair of distinct nodes has decay strictly greater than 2t (Sec 3.1).
+func IsPacking(d Space, set []int, t float64) bool {
+	for i := 0; i < len(set); i++ {
+		for j := 0; j < len(set); j++ {
+			if i == j {
+				continue
+			}
+			if d.F(set[i], set[j]) <= 2*t {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GreedyPacking returns a maximal t-packing within the candidate set,
+// scanning candidates in order and keeping nodes compatible with all kept
+// so far. The result is a lower bound on the packing number.
+func GreedyPacking(d Space, candidates []int, t float64) []int {
+	var kept []int
+	for _, x := range candidates {
+		ok := true
+		for _, y := range kept {
+			if d.F(x, y) <= 2*t || d.F(y, x) <= 2*t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, x)
+		}
+	}
+	return kept
+}
+
+// MaxPacking returns a maximum t-packing within the candidate set, computed
+// exactly as a maximum independent set of the conflict graph (pairs with
+// decay ≤ 2t in either direction conflict). Exponential in the worst case;
+// use for candidate sets up to a few dozen nodes.
+func MaxPacking(d Space, candidates []int, t float64) []int {
+	g := graph.New(len(candidates))
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			u, v := candidates[i], candidates[j]
+			if d.F(u, v) <= 2*t || d.F(v, u) <= 2*t {
+				// In-range, distinct indices: AddEdge cannot fail.
+				_ = g.AddEdge(i, j)
+			}
+		}
+	}
+	is := g.MaxIndependentSet()
+	out := make([]int, len(is))
+	for k, i := range is {
+		out[k] = candidates[i]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PackingNumber returns the t-packing number of the candidate set: exact
+// (MaxPacking) when len(candidates) <= exactLimit, else the greedy lower
+// bound.
+func PackingNumber(d Space, candidates []int, t float64, exactLimit int) int {
+	if len(candidates) <= exactLimit {
+		return len(MaxPacking(d, candidates, t))
+	}
+	return len(GreedyPacking(d, candidates, t))
+}
+
+// AllNodes returns [0, n) for a space — convenience for packing calls over
+// the whole node set.
+func AllNodes(d Space) []int {
+	out := make([]int, d.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+)
+
+func TestBallMembership(t *testing.T) {
+	m, _ := NewMatrix([][]float64{
+		{0, 1, 5},
+		{2, 0, 5},
+		{9, 9, 0},
+	})
+	// Ball around node 1 with t=3: node 0 has f(0,1)=1 < 3 (in),
+	// node 2 has f(2,1)=9 (out). Center included.
+	got := Ball(m, 1, 3)
+	want := []int{0, 1}
+	if len(got) != len(want) || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Ball = %v, want %v", got, want)
+	}
+	// Zero-radius ball is empty (strict inequality, even for the center).
+	if got := Ball(m, 1, 0); len(got) != 0 {
+		t.Errorf("zero ball = %v", got)
+	}
+}
+
+func TestBallUsesDecayTowardsCenter(t *testing.T) {
+	// Asymmetric: f(0,1)=1 but f(1,0)=100. Ball around 1 includes 0;
+	// ball around 0 does not include 1.
+	m, _ := NewMatrix([][]float64{{0, 1}, {100, 0}})
+	if got := Ball(m, 1, 2); len(got) != 2 {
+		t.Errorf("Ball(1) = %v", got)
+	}
+	if got := Ball(m, 0, 2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Ball(0) = %v", got)
+	}
+}
+
+func TestIsPacking(t *testing.T) {
+	m, _ := NewMatrix([][]float64{
+		{0, 10, 3},
+		{10, 0, 10},
+		{3, 10, 0},
+	})
+	if !IsPacking(m, []int{0, 1}, 4) {
+		t.Error("{0,1} should be a 4-packing (decay 10 > 8)")
+	}
+	if IsPacking(m, []int{0, 2}, 4) {
+		t.Error("{0,2} should not be a 4-packing (decay 3 <= 8)")
+	}
+	if !IsPacking(m, []int{0}, 100) || !IsPacking(m, nil, 100) {
+		t.Error("singletons and empty sets are always packings")
+	}
+}
+
+func TestGreedyPackingIsPacking(t *testing.T) {
+	m := randomSpace(t, 31, 20, 0.5, 20)
+	for _, tval := range []float64{0.5, 2, 5} {
+		p := GreedyPacking(m, AllNodes(m), tval)
+		if !IsPacking(m, p, tval) {
+			t.Fatalf("greedy packing at t=%v is not a packing", tval)
+		}
+		// Maximality: no further node can be added.
+		inP := make(map[int]bool)
+		for _, v := range p {
+			inP[v] = true
+		}
+		for x := 0; x < m.N(); x++ {
+			if inP[x] {
+				continue
+			}
+			compatible := true
+			for _, y := range p {
+				if m.F(x, y) <= 2*tval || m.F(y, x) <= 2*tval {
+					compatible = false
+					break
+				}
+			}
+			if compatible {
+				t.Fatalf("greedy packing not maximal at t=%v: %d addable", tval, x)
+			}
+		}
+	}
+}
+
+func TestMaxPackingAtLeastGreedy(t *testing.T) {
+	m := randomSpace(t, 37, 16, 0.5, 20)
+	for _, tval := range []float64{1, 3} {
+		exact := MaxPacking(m, AllNodes(m), tval)
+		greedy := GreedyPacking(m, AllNodes(m), tval)
+		if !IsPacking(m, exact, tval) {
+			t.Fatal("exact packing invalid")
+		}
+		if len(exact) < len(greedy) {
+			t.Fatalf("exact %d < greedy %d", len(exact), len(greedy))
+		}
+	}
+}
+
+func TestMaxPackingKnownValue(t *testing.T) {
+	// 1D points 0,1,2,3,4 with alpha=1 (decay = distance). A t-packing
+	// needs pairwise distance > 2t. For t=1: need gaps > 2, so {0,3} or
+	// {0,2,4}? distance(0,2)=2 is not > 2. {0,3} size 2... {0,4} and {1,4}:
+	// max is 2. For t=0.9: need > 1.8, {0,2,4} works: size 3.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0)}
+	g, err := NewGeometricSpace(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxPacking(g, AllNodes(g), 1); len(got) != 2 {
+		t.Errorf("t=1 packing size = %d, want 2", len(got))
+	}
+	if got := MaxPacking(g, AllNodes(g), 0.9); len(got) != 3 {
+		t.Errorf("t=0.9 packing size = %d, want 3", len(got))
+	}
+}
+
+func TestPackingNumberSwitchesEstimator(t *testing.T) {
+	m := randomSpace(t, 41, 12, 0.5, 20)
+	exact := PackingNumber(m, AllNodes(m), 1, 100)
+	greedy := PackingNumber(m, AllNodes(m), 1, 0)
+	if greedy > exact {
+		t.Fatalf("greedy %d exceeds exact %d", greedy, exact)
+	}
+}
+
+func TestPackingCandidateSubset(t *testing.T) {
+	m := randomSpace(t, 43, 10, 0.5, 20)
+	sub := []int{1, 3, 5}
+	p := GreedyPacking(m, sub, 0.1)
+	for _, v := range p {
+		if v != 1 && v != 3 && v != 5 {
+			t.Fatalf("packing escaped candidate set: %v", p)
+		}
+	}
+}
+
+func TestAllNodes(t *testing.T) {
+	m := randomSpace(t, 47, 4, 1, 2)
+	got := AllNodes(m)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("AllNodes = %v", got)
+	}
+}
+
+func TestPackingRandomizedAgainstBrute(t *testing.T) {
+	src := rng.New(53)
+	for trial := 0; trial < 5; trial++ {
+		n := 8 + src.Intn(4)
+		m, err := FromFunc(n, func(i, j int) float64 { return src.Range(0.5, 10) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tval := src.Range(0.5, 4)
+		exact := MaxPacking(m, AllNodes(m), tval)
+		// Brute force over all subsets.
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if len(set) > best && IsPacking(m, set, tval) {
+				best = len(set)
+			}
+		}
+		if len(exact) != best {
+			t.Fatalf("trial %d: MaxPacking = %d, brute = %d", trial, len(exact), best)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import "math"
+
+// QuasiMetric is the quasi-distance structure D' = (V, d) induced by a decay
+// space: d(p, q) = f(p, q)^(1/ζ) (Sec 2.2). It satisfies the triangle
+// inequality by construction of ζ, and is a metric iff the decay space is
+// symmetric. Proposition 1's theory transfer consists of running
+// metric-space algorithms on this structure with path-loss constant ζ.
+type QuasiMetric struct {
+	space Space
+	zeta  float64
+}
+
+// InduceQuasiMetric computes ζ(D) and returns the induced quasi-metric.
+func InduceQuasiMetric(d Space) *QuasiMetric {
+	return NewQuasiMetric(d, Zeta(d))
+}
+
+// NewQuasiMetric wraps a decay space with an explicit exponent (useful when
+// ζ is already known, e.g. geometric spaces where ζ = α). Non-positive zeta
+// values are clamped to DefaultZetaFloor.
+func NewQuasiMetric(d Space, zeta float64) *QuasiMetric {
+	if zeta <= 0 {
+		zeta = DefaultZetaFloor
+	}
+	return &QuasiMetric{space: d, zeta: zeta}
+}
+
+// N returns the number of nodes.
+func (q *QuasiMetric) N() int {
+	return q.space.N()
+}
+
+// Zeta returns the exponent in use.
+func (q *QuasiMetric) Zeta() float64 {
+	return q.zeta
+}
+
+// Space returns the underlying decay space.
+func (q *QuasiMetric) Space() Space {
+	return q.space
+}
+
+// D returns the quasi-distance d(i, j) = f(i, j)^(1/ζ).
+func (q *QuasiMetric) D(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return math.Pow(q.space.F(i, j), 1/q.zeta)
+}
+
+// TriangleViolation returns the largest relative violation of the triangle
+// inequality d(x,y) ≤ d(x,z) + d(z,y) over all ordered triplets (0 when the
+// quasi-metric is valid). Used to verify that ζ was computed correctly.
+func (q *QuasiMetric) TriangleViolation() float64 {
+	n := q.N()
+	worst := 0.0
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			dxy := q.D(x, y)
+			for z := 0; z < n; z++ {
+				if z == x || z == y {
+					continue
+				}
+				rhs := q.D(x, z) + q.D(z, y)
+				if rhs <= 0 {
+					continue
+				}
+				if v := dxy/rhs - 1; v > worst {
+					worst = v
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// AsDecaySpace returns the quasi-metric itself as a decay space (decay =
+// quasi-distance), which is the form metric-space algorithms consume under
+// Proposition 1.
+func (q *QuasiMetric) AsDecaySpace() *Matrix {
+	n := q.N()
+	m := &Matrix{n: n, f: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.f[i*n+j] = q.D(i, j)
+			}
+		}
+	}
+	return m
+}

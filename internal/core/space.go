@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: decay spaces
+// (Bodlaender & Halldórsson, PODC 2014). A decay space replaces the
+// geometric path-loss assumption of the SINR model with an arbitrary
+// pairwise decay matrix f : V×V → R≥0, measured or simulated from a real
+// environment. The package provides
+//
+//   - the Space abstraction and its dense Matrix implementation (Def 2.1),
+//   - the metricity parameter ζ (Def 2.2) and the variant ϕ / φ (Sec 4.2),
+//   - the induced quasi-metric d = f^(1/ζ),
+//   - balls, packings and packing numbers (Sec 3.1),
+//   - Assouad-dimension and doubling estimation (Def 3.2),
+//   - the fading value γ_z(r) and fading parameter γ (Def 3.1), together
+//     with the Theorem 2 upper bound C·2^(A+1)·(ζ̂(2−A)−1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Space is a decay space D = (V, f): a finite set of nodes 0..N()-1 and a
+// decay function f on ordered node pairs (Def 2.1). Implementations must
+// satisfy non-negativity and the identity of indiscernibles: F(i, j) == 0
+// iff i == j. Decay spaces need not be symmetric nor obey any triangle
+// inequality (they are pre-metrics).
+type Space interface {
+	// N returns the number of nodes.
+	N() int
+	// F returns the decay f(i, j) of a signal sent from node i to node j.
+	F(i, j int) float64
+}
+
+// Matrix is a dense decay space backed by an n×n matrix.
+type Matrix struct {
+	n int
+	f []float64
+}
+
+var _ Space = (*Matrix)(nil)
+
+// Validation errors returned by NewMatrix and Validate.
+var (
+	ErrNegativeDecay = errors.New("core: negative decay")
+	ErrZeroOffDiag   = errors.New("core: zero decay between distinct nodes")
+	ErrNotFinite     = errors.New("core: non-finite decay")
+	ErrShape         = errors.New("core: rows must form a square matrix")
+)
+
+// NewMatrix builds a decay space from row-major rows. Diagonal entries are
+// forced to zero (the paper: "what happens at a given point is immaterial").
+// It validates Def 2.1: decays are finite, non-negative, and positive off
+// the diagonal.
+func NewMatrix(rows [][]float64) (*Matrix, error) {
+	n := len(rows)
+	m := &Matrix{n: n, f: make([]float64, n*n)}
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(row), n)
+		}
+		for j, v := range row {
+			if i == j {
+				continue
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: f(%d,%d) = %v", ErrNotFinite, i, j, v)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("%w: f(%d,%d) = %v", ErrNegativeDecay, i, j, v)
+			}
+			if v == 0 {
+				return nil, fmt.Errorf("%w: f(%d,%d)", ErrZeroOffDiag, i, j)
+			}
+			m.f[i*n+j] = v
+		}
+	}
+	return m, nil
+}
+
+// FromFunc materializes a dense decay space by evaluating f on every
+// ordered pair of n nodes. The same validation as NewMatrix applies.
+func FromFunc(n int, f func(i, j int) float64) (*Matrix, error) {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			if i != j {
+				rows[i][j] = f(i, j)
+			}
+		}
+	}
+	return NewMatrix(rows)
+}
+
+// N returns the number of nodes.
+func (m *Matrix) N() int {
+	return m.n
+}
+
+// F returns the decay from node i to node j.
+func (m *Matrix) F(i, j int) float64 {
+	return m.f[i*m.n+j]
+}
+
+// Set overwrites the decay from i to j. Diagonal writes are ignored.
+// Invalid values are rejected.
+func (m *Matrix) Set(i, j int, v float64) error {
+	if i == j {
+		return nil
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: f(%d,%d) = %v", ErrNotFinite, i, j, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("%w: f(%d,%d) = %v", ErrNegativeDecay, i, j, v)
+	}
+	if v == 0 {
+		return fmt.Errorf("%w: f(%d,%d)", ErrZeroOffDiag, i, j)
+	}
+	m.f[i*m.n+j] = v
+	return nil
+}
+
+// Clone returns an independent copy of the matrix space.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{n: m.n, f: make([]float64, len(m.f))}
+	copy(out.f, m.f)
+	return out
+}
+
+// Materialize copies an arbitrary Space into a dense Matrix.
+func Materialize(d Space) *Matrix {
+	n := d.N()
+	m := &Matrix{n: n, f: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.f[i*n+j] = d.F(i, j)
+			}
+		}
+	}
+	return m
+}
+
+// Validate checks Def 2.1 on an arbitrary Space: finite, non-negative
+// decays, positive off the diagonal.
+func Validate(d Space) error {
+	n := d.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := d.F(i, j)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: f(%d,%d) = %v", ErrNotFinite, i, j, v)
+			}
+			if v < 0 {
+				return fmt.Errorf("%w: f(%d,%d) = %v", ErrNegativeDecay, i, j, v)
+			}
+			if v == 0 {
+				return fmt.Errorf("%w: f(%d,%d)", ErrZeroOffDiag, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether f(i,j) == f(j,i) for all pairs, within
+// relative tolerance tol.
+func IsSymmetric(d Space, tol float64) bool {
+	n := d.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := d.F(i, j), d.F(j, i)
+			if math.Abs(a-b) > tol*(1+math.Abs(a)+math.Abs(b)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Symmetrized returns a symmetric space with f'(i,j) = f'(j,i) =
+// sqrt(f(i,j)·f(j,i)) (geometric mean, the standard reciprocal-channel
+// estimate from two-way measurements).
+func Symmetrized(d Space) *Matrix {
+	n := d.N()
+	m := &Matrix{n: n, f: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := math.Sqrt(d.F(i, j) * d.F(j, i))
+			m.f[i*n+j] = v
+			m.f[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// DecayRange returns the smallest and largest off-diagonal decays.
+// For an empty or single-node space it returns (0, 0).
+func DecayRange(d Space) (lo, hi float64) {
+	n := d.N()
+	first := true
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := d.F(i, j)
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Subspace returns the decay space induced on the given nodes
+// (in the given order).
+func Subspace(d Space, nodes []int) *Matrix {
+	n := len(nodes)
+	m := &Matrix{n: n, f: make([]float64, n*n)}
+	for i, u := range nodes {
+		for j, v := range nodes {
+			if i != j {
+				m.f[i*n+j] = d.F(u, v)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,305 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+
+	"decaynet/internal/capacity"
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+)
+
+func gridSpace(t *testing.T, k int, spacing, alpha float64) *core.GeometricSpace {
+	t.Helper()
+	var pts []geom.Point
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			pts = append(pts, geom.Pt(float64(i)*spacing, float64(j)*spacing))
+		}
+	}
+	g, err := core.NewGeometricSpace(pts, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewSimValidation(t *testing.T) {
+	space, _ := core.UniformSpace(4, 1)
+	if _, err := NewSim(nil, Params{Power: 1, Beta: 1}); err == nil {
+		t.Error("nil space accepted")
+	}
+	bad := []Params{
+		{Power: 0, Beta: 1},
+		{Power: 1, Beta: 0.5},
+		{Power: 1, Beta: 1, Noise: -1},
+	}
+	for _, p := range bad {
+		if _, err := NewSim(space, p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := NewSim(space, Params{Power: 1, Beta: 1}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestReceptionsSingleTransmitter(t *testing.T) {
+	g := gridSpace(t, 3, 10, 3)
+	sim, err := NewSim(g, Params{Power: 1, Beta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Receptions([]int{0})
+	// With a single transmitter and zero noise, every other node decodes.
+	if len(got) != g.N()-1 {
+		t.Fatalf("deliveries = %d, want %d", len(got), g.N()-1)
+	}
+	for listener, sender := range got {
+		if sender != 0 || listener == 0 {
+			t.Fatalf("bad delivery %d <- %d", listener, sender)
+		}
+	}
+}
+
+func TestReceptionsHalfDuplex(t *testing.T) {
+	g := gridSpace(t, 2, 5, 3)
+	sim, err := NewSim(g, Params{Power: 1, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Receptions([]int{0, 1, 2, 3})
+	if len(got) != 0 {
+		t.Errorf("transmitting nodes decoded messages: %v", got)
+	}
+}
+
+func TestReceptionsInterference(t *testing.T) {
+	// Two far transmitters, listener midway between them: neither clears
+	// beta=1 (equal signals). A listener right next to one of them does.
+	pts := []geom.Point{
+		geom.Pt(0, 0),   // tx A
+		geom.Pt(100, 0), // tx B
+		geom.Pt(50, 0),  // midway listener
+		geom.Pt(1, 0),   // listener next to A
+	}
+	g, err := core.NewGeometricSpace(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, Params{Power: 1, Beta: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Receptions([]int{0, 1})
+	if _, ok := got[2]; ok {
+		t.Error("midway listener decoded despite equal interference")
+	}
+	if sender, ok := got[3]; !ok || sender != 0 {
+		t.Errorf("near listener decode = %v, %v", sender, ok)
+	}
+}
+
+func TestReceptionsNoiseOnly(t *testing.T) {
+	g := gridSpace(t, 2, 10, 2)
+	sim, err := NewSim(g, Params{Power: 1, Beta: 1, Noise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal at distance 10 is 0.01 << noise 1: nothing decodes.
+	if got := sim.Receptions([]int{0}); len(got) != 0 {
+		t.Errorf("noise-buried deliveries: %v", got)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := gridSpace(t, 3, 1, 2) // unit grid, alpha 2
+	sim, err := NewSim(g, Params{Power: 1, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1.5 (decay) covers distance-1 nodes only (decay 1); diagonal
+	// neighbors have decay 2.
+	nb := sim.Neighborhood(4, 1.5) // center of 3x3 grid
+	if len(nb) != 4 {
+		t.Errorf("center neighborhood = %v", nb)
+	}
+	corner := sim.Neighborhood(0, 1.5)
+	if len(corner) != 2 {
+		t.Errorf("corner neighborhood = %v", corner)
+	}
+}
+
+func TestLocalBroadcastValidation(t *testing.T) {
+	g := gridSpace(t, 2, 10, 3)
+	sim, _ := NewSim(g, Params{Power: 1, Beta: 1})
+	if _, err := sim.LocalBroadcast(1, 0, 10, 1); err == nil {
+		t.Error("prob=0 accepted")
+	}
+	if _, err := sim.LocalBroadcast(1, 1.5, 10, 1); err == nil {
+		t.Error("prob>1 accepted")
+	}
+	if _, err := sim.LocalBroadcast(1, 0.5, 0, 1); err == nil {
+		t.Error("maxRounds=0 accepted")
+	}
+}
+
+func TestLocalBroadcastCompletes(t *testing.T) {
+	g := gridSpace(t, 4, 4, 4) // sparse, strong fading
+	sim, err := NewSim(g, Params{Power: 1, Beta: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius := math.Pow(4, 4) * 1.01 // adjacent nodes only
+	res, err := sim.LocalBroadcast(radius, 0.2, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("broadcast incomplete after %d rounds (%d deliveries)",
+			res.Rounds, res.Deliveries)
+	}
+	if res.Rounds <= 0 || res.Deliveries == 0 {
+		t.Errorf("degenerate result %+v", res)
+	}
+}
+
+func TestLocalBroadcastDeterministic(t *testing.T) {
+	g := gridSpace(t, 3, 4, 3)
+	sim, _ := NewSim(g, Params{Power: 1, Beta: 1})
+	radius := math.Pow(4, 3) * 1.01
+	a, err := sim.LocalBroadcast(radius, 0.3, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.LocalBroadcast(radius, 0.3, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestLocalBroadcastDensityCost: a denser deployment (higher fading value)
+// needs more rounds at the same transmission probability.
+func TestLocalBroadcastDensityCost(t *testing.T) {
+	sparse := gridSpace(t, 3, 8, 3)
+	dense := gridSpace(t, 5, 4, 3)
+	pSparse, _ := NewSim(sparse, Params{Power: 1, Beta: 1})
+	pDense, _ := NewSim(dense, Params{Power: 1, Beta: 1})
+	rSparse := math.Pow(8, 3) * 1.01
+	rDense := math.Pow(4, 3) * 1.01
+	resSparse, err := pSparse.LocalBroadcast(rSparse, 0.25, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDense, err := pDense.LocalBroadcast(rDense, 0.25, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resSparse.Done || !resDense.Done {
+		t.Fatal("runs incomplete")
+	}
+	if resDense.Rounds <= resSparse.Rounds {
+		t.Errorf("dense grid finished in %d rounds, sparse in %d",
+			resDense.Rounds, resSparse.Rounds)
+	}
+}
+
+func capacityGameSystem(t *testing.T, seed uint64, links int) (*sinr.System, sinr.Power) {
+	t.Helper()
+	src := rng.New(seed)
+	var pts []geom.Point
+	var ls []sinr.Link
+	for i := 0; i < links; i++ {
+		s := geom.Pt(src.Range(0, 60), src.Range(0, 60))
+		theta := src.Range(0, 2*math.Pi)
+		r := s.Add(geom.Pt(src.Range(1, 2), 0).Rotate(theta))
+		pts = append(pts, s, r)
+		ls = append(ls, sinr.Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := core.NewGeometricSpace(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sinr.NewSystem(space, ls, sinr.WithZeta(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sinr.UniformPower(sys, 1)
+}
+
+func defaultGame(seed uint64) GameConfig {
+	return GameConfig{
+		Rounds:      800,
+		InitialProb: 0.3,
+		Up:          1.2,
+		Down:        0.6,
+		MinProb:     0.01,
+		MaxProb:     1,
+		Seed:        seed,
+	}
+}
+
+func TestCapacityGameValidation(t *testing.T) {
+	sys, p := capacityGameSystem(t, 1, 5)
+	bad := []GameConfig{
+		{},
+		{Rounds: 10, InitialProb: 0, Up: 1.1, Down: 0.5, MinProb: 0.1, MaxProb: 1},
+		{Rounds: 10, InitialProb: 0.5, Up: 0.9, Down: 0.5, MinProb: 0.1, MaxProb: 1},
+		{Rounds: 10, InitialProb: 0.5, Up: 1.1, Down: 1.5, MinProb: 0.1, MaxProb: 1},
+		{Rounds: 10, InitialProb: 0.5, Up: 1.1, Down: 0.5, MinProb: 0.5, MaxProb: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := CapacityGame(sys, p, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestCapacityGameConverges(t *testing.T) {
+	sys, p := capacityGameSystem(t, 3, 20)
+	res, err := CapacityGame(sys, p, defaultGame(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalProbs) != 20 || len(res.Successes) != 20 {
+		t.Fatal("result shape wrong")
+	}
+	// The game should sustain a throughput within a constant factor of the
+	// centralized Algorithm 1 solution.
+	alg1 := capacity.Algorithm1(sys, p, capacity.AllLinks(sys))
+	if res.AvgThroughput < float64(len(alg1))/4 {
+		t.Errorf("throughput %v far below Algorithm 1 size %d",
+			res.AvgThroughput, len(alg1))
+	}
+}
+
+func TestCapacityGameDeterministic(t *testing.T) {
+	sys, p := capacityGameSystem(t, 5, 10)
+	a, err := CapacityGame(sys, p, defaultGame(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CapacityGame(sys, p, defaultGame(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgThroughput != b.AvgThroughput {
+		t.Error("nondeterministic throughput")
+	}
+	for i := range a.FinalProbs {
+		if a.FinalProbs[i] != b.FinalProbs[i] {
+			t.Fatal("nondeterministic probabilities")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp broken")
+	}
+}

@@ -1,0 +1,118 @@
+package distributed
+
+import (
+	"errors"
+
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+)
+
+// GameConfig tunes the adaptive capacity game.
+type GameConfig struct {
+	// Rounds to simulate.
+	Rounds int
+	// InitialProb is each link's starting transmission probability.
+	InitialProb float64
+	// Up multiplies the probability after a success (>= 1).
+	Up float64
+	// Down multiplies it after a failed attempt (in (0, 1]).
+	Down float64
+	// MinProb and MaxProb clamp the probability.
+	MinProb, MaxProb float64
+	// Window is the number of trailing rounds used for the throughput
+	// average (default: Rounds/4).
+	Window int
+	// Seed drives the randomness.
+	Seed uint64
+}
+
+func (c GameConfig) validate() error {
+	if c.Rounds <= 0 {
+		return errors.New("distributed: Rounds must be positive")
+	}
+	if c.InitialProb <= 0 || c.InitialProb > 1 {
+		return errors.New("distributed: InitialProb must be in (0, 1]")
+	}
+	if c.Up < 1 {
+		return errors.New("distributed: Up must be >= 1")
+	}
+	if c.Down <= 0 || c.Down > 1 {
+		return errors.New("distributed: Down must be in (0, 1]")
+	}
+	if c.MinProb <= 0 || c.MaxProb > 1 || c.MinProb > c.MaxProb {
+		return errors.New("distributed: bad probability clamp")
+	}
+	return nil
+}
+
+// GameResult summarizes an adaptive capacity game run.
+type GameResult struct {
+	// AvgThroughput is the mean number of successful links per round over
+	// the trailing window.
+	AvgThroughput float64
+	// FinalProbs is each link's transmission probability after the run.
+	FinalProbs []float64
+	// Successes counts per-link successful transmissions over the run.
+	Successes []int
+}
+
+// CapacityGame runs the distributed adaptive capacity protocol: every link
+// independently transmits with its current probability; links whose SINR
+// clears β multiplicatively raise their probability, the rest lower it.
+// No coordination or global knowledge is used — convergence quality rests
+// on the amicability of the instance (Def 4.2 / Theorem 4), which is why
+// bounded-growth spaces behave well here.
+func CapacityGame(s *sinr.System, p sinr.Power, cfg GameConfig) (GameResult, error) {
+	if err := cfg.validate(); err != nil {
+		return GameResult{}, err
+	}
+	n := s.Len()
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = cfg.InitialProb
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = cfg.Rounds / 4
+		if window == 0 {
+			window = 1
+		}
+	}
+	src := rng.New(cfg.Seed)
+	res := GameResult{Successes: make([]int, n)}
+	windowTotal := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		var active []int
+		for v := 0; v < n; v++ {
+			if src.Float64() < probs[v] {
+				active = append(active, v)
+			}
+		}
+		okCount := 0
+		for _, v := range active {
+			if sinr.Succeeds(s, p, active, v) {
+				okCount++
+				res.Successes[v]++
+				probs[v] = clamp(probs[v]*cfg.Up, cfg.MinProb, cfg.MaxProb)
+			} else {
+				probs[v] = clamp(probs[v]*cfg.Down, cfg.MinProb, cfg.MaxProb)
+			}
+		}
+		if round >= cfg.Rounds-window {
+			windowTotal += okCount
+		}
+	}
+	res.AvgThroughput = float64(windowTotal) / float64(window)
+	res.FinalProbs = probs
+	return res, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,204 @@
+package environment
+
+import (
+	"errors"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+)
+
+// OfficeConfig parameterizes the office-floor preset.
+type OfficeConfig struct {
+	// RoomsX, RoomsY set the room grid (total rooms = RoomsX*RoomsY).
+	RoomsX, RoomsY int
+	// RoomSize is the side length of each square room.
+	RoomSize float64
+	// DoorWidth is the gap left in interior walls (0 for solid walls).
+	DoorWidth float64
+	// Interior is the interior wall material (default Drywall).
+	Interior Material
+	// Shell is the outer wall material (default Concrete).
+	Shell Material
+}
+
+// Office builds an office-floor scene: a RoomsX×RoomsY grid of rooms with
+// doors in the interior walls and a solid outer shell. Path loss and
+// shadowing parameters are left at zero values for the caller to fill in.
+func Office(cfg OfficeConfig) (*Scene, error) {
+	if cfg.RoomsX < 1 || cfg.RoomsY < 1 || cfg.RoomSize <= 0 {
+		return nil, errors.New("environment: invalid office grid")
+	}
+	if cfg.DoorWidth < 0 || cfg.DoorWidth >= cfg.RoomSize {
+		return nil, errors.New("environment: door width must be in [0, RoomSize)")
+	}
+	interior := cfg.Interior
+	if interior == (Material{}) {
+		interior = Drywall
+	}
+	shell := cfg.Shell
+	if shell == (Material{}) {
+		shell = Concrete
+	}
+	w := float64(cfg.RoomsX) * cfg.RoomSize
+	h := float64(cfg.RoomsY) * cfg.RoomSize
+	var walls []Wall
+	// Outer shell.
+	for _, s := range []geom.Segment{
+		geom.Seg(geom.Pt(0, 0), geom.Pt(w, 0)),
+		geom.Seg(geom.Pt(w, 0), geom.Pt(w, h)),
+		geom.Seg(geom.Pt(w, h), geom.Pt(0, h)),
+		geom.Seg(geom.Pt(0, h), geom.Pt(0, 0)),
+	} {
+		walls = append(walls, Wall{Seg: s, Material: shell})
+	}
+	// Interior vertical walls with centered doors.
+	addWithDoor := func(a, b geom.Point) {
+		if cfg.DoorWidth == 0 {
+			walls = append(walls, Wall{Seg: geom.Seg(a, b), Material: interior})
+			return
+		}
+		mid := geom.Lerp(a, b, 0.5)
+		dir := b.Sub(a).Unit()
+		half := dir.Scale(cfg.DoorWidth / 2)
+		walls = append(walls,
+			Wall{Seg: geom.Seg(a, mid.Sub(half)), Material: interior},
+			Wall{Seg: geom.Seg(mid.Add(half), b), Material: interior},
+		)
+	}
+	for i := 1; i < cfg.RoomsX; i++ {
+		x := float64(i) * cfg.RoomSize
+		for j := 0; j < cfg.RoomsY; j++ {
+			y := float64(j) * cfg.RoomSize
+			addWithDoor(geom.Pt(x, y), geom.Pt(x, y+cfg.RoomSize))
+		}
+	}
+	for j := 1; j < cfg.RoomsY; j++ {
+		y := float64(j) * cfg.RoomSize
+		for i := 0; i < cfg.RoomsX; i++ {
+			x := float64(i) * cfg.RoomSize
+			addWithDoor(geom.Pt(x, y), geom.Pt(x+cfg.RoomSize, y))
+		}
+	}
+	return &Scene{Walls: walls, PathLossExp: 2}, nil
+}
+
+// RandomNodes places n isotropic nodes uniformly in the rectangle
+// [0,w]×[0,h], keeping a small margin from the boundary.
+func RandomNodes(n int, w, h float64, seed uint64) []Node {
+	src := rng.New(seed)
+	margin := 0.02 * (w + h) / 2
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{
+			Pos: geom.Pt(src.Range(margin, w-margin), src.Range(margin, h-margin)),
+		}
+	}
+	return nodes
+}
+
+// OfficeExtent returns the office floor's width and height.
+func OfficeExtent(cfg OfficeConfig) (w, h float64) {
+	return float64(cfg.RoomsX) * cfg.RoomSize, float64(cfg.RoomsY) * cfg.RoomSize
+}
+
+// WarehouseConfig parameterizes the warehouse preset.
+type WarehouseConfig struct {
+	// Width and Height give the floor extent.
+	Width, Height float64
+	// Aisles is the number of rack rows (racks run horizontally with
+	// aisles between them).
+	Aisles int
+	// RackDepth is each rack's thickness; racks span 80% of the width.
+	RackDepth float64
+	// Rack is the rack material (default Metal).
+	Rack Material
+	// Shell is the outer wall material (default Concrete).
+	Shell Material
+}
+
+// Warehouse builds an open floor with metal rack rows — a multipath-heavy
+// environment where obstacles rather than walls shape the decays.
+func Warehouse(cfg WarehouseConfig) (*Scene, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Aisles < 1 {
+		return nil, errors.New("environment: invalid warehouse config")
+	}
+	if cfg.RackDepth <= 0 || float64(cfg.Aisles)*cfg.RackDepth >= cfg.Height {
+		return nil, errors.New("environment: racks do not fit the floor")
+	}
+	rack := cfg.Rack
+	if rack == (Material{}) {
+		rack = Metal
+	}
+	shell := cfg.Shell
+	if shell == (Material{}) {
+		shell = Concrete
+	}
+	sc := &Scene{PathLossExp: 2}
+	for _, s := range []geom.Segment{
+		geom.Seg(geom.Pt(0, 0), geom.Pt(cfg.Width, 0)),
+		geom.Seg(geom.Pt(cfg.Width, 0), geom.Pt(cfg.Width, cfg.Height)),
+		geom.Seg(geom.Pt(cfg.Width, cfg.Height), geom.Pt(0, cfg.Height)),
+		geom.Seg(geom.Pt(0, cfg.Height), geom.Pt(0, 0)),
+	} {
+		sc.Walls = append(sc.Walls, Wall{Seg: s, Material: shell})
+	}
+	gap := cfg.Height / float64(cfg.Aisles+1)
+	x0, x1 := 0.1*cfg.Width, 0.9*cfg.Width
+	for i := 1; i <= cfg.Aisles; i++ {
+		y := float64(i) * gap
+		sc.Obstacles = append(sc.Obstacles, Obstacle{
+			Poly:     geom.Rect(x0, y-cfg.RackDepth/2, x1, y+cfg.RackDepth/2),
+			Material: rack,
+		})
+	}
+	return sc, nil
+}
+
+// Corridor builds a long hallway flanked by rooms on both sides — the
+// waveguide-like setting where reflections matter most. Rooms are
+// RoomSize×RoomSize; the corridor is CorridorWidth wide between the two
+// room rows.
+type CorridorConfig struct {
+	Rooms         int
+	RoomSize      float64
+	CorridorWidth float64
+	Interior      Material
+}
+
+// Corridor builds the hallway scene.
+func Corridor(cfg CorridorConfig) (*Scene, error) {
+	if cfg.Rooms < 1 || cfg.RoomSize <= 0 || cfg.CorridorWidth <= 0 {
+		return nil, errors.New("environment: invalid corridor config")
+	}
+	interior := cfg.Interior
+	if interior == (Material{}) {
+		interior = Drywall
+	}
+	w := float64(cfg.Rooms) * cfg.RoomSize
+	h := 2*cfg.RoomSize + cfg.CorridorWidth
+	yLow := cfg.RoomSize
+	yHigh := cfg.RoomSize + cfg.CorridorWidth
+	sc := &Scene{PathLossExp: 2}
+	for _, s := range []geom.Segment{
+		geom.Seg(geom.Pt(0, 0), geom.Pt(w, 0)),
+		geom.Seg(geom.Pt(w, 0), geom.Pt(w, h)),
+		geom.Seg(geom.Pt(w, h), geom.Pt(0, h)),
+		geom.Seg(geom.Pt(0, h), geom.Pt(0, 0)),
+	} {
+		sc.Walls = append(sc.Walls, Wall{Seg: s, Material: Concrete})
+	}
+	// Corridor walls (solid; doors omitted for a clean waveguide).
+	sc.Walls = append(sc.Walls,
+		Wall{Seg: geom.Seg(geom.Pt(0, yLow), geom.Pt(w, yLow)), Material: interior},
+		Wall{Seg: geom.Seg(geom.Pt(0, yHigh), geom.Pt(w, yHigh)), Material: interior},
+	)
+	// Room dividers.
+	for i := 1; i < cfg.Rooms; i++ {
+		x := float64(i) * cfg.RoomSize
+		sc.Walls = append(sc.Walls,
+			Wall{Seg: geom.Seg(geom.Pt(x, 0), geom.Pt(x, yLow)), Material: interior},
+			Wall{Seg: geom.Seg(geom.Pt(x, yHigh), geom.Pt(x, h)), Material: interior},
+		)
+	}
+	return sc, nil
+}

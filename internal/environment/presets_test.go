@@ -1,0 +1,176 @@
+package environment
+
+import (
+	"testing"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+)
+
+func TestWarehouseValidation(t *testing.T) {
+	bad := []WarehouseConfig{
+		{Width: 0, Height: 10, Aisles: 2, RackDepth: 1},
+		{Width: 10, Height: 10, Aisles: 0, RackDepth: 1},
+		{Width: 10, Height: 10, Aisles: 2, RackDepth: 0},
+		{Width: 10, Height: 4, Aisles: 4, RackDepth: 2}, // racks don't fit
+	}
+	for i, cfg := range bad {
+		if _, err := Warehouse(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWarehouseRacksAttenuate(t *testing.T) {
+	sc, err := Warehouse(WarehouseConfig{Width: 40, Height: 30, Aisles: 2, RackDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.PathLossExp = 2
+	if len(sc.Obstacles) != 2 {
+		t.Fatalf("obstacles = %d", len(sc.Obstacles))
+	}
+	// Node pair separated vertically by a rack vs a same-aisle pair at the
+	// same distance.
+	nodes := []Node{
+		{Pos: geom.Pt(20, 8)},  // below rack 1 (racks at y=10 and y=20)
+		{Pos: geom.Pt(20, 12)}, // above rack 1: path crosses the rack
+		{Pos: geom.Pt(24, 8)},  // same aisle, distance 4
+	}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	through := space.F(0, 1) // distance 4, through a metal rack (2 edges)
+	open := space.F(0, 2)    // distance 4, open aisle
+	if through <= open {
+		t.Errorf("rack did not attenuate: through=%v open=%v", through, open)
+	}
+	// Two edge crossings of Metal: 2*26 dB = factor 10^5.2.
+	ratio := through / open
+	if ratio < 1e4 || ratio > 1e7 {
+		t.Errorf("rack attenuation ratio = %v, want ~10^5.2", ratio)
+	}
+}
+
+func TestWarehouseDefaultMaterials(t *testing.T) {
+	sc, err := Warehouse(WarehouseConfig{Width: 20, Height: 20, Aisles: 1, RackDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Obstacles[0].Material != Metal {
+		t.Error("default rack material not metal")
+	}
+	if sc.Walls[0].Material != Concrete {
+		t.Error("default shell not concrete")
+	}
+}
+
+func TestCorridorValidation(t *testing.T) {
+	bad := []CorridorConfig{
+		{Rooms: 0, RoomSize: 5, CorridorWidth: 2},
+		{Rooms: 3, RoomSize: 0, CorridorWidth: 2},
+		{Rooms: 3, RoomSize: 5, CorridorWidth: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Corridor(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestCorridorWaveguide(t *testing.T) {
+	sc, err := Corridor(CorridorConfig{Rooms: 4, RoomSize: 6, CorridorWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.PathLossExp = 2
+	sc.Reflectivity = 0.4
+	// Two nodes along the corridor centerline: the corridor walls act as
+	// reflectors, so the decay is lower than pure free space.
+	mid := 6.0 + 1.5
+	nodes := []Node{{Pos: geom.Pt(2, mid)}, {Pos: geom.Pt(18, mid)}}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeScene := &Scene{PathLossExp: 2}
+	free, err := freeScene.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(space.F(0, 1) < free.F(0, 1)) {
+		t.Errorf("corridor decay %v not below free-space %v (reflections)",
+			space.F(0, 1), free.F(0, 1))
+	}
+}
+
+// TestCorridorCrossRoomWorseThanAlongCorridor checks the anisotropy that
+// breaks geometric modeling: a short path through two walls decays more
+// than a much longer path down the corridor.
+func TestCorridorCrossRoomWorseThanAlongCorridor(t *testing.T) {
+	sc, err := Corridor(CorridorConfig{Rooms: 4, RoomSize: 6, CorridorWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.PathLossExp = 2
+	mid := 7.5
+	nodes := []Node{
+		{Pos: geom.Pt(3, mid)},  // corridor
+		{Pos: geom.Pt(21, mid)}, // corridor, 18 away
+		{Pos: geom.Pt(3, 2)},    // room below, 5.5 away through a wall
+		{Pos: geom.Pt(3, 13)},   // room above, 5.5 away through a wall
+	}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCorr := nodes[0].Pos.Dist(nodes[1].Pos)
+	dRoom := nodes[0].Pos.Dist(nodes[2].Pos)
+	if dRoom >= dCorr {
+		t.Fatal("test geometry broken")
+	}
+	// Decay through wall at short distance can approach / exceed the long
+	// open-corridor decay; at minimum, monotonicity in distance breaks:
+	// rank of (distance, decay) disagrees somewhere among these pairs.
+	type pair struct{ d, f float64 }
+	ps := []pair{
+		{dCorr, space.F(0, 1)},
+		{dRoom, space.F(0, 2)},
+		{nodes[2].Pos.Dist(nodes[3].Pos), space.F(2, 3)},
+	}
+	brokeMonotone := false
+	for i := range ps {
+		for j := range ps {
+			if ps[i].d < ps[j].d && ps[i].f > ps[j].f {
+				brokeMonotone = true
+			}
+		}
+	}
+	if !brokeMonotone {
+		t.Error("corridor scene kept decay monotone in distance")
+	}
+}
+
+func TestObstacleSceneValid(t *testing.T) {
+	sc := &Scene{PathLossExp: 2}
+	sc.Obstacles = []Obstacle{{Poly: geom.Rect(4, -1, 6, 1), Material: Brick}}
+	nodes := []Node{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(10, 0)}, {Pos: geom.Pt(0, 5)}}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(space); err != nil {
+		t.Fatal(err)
+	}
+	// Path 0->1 crosses two brick edges; path 0->2 none.
+	want := 100 * dbToLinearInv(2*Brick.LossDB)
+	if got := space.F(0, 1); got < want*0.99 || got > want*1.01 {
+		t.Errorf("obstacle decay = %v, want %v", got, want)
+	}
+}
+
+// dbToLinearInv converts a dB loss into the multiplicative decay factor.
+func dbToLinearInv(db float64) float64 {
+	return 1 / dbToLinear(db)
+}

@@ -1,0 +1,288 @@
+// Package environment simulates static wireless environments — the
+// "arbitrary static situations" the paper's decay spaces are designed to
+// model. A Scene combines walls with per-material penetration loss,
+// log-distance path loss, correlated log-normal shadowing, single-bounce
+// reflections (image method) and anisotropic antennas; BuildSpace turns a
+// scene plus node placement into a measured decay matrix. This substitutes
+// for the RSSI measurement campaigns of the sibling paper [24]: it
+// produces decay spaces with the phenomenology (non-geometric decay,
+// asymmetry, wall shadowing) that motivates the model, while keeping the
+// assumptions the paper retains (static channel, additive interference).
+package environment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+)
+
+// Material describes a wall material by its penetration loss per crossing.
+type Material struct {
+	Name   string
+	LossDB float64
+}
+
+// Common materials with typical 2.4 GHz penetration losses.
+var (
+	Drywall  = Material{Name: "drywall", LossDB: 3}
+	Brick    = Material{Name: "brick", LossDB: 8}
+	Concrete = Material{Name: "concrete", LossDB: 13}
+	Glass    = Material{Name: "glass", LossDB: 2}
+	Metal    = Material{Name: "metal", LossDB: 26}
+)
+
+// Wall is a straight wall segment with a material.
+type Wall struct {
+	Seg      geom.Segment
+	Material Material
+}
+
+// Obstacle is a polygonal blocker (cabinet, rack, pillar). A propagation
+// path pays the material loss once per polygon-edge crossing, so passing
+// through an obstacle costs two crossings. Obstacles do not reflect.
+type Obstacle struct {
+	Poly     geom.Polygon
+	Material Material
+}
+
+// Antenna maps a departure/arrival angle (radians, relative to the
+// antenna's boresight) to a linear power gain. Implementations must be
+// symmetric in usage: the same pattern applies for transmit and receive.
+type Antenna interface {
+	Gain(theta float64) float64
+}
+
+// Isotropic radiates equally in all directions with unit gain.
+type Isotropic struct{}
+
+// Gain returns 1 for every angle.
+func (Isotropic) Gain(float64) float64 { return 1 }
+
+// Cardioid is a smooth directional pattern g(θ) = ((1+cos θ)/2)^Sharpness,
+// plus a small back-lobe floor so gains stay positive.
+type Cardioid struct {
+	// Sharpness ≥ 1 narrows the main lobe.
+	Sharpness float64
+	// Floor is the minimum linear gain (default 0.01 when zero).
+	Floor float64
+}
+
+// Gain evaluates the cardioid pattern at angle theta from boresight.
+func (c Cardioid) Gain(theta float64) float64 {
+	sharp := c.Sharpness
+	if sharp < 1 {
+		sharp = 1
+	}
+	floor := c.Floor
+	if floor <= 0 {
+		floor = 0.01
+	}
+	g := math.Pow((1+math.Cos(theta))/2, sharp)
+	return math.Max(g, floor)
+}
+
+// Sector has FrontGain inside a beam of the given width and BackGain
+// elsewhere (a hard-sectored antenna).
+type Sector struct {
+	Width     float64 // full beam width in radians
+	FrontGain float64
+	BackGain  float64
+}
+
+// Gain returns FrontGain within ±Width/2 of boresight, else BackGain.
+func (s Sector) Gain(theta float64) float64 {
+	theta = math.Abs(math.Mod(theta, 2*math.Pi))
+	if theta > math.Pi {
+		theta = 2*math.Pi - theta
+	}
+	if theta <= s.Width/2 {
+		return s.FrontGain
+	}
+	return s.BackGain
+}
+
+// Node is a radio at a position with an (optionally anisotropic) antenna
+// pointed at Orientation radians.
+type Node struct {
+	Pos         geom.Point
+	Antenna     Antenna
+	Orientation float64
+}
+
+// Scene is a static propagation environment.
+type Scene struct {
+	// Walls attenuate crossings and act as reflectors.
+	Walls []Wall
+	// Obstacles attenuate crossings (per polygon edge) but do not reflect.
+	Obstacles []Obstacle
+	// PathLossExp is the distance power-law exponent (free space: 2).
+	PathLossExp float64
+	// RefDist is the close-in reference distance below which path loss
+	// stops growing (prevents singular gains); default 0.1.
+	RefDist float64
+	// ShadowSigmaDB is the standard deviation of log-normal shadowing in
+	// dB; 0 disables shadowing. Shadowing is symmetric per node pair.
+	ShadowSigmaDB float64
+	// FastFading enables per-ordered-pair Rayleigh fading (a static
+	// snapshot of multipath micro-fading, making decays asymmetric).
+	FastFading bool
+	// Reflectivity is the fraction of power preserved by a single-bounce
+	// wall reflection; 0 disables reflection paths.
+	Reflectivity float64
+	// Seed drives shadowing and fading.
+	Seed uint64
+}
+
+func (sc *Scene) validate() error {
+	if sc.PathLossExp <= 0 {
+		return errors.New("environment: PathLossExp must be positive")
+	}
+	if sc.ShadowSigmaDB < 0 {
+		return errors.New("environment: negative ShadowSigmaDB")
+	}
+	if sc.Reflectivity < 0 || sc.Reflectivity >= 1 {
+		return errors.New("environment: Reflectivity must be in [0, 1)")
+	}
+	return nil
+}
+
+// dbToLinear converts a dB loss to a linear power multiplier.
+func dbToLinear(db float64) float64 {
+	return math.Pow(10, -db/10)
+}
+
+// wallLoss returns the product of penetration multipliers for every wall
+// the segment crosses, skipping the wall indexed by skip (-1 for none) —
+// used so a reflection's own mirror wall does not also attenuate the path.
+func (sc *Scene) wallLoss(seg geom.Segment, skip int) float64 {
+	loss := 1.0
+	for i, w := range sc.Walls {
+		if i == skip {
+			continue
+		}
+		if seg.Intersects(w.Seg) {
+			loss *= dbToLinear(w.Material.LossDB)
+		}
+	}
+	for _, o := range sc.Obstacles {
+		if n := o.Poly.IntersectionCount(seg); n > 0 {
+			loss *= math.Pow(dbToLinear(o.Material.LossDB), float64(n))
+		}
+	}
+	return loss
+}
+
+// pathGain returns the distance-law gain of a path of length d.
+func (sc *Scene) pathGain(d float64) float64 {
+	ref := sc.RefDist
+	if ref <= 0 {
+		ref = 0.1
+	}
+	if d < ref {
+		d = ref
+	}
+	return math.Pow(d, -sc.PathLossExp)
+}
+
+// antennaGain evaluates a node's antenna toward a target point.
+func antennaGain(n Node, toward geom.Point) float64 {
+	if n.Antenna == nil {
+		return 1
+	}
+	theta := toward.Sub(n.Pos).Angle() - n.Orientation
+	return n.Antenna.Gain(theta)
+}
+
+// Gain computes the end-to-end linear power gain from transmitter tx to
+// receiver rx: (direct + reflected paths) × shadowing × fading, with wall
+// penetration and antenna patterns applied per path.
+func (sc *Scene) Gain(tx, rx Node, txIdx, rxIdx int) float64 {
+	direct := sc.pathGain(tx.Pos.Dist(rx.Pos)) *
+		sc.wallLoss(geom.Seg(tx.Pos, rx.Pos), -1) *
+		antennaGain(tx, rx.Pos) * antennaGain(rx, tx.Pos)
+
+	total := direct
+	if sc.Reflectivity > 0 {
+		for i, w := range sc.Walls {
+			g, ok := sc.reflectionGain(tx, rx, i, w)
+			if ok {
+				total += g
+			}
+		}
+	}
+	if sc.ShadowSigmaDB > 0 {
+		src := rng.SymmetricPairStream(sc.Seed, txIdx, rxIdx)
+		shadowDB := src.Normal() * sc.ShadowSigmaDB
+		total *= math.Pow(10, shadowDB/10)
+	}
+	if sc.FastFading {
+		src := rng.PairStream(sc.Seed^0x5eed, txIdx, rxIdx)
+		// Rayleigh amplitude => exponential power with mean 1.
+		total *= src.Exp(1)
+	}
+	return total
+}
+
+// reflectionGain computes the single-bounce path off wall i via the image
+// method: mirror the transmitter across the wall line; the bounce is valid
+// when the image-to-receiver segment crosses the physical wall segment.
+func (sc *Scene) reflectionGain(tx, rx Node, i int, w Wall) (float64, bool) {
+	img := w.Seg.Reflect(tx.Pos)
+	bounce, ok := geom.Seg(img, rx.Pos).Intersection(w.Seg)
+	if !ok {
+		return 0, false
+	}
+	dist := img.Dist(rx.Pos) // total unfolded path length
+	g := sc.Reflectivity * sc.pathGain(dist)
+	// Penetrations on both legs (the mirror wall itself does not count).
+	g *= sc.wallLoss(geom.Seg(tx.Pos, bounce), i)
+	g *= sc.wallLoss(geom.Seg(bounce, rx.Pos), i)
+	// Antennas point at the bounce point.
+	g *= antennaGain(tx, bounce) * antennaGain(rx, bounce)
+	return g, true
+}
+
+// BuildSpace evaluates the scene between every ordered node pair and
+// returns the resulting decay matrix f = 1/gain.
+func (sc *Scene) BuildSpace(nodes []Node) (*core.Matrix, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) < 2 {
+		return nil, errors.New("environment: need at least two nodes")
+	}
+	n := len(nodes)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			if i == j {
+				continue
+			}
+			g := sc.Gain(nodes[i], nodes[j], i, j)
+			if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+				return nil, fmt.Errorf("environment: non-positive gain between %d and %d", i, j)
+			}
+			rows[i][j] = 1 / g
+		}
+	}
+	return core.NewMatrix(rows)
+}
+
+// MeasurementNoise perturbs every decay by an independent log-normal factor
+// with the given dB standard deviation, modeling RSSI measurement error,
+// and returns the perturbed space.
+func MeasurementNoise(d core.Space, sigmaDB float64, seed uint64) (*core.Matrix, error) {
+	if sigmaDB < 0 {
+		return nil, errors.New("environment: negative sigma")
+	}
+	n := d.N()
+	return core.FromFunc(n, func(i, j int) float64 {
+		src := rng.PairStream(seed, i, j)
+		return d.F(i, j) * math.Pow(10, src.Normal()*sigmaDB/10)
+	})
+}

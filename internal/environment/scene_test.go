@@ -1,0 +1,352 @@
+package environment
+
+import (
+	"math"
+	"testing"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/stats"
+)
+
+func freeSpace(alpha float64) *Scene {
+	return &Scene{PathLossExp: alpha}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scene
+		ok   bool
+	}{
+		{"free space", Scene{PathLossExp: 2}, true},
+		{"zero exponent", Scene{}, false},
+		{"negative shadow", Scene{PathLossExp: 2, ShadowSigmaDB: -1}, false},
+		{"reflectivity 1", Scene{PathLossExp: 2, Reflectivity: 1}, false},
+		{"good reflectivity", Scene{PathLossExp: 2, Reflectivity: 0.3}, true},
+	}
+	nodes := []Node{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(5, 0)}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.sc.BuildSpace(nodes)
+			if (err == nil) != tc.ok {
+				t.Errorf("err = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+	if _, err := freeSpace(2).BuildSpace(nodes[:1]); err == nil {
+		t.Error("single node accepted")
+	}
+}
+
+// TestFreeSpaceMatchesGeometric: with no walls/shadowing/reflection the
+// scene reproduces geometric decay d^alpha exactly, so zeta == alpha.
+func TestFreeSpaceMatchesGeometric(t *testing.T) {
+	// The colinear triple (0,0), (3,0), (6,0) makes the triangle
+	// inequality tight, forcing zeta all the way up to alpha.
+	nodes := []Node{
+		{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(3, 0)}, {Pos: geom.Pt(6, 0)}, {Pos: geom.Pt(7, 7)},
+	}
+	for _, alpha := range []float64{2, 3} {
+		sc := freeSpace(alpha)
+		space, err := sc.BuildSpace(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range nodes {
+			for j := range nodes {
+				if i == j {
+					continue
+				}
+				want := math.Pow(nodes[i].Pos.Dist(nodes[j].Pos), alpha)
+				if got := space.F(i, j); math.Abs(got-want) > 1e-9*want {
+					t.Fatalf("alpha=%v f(%d,%d) = %v, want %v", alpha, i, j, got, want)
+				}
+			}
+		}
+		if z := core.Zeta(space); math.Abs(z-alpha) > 1e-6 {
+			t.Errorf("alpha=%v: zeta = %v", alpha, z)
+		}
+	}
+}
+
+func TestWallAttenuation(t *testing.T) {
+	// A concrete wall between nodes 0 and 1; node 2 is on node 0's side.
+	sc := freeSpace(2)
+	sc.Walls = []Wall{{Seg: geom.Seg(geom.Pt(5, -10), geom.Pt(5, 10)), Material: Concrete}}
+	nodes := []Node{
+		{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(10, 0)}, {Pos: geom.Pt(0, 10)},
+	}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Through-wall decay is 10^(13/10) times the free-space decay.
+	wantRatio := math.Pow(10, Concrete.LossDB/10)
+	free := math.Pow(10, 2.0)
+	if got := space.F(0, 1) / free; math.Abs(got-wantRatio) > 1e-9*wantRatio {
+		t.Errorf("wall ratio = %v, want %v", got, wantRatio)
+	}
+	// Same-side pair (0,2) is unattenuated.
+	if got := space.F(0, 2); math.Abs(got-100) > 1e-9*100 {
+		t.Errorf("same-side decay = %v, want 100", got)
+	}
+	// Link quality no longer monotone in distance: the through-wall pair
+	// (0,1) at distance 10 decays more than a longer same-side path would.
+	if space.F(0, 1) <= space.F(0, 2) {
+		t.Error("wall did not break distance monotonicity")
+	}
+}
+
+func TestMultipleWallCrossings(t *testing.T) {
+	sc := freeSpace(2)
+	sc.Walls = []Wall{
+		{Seg: geom.Seg(geom.Pt(3, -10), geom.Pt(3, 10)), Material: Drywall},
+		{Seg: geom.Seg(geom.Pt(6, -10), geom.Pt(6, 10)), Material: Drywall},
+	}
+	nodes := []Node{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(9, 0)}}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 81 * math.Pow(10, 2*Drywall.LossDB/10)
+	if got := space.F(0, 1); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("double wall decay = %v, want %v", got, want)
+	}
+}
+
+func TestRefDistCapsGain(t *testing.T) {
+	sc := freeSpace(2)
+	sc.RefDist = 1
+	nodes := []Node{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(0.01, 0)}, {Pos: geom.Pt(50, 50)}}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance 0.01 < RefDist=1, so decay is clamped at 1^2 = 1.
+	if got := space.F(0, 1); got != 1 {
+		t.Errorf("close-in decay = %v, want 1", got)
+	}
+}
+
+func TestShadowingSymmetricAndReproducible(t *testing.T) {
+	sc := freeSpace(2)
+	sc.ShadowSigmaDB = 6
+	sc.Seed = 99
+	nodes := RandomNodes(10, 50, 50, 5)
+	a, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.N(); j++ {
+			if a.F(i, j) != b.F(i, j) {
+				t.Fatal("shadowing not reproducible")
+			}
+		}
+	}
+	// Shadowing factor is symmetric: f(i,j)/d^alpha == f(j,i)/d^alpha.
+	if !core.IsSymmetric(a, 1e-9) {
+		t.Error("shadowed space not symmetric")
+	}
+	// Different seed changes decays.
+	sc.Seed = 100
+	c, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F(0, 1) == a.F(0, 1) {
+		t.Error("seed did not change shadowing")
+	}
+}
+
+func TestFastFadingAsymmetric(t *testing.T) {
+	sc := freeSpace(2)
+	sc.FastFading = true
+	sc.Seed = 7
+	nodes := RandomNodes(8, 50, 50, 6)
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.IsSymmetric(space, 1e-9) {
+		t.Error("fading space unexpectedly symmetric")
+	}
+}
+
+func TestReflectionAddsPower(t *testing.T) {
+	// A mirror wall parallel to the path adds a bounce, reducing decay.
+	base := freeSpace(2)
+	nodes := []Node{{Pos: geom.Pt(0, 1)}, {Pos: geom.Pt(10, 1)}}
+	dry, err := base.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refl := freeSpace(2)
+	refl.Walls = []Wall{{Seg: geom.Seg(geom.Pt(-5, 0), geom.Pt(15, 0)), Material: Metal}}
+	refl.Reflectivity = 0.5
+	wet, err := refl.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(wet.F(0, 1) < dry.F(0, 1)) {
+		t.Errorf("reflection did not reduce decay: %v vs %v", wet.F(0, 1), dry.F(0, 1))
+	}
+	// The wall is below the path, no crossing: direct path unattenuated,
+	// so decay improves by at most the bounce contribution.
+	imgDist := geom.Pt(0, -1).Dist(geom.Pt(10, 1))
+	wantGain := math.Pow(10, -2) + 0.5*math.Pow(imgDist, -2)
+	if got := 1 / wet.F(0, 1); math.Abs(got-wantGain) > 1e-9*wantGain {
+		t.Errorf("gain with reflection = %v, want %v", got, wantGain)
+	}
+}
+
+func TestAnisotropicAntennas(t *testing.T) {
+	// Sector antenna pointing east: strong to the east node, weak west.
+	sec := Sector{Width: math.Pi / 2, FrontGain: 1, BackGain: 0.01}
+	nodes := []Node{
+		{Pos: geom.Pt(0, 0), Antenna: sec, Orientation: 0},
+		{Pos: geom.Pt(10, 0)},  // east
+		{Pos: geom.Pt(-10, 0)}, // west
+	}
+	sc := freeSpace(2)
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(space.F(0, 1) < space.F(0, 2)) {
+		t.Errorf("sector antenna: east decay %v not below west %v", space.F(0, 1), space.F(0, 2))
+	}
+	// Ratio equals the gain ratio (100x).
+	if got := space.F(0, 2) / space.F(0, 1); math.Abs(got-100) > 1e-6*100 {
+		t.Errorf("front/back ratio = %v, want 100", got)
+	}
+}
+
+func TestCardioidPattern(t *testing.T) {
+	c := Cardioid{Sharpness: 2}
+	if got := c.Gain(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("boresight gain = %v", got)
+	}
+	if got := c.Gain(math.Pi); got != 0.01 {
+		t.Errorf("back gain = %v, want floor 0.01", got)
+	}
+	if c.Gain(math.Pi/3) <= c.Gain(math.Pi/2) {
+		t.Error("cardioid not decreasing")
+	}
+	// Defaults applied.
+	d := Cardioid{}
+	if d.Gain(0) != 1 {
+		t.Error("default sharpness broken")
+	}
+}
+
+func TestSectorWrapAround(t *testing.T) {
+	s := Sector{Width: math.Pi / 2, FrontGain: 2, BackGain: 0.5}
+	if s.Gain(0.1) != 2 || s.Gain(-0.1) != 2 {
+		t.Error("front lobe broken")
+	}
+	if s.Gain(math.Pi) != 0.5 {
+		t.Error("back lobe broken")
+	}
+	if s.Gain(2*math.Pi-0.1) != 2 {
+		t.Error("wrap-around broken")
+	}
+}
+
+func TestMeasurementNoise(t *testing.T) {
+	nodes := RandomNodes(6, 30, 30, 8)
+	space, err := freeSpace(2).BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := MeasurementNoise(space, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.F(0, 1) == space.F(0, 1) {
+		t.Error("noise did not perturb")
+	}
+	if err := core.Validate(noisy); err != nil {
+		t.Errorf("noisy space invalid: %v", err)
+	}
+	if _, err := MeasurementNoise(space, -1, 11); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	// Zero sigma is identity.
+	same, err := MeasurementNoise(space, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.F(0, 1) != space.F(0, 1) {
+		t.Error("zero noise changed decays")
+	}
+}
+
+func TestOfficePreset(t *testing.T) {
+	cfg := OfficeConfig{RoomsX: 3, RoomsY: 2, RoomSize: 10, DoorWidth: 2}
+	sc, err := Office(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 shell walls + interior: vertical interior walls 2 per (3-1)*2
+	// columns... just sanity-check counts and extent.
+	if len(sc.Walls) < 10 {
+		t.Errorf("office has only %d walls", len(sc.Walls))
+	}
+	w, h := OfficeExtent(cfg)
+	if w != 30 || h != 20 {
+		t.Errorf("extent = %v x %v", w, h)
+	}
+	if _, err := Office(OfficeConfig{RoomsX: 0, RoomsY: 1, RoomSize: 5}); err == nil {
+		t.Error("bad grid accepted")
+	}
+	if _, err := Office(OfficeConfig{RoomsX: 1, RoomsY: 1, RoomSize: 5, DoorWidth: 6}); err == nil {
+		t.Error("oversized door accepted")
+	}
+}
+
+// TestOfficeBreaksGeometry is E14's core claim in miniature: in an office
+// scene with walls and shadowing, the rank correlation between decay and
+// distance drops well below 1, while the free-space correlation is 1.
+func TestOfficeBreaksGeometry(t *testing.T) {
+	cfg := OfficeConfig{RoomsX: 4, RoomsY: 4, RoomSize: 10, DoorWidth: 1.5}
+	sc, err := Office(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.PathLossExp = 3
+	sc.ShadowSigmaDB = 8
+	sc.Seed = 21
+	w, h := OfficeExtent(cfg)
+	nodes := RandomNodes(24, w, h, 22)
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dists, decays []float64
+	for i := range nodes {
+		for j := range nodes {
+			if i == j {
+				continue
+			}
+			dists = append(dists, nodes[i].Pos.Dist(nodes[j].Pos))
+			decays = append(decays, space.F(i, j))
+		}
+	}
+	r, err := stats.SpearmanCorrelation(dists, decays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 0.95 {
+		t.Errorf("office decay still rank-correlated with distance: %v", r)
+	}
+	// And the metricity has moved above the pure path-loss exponent.
+	if z := core.Zeta(space); z <= sc.PathLossExp {
+		t.Errorf("office zeta = %v, want > alpha = %v", z, sc.PathLossExp)
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"math"
+
+	"decaynet/internal/capacity"
+	"decaynet/internal/core"
+	"decaynet/internal/environment"
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+	"decaynet/internal/stats"
+)
+
+// AblationSeparation varies Algorithm 1's two internal thresholds — the
+// η-separation requirement (paper: ζ/2) and the admission affectance budget
+// (paper: 1/2) — and reports the selected-set size and feasibility.
+func AblationSeparation() (*Report, error) {
+	r := &Report{
+		ID:    "A1",
+		Title: "ablation: Algorithm 1 thresholds",
+		Claim: "the ζ/2 separation and 1/2 affectance constants trade selection size against slack",
+		Table: stats.NewTable("sep-factor", "aff-budget", "|S|", "feasible"),
+	}
+	sys, err := planeSystem(51, 40, 3, 40)
+	if err != nil {
+		return nil, err
+	}
+	p := sinr.UniformPower(sys, 1)
+	zeta := sys.Zeta()
+	for _, sepFrac := range []float64{0.25, 0.5, 1} {
+		for _, budget := range []float64{0.25, 0.5, 1} {
+			got := algorithm1Variant(sys, p, capacity.AllLinks(sys), zeta*sepFrac, budget)
+			r.Table.AddRow(sepFrac, budget, len(got), sinr.IsFeasible(sys, p, got))
+		}
+	}
+	return r, nil
+}
+
+// algorithm1Variant is Algorithm 1 with explicit separation and affectance
+// thresholds (the paper's values are eta = ζ/2, budget = 1/2).
+func algorithm1Variant(s *sinr.System, p sinr.Power, links []int, eta, budget float64) []int {
+	var x []int
+	for _, v := range links {
+		if !sinr.Succeeds(s, p, []int{v}, v) {
+			continue
+		}
+		if !sinr.IsSeparatedFrom(s, v, x, eta) {
+			continue
+		}
+		if sinr.OutAffectance(s, p, v, x)+sinr.InAffectance(s, p, x, v) <= budget {
+			x = append(x, v)
+		}
+	}
+	var out []int
+	for _, v := range x {
+		if sinr.InAffectance(s, p, x, v) <= 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AblationGammaEstimator compares the greedy fading-value estimator against
+// the exact branch-and-bound on spaces small enough for both.
+func AblationGammaEstimator() (*Report, error) {
+	r := &Report{
+		ID:    "A2",
+		Title: "ablation: γ estimator quality",
+		Claim: "the greedy fading-value estimator tracks the exact optimum",
+		Table: stats.NewTable("seed", "r", "greedy", "exact", "greedy/exact"),
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		src := rng.New(600 + seed)
+		m, err := core.FromFunc(14, func(i, j int) float64 { return src.Range(0.5, 30) })
+		if err != nil {
+			return nil, err
+		}
+		for _, rr := range []float64{1, 4} {
+			g := core.FadingParameter(m, rr)
+			e := core.FadingParameterExact(m, rr)
+			ratio := 1.0
+			if e > 0 {
+				ratio = g / e
+			}
+			r.Table.AddRow(seed, rr, g, e, ratio)
+		}
+	}
+	return r, nil
+}
+
+// AblationZetaTolerance sweeps the bisection tolerance of the ζ solver and
+// reports the drift from the tightest setting.
+func AblationZetaTolerance() (*Report, error) {
+	r := &Report{
+		ID:    "A3",
+		Title: "ablation: ζ bisection tolerance",
+		Claim: "ζ is insensitive to solver tolerance down to 1e-3",
+		Table: stats.NewTable("tol", "zeta", "drift"),
+	}
+	src := rng.New(77)
+	m, err := core.FromFunc(16, func(i, j int) float64 { return src.Range(0.2, 50) })
+	if err != nil {
+		return nil, err
+	}
+	ref := core.ZetaTol(m, 1e-14)
+	for _, tol := range []float64{1e-12, 1e-9, 1e-6, 1e-3} {
+		z := core.ZetaTol(m, tol)
+		r.Table.AddRow(tol, z, math.Abs(z-ref))
+	}
+	return r, nil
+}
+
+// AblationEnvironment toggles each environmental phenomenon individually
+// and reports which moves ζ (distance from metric behaviour) the most.
+func AblationEnvironment() (*Report, error) {
+	r := &Report{
+		ID:    "A4",
+		Title: "ablation: which phenomenon breaks geometry",
+		Claim: "walls and shadowing dominate the growth of ζ beyond α",
+		Table: stats.NewTable("feature", "zeta", "zeta-alpha", "symmetric"),
+	}
+	officeCfg := environment.OfficeConfig{RoomsX: 3, RoomsY: 3, RoomSize: 12, DoorWidth: 2}
+	w, h := environment.OfficeExtent(officeCfg)
+	nodes := environment.RandomNodes(24, w, h, 17)
+	alpha := 3.0
+	build := func(name string, mut func(*environment.Scene) error) error {
+		sc := &environment.Scene{PathLossExp: alpha, Seed: 23}
+		if mut != nil {
+			if err := mut(sc); err != nil {
+				return err
+			}
+		}
+		space, err := sc.BuildSpace(nodes)
+		if err != nil {
+			return err
+		}
+		z := core.Zeta(space)
+		r.Table.AddRow(name, z, z-alpha, core.IsSymmetric(space, 1e-9))
+		return nil
+	}
+	if err := build("none (free space)", nil); err != nil {
+		return nil, err
+	}
+	if err := build("walls", func(sc *environment.Scene) error {
+		office, err := environment.Office(officeCfg)
+		if err != nil {
+			return err
+		}
+		sc.Walls = office.Walls
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := build("shadowing", func(sc *environment.Scene) error {
+		sc.ShadowSigmaDB = 8
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := build("fast fading", func(sc *environment.Scene) error {
+		sc.FastFading = true
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := build("reflections", func(sc *environment.Scene) error {
+		office, err := environment.Office(officeCfg)
+		if err != nil {
+			return err
+		}
+		sc.Walls = office.Walls
+		sc.Reflectivity = 0.4
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Ablations runs every ablation in order.
+func Ablations() ([]*Report, error) {
+	runs := []func() (*Report, error){
+		AblationSeparation, AblationGammaEstimator, AblationZetaTolerance,
+		AblationEnvironment,
+	}
+	out := make([]*Report, 0, len(runs))
+	for _, run := range runs {
+		rep, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes the full suite and checks structural
+// invariants of each report; individual scientific assertions live in the
+// owning packages' tests — here we assert the reproduction harness itself.
+func TestAllExperimentsRun(t *testing.T) {
+	reports, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 14 {
+		t.Fatalf("suite has %d experiments, want 14", len(reports))
+	}
+	seen := make(map[string]bool)
+	for i, r := range reports {
+		want := "E" + strconv.Itoa(i+1)
+		if r.ID != want {
+			t.Errorf("report %d has id %s, want %s", i, r.ID, want)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		if r.Claim == "" || r.Title == "" {
+			t.Errorf("%s: missing claim/title", r.ID)
+		}
+		out := r.String()
+		if !strings.Contains(out, r.ID) || !strings.Contains(out, "claim:") {
+			t.Errorf("%s: malformed rendering", r.ID)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	reports, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("suite has %d ablations, want 4", len(reports))
+	}
+	for _, r := range reports {
+		if !strings.HasPrefix(r.ID, "A") {
+			t.Errorf("ablation id %s", r.ID)
+		}
+		if r.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+	}
+}
+
+// TestE1TransferIdentical asserts the substantive outcome of E1 directly:
+// every instance row ends with identical=true.
+func TestE1TransferIdentical(t *testing.T) {
+	r, err := E1TheoryTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table.String(), "false") {
+		t.Fatalf("transfer mismatch:\n%s", r.Table)
+	}
+}
+
+// TestE3WithinBound asserts no Theorem 2 violations were recorded.
+func TestE3WithinBound(t *testing.T) {
+	r, err := E3FadingBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "violated") {
+			t.Fatal(n)
+		}
+	}
+	if strings.Contains(r.Table.String(), "false") {
+		t.Fatalf("bound violation:\n%s", r.Table)
+	}
+}
+
+// TestE8PhiNeverExceedsZeta asserts the corrected transfer direction held
+// on every probed q.
+func TestE8PhiNeverExceedsZeta(t *testing.T) {
+	r, err := E8ZetaPhiGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "exceeded") {
+			t.Fatal(n)
+		}
+	}
+}
+
+// TestE10WithinBound asserts Lemma B.1 counts and feasibility.
+func TestE10WithinBound(t *testing.T) {
+	r, err := E10Strengthening()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table.String(), "false") {
+		t.Fatalf("strengthening failure:\n%s", r.Table)
+	}
+}
+
+func TestReportNotef(t *testing.T) {
+	r := &Report{ID: "X"}
+	r.notef("value %d", 7)
+	if len(r.Notes) != 1 || r.Notes[0] != "value 7" {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+}

@@ -1,0 +1,117 @@
+package geom
+
+import "math"
+
+// Grid is a spatial hash over points supporting approximate neighborhood
+// queries. It buckets points into square cells of a fixed size; Neighbors
+// scans the cells overlapping the query disk.
+type Grid struct {
+	cell   float64
+	points []Point
+	cells  map[[2]int][]int
+}
+
+// NewGrid builds a grid with the given cell size over points. The grid keeps
+// its own copy of the point slice. Cell size must be positive.
+func NewGrid(cell float64, points []Point) *Grid {
+	if cell <= 0 {
+		cell = 1
+	}
+	g := &Grid{
+		cell:   cell,
+		points: append([]Point(nil), points...),
+		cells:  make(map[[2]int][]int, len(points)),
+	}
+	for i, p := range g.points {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *Grid) key(p Point) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int {
+	return len(g.points)
+}
+
+// Point returns the i-th indexed point.
+func (g *Grid) Point(i int) Point {
+	return g.points[i]
+}
+
+// Neighbors returns the indices of all points within distance r of q
+// (inclusive), in unspecified order.
+func (g *Grid) Neighbors(q Point, r float64) []int {
+	if r < 0 {
+		return nil
+	}
+	lo := g.key(Pt(q.X-r, q.Y-r))
+	hi := g.key(Pt(q.X+r, q.Y+r))
+	var out []int
+	r2 := r * r
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, i := range g.cells[[2]int{cx, cy}] {
+				if g.points[i].Dist2(q) <= r2 {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the index of the point nearest to q and its distance.
+// It returns (-1, +Inf) for an empty grid. Query cost expands ring by ring
+// so dense grids stay fast.
+func (g *Grid) Nearest(q Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	if len(g.points) == 0 {
+		return best, bestD
+	}
+	center := g.key(q)
+	maxRing := 1
+	// Upper bound on rings: the whole bounding box of stored cells.
+	for k := range g.cells {
+		dx, dy := abs(k[0]-center[0]), abs(k[1]-center[1])
+		if dx > maxRing {
+			maxRing = dx
+		}
+		if dy > maxRing {
+			maxRing = dy
+		}
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		found := false
+		for cx := center[0] - ring; cx <= center[0]+ring; cx++ {
+			for cy := center[1] - ring; cy <= center[1]+ring; cy++ {
+				if abs(cx-center[0]) != ring && abs(cy-center[1]) != ring {
+					continue // only the ring boundary
+				}
+				for _, i := range g.cells[[2]int{cx, cy}] {
+					found = true
+					if d := g.points[i].Dist(q); d < bestD {
+						best, bestD = i, d
+					}
+				}
+			}
+		}
+		// Once something is found, one extra ring guarantees correctness
+		// (a nearer point can hide in the next ring only).
+		if found && float64(ring)*g.cell > bestD {
+			break
+		}
+	}
+	return best, bestD
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

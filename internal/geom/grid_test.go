@@ -1,0 +1,105 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"decaynet/internal/rng"
+)
+
+func randomPoints(seed uint64, n int, side float64) []Point {
+	r := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(r.Range(0, side), r.Range(0, side))
+	}
+	return pts
+}
+
+func bruteNeighbors(pts []Point, q Point, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if p.Dist(q) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestGridNeighborsMatchesBrute(t *testing.T) {
+	pts := randomPoints(1, 300, 100)
+	g := NewGrid(7, pts)
+	queries := randomPoints(2, 20, 100)
+	for _, q := range queries {
+		for _, r := range []float64{0, 1, 5, 20, 200} {
+			got := g.Neighbors(q, r)
+			want := bruteNeighbors(pts, q, r)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("Neighbors(%v, %v): got %d, want %d", q, r, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Neighbors(%v, %v) mismatch at %d", q, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGridNearestMatchesBrute(t *testing.T) {
+	pts := randomPoints(3, 200, 50)
+	g := NewGrid(4, pts)
+	queries := randomPoints(4, 50, 60) // queries may fall outside the cloud
+	for _, q := range queries {
+		gotIdx, gotD := g.Nearest(q)
+		wantIdx, wantD := -1, math.Inf(1)
+		for i, p := range pts {
+			if d := p.Dist(q); d < wantD {
+				wantIdx, wantD = i, d
+			}
+		}
+		if gotIdx != wantIdx && !almost(gotD, wantD) {
+			t.Fatalf("Nearest(%v) = (%d, %v), want (%d, %v)", q, gotIdx, gotD, wantIdx, wantD)
+		}
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	g := NewGrid(1, nil)
+	if got := g.Neighbors(Pt(0, 0), 10); got != nil {
+		t.Errorf("empty Neighbors = %v", got)
+	}
+	idx, d := g.Nearest(Pt(0, 0))
+	if idx != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Nearest = %d, %v", idx, d)
+	}
+}
+
+func TestGridNegativeRadius(t *testing.T) {
+	g := NewGrid(1, []Point{Pt(0, 0)})
+	if got := g.Neighbors(Pt(0, 0), -1); got != nil {
+		t.Errorf("negative radius Neighbors = %v", got)
+	}
+}
+
+func TestGridBadCellSizeDefaults(t *testing.T) {
+	g := NewGrid(-3, []Point{Pt(0, 0), Pt(0.5, 0.5)})
+	if g.Len() != 2 {
+		t.Fatal("grid with defaulted cell size lost points")
+	}
+	if got := g.Neighbors(Pt(0, 0), 1); len(got) != 2 {
+		t.Errorf("Neighbors with defaulted cell = %v", got)
+	}
+}
+
+func TestGridCopiesInput(t *testing.T) {
+	pts := []Point{Pt(1, 1)}
+	g := NewGrid(1, pts)
+	pts[0] = Pt(99, 99)
+	if g.Point(0) != Pt(1, 1) {
+		t.Error("grid aliases caller's slice")
+	}
+}

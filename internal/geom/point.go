@@ -1,0 +1,97 @@
+// Package geom provides the 2D geometric substrate for decaynet: points,
+// segments, polygons and a spatial hash grid. It underpins the environment
+// simulator (walls, obstacles, reflections) and the geometric instance
+// generators that the paper's plane-based results are evaluated on.
+package geom
+
+import "math"
+
+// Point is a point (or free vector) in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point {
+	return Point{X: x, Y: y}
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	return Point{p.X + q.X, p.Y + q.Y}
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point {
+	return Point{p.X - q.X, p.Y - q.Y}
+}
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point {
+	return Point{k * p.X, k * p.Y}
+}
+
+// Dot returns the dot product p . q.
+func (p Point) Dot(q Point) float64 {
+	return p.X*q.X + p.Y*q.Y
+}
+
+// Cross returns the z-component of the cross product p x q.
+func (p Point) Cross(q Point) float64 {
+	return p.X*q.Y - p.Y*q.X
+}
+
+// Norm returns the Euclidean length of p as a vector.
+func (p Point) Norm() float64 {
+	return math.Hypot(p.X, p.Y)
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Angle returns the angle of p as a vector, in (-pi, pi].
+func (p Point) Angle() float64 {
+	return math.Atan2(p.Y, p.X)
+}
+
+// AngleBetween returns the unsigned angle at vertex v formed by rays v->a and
+// v->b, in [0, pi]. Degenerate rays (a == v or b == v) yield 0.
+func AngleBetween(v, a, b Point) float64 {
+	u, w := a.Sub(v), b.Sub(v)
+	nu, nw := u.Norm(), w.Norm()
+	if nu == 0 || nw == 0 {
+		return 0
+	}
+	c := u.Dot(w) / (nu * nw)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c)
+}
+
+// Rotate returns p rotated by theta radians around the origin.
+func (p Point) Rotate(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c*p.X - s*p.Y, s*p.X + c*p.Y}
+}
+
+// Unit returns the unit vector in the direction of p. The zero vector is
+// returned unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// Lerp returns the point (1-t)*p + t*q.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}

@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, 0), Pt(1, 0), 2},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); !almost(got, tc.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.p.Dist2(tc.q); !almost(got, tc.want*tc.want) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	// Right angle at the origin.
+	if got := AngleBetween(Pt(0, 0), Pt(1, 0), Pt(0, 1)); !almost(got, math.Pi/2) {
+		t.Errorf("right angle = %v", got)
+	}
+	// Straight line.
+	if got := AngleBetween(Pt(0, 0), Pt(1, 0), Pt(-1, 0)); !almost(got, math.Pi) {
+		t.Errorf("straight angle = %v", got)
+	}
+	// Degenerate.
+	if got := AngleBetween(Pt(0, 0), Pt(0, 0), Pt(1, 0)); got != 0 {
+		t.Errorf("degenerate angle = %v", got)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	p := Pt(1, 0).Rotate(math.Pi / 2)
+	if !almost(p.X, 0) || !almost(p.Y, 1) {
+		t.Errorf("rotate 90 = %v", p)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Pt(3, 4).Unit()
+	if !almost(u.Norm(), 1) {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+	if z := Pt(0, 0).Unit(); z != Pt(0, 0) {
+		t.Errorf("zero unit = %v", z)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(Pt(0, 0), Pt(2, 4), 0.5); got != Pt(1, 2) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestQuickRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Constrain magnitudes to avoid float overflow noise.
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		p := Pt(x, y)
+		q := p.Rotate(theta)
+		return math.Abs(p.Norm()-q.Norm()) < 1e-6*(1+p.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+		}
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		return a.Dist(b) <= a.Dist(c)+c.Dist(b)+1e-6*(1+a.Dist(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package geom
+
+// Polygon is a simple polygon given by its vertices in order (either
+// orientation). The edge list closes implicitly from the last vertex back to
+// the first.
+type Polygon struct {
+	Vertices []Point
+}
+
+// Poly constructs a polygon from vertices.
+func Poly(vs ...Point) Polygon {
+	return Polygon{Vertices: vs}
+}
+
+// Rect returns the axis-aligned rectangle with corners (x0,y0) and (x1,y1).
+func Rect(x0, y0, x1, y1 float64) Polygon {
+	return Poly(Pt(x0, y0), Pt(x1, y0), Pt(x1, y1), Pt(x0, y1))
+}
+
+// Edges returns the polygon's edges as segments.
+func (pg Polygon) Edges() []Segment {
+	n := len(pg.Vertices)
+	if n < 2 {
+		return nil
+	}
+	edges := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Seg(pg.Vertices[i], pg.Vertices[(i+1)%n]))
+	}
+	return edges
+}
+
+// Contains reports whether p lies strictly inside the polygon, using the
+// even-odd ray casting rule. Points exactly on the boundary may report
+// either value; callers needing boundary semantics should test edges
+// explicitly.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg.Vertices[i], pg.Vertices[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := vj.X + (p.Y-vj.Y)/(vi.Y-vj.Y)*(vi.X-vj.X)
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Area returns the polygon's unsigned area.
+func (pg Polygon) Area() float64 {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		a, b := pg.Vertices[i], pg.Vertices[(i+1)%n]
+		sum += a.Cross(b)
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// IntersectionCount returns the number of polygon edges that segment s
+// crosses or touches. The environment simulator uses it to count wall
+// penetrations along a propagation path.
+func (pg Polygon) IntersectionCount(s Segment) int {
+	count := 0
+	for _, e := range pg.Edges() {
+		if s.Intersects(e) {
+			count++
+		}
+	}
+	return count
+}
+
+// Centroid returns the arithmetic mean of the vertices (sufficient for the
+// convex obstacle shapes used by scene presets).
+func (pg Polygon) Centroid() Point {
+	var c Point
+	if len(pg.Vertices) == 0 {
+		return c
+	}
+	for _, v := range pg.Vertices {
+		c = c.Add(v)
+	}
+	return c.Scale(1 / float64(len(pg.Vertices)))
+}

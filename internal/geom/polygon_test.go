@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"testing"
+)
+
+func TestRectContains(t *testing.T) {
+	r := Rect(0, 0, 10, 5)
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 2), true},
+		{Pt(0.001, 0.001), true},
+		{Pt(-1, 2), false},
+		{Pt(11, 2), false},
+		{Pt(5, 6), false},
+		{Pt(5, -1), false},
+	}
+	for _, tc := range tests {
+		if got := r.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestTriangleContains(t *testing.T) {
+	tri := Poly(Pt(0, 0), Pt(4, 0), Pt(0, 4))
+	if !tri.Contains(Pt(1, 1)) {
+		t.Error("interior point reported outside")
+	}
+	if tri.Contains(Pt(3, 3)) {
+		t.Error("exterior point reported inside")
+	}
+}
+
+func TestArea(t *testing.T) {
+	if got := Rect(0, 0, 10, 5).Area(); !almost(got, 50) {
+		t.Errorf("rect area = %v", got)
+	}
+	tri := Poly(Pt(0, 0), Pt(4, 0), Pt(0, 4))
+	if got := tri.Area(); !almost(got, 8) {
+		t.Errorf("triangle area = %v", got)
+	}
+	// Orientation-independent.
+	triCW := Poly(Pt(0, 0), Pt(0, 4), Pt(4, 0))
+	if got := triCW.Area(); !almost(got, 8) {
+		t.Errorf("cw triangle area = %v", got)
+	}
+	if got := Poly(Pt(0, 0), Pt(1, 1)).Area(); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	r := Rect(0, 0, 1, 1)
+	edges := r.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("rect has %d edges", len(edges))
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += e.Length()
+	}
+	if !almost(total, 4) {
+		t.Errorf("perimeter = %v", total)
+	}
+	if got := Poly(Pt(0, 0)).Edges(); got != nil {
+		t.Errorf("single-vertex polygon edges = %v", got)
+	}
+}
+
+func TestIntersectionCount(t *testing.T) {
+	r := Rect(0, 0, 10, 10)
+	tests := []struct {
+		s    Segment
+		want int
+	}{
+		{Seg(Pt(-5, 5), Pt(15, 5)), 2},   // straight through
+		{Seg(Pt(5, 5), Pt(15, 5)), 1},    // from inside out
+		{Seg(Pt(1, 1), Pt(2, 2)), 0},     // fully inside
+		{Seg(Pt(-5, -5), Pt(-1, -1)), 0}, // fully outside
+	}
+	for _, tc := range tests {
+		if got := r.IntersectionCount(tc.s); got != tc.want {
+			t.Errorf("IntersectionCount(%v) = %d, want %d", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	r := Rect(0, 0, 2, 2)
+	c := r.Centroid()
+	if !almost(c.X, 1) || !almost(c.Y, 1) {
+		t.Errorf("centroid = %v", c)
+	}
+	if got := Poly().Centroid(); got != Pt(0, 0) {
+		t.Errorf("empty centroid = %v", got)
+	}
+}

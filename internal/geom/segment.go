@@ -1,0 +1,104 @@
+package geom
+
+import "math"
+
+// Segment is a closed line segment between two endpoints.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment {
+	return Segment{A: a, B: b}
+}
+
+// Length returns the segment's Euclidean length.
+func (s Segment) Length() float64 {
+	return s.A.Dist(s.B)
+}
+
+// Midpoint returns the segment's midpoint.
+func (s Segment) Midpoint() Point {
+	return Lerp(s.A, s.B, 0.5)
+}
+
+// orientation of the triple (a, b, c): >0 counter-clockwise, <0 clockwise,
+// 0 collinear (within eps scaled by magnitude).
+func orientation(a, b, c Point) float64 {
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+// onSegment reports whether collinear point p lies on segment s.
+func onSegment(s Segment, p Point) bool {
+	return math.Min(s.A.X, s.B.X)-1e-12 <= p.X && p.X <= math.Max(s.A.X, s.B.X)+1e-12 &&
+		math.Min(s.A.Y, s.B.Y)-1e-12 <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)+1e-12
+}
+
+// Intersects reports whether segments s and t share at least one point
+// (including endpoint touching and collinear overlap).
+func (s Segment) Intersects(t Segment) bool {
+	d1 := orientation(t.A, t.B, s.A)
+	d2 := orientation(t.A, t.B, s.B)
+	d3 := orientation(s.A, s.B, t.A)
+	d4 := orientation(s.A, s.B, t.B)
+
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(t, s.A):
+		return true
+	case d2 == 0 && onSegment(t, s.B):
+		return true
+	case d3 == 0 && onSegment(s, t.A):
+		return true
+	case d4 == 0 && onSegment(s, t.B):
+		return true
+	}
+	return false
+}
+
+// Intersection returns the intersection point of the lines supporting s and
+// t, and whether that point lies within both segments. Parallel segments
+// report ok == false even when they overlap (no unique point).
+func (s Segment) Intersection(t Segment) (p Point, ok bool) {
+	r := s.B.Sub(s.A)
+	q := t.B.Sub(t.A)
+	denom := r.Cross(q)
+	if denom == 0 {
+		return Point{}, false
+	}
+	diff := t.A.Sub(s.A)
+	u := diff.Cross(q) / denom
+	v := diff.Cross(r) / denom
+	if u < -1e-12 || u > 1+1e-12 || v < -1e-12 || v > 1+1e-12 {
+		return Point{}, false
+	}
+	return s.A.Add(r.Scale(u)), true
+}
+
+// DistToPoint returns the minimum distance from p to any point on s.
+func (s Segment) DistToPoint(p Point) float64 {
+	r := s.B.Sub(s.A)
+	len2 := r.Dot(r)
+	if len2 == 0 {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(r) / len2
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(s.A.Add(r.Scale(t)))
+}
+
+// Reflect returns the mirror image of p across the line supporting s.
+// Used by the image method for single-bounce reflections.
+func (s Segment) Reflect(p Point) Point {
+	r := s.B.Sub(s.A)
+	len2 := r.Dot(r)
+	if len2 == 0 {
+		return p
+	}
+	t := p.Sub(s.A).Dot(r) / len2
+	foot := s.A.Add(r.Scale(t))
+	return foot.Add(foot.Sub(p))
+}

@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing X", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"parallel apart", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), false},
+		{"touching endpoint", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false},
+		{"T shape", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, -1), Pt(1, 0)), true},
+		{"near miss", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0.01), Pt(1, 1)), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Intersects(tc.u); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			// Symmetry.
+			if got := tc.u.Intersects(tc.s); got != tc.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentIntersectionPoint(t *testing.T) {
+	p, ok := Seg(Pt(0, 0), Pt(2, 2)).Intersection(Seg(Pt(0, 2), Pt(2, 0)))
+	if !ok || !almost(p.X, 1) || !almost(p.Y, 1) {
+		t.Errorf("Intersection = %v, %v", p, ok)
+	}
+	_, ok = Seg(Pt(0, 0), Pt(1, 0)).Intersection(Seg(Pt(0, 1), Pt(1, 1)))
+	if ok {
+		t.Error("parallel segments reported an intersection point")
+	}
+	_, ok = Seg(Pt(0, 0), Pt(1, 1)).Intersection(Seg(Pt(3, 0), Pt(3, 1)))
+	if ok {
+		t.Error("disjoint segments reported an intersection point")
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(2, 0))
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(1, 1), 1},
+		{Pt(-1, 0), 1},
+		{Pt(3, 0), 1},
+		{Pt(1, 0), 0},
+		{Pt(5, 4), 5},
+	}
+	for _, tc := range tests {
+		if got := s.DistToPoint(tc.p); !almost(got, tc.want) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Degenerate segment behaves like a point.
+	d := Seg(Pt(1, 1), Pt(1, 1)).DistToPoint(Pt(4, 5))
+	if !almost(d, 5) {
+		t.Errorf("degenerate DistToPoint = %v", d)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// Reflect across the x-axis.
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	got := s.Reflect(Pt(2, 3))
+	if !almost(got.X, 2) || !almost(got.Y, -3) {
+		t.Errorf("Reflect = %v", got)
+	}
+	// Point on the line reflects to itself.
+	got = s.Reflect(Pt(5, 0))
+	if !almost(got.X, 5) || !almost(got.Y, 0) {
+		t.Errorf("Reflect on-line = %v", got)
+	}
+}
+
+func TestQuickReflectInvolution(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, px, py} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		s := Seg(Pt(ax, ay), Pt(bx, by))
+		if s.Length() < 1e-9 {
+			return true
+		}
+		p := Pt(px, py)
+		r := s.Reflect(s.Reflect(p))
+		return p.Dist(r) < 1e-6*(1+p.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionLiesOnBoth(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e4 {
+				return true
+			}
+		}
+		s, u := Seg(Pt(ax, ay), Pt(bx, by)), Seg(Pt(cx, cy), Pt(dx, dy))
+		p, ok := s.Intersection(u)
+		if !ok {
+			return true
+		}
+		tol := 1e-5 * (1 + s.Length() + u.Length())
+		return s.DistToPoint(p) < tol && u.DistToPoint(p) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

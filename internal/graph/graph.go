@@ -1,0 +1,271 @@
+// Package graph provides the undirected-graph substrate used by decaynet's
+// hardness constructions (Theorems 3 and 6 reduce CAPACITY from MAX
+// INDEPENDENT SET) and by the separation-partition machinery (Lemma B.3
+// colours a conflict graph along a degeneracy order).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"decaynet/internal/rng"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1 backed by an
+// adjacency-set representation.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New creates an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int {
+	return g.n
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and out-of-range
+// vertices are rejected with an error.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	return g.adj[u][v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	return len(g.adj[v])
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Neighbors returns v's neighbours in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsIndependent reports whether set contains no edge.
+func (g *Graph) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GreedyIndependentSet returns an inclusion-maximal independent set built by
+// repeatedly taking a minimum-degree vertex (a standard Δ-approximation
+// heuristic).
+func (g *Graph) GreedyIndependentSet() []int {
+	alive := make(map[int]bool, g.n)
+	deg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		alive[v] = true
+		deg[v] = len(g.adj[v])
+	}
+	var out []int
+	for len(alive) > 0 {
+		best, bestDeg := -1, g.n+1
+		// Deterministic tie-breaking: lowest index among min degree.
+		for v := 0; v < g.n; v++ {
+			if alive[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		out = append(out, best)
+		delete(alive, best)
+		for u := range g.adj[best] {
+			if alive[u] {
+				delete(alive, u)
+				for w := range g.adj[u] {
+					if alive[w] {
+						deg[w]--
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxIndependentSet returns a maximum independent set by branch and bound.
+// Exponential in the worst case; intended for n up to roughly 40 on the
+// sparse instances the experiments use.
+func (g *Graph) MaxIndependentSet() []int {
+	order := g.DegeneracyOrder()
+	var best []int
+	var cur []int
+	// Candidates are processed in reverse degeneracy order, which keeps the
+	// branching factor near the degeneracy.
+	var rec func(cands []int)
+	rec = func(cands []int) {
+		if len(cur)+len(cands) <= len(best) {
+			return // bound
+		}
+		if len(cands) == 0 {
+			if len(cur) > len(best) {
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		v := cands[0]
+		rest := cands[1:]
+		// Branch 1: take v.
+		var filtered []int
+		for _, u := range rest {
+			if !g.adj[v][u] {
+				filtered = append(filtered, u)
+			}
+		}
+		cur = append(cur, v)
+		rec(filtered)
+		cur = cur[:len(cur)-1]
+		// Branch 2: skip v.
+		rec(rest)
+	}
+	cands := append([]int(nil), order...)
+	// Start from the greedy solution so the bound prunes early.
+	best = g.GreedyIndependentSet()
+	rec(cands)
+	sort.Ints(best)
+	return best
+}
+
+// DegeneracyOrder returns a vertex order in which each vertex has the fewest
+// later neighbours (repeatedly removing a minimum-degree vertex). The k-core
+// number of the graph equals the maximum back-degree along the order.
+func (g *Graph) DegeneracyOrder() []int {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		deg[v] = len(g.adj[v])
+	}
+	order := make([]int, 0, g.n)
+	for len(order) < g.n {
+		best, bestDeg := -1, g.n+1
+		for v := 0; v < g.n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		removed[best] = true
+		order = append(order, best)
+		for u := range g.adj[best] {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return order
+}
+
+// Degeneracy returns the graph's degeneracy (maximum back-degree over the
+// degeneracy order).
+func (g *Graph) Degeneracy() int {
+	order := g.DegeneracyOrder()
+	pos := make([]int, g.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	maxBack := 0
+	for _, v := range order {
+		back := 0
+		for u := range g.adj[v] {
+			if pos[u] > pos[v] {
+				back++
+			}
+		}
+		if back > maxBack {
+			maxBack = back
+		}
+	}
+	return maxBack
+}
+
+// FirstFitColoring colours vertices along the given order with the smallest
+// available colour and returns the colour classes. Along a d-degenerate
+// order (reversed), it uses at most d+1 colours — the mechanism behind
+// Lemma B.3's partition bound.
+func (g *Graph) FirstFitColoring(order []int) [][]int {
+	color := make([]int, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	numColors := 0
+	for _, v := range order {
+		used := make(map[int]bool)
+		for u := range g.adj[v] {
+			if color[u] >= 0 {
+				used[color[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	classes := make([][]int, numColors)
+	for v, c := range color {
+		classes[c] = append(classes[c], v)
+	}
+	return classes
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph drawn from src.
+func GNP(n int, p float64, src *rng.Source) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				// In-range, non-loop edges cannot fail.
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,317 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"decaynet/internal/rng"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	if n > 2 {
+		_ = g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	// Duplicate insert is idempotent.
+	_ = g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate edge counted: %d", g.NumEdges())
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	g := New(-5)
+	if g.N() != 0 {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	_ = g.AddEdge(2, 4)
+	_ = g.AddEdge(2, 0)
+	_ = g.AddEdge(2, 3)
+	got := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+	if g.Degree(2) != 3 || g.Degree(1) != 0 {
+		t.Error("degree wrong")
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := path(4)
+	if !g.IsIndependent([]int{0, 2}) {
+		t.Error("{0,2} should be independent in P4")
+	}
+	if g.IsIndependent([]int{0, 1}) {
+		t.Error("{0,1} should not be independent in P4")
+	}
+	if !g.IsIndependent(nil) {
+		t.Error("empty set should be independent")
+	}
+}
+
+func TestMaxISPath(t *testing.T) {
+	// P_n has maximum independent set ceil(n/2).
+	for n := 1; n <= 12; n++ {
+		got := path(n).MaxIndependentSet()
+		want := (n + 1) / 2
+		if len(got) != want {
+			t.Errorf("MaxIS(P%d) = %d, want %d", n, len(got), want)
+		}
+	}
+}
+
+func TestMaxISCycleAndClique(t *testing.T) {
+	for n := 3; n <= 10; n++ {
+		if got := cycle(n).MaxIndependentSet(); len(got) != n/2 {
+			t.Errorf("MaxIS(C%d) = %d, want %d", n, len(got), n/2)
+		}
+		if got := complete(n).MaxIndependentSet(); len(got) != 1 {
+			t.Errorf("MaxIS(K%d) = %d, want 1", n, len(got))
+		}
+	}
+}
+
+func TestMaxISEmptyGraph(t *testing.T) {
+	g := New(6)
+	if got := g.MaxIndependentSet(); len(got) != 6 {
+		t.Errorf("MaxIS(edgeless) = %d, want 6", len(got))
+	}
+	g0 := New(0)
+	if got := g0.MaxIndependentSet(); len(got) != 0 {
+		t.Errorf("MaxIS(null) = %v", got)
+	}
+}
+
+func TestGreedyISIsIndependentAndMaximal(t *testing.T) {
+	g := GNP(40, 0.2, rng.New(7))
+	is := g.GreedyIndependentSet()
+	if !g.IsIndependent(is) {
+		t.Fatal("greedy IS not independent")
+	}
+	inIS := make(map[int]bool)
+	for _, v := range is {
+		inIS[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if inIS[v] {
+			continue
+		}
+		hasNeighborInIS := false
+		for _, u := range g.Neighbors(v) {
+			if inIS[u] {
+				hasNeighborInIS = true
+				break
+			}
+		}
+		if !hasNeighborInIS {
+			t.Fatalf("greedy IS not maximal: vertex %d addable", v)
+		}
+	}
+}
+
+func TestExactAtLeastGreedy(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := GNP(18, 0.3, rng.New(seed))
+		exact := g.MaxIndependentSet()
+		greedy := g.GreedyIndependentSet()
+		if !g.IsIndependent(exact) {
+			t.Fatal("exact IS not independent")
+		}
+		if len(exact) < len(greedy) {
+			t.Fatalf("exact (%d) smaller than greedy (%d)", len(exact), len(greedy))
+		}
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path", path(10), 1},
+		{"cycle", cycle(10), 2},
+		{"K5", complete(5), 4},
+		{"edgeless", New(5), 0},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Degeneracy(); got != tc.want {
+			t.Errorf("%s degeneracy = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	g := GNP(30, 0.2, rng.New(3))
+	order := g.DegeneracyOrder()
+	seen := make([]bool, g.N())
+	for _, v := range order {
+		if v < 0 || v >= g.N() || seen[v] {
+			t.Fatalf("order %v not a permutation", order)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFirstFitColoringValid(t *testing.T) {
+	g := GNP(50, 0.15, rng.New(11))
+	order := g.DegeneracyOrder()
+	// Reverse the order: colouring the degeneracy order backwards bounds
+	// colours by degeneracy+1.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	classes := g.FirstFitColoring(order)
+	if len(classes) > g.Degeneracy()+1 {
+		t.Errorf("colours = %d > degeneracy+1 = %d", len(classes), g.Degeneracy()+1)
+	}
+	total := 0
+	for _, class := range classes {
+		total += len(class)
+		if !g.IsIndependent(class) {
+			t.Fatalf("colour class %v not independent", class)
+		}
+	}
+	if total != g.N() {
+		t.Errorf("classes cover %d of %d vertices", total, g.N())
+	}
+}
+
+func TestGNPEdgeCount(t *testing.T) {
+	g := GNP(100, 0.5, rng.New(5))
+	// Expect ~2475 edges; allow wide tolerance.
+	e := g.NumEdges()
+	if e < 2000 || e > 2950 {
+		t.Errorf("G(100,0.5) has %d edges", e)
+	}
+	g0 := GNP(50, 0, rng.New(5))
+	if g0.NumEdges() != 0 {
+		t.Error("G(n,0) has edges")
+	}
+	g1 := GNP(20, 1, rng.New(5))
+	if g1.NumEdges() != 190 {
+		t.Errorf("G(20,1) has %d edges, want 190", g1.NumEdges())
+	}
+}
+
+func TestQuickGreedyISAlwaysIndependent(t *testing.T) {
+	f := func(seed uint64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		p := float64(pRaw) / 255
+		g := GNP(n, p, rng.New(seed))
+		return g.IsIndependent(g.GreedyIndependentSet())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExactISIndependentAndMaximal(t *testing.T) {
+	f := func(seed uint64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%14) + 1
+		p := float64(pRaw) / 255
+		g := GNP(n, p, rng.New(seed))
+		is := g.MaxIndependentSet()
+		if !g.IsIndependent(is) {
+			return false
+		}
+		// Verify optimality against brute force over all subsets.
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if len(set) > best && g.IsIndependent(set) {
+				best = len(set)
+			}
+		}
+		return len(is) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortedEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	x := append([]int(nil), a...)
+	y := append([]int(nil), b...)
+	sort.Ints(x)
+	sort.Ints(y)
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaxISDeterministic(t *testing.T) {
+	g := GNP(16, 0.3, rng.New(9))
+	a := g.MaxIndependentSet()
+	b := g.MaxIndependentSet()
+	if !sortedEqual(a, b) {
+		t.Error("MaxIndependentSet not deterministic")
+	}
+}

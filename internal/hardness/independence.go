@@ -1,0 +1,153 @@
+package hardness
+
+import (
+	"sort"
+
+	"decaynet/internal/core"
+	"decaynet/internal/graph"
+)
+
+// IsIndependentWrt reports whether the point set I is independent with
+// respect to x (Def 4.1): x ∉ I and for every ordered pair of distinct
+// members z, w ∈ I, w lies strictly outside the ball B(z, f(z,x)) — i.e.
+// every member sees x strictly nearer (in decay) than any other member.
+// The strict inequality makes the uniform space have independence
+// dimension 1, matching Sec 4.1.
+func IsIndependentWrt(d core.Space, set []int, x int) bool {
+	for _, z := range set {
+		if z == x {
+			return false
+		}
+	}
+	for _, z := range set {
+		radius := d.F(z, x)
+		for _, w := range set {
+			if w == z {
+				continue
+			}
+			if !(d.F(z, w) > radius) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IndependenceNumberAt returns the size of the largest independent set with
+// respect to x. Independence is a pairwise condition, so the maximum is a
+// maximum clique of the compatibility graph, computed exactly via the
+// complement's independent set (exponential worst case; fine for the
+// constructions' sizes).
+func IndependenceNumberAt(d core.Space, x int) int {
+	n := d.N()
+	var cands []int
+	for v := 0; v < n; v++ {
+		if v != x {
+			cands = append(cands, v)
+		}
+	}
+	// Complement graph: edge where the pair is incompatible.
+	comp := graph.New(len(cands))
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			z, w := cands[i], cands[j]
+			ok := d.F(z, w) > d.F(z, x) && d.F(w, z) > d.F(w, x)
+			if !ok {
+				// In-range, distinct: cannot fail.
+				_ = comp.AddEdge(i, j)
+			}
+		}
+	}
+	return len(comp.MaxIndependentSet())
+}
+
+// IndependenceDimension returns the independence dimension of the space:
+// the maximum over points x of the largest independent set w.r.t. x.
+func IndependenceDimension(d core.Space) int {
+	best := 0
+	for x := 0; x < d.N(); x++ {
+		if v := IndependenceNumberAt(d, x); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// IsGuardSet reports whether guards J protect x: every other point z has
+// some guard y with f(z, y) ≤ f(z, x).
+func IsGuardSet(d core.Space, guards []int, x int) bool {
+	n := d.N()
+	for z := 0; z < n; z++ {
+		if z == x {
+			continue
+		}
+		inJ := false
+		for _, y := range guards {
+			if y == z {
+				inJ = true
+				break
+			}
+		}
+		if inJ {
+			continue // a guard trivially guards itself
+		}
+		guarded := false
+		for _, y := range guards {
+			if d.F(z, y) <= d.F(z, x) {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyGuardSet returns a guard set for x built greedily: repeatedly add
+// the point covering the most unguarded points. The result is a valid
+// guard set (it can exceed the independence dimension by the usual greedy
+// set-cover factor).
+func GreedyGuardSet(d core.Space, x int) []int {
+	n := d.N()
+	unguarded := make(map[int]bool, n)
+	for z := 0; z < n; z++ {
+		if z != x {
+			unguarded[z] = true
+		}
+	}
+	var guards []int
+	for len(unguarded) > 0 {
+		bestY, bestGain := -1, -1
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			gain := 0
+			if unguarded[y] {
+				gain++ // picking y guards y itself
+			}
+			for z := range unguarded {
+				if z != y && d.F(z, y) <= d.F(z, x) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestY, bestGain = y, gain
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		guards = append(guards, bestY)
+		delete(unguarded, bestY)
+		for z := range unguarded {
+			if d.F(z, bestY) <= d.F(z, x) {
+				delete(unguarded, z)
+			}
+		}
+	}
+	sort.Ints(guards)
+	return guards
+}

@@ -1,0 +1,237 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[s.Intn(5)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) covered %d values, want 5", len(seen))
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(0, 2); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestRayleighMean(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	sigma := 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Rayleigh(sigma)
+	}
+	want := sigma * math.Sqrt(math.Pi/2)
+	got := sum / n
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Rayleigh mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(23)
+	const n = 200000
+	lambda := 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(lambda)
+	}
+	got := sum / n
+	if math.Abs(got-1/lambda)/(1/lambda) > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~%v", got, 1/lambda)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(31)
+	data := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range data {
+		sum += v
+	}
+	s.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	got := 0
+	for _, v := range data {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestPairStreamDeterministic(t *testing.T) {
+	a := PairStream(9, 3, 7)
+	b := PairStream(9, 3, 7)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("PairStream not deterministic")
+	}
+	c := PairStream(9, 7, 3)
+	d := PairStream(9, 3, 7)
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("PairStream should be order-sensitive")
+	}
+}
+
+func TestSymmetricPairStream(t *testing.T) {
+	a := SymmetricPairStream(9, 3, 7)
+	b := SymmetricPairStream(9, 7, 3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SymmetricPairStream should be order-insensitive")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(101)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams matched %d times", same)
+	}
+}
+
+func TestQuickFloat64AlwaysInRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		s := New(seed)
+		for i := 0; i < int(n); i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPairStreamStable(t *testing.T) {
+	f := func(seed uint64, i, j uint16) bool {
+		a := PairStream(seed, int(i), int(j)).Uint64()
+		b := PairStream(seed, int(i), int(j)).Uint64()
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

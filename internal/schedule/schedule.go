@@ -1,0 +1,109 @@
+// Package schedule implements SCHEDULING over decay spaces: partitioning a
+// link set into a small number of feasible slots. The paper's Prop 1
+// transfers the scheduling results of [16, 17] to decay spaces; here we
+// provide the two standard constructions — repeated capacity extraction and
+// first-fit — plus validation helpers.
+package schedule
+
+import (
+	"errors"
+	"sort"
+
+	"decaynet/internal/sinr"
+)
+
+// CapacityFunc selects a feasible subset from the given links, e.g.
+// capacity.Algorithm1 or capacity.GreedyGeneral.
+type CapacityFunc func(s *sinr.System, p sinr.Power, links []int) []int
+
+// ErrStalled is returned when the capacity routine selects nothing from a
+// non-empty remainder (the schedule cannot make progress, e.g. a link that
+// cannot meet its threshold even alone).
+var ErrStalled = errors.New("schedule: capacity routine selected no links")
+
+// ByCapacity schedules links by repeatedly extracting a feasible subset
+// with cap and assigning it to the next slot.
+func ByCapacity(s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([][]int, error) {
+	remaining := append([]int(nil), links...)
+	var slots [][]int
+	for len(remaining) > 0 {
+		slot := cap(s, p, remaining)
+		if len(slot) == 0 {
+			return nil, ErrStalled
+		}
+		slots = append(slots, slot)
+		inSlot := make(map[int]bool, len(slot))
+		for _, v := range slot {
+			inSlot[v] = true
+		}
+		next := remaining[:0]
+		for _, v := range remaining {
+			if !inSlot[v] {
+				next = append(next, v)
+			}
+		}
+		remaining = next
+	}
+	return slots, nil
+}
+
+// FirstFit schedules links in decay order, placing each into the first slot
+// that remains feasible with it, opening a new slot when none does. It
+// fails with ErrStalled if a link is infeasible even alone.
+func FirstFit(s *sinr.System, p sinr.Power, links []int) ([][]int, error) {
+	order := append([]int(nil), links...)
+	sort.Slice(order, func(a, b int) bool {
+		da, db := s.Decay(order[a]), s.Decay(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	var slots [][]int
+next:
+	for _, v := range order {
+		for i := range slots {
+			cand := append(slots[i], v)
+			if sinr.IsFeasible(s, p, cand) {
+				slots[i] = cand
+				continue next
+			}
+		}
+		if !sinr.IsFeasible(s, p, []int{v}) {
+			return nil, ErrStalled
+		}
+		slots = append(slots, []int{v})
+	}
+	return slots, nil
+}
+
+// Validate checks that the slots form a partition of links and that every
+// slot is feasible under p.
+func Validate(s *sinr.System, p sinr.Power, links []int, slots [][]int) error {
+	seen := make(map[int]int, len(links))
+	for i, slot := range slots {
+		if !sinr.IsFeasible(s, p, slot) {
+			return errors.New("schedule: infeasible slot")
+		}
+		for _, v := range slot {
+			if _, dup := seen[v]; dup {
+				return errors.New("schedule: link scheduled twice")
+			}
+			seen[v] = i
+		}
+	}
+	for _, v := range links {
+		if _, ok := seen[v]; !ok {
+			return errors.New("schedule: link missing from schedule")
+		}
+	}
+	if len(seen) != len(links) {
+		return errors.New("schedule: extra links in schedule")
+	}
+	return nil
+}
+
+// Length returns the number of slots.
+func Length(slots [][]int) int {
+	return len(slots)
+}

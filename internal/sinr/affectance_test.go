@@ -1,0 +1,274 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"decaynet/internal/core"
+	"decaynet/internal/rng"
+)
+
+func TestPowerConstructors(t *testing.T) {
+	sys := lineSystem(t, 3, 2)
+	u := UniformPower(sys, 5)
+	if err := u.Validate(sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range u {
+		if p != 5 {
+			t.Fatal("uniform power not uniform")
+		}
+	}
+	l := LinearPower(sys, 2)
+	for v := range l {
+		if math.Abs(l[v]-2*sys.Decay(v)) > 1e-12 {
+			t.Fatal("linear power wrong")
+		}
+	}
+	m := MeanPower(sys, 3)
+	for v := range m {
+		if math.Abs(m[v]-3*math.Sqrt(sys.Decay(v))) > 1e-12 {
+			t.Fatal("mean power wrong")
+		}
+	}
+	e := ExponentPower(sys, 1, 0.25)
+	for v := range e {
+		if math.Abs(e[v]-math.Pow(sys.Decay(v), 0.25)) > 1e-12 {
+			t.Fatal("exponent power wrong")
+		}
+	}
+}
+
+func TestPowerValidate(t *testing.T) {
+	sys := lineSystem(t, 2, 2)
+	if err := (Power{1}).Validate(sys); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (Power{1, 0}).Validate(sys); err == nil {
+		t.Error("zero power accepted")
+	}
+	if err := (Power{1, math.NaN()}).Validate(sys); err == nil {
+		t.Error("NaN power accepted")
+	}
+	if err := (Power{1, math.Inf(1)}).Validate(sys); err == nil {
+		t.Error("Inf power accepted")
+	}
+}
+
+func TestMonotonePowers(t *testing.T) {
+	// Links of different lengths so monotonicity bites.
+	sys := randomSystem(t, 5, 6, 0.5, 20)
+	for name, p := range map[string]Power{
+		"uniform": UniformPower(sys, 1),
+		"linear":  LinearPower(sys, 1),
+		"mean":    MeanPower(sys, 1),
+		"tau=0.3": ExponentPower(sys, 1, 0.3),
+	} {
+		if !IsMonotone(sys, p, 1e-9) {
+			t.Errorf("%s power not monotone", name)
+		}
+	}
+	// tau > 1 violates the second condition; tau < 0 the first.
+	if IsMonotone(sys, ExponentPower(sys, 1, 1.5), 1e-9) {
+		t.Error("tau=1.5 reported monotone")
+	}
+	if IsMonotone(sys, ExponentPower(sys, 1, -0.5), 1e-9) {
+		t.Error("tau=-0.5 reported monotone")
+	}
+}
+
+func TestNoiseFactor(t *testing.T) {
+	sys := lineSystem(t, 2, 2, WithBeta(2)) // zero noise
+	p := UniformPower(sys, 1)
+	if got := NoiseFactor(sys, p, 0); got != 2 {
+		t.Errorf("zero-noise c_v = %v, want beta", got)
+	}
+	// With noise: c_v = beta / (1 - beta*N*f_vv/P_v).
+	sysN := lineSystem(t, 2, 2, WithBeta(1), WithNoise(0.25))
+	// f_vv = 1, P=1: c = 1/(1-0.25) = 4/3.
+	if got := NoiseFactor(sysN, UniformPower(sysN, 1), 0); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("c_v = %v, want 4/3", got)
+	}
+	// Unsatisfiable link: P too small.
+	if got := NoiseFactor(sysN, UniformPower(sysN, 0.25), 0); !math.IsInf(got, 1) {
+		t.Errorf("c_v = %v, want +Inf", got)
+	}
+}
+
+func TestAffectanceBasics(t *testing.T) {
+	sys := lineSystem(t, 2, 2)
+	p := UniformPower(sys, 1)
+	if Affectance(sys, p, 0, 0) != 0 {
+		t.Error("self affectance not zero")
+	}
+	// a_1(0) = beta * (f_00 / f_10): f_00 = 1, f_10 = dist(s1=10, r0=1)^2 = 81.
+	want := 1.0 / 81
+	if got := Affectance(sys, p, 1, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("a_1(0) = %v, want %v", got, want)
+	}
+	if got := AffectanceRaw(sys, p, 1, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("raw a_1(0) = %v, want %v", got, want)
+	}
+}
+
+func TestAffectanceClipping(t *testing.T) {
+	// Put links so close that raw affectance exceeds 1.
+	sys := randomSystem(t, 11, 2, 0.9, 1.1)
+	p := UniformPower(sys, 1)
+	raw := AffectanceRaw(sys, p, 1, 0)
+	clipped := Affectance(sys, p, 1, 0)
+	if raw > 1 && clipped != 1 {
+		t.Errorf("raw %v not clipped (%v)", raw, clipped)
+	}
+	if raw <= 1 && clipped != raw {
+		t.Errorf("clipping changed value below 1")
+	}
+}
+
+// TestAffectanceSINREquivalence verifies the Sec 2.4 rewrite: with the
+// noise-aware constant c_v, the condition a_S(v) ≤ 1 (unclipped) is
+// equivalent to SINR_v ≥ β.
+func TestAffectanceSINREquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sys := randomSystem(t, 300+seed, 6, 0.5, 40, WithBeta(1.5), WithNoise(0.01))
+		p := UniformPower(sys, 10)
+		set := []int{0, 1, 2, 3, 4, 5}
+		for _, v := range set {
+			a := InAffectanceRaw(sys, p, set, v)
+			sinrOK := SINR(sys, p, set, v) >= sys.Beta()
+			affOK := a <= 1
+			if sinrOK != affOK {
+				t.Fatalf("seed %d link %d: SINR-ok=%v but affectance %v", seed, v, sinrOK, a)
+			}
+		}
+	}
+}
+
+func TestInOutAffectanceSymmetry(t *testing.T) {
+	sys := randomSystem(t, 17, 5, 0.5, 20)
+	p := MeanPower(sys, 1)
+	set := []int{0, 1, 2, 3, 4}
+	// Sum of in-affectance equals sum of out-affectance (both count all
+	// ordered pairs once).
+	var inSum, outSum float64
+	for _, v := range set {
+		inSum += InAffectance(sys, p, set, v)
+		outSum += OutAffectance(sys, p, v, set)
+	}
+	if math.Abs(inSum-outSum) > 1e-9*(1+inSum) {
+		t.Errorf("in %v != out %v", inSum, outSum)
+	}
+}
+
+func TestSINRNoInterference(t *testing.T) {
+	sys := lineSystem(t, 2, 2) // zero noise
+	p := UniformPower(sys, 1)
+	if got := SINR(sys, p, []int{0}, 0); !math.IsInf(got, 1) {
+		t.Errorf("solo SINR = %v, want +Inf", got)
+	}
+	if !IsFeasible(sys, p, []int{0}) {
+		t.Error("singleton not feasible")
+	}
+	if !IsFeasible(sys, p, nil) {
+		t.Error("empty set not feasible")
+	}
+}
+
+func TestIsFeasibleDistantLinksFeasible(t *testing.T) {
+	// Widely separated unit links with alpha=3: interference tiny.
+	sys := lineSystem(t, 5, 3)
+	p := UniformPower(sys, 1)
+	if !IsFeasible(sys, p, []int{0, 1, 2, 3, 4}) {
+		t.Error("distant links infeasible")
+	}
+}
+
+func TestIsFeasibleCloseLinksInfeasible(t *testing.T) {
+	// Uniform space: cross decay equals own decay, so two simultaneous
+	// links kill each other (SINR = 1 with beta > 1... use beta=2).
+	sys := randomSystem(t, 23, 2, 1, 1.000001, WithBeta(2))
+	p := UniformPower(sys, 1)
+	if IsFeasible(sys, p, []int{0, 1}) {
+		t.Error("mutually-destroying links reported feasible")
+	}
+}
+
+func TestIsKFeasible(t *testing.T) {
+	sys := lineSystem(t, 4, 4)
+	p := UniformPower(sys, 1)
+	set := []int{0, 1, 2, 3}
+	if !IsKFeasible(sys, p, set, 1) {
+		t.Fatal("set not even 1-feasible")
+	}
+	max := MaxInAffectance(sys, p, set)
+	k := 0.9 / max
+	if !IsKFeasible(sys, p, set, k) {
+		t.Errorf("set should be %v-feasible (max affectance %v)", k, max)
+	}
+	if IsKFeasible(sys, p, set, 1.1/max) {
+		t.Errorf("set should not be %v-feasible", 1.1/max)
+	}
+	if IsKFeasible(sys, p, set, 0) || IsKFeasible(sys, p, set, -1) {
+		t.Error("non-positive K accepted")
+	}
+}
+
+func TestNoiseMakesInfeasible(t *testing.T) {
+	// Unit link with P=1, f=1: received power 1. With beta=1 and N=2 the
+	// link fails alone.
+	sys := lineSystem(t, 1, 2, WithNoise(2))
+	p := UniformPower(sys, 1)
+	if IsFeasible(sys, p, []int{0}) {
+		t.Error("noise-dominated link reported feasible")
+	}
+	// Raw affectance onto it is +Inf through the noise factor.
+	sys2 := lineSystem(t, 2, 2, WithNoise(2))
+	if got := AffectanceRaw(sys2, UniformPower(sys2, 1), 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("affectance onto dead link = %v", got)
+	}
+}
+
+func TestQuickFeasibilityMonotoneUnderSubsets(t *testing.T) {
+	// Removing links never breaks feasibility.
+	f := func(seed uint64, mask uint8) bool {
+		src := rng.New(seed)
+		sys := randomSystemQuick(src, 6)
+		if sys == nil {
+			return true
+		}
+		p := UniformPower(sys, 1)
+		full := []int{0, 1, 2, 3, 4, 5}
+		if !IsFeasible(sys, p, full) {
+			return true // premise not met
+		}
+		var sub []int
+		for i := 0; i < 6; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, i)
+			}
+		}
+		return IsFeasible(sys, p, sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSystemQuick builds a random system for property tests without a
+// *testing.T (returns nil on construction failure).
+func randomSystemQuick(src *rng.Source, nLinks int) *System {
+	sp, err := core.FromFunc(2*nLinks, func(i, j int) float64 { return src.Range(0.5, 50) })
+	if err != nil {
+		return nil
+	}
+	links := make([]Link, nLinks)
+	for i := range links {
+		links[i] = Link{Sender: 2 * i, Receiver: 2*i + 1}
+	}
+	sys, err := NewSystem(sp, links)
+	if err != nil {
+		return nil
+	}
+	return sys
+}

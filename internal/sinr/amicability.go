@@ -1,0 +1,90 @@
+package sinr
+
+import (
+	"math"
+	"sort"
+)
+
+// SparsifyFeasible implements Lemma 4.1: given a feasible set S, it returns
+// a partition of S into ζ-separated classes by composing signal
+// strengthening (Lemma B.1, to e²/β-feasible classes, which Lemma B.2 shows
+// are 1/ζ-separated under uniform power) with the separation-expansion
+// colouring of Lemma B.3. For inputs in a doubling quasi-metric the class
+// count is O(ζ^(2A′)).
+func SparsifyFeasible(s *System, pw Power, set []int) [][]int {
+	zeta := s.Zeta()
+	target := math.E * math.E / s.Beta()
+	var out [][]int
+	for _, class := range SignalStrengthen(s, pw, set, target) {
+		out = append(out, PartitionSeparated(s, class, zeta)...)
+	}
+	return out
+}
+
+// LargestSeparatedSubset returns the biggest class of SparsifyFeasible —
+// the Ω(|S|/ζ^(2A′))-sized ζ-separated subset that Theorem 4's proof
+// extracts.
+func LargestSeparatedSubset(s *System, pw Power, set []int) []int {
+	var best []int
+	for _, class := range SparsifyFeasible(s, pw, set) {
+		if len(class) > len(best) {
+			best = class
+		}
+	}
+	return best
+}
+
+// AmicableWitness is the outcome of ExtractAmicable: the low-out-affectance
+// subset S′ of Theorem 4 together with the measured quantities of
+// Def 4.2.
+type AmicableWitness struct {
+	// Subset is S′: a ζ-separated subset of the input with small average
+	// out-affectance.
+	Subset []int
+	// H is the measured amicability factor |S| / |S′| (h(ζ) in Def 4.2,
+	// up to the constant c).
+	H float64
+	// C is the measured affectance constant: max over all links v in the
+	// system of a_v(S′).
+	C float64
+}
+
+// ExtractAmicable runs the constructive argument of Theorem 4 on a feasible
+// set S: sparsify to the largest ζ-separated subset Ŝ, then keep the links
+// with out-affectance a_v(Ŝ) ≤ 2 (at least half of Ŝ by the averaging
+// argument). It returns the witness subset and the measured h and c.
+// The input set should be feasible under pw for the guarantees to apply.
+func ExtractAmicable(s *System, pw Power, set []int) AmicableWitness {
+	if len(set) == 0 {
+		return AmicableWitness{}
+	}
+	sep := LargestSeparatedSubset(s, pw, set)
+	var subset []int
+	for _, v := range sep {
+		if OutAffectance(s, pw, v, sep) <= 2 {
+			subset = append(subset, v)
+		}
+	}
+	sort.Ints(subset)
+	w := AmicableWitness{Subset: subset}
+	if len(subset) > 0 {
+		w.H = float64(len(set)) / float64(len(subset))
+	} else {
+		w.H = math.Inf(1)
+	}
+	// c is measured over every link of the system, per Def 4.2
+	// ("for any vertex v ∈ L").
+	for v := 0; v < s.Len(); v++ {
+		if a := OutAffectance(s, pw, v, subset); a > w.C {
+			w.C = a
+		}
+	}
+	return w
+}
+
+// Theorem4Bound returns the amicability bound O(D·ζ^(2A′)) with unit
+// constant: D·ζ^(2A′), for independence dimension D and quasi-metric
+// doubling dimension A′.
+func Theorem4Bound(independenceDim float64, zeta, doublingDim float64) float64 {
+	return independenceDim * math.Pow(zeta, 2*doublingDim)
+}

@@ -1,0 +1,155 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+)
+
+// feasibleBase returns a non-trivial feasible subset of the system under
+// uniform power (the largest 1-feasible strengthened class).
+func feasibleBase(t *testing.T, sys *System, p Power) []int {
+	t.Helper()
+	all := make([]int, sys.Len())
+	for i := range all {
+		all[i] = i
+	}
+	classes := SignalStrengthen(sys, p, all, 1)
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	best := classes[0]
+	for _, c := range classes[1:] {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	if !IsFeasible(sys, p, best) {
+		t.Fatal("base class not feasible")
+	}
+	return best
+}
+
+func TestSparsifyFeasibleProducesZetaSeparatedClasses(t *testing.T) {
+	sys := planeSystem(t, 101, 50, 3)
+	p := UniformPower(sys, 1)
+	base := feasibleBase(t, sys, p)
+	classes := SparsifyFeasible(sys, p, base)
+	covered := 0
+	for _, class := range classes {
+		if !IsSeparatedSet(sys, class, sys.Zeta()) {
+			t.Fatalf("class %v not zeta-separated (minSep %v, need %v)",
+				class, MinSeparation(sys, class), sys.Zeta())
+		}
+		covered += len(class)
+	}
+	if covered != len(base) {
+		t.Fatalf("classes cover %d of %d", covered, len(base))
+	}
+}
+
+// TestLemma41ClassCount: the number of zeta-separated classes should stay
+// within a constant factor of ζ^(2A′) with A′~2 for plane instances —
+// we assert the much weaker sanity bound that it does not explode
+// (≤ bound × 50) and that it is at least 1.
+func TestLemma41ClassCount(t *testing.T) {
+	sys := planeSystem(t, 103, 60, 3)
+	p := UniformPower(sys, 1)
+	base := feasibleBase(t, sys, p)
+	classes := SparsifyFeasible(sys, p, base)
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	bound := math.Pow(sys.Zeta(), 2*2) * 50
+	if float64(len(classes)) > bound {
+		t.Errorf("class count %d far beyond O(zeta^4) = %v", len(classes), bound)
+	}
+}
+
+func TestLargestSeparatedSubset(t *testing.T) {
+	sys := planeSystem(t, 105, 40, 3)
+	p := UniformPower(sys, 1)
+	base := feasibleBase(t, sys, p)
+	sub := LargestSeparatedSubset(sys, p, base)
+	if len(sub) == 0 {
+		t.Fatal("empty subset")
+	}
+	if !IsSeparatedSet(sys, sub, sys.Zeta()) {
+		t.Error("subset not zeta-separated")
+	}
+	// It is the largest among the sparsified classes.
+	for _, class := range SparsifyFeasible(sys, p, base) {
+		if len(class) > len(sub) {
+			t.Errorf("found larger class %d > %d", len(class), len(sub))
+		}
+	}
+}
+
+func TestExtractAmicableWitness(t *testing.T) {
+	sys := planeSystem(t, 107, 50, 3)
+	p := UniformPower(sys, 1)
+	base := feasibleBase(t, sys, p)
+	w := ExtractAmicable(sys, p, base)
+	if len(w.Subset) == 0 {
+		t.Fatal("empty amicable subset")
+	}
+	// Every member of S' has out-affectance at most 2 within S'.
+	for _, v := range w.Subset {
+		if a := OutAffectance(sys, p, v, w.Subset); a > 2+1e-9 {
+			t.Errorf("member %d has out-affectance %v > 2", v, a)
+		}
+	}
+	// Averaging argument: S' keeps at least half of the separated subset.
+	sep := LargestSeparatedSubset(sys, p, base)
+	if 2*len(w.Subset) < len(sep) {
+		t.Errorf("|S'| = %d < |sep|/2 = %d", len(w.Subset), len(sep)/2)
+	}
+	// Witness quantities are consistent.
+	if math.Abs(w.H-float64(len(base))/float64(len(w.Subset))) > 1e-9 {
+		t.Errorf("H = %v inconsistent", w.H)
+	}
+	worst := 0.0
+	for v := 0; v < sys.Len(); v++ {
+		if a := OutAffectance(sys, p, v, w.Subset); a > worst {
+			worst = a
+		}
+	}
+	if math.Abs(w.C-worst) > 1e-12 {
+		t.Errorf("C = %v, want %v", w.C, worst)
+	}
+}
+
+func TestExtractAmicableEmpty(t *testing.T) {
+	sys := lineSystem(t, 2, 2)
+	w := ExtractAmicable(sys, UniformPower(sys, 1), nil)
+	if len(w.Subset) != 0 || w.H != 0 || w.C != 0 {
+		t.Errorf("empty witness = %+v", w)
+	}
+}
+
+// TestAmicabilityHWithinTheorem4Shape: measured h should not blow up past
+// the Theorem 4 scaling D·ζ^(2A′) by more than a generous constant on
+// plane instances (D=6 guards suffice in the plane, A′=2).
+func TestAmicabilityHWithinTheorem4Shape(t *testing.T) {
+	for _, alpha := range []float64{2, 3, 4} {
+		sys := planeSystem(t, 109, 40, alpha)
+		p := UniformPower(sys, 1)
+		base := feasibleBase(t, sys, p)
+		w := ExtractAmicable(sys, p, base)
+		if len(w.Subset) == 0 {
+			t.Fatalf("alpha=%v: empty subset", alpha)
+		}
+		bound := Theorem4Bound(6, sys.Zeta(), 2) * 50
+		if w.H > bound {
+			t.Errorf("alpha=%v: h=%v beyond scaled Theorem 4 bound %v", alpha, w.H, bound)
+		}
+	}
+}
+
+func TestTheorem4Bound(t *testing.T) {
+	if got := Theorem4Bound(3, 2, 1); got != 12 {
+		t.Errorf("bound = %v, want 3*2^2 = 12", got)
+	}
+	if Theorem4Bound(6, 4, 2) <= Theorem4Bound(6, 2, 2) {
+		t.Error("bound not increasing in zeta")
+	}
+}

@@ -1,0 +1,56 @@
+package sinr
+
+import "sort"
+
+// InductiveIndependence measures the inductive-independence quantity of
+// [45, 38] on a concrete feasible set S: the maximum over links v ∈ L of
+// the total two-way affectance between v and the members of S that
+// *succeed* v in the decay order,
+//
+//	II(S) = max_v Σ_{w ∈ S, f_ww ≥ f_vv} ( a_v(w) + a_w(v) ).
+//
+// The paper points to this parameter as another innate measure of a decay
+// space; bounded-growth spaces keep it constant, while the hardness
+// constructions let it grow. Pass the full link set of interest as probe
+// (typically AllLinks); S should be feasible for the quantity to carry its
+// usual meaning.
+func InductiveIndependence(s *System, p Power, probe, feasible []int) float64 {
+	worst := 0.0
+	for _, v := range probe {
+		fv := s.Decay(v)
+		total := 0.0
+		for _, w := range feasible {
+			if w == v || s.Decay(w) < fv {
+				continue
+			}
+			total += Affectance(s, p, v, w) + Affectance(s, p, w, v)
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	return worst
+}
+
+// LinkStats summarizes a system's link-decay distribution; used by the
+// CLIs and experiments for reporting.
+type LinkStats struct {
+	Min, Median, Max float64
+}
+
+// Stats computes the decay distribution over the given links.
+func Stats(s *System, links []int) LinkStats {
+	if len(links) == 0 {
+		return LinkStats{}
+	}
+	ds := make([]float64, len(links))
+	for i, v := range links {
+		ds[i] = s.Decay(v)
+	}
+	sort.Float64s(ds)
+	return LinkStats{
+		Min:    ds[0],
+		Median: ds[len(ds)/2],
+		Max:    ds[len(ds)-1],
+	}
+}

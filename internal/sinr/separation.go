@@ -1,0 +1,107 @@
+package sinr
+
+import (
+	"math"
+	"sort"
+
+	"decaynet/internal/graph"
+)
+
+// IsSeparatedFrom reports whether link v is η-separated from every link in
+// set: d(l_v, l_w) ≥ η·d_vv for all w (Sec 2.4).
+func IsSeparatedFrom(s *System, v int, set []int, eta float64) bool {
+	need := eta * s.LinkLength(v)
+	for _, w := range set {
+		if w == v {
+			continue
+		}
+		if s.LinkDist(v, w) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSeparatedSet reports whether every link in the set is η-separated from
+// the rest.
+func IsSeparatedSet(s *System, set []int, eta float64) bool {
+	for _, v := range set {
+		if !IsSeparatedFrom(s, v, set, eta) {
+			return false
+		}
+	}
+	return true
+}
+
+// separationConflictGraph has an edge between two links iff either of them
+// violates η-separation with respect to the other, so that independent sets
+// are exactly the η-separated subsets.
+func separationConflictGraph(s *System, set []int, eta float64) *graph.Graph {
+	g := graph.New(len(set))
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			v, w := set[i], set[j]
+			d := s.LinkDist(v, w)
+			if d < eta*s.LinkLength(v) || d < eta*s.LinkLength(w) {
+				// Indices are in range and distinct: AddEdge cannot fail.
+				_ = g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// PartitionSeparated splits the link set into η-separated classes
+// (Lemma B.3 mechanism): first-fit colouring of the separation conflict
+// graph along non-increasing link length. For a τ-separated input in a
+// doubling quasi-metric the number of classes is O((η/τ)^A′).
+func PartitionSeparated(s *System, set []int, eta float64) [][]int {
+	g := separationConflictGraph(s, set, eta)
+	order := make([]int, len(set))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := s.Decay(set[order[a]]), s.Decay(set[order[b]])
+		if la != lb {
+			return la > lb // non-increasing length
+		}
+		return order[a] < order[b]
+	})
+	classes := g.FirstFitColoring(order)
+	out := make([][]int, len(classes))
+	for c, class := range classes {
+		out[c] = make([]int, len(class))
+		for k, i := range class {
+			out[c][k] = set[i]
+		}
+		sort.Ints(out[c])
+	}
+	return out
+}
+
+// MinSeparation returns the largest η such that the set is η-separated
+// (the infimum over links of d(l_v, L∖{v}) / d_vv), or +Inf for sets with
+// fewer than two links.
+func MinSeparation(s *System, set []int) float64 {
+	best := -1.0
+	for _, v := range set {
+		dvv := s.LinkLength(v)
+		if dvv == 0 {
+			continue
+		}
+		for _, w := range set {
+			if w == v {
+				continue
+			}
+			eta := s.LinkDist(v, w) / dvv
+			if best < 0 || eta < best {
+				best = eta
+			}
+		}
+	}
+	if best < 0 {
+		return math.Inf(1)
+	}
+	return best
+}

@@ -1,0 +1,209 @@
+package sinr
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+)
+
+// planeSystem builds a random plane instance with geometric decay: links
+// with lengths in [1, 4] and uniformly placed senders in a 100x100 square.
+func planeSystem(t *testing.T, seed uint64, links int, alpha float64, opts ...Option) *System {
+	t.Helper()
+	src := rng.New(seed)
+	pts := make([]geom.Point, 0, 2*links)
+	ls := make([]Link, 0, links)
+	for i := 0; i < links; i++ {
+		s := geom.Pt(src.Range(0, 100), src.Range(0, 100))
+		theta := src.Range(0, 2*math.Pi)
+		r := s.Add(geom.Pt(src.Range(1, 4), 0).Rotate(theta))
+		pts = append(pts, s, r)
+		ls = append(ls, Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := core.NewGeometricSpace(pts, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts = append([]Option{WithZeta(alpha)}, opts...)
+	sys, err := NewSystem(space, ls, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestIsSeparatedLine(t *testing.T) {
+	// Unit links spaced 10 apart: pairwise link distance is 9 in the
+	// quasi-metric regardless of alpha, so sets are 9-separated but not
+	// 9.1-separated.
+	sys := lineSystem(t, 4, 3)
+	all := []int{0, 1, 2, 3}
+	// 8.99 rather than 9: quasi-distances go through pow(f, 1/zeta), so
+	// exact integer distances come back with ~1e-15 relative error.
+	if !IsSeparatedSet(sys, all, 8.99) {
+		t.Error("line links not 8.99-separated")
+	}
+	if IsSeparatedSet(sys, all, 9.1) {
+		t.Error("line links reported 9.1-separated")
+	}
+	if got := MinSeparation(sys, all); math.Abs(got-9) > 1e-6 {
+		t.Errorf("MinSeparation = %v", got)
+	}
+	if !IsSeparatedFrom(sys, 0, []int{0}, 100) {
+		t.Error("link should be separated from itself-only set")
+	}
+	if got := MinSeparation(sys, []int{2}); !math.IsInf(got, 1) {
+		t.Errorf("singleton MinSeparation = %v", got)
+	}
+}
+
+func TestPartitionSeparatedCoversAndSeparates(t *testing.T) {
+	sys := planeSystem(t, 3, 40, 3)
+	all := make([]int, sys.Len())
+	for i := range all {
+		all[i] = i
+	}
+	for _, eta := range []float64{0.5, 1, 2} {
+		classes := PartitionSeparated(sys, all, eta)
+		seen := make(map[int]bool)
+		for _, class := range classes {
+			if !IsSeparatedSet(sys, class, eta) {
+				t.Fatalf("eta=%v: class %v not separated (minSep %v)",
+					eta, class, MinSeparation(sys, class))
+			}
+			for _, v := range class {
+				if seen[v] {
+					t.Fatalf("link %d in two classes", v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != sys.Len() {
+			t.Fatalf("eta=%v: classes cover %d of %d links", eta, len(seen), sys.Len())
+		}
+	}
+}
+
+func TestPartitionSeparatedGrowsWithEta(t *testing.T) {
+	sys := planeSystem(t, 5, 60, 3)
+	all := make([]int, sys.Len())
+	for i := range all {
+		all[i] = i
+	}
+	a := len(PartitionSeparated(sys, all, 0.5))
+	b := len(PartitionSeparated(sys, all, 4))
+	if b < a {
+		t.Errorf("classes at eta=4 (%d) fewer than at eta=0.5 (%d)", b, a)
+	}
+}
+
+// TestLemmaB2FeasibleSetsAreSeparated verifies Lemma B.2: an e²/β-feasible
+// set under uniform power is 1/ζ-separated.
+func TestLemmaB2FeasibleSetsAreSeparated(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		sys := planeSystem(t, 40+seed, 30, 3)
+		p := UniformPower(sys, 1)
+		all := make([]int, sys.Len())
+		for i := range all {
+			all[i] = i
+		}
+		target := math.E * math.E / sys.Beta()
+		for _, class := range SignalStrengthen(sys, p, all, target) {
+			if !IsKFeasible(sys, p, class, target) {
+				t.Fatalf("seed %d: class not e^2-feasible", seed)
+			}
+			if !IsSeparatedSet(sys, class, 1/sys.Zeta()) {
+				t.Fatalf("seed %d: e^2-feasible class not 1/zeta-separated (minSep=%v, need %v)",
+					seed, MinSeparation(sys, class), 1/sys.Zeta())
+			}
+		}
+	}
+}
+
+func TestSignalStrengthenClassesAreQFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		sys := planeSystem(t, 60+seed, 40, 3)
+		p := UniformPower(sys, 1)
+		all := make([]int, sys.Len())
+		for i := range all {
+			all[i] = i
+		}
+		for _, q := range []float64{1, 2, 7.39} {
+			classes := SignalStrengthen(sys, p, all, q)
+			var covered []int
+			for _, class := range classes {
+				if !IsKFeasible(sys, p, class, q) {
+					t.Fatalf("seed %d q=%v: class %v not q-feasible (max aff %v)",
+						seed, q, class, MaxInAffectance(sys, p, class))
+				}
+				covered = append(covered, class...)
+			}
+			sort.Ints(covered)
+			if len(covered) != sys.Len() {
+				t.Fatalf("classes cover %d of %d", len(covered), sys.Len())
+			}
+			for i, v := range covered {
+				if v != i {
+					t.Fatalf("coverage broken: %v", covered)
+				}
+			}
+		}
+	}
+}
+
+// TestSignalStrengthenCountWithinBound checks the Lemma B.1 class-count
+// bound ⌈2q/p⌉² on sets that are actually p-feasible.
+func TestSignalStrengthenCountWithinBound(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		sys := planeSystem(t, 80+seed, 50, 3)
+		p := UniformPower(sys, 1)
+		all := make([]int, sys.Len())
+		for i := range all {
+			all[i] = i
+		}
+		// Make a 1-feasible base set first (largest strengthened class at
+		// q=1 is 1-feasible by construction).
+		base := SignalStrengthen(sys, p, all, 1)[0]
+		if !IsKFeasible(sys, p, base, 1) {
+			t.Fatal("base not 1-feasible")
+		}
+		for _, q := range []float64{2, 4, 8} {
+			classes := SignalStrengthen(sys, p, base, q)
+			bound := StrengthenBound(1, q)
+			if len(classes) > bound {
+				t.Errorf("seed %d q=%v: %d classes exceed bound %d",
+					seed, q, len(classes), bound)
+			}
+		}
+	}
+}
+
+func TestSignalStrengthenEdgeCases(t *testing.T) {
+	sys := lineSystem(t, 3, 2)
+	p := UniformPower(sys, 1)
+	if got := SignalStrengthen(sys, p, nil, 2); got != nil {
+		t.Errorf("empty set gave %v", got)
+	}
+	if got := SignalStrengthen(sys, p, []int{0}, 0); got != nil {
+		t.Errorf("q=0 gave %v", got)
+	}
+	if got := SignalStrengthen(sys, p, []int{1}, 2); len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("singleton gave %v", got)
+	}
+}
+
+func TestStrengthenBound(t *testing.T) {
+	if got := StrengthenBound(1, 2); got != 16 {
+		t.Errorf("bound(1,2) = %d, want 16", got)
+	}
+	if got := StrengthenBound(2, 2); got != 4 {
+		t.Errorf("bound(2,2) = %d, want 4", got)
+	}
+	if got := StrengthenBound(0, 2); got != 0 {
+		t.Errorf("bound(0,2) = %d", got)
+	}
+}

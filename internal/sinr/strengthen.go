@@ -1,0 +1,75 @@
+package sinr
+
+import (
+	"math"
+	"sort"
+)
+
+// SignalStrengthen partitions a p-feasible set into q-feasible sets
+// (Lemma B.1, [35]): at most ⌈2q/p⌉² classes when the input is p-feasible.
+//
+// The construction is the standard two-pass first-fit. Pass 1 processes
+// links in non-increasing decay order and first-fits each into a class
+// where the in-affectance from the already-placed (longer) links stays at
+// most 1/(2q); p-feasibility bounds the number of classes by ⌈2q/p⌉ via the
+// rejection-counting argument. Pass 2 repeats within each class in
+// non-decreasing order, controlling in-affectance from shorter links, for
+// ⌈2q/p⌉² classes total, each with a_S(v) ≤ 1/(2q) + 1/(2q) = 1/q.
+//
+// The input need not actually be p-feasible: the output classes are always
+// q-feasible; only the class-count bound needs the premise. q must be
+// positive.
+func SignalStrengthen(s *System, pw Power, set []int, q float64) [][]int {
+	if q <= 0 || len(set) == 0 {
+		return nil
+	}
+	half := 1 / (2 * q)
+	pass := func(links []int, descending bool) [][]int {
+		order := append([]int(nil), links...)
+		sort.Slice(order, func(a, b int) bool {
+			da, db := s.Decay(order[a]), s.Decay(order[b])
+			if da != db {
+				if descending {
+					return da > db
+				}
+				return da < db
+			}
+			// Opposite tie-breaks in the two passes so equal-decay pairs
+			// get their affectance checked in both directions.
+			if descending {
+				return order[a] < order[b]
+			}
+			return order[a] > order[b]
+		})
+		var classes [][]int
+	next:
+		for _, v := range order {
+			for c := range classes {
+				if InAffectanceRaw(s, pw, classes[c], v) <= half {
+					classes[c] = append(classes[c], v)
+					continue next
+				}
+			}
+			classes = append(classes, []int{v})
+		}
+		return classes
+	}
+	var out [][]int
+	for _, class := range pass(set, true) {
+		for _, sub := range pass(class, false) {
+			sort.Ints(sub)
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// StrengthenBound returns the Lemma B.1 class-count bound ⌈2q/p⌉² for
+// partitioning a p-feasible set into q-feasible sets.
+func StrengthenBound(p, q float64) int {
+	if p <= 0 || q <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(2 * q / p))
+	return k * k
+}

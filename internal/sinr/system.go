@@ -1,0 +1,206 @@
+// Package sinr implements the abstract SINR machinery of the paper on top
+// of decay spaces: links, power assignments, affectance (Sec 2.4), SINR
+// feasibility, link separation, signal strengthening (Lemma B.1), the
+// separation partitions of Lemmas B.2/B.3/4.1, and amicability (Def 4.2 /
+// Theorem 4).
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"decaynet/internal/core"
+)
+
+// Link is a sender-receiver pair of node indices into a decay space.
+type Link struct {
+	Sender   int `json:"sender"`
+	Receiver int `json:"receiver"`
+}
+
+// System binds a decay space, a set of links and the radio parameters
+// (ambient noise N and SINR threshold β ≥ 1). All algorithmic routines in
+// this and higher packages operate on a System.
+type System struct {
+	space core.Space
+	links []Link
+	noise float64
+	beta  float64
+
+	zetaOnce sync.Once
+	zeta     float64
+	qm       *core.QuasiMetric
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithNoise sets the ambient noise N (default 0).
+func WithNoise(n float64) Option {
+	return func(s *System) { s.noise = n }
+}
+
+// WithBeta sets the SINR threshold β (default 1).
+func WithBeta(b float64) Option {
+	return func(s *System) { s.beta = b }
+}
+
+// WithZeta supplies a precomputed metricity value, skipping the O(n³)
+// computation (e.g. ζ = α for geometric spaces).
+func WithZeta(z float64) Option {
+	return func(s *System) {
+		s.zetaOnce.Do(func() {
+			s.zeta = z
+			s.qm = core.NewQuasiMetric(s.space, z)
+		})
+	}
+}
+
+// NewSystem validates and builds a system. Links must reference distinct
+// in-range nodes; β must be at least 1 and noise non-negative.
+func NewSystem(space core.Space, links []Link, opts ...Option) (*System, error) {
+	if space == nil {
+		return nil, errors.New("sinr: nil decay space")
+	}
+	n := space.N()
+	for i, l := range links {
+		if l.Sender < 0 || l.Sender >= n || l.Receiver < 0 || l.Receiver >= n {
+			return nil, fmt.Errorf("sinr: link %d references node outside [0,%d)", i, n)
+		}
+		if l.Sender == l.Receiver {
+			return nil, fmt.Errorf("sinr: link %d has sender == receiver", i)
+		}
+	}
+	s := &System{
+		space: space,
+		links: append([]Link(nil), links...),
+		beta:  1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.beta < 1 {
+		return nil, fmt.Errorf("sinr: beta %v < 1", s.beta)
+	}
+	if s.noise < 0 {
+		return nil, fmt.Errorf("sinr: negative noise %v", s.noise)
+	}
+	return s, nil
+}
+
+// Space returns the underlying decay space.
+func (s *System) Space() core.Space { return s.space }
+
+// Len returns the number of links.
+func (s *System) Len() int { return len(s.links) }
+
+// Link returns link v.
+func (s *System) Link(v int) Link { return s.links[v] }
+
+// Links returns a copy of the link slice.
+func (s *System) Links() []Link { return append([]Link(nil), s.links...) }
+
+// Noise returns the ambient noise N.
+func (s *System) Noise() float64 { return s.noise }
+
+// Beta returns the SINR threshold β.
+func (s *System) Beta() float64 { return s.beta }
+
+// Decay returns f_vv = f(s_v, r_v), the link's signal decay ("length" in
+// decay terms). The total order ≺ on links sorts by this value.
+func (s *System) Decay(v int) float64 {
+	l := s.links[v]
+	return s.space.F(l.Sender, l.Receiver)
+}
+
+// CrossDecay returns f_wv = f(s_w, r_v), the decay from w's sender to v's
+// receiver.
+func (s *System) CrossDecay(w, v int) float64 {
+	return s.space.F(s.links[w].Sender, s.links[v].Receiver)
+}
+
+// Zeta returns the metricity of the underlying space, computing and caching
+// it on first use.
+func (s *System) Zeta() float64 {
+	s.ensureQuasiMetric()
+	return s.zeta
+}
+
+// QuasiMetric returns the induced quasi-metric d = f^(1/ζ).
+func (s *System) QuasiMetric() *core.QuasiMetric {
+	s.ensureQuasiMetric()
+	return s.qm
+}
+
+func (s *System) ensureQuasiMetric() {
+	s.zetaOnce.Do(func() {
+		s.zeta = core.Zeta(s.space)
+		s.qm = core.NewQuasiMetric(s.space, s.zeta)
+	})
+}
+
+// LinkLength returns d_vv = d(s_v, r_v), the link length in quasi-distance.
+func (s *System) LinkLength(v int) float64 {
+	s.ensureQuasiMetric()
+	l := s.links[v]
+	return s.qm.D(l.Sender, l.Receiver)
+}
+
+// LinkDist returns the quasi-distance between two links (Sec 2.4):
+//
+//	d(l_v, l_w) = min( d(s_v,r_w), d(s_w,r_v), d(s_v,s_w), d(r_v,r_w) ).
+func (s *System) LinkDist(v, w int) float64 {
+	s.ensureQuasiMetric()
+	lv, lw := s.links[v], s.links[w]
+	m := s.qm.D(lv.Sender, lw.Receiver)
+	if d := s.qm.D(lw.Sender, lv.Receiver); d < m {
+		m = d
+	}
+	if d := s.qm.D(lv.Sender, lw.Sender); d < m {
+		m = d
+	}
+	if d := s.qm.D(lv.Receiver, lw.Receiver); d < m {
+		m = d
+	}
+	return m
+}
+
+// Sub returns a new System restricted to the given links (same space and
+// radio parameters; the cached quasi-metric is shared when available).
+func (s *System) Sub(linkIdx []int) *System {
+	links := make([]Link, len(linkIdx))
+	for i, v := range linkIdx {
+		links[i] = s.links[v]
+	}
+	out := &System{space: s.space, links: links, noise: s.noise, beta: s.beta}
+	if s.qm != nil {
+		out.zetaOnce.Do(func() {
+			out.zeta = s.zeta
+			out.qm = s.qm
+		})
+	}
+	return out
+}
+
+// DecayOrder returns link indices sorted by non-decreasing f_vv (the ≺
+// order of Sec 2.4), ties broken by index for determinism.
+func (s *System) DecayOrder() []int {
+	order := make([]int, len(s.links))
+	for i := range order {
+		order[i] = i
+	}
+	decays := make([]float64, len(s.links))
+	for i := range decays {
+		decays[i] = s.Decay(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if decays[va] != decays[vb] {
+			return decays[va] < decays[vb]
+		}
+		return va < vb // deterministic tie-break
+	})
+	return order
+}

@@ -1,0 +1,255 @@
+// Package stats provides the numeric helpers decaynet's experiment harness
+// relies on: summary statistics, percentiles, histograms, least-squares fits
+// (for extracting growth exponents from measured series) and Pearson
+// correlation (for the link-quality-vs-distance experiment).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs. It returns ErrEmpty for empty input.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns ErrEmpty for empty input.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between order statistics. It returns ErrEmpty for empty
+// input.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], nil
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo], nil
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b and the coefficient of determination r². It requires
+// at least two points with non-constant x.
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, errors.New("stats: constant x")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return a, b, r2, nil
+}
+
+// PowerFit fits y = c * x^k by linear regression in log-log space, returning
+// the exponent k, coefficient c, and r² of the log-space fit. All inputs
+// must be positive. The experiment harness uses the exponent k to test
+// polynomial-vs-exponential growth claims.
+func PowerFit(xs, ys []float64) (k, c, r2 float64, err error) {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: length mismatch")
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, errors.New("stats: power fit requires positive data")
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	a, b, r2, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return b, math.Exp(a), r2, nil
+}
+
+// ExpFit fits y = c * base^x by linear regression of log y on x, returning
+// the base, coefficient c, and r². ys must be positive.
+func ExpFit(xs, ys []float64) (base, c, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: length mismatch")
+	}
+	ly := make([]float64, 0, len(ys))
+	for _, y := range ys {
+		if y <= 0 {
+			return 0, 0, 0, errors.New("stats: exp fit requires positive y")
+		}
+		ly = append(ly, math.Log(y))
+	}
+	a, b, r2, err := LinearFit(xs, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return math.Exp(b), math.Exp(a), r2, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of (xs, ys), or an
+// error when undefined (length mismatch, fewer than two samples, or constant
+// input).
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: constant input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanCorrelation returns the Spearman rank correlation of (xs, ys).
+// Rank-based correlation is the measure experimental papers (e.g. Baccour
+// et al.) use for "link quality is not correlated with distance".
+func SpearmanCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	return Correlation(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks to xs (ties share the mean rank).
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Histogram counts xs into n equal-width bins over [lo, hi). Values outside
+// the range are clamped into the first/last bin so totals are preserved.
+func Histogram(xs []float64, lo, hi float64, n int) []int {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	bins := make([]int, n)
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		bins[b]++
+	}
+	return bins
+}

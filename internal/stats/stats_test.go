@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tc := range tests {
+		if got := Mean(tc.in); got != tc.want {
+			t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almost(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("single-sample variance = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Min(nil) should return ErrEmpty")
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Max(nil) should return ErrEmpty")
+	}
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 5 {
+		t.Errorf("Min/Max = %v/%v", mn, mx)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-10, 1}, {110, 5},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatalf("Percentile error: %v", err)
+		}
+		if !almost(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("Percentile(nil) should return ErrEmpty")
+	}
+	// Interpolation between order statistics.
+	got, _ := Percentile([]float64{0, 10}, 75)
+	if !almost(got, 7.5, 1e-12) {
+		t.Errorf("Percentile interpolation = %v, want 7.5", got)
+	}
+}
+
+func TestMedianUnsortedInput(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v, %v", got, err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a, 1, 1e-9) || !almost(b, 2, 1e-9) || !almost(r2, 1, 1e-9) {
+		t.Errorf("fit = (%v, %v, %v)", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point not rejected")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("constant x not rejected")
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	// y = 3 x^2.5
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 2.5)
+	}
+	k, c, r2, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(k, 2.5, 1e-9) || !almost(c, 3, 1e-9) || !almost(r2, 1, 1e-9) {
+		t.Errorf("power fit = (%v, %v, %v)", k, c, r2)
+	}
+	if _, _, _, err := PowerFit([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("negative input not rejected")
+	}
+}
+
+func TestExpFit(t *testing.T) {
+	// y = 2 * 3^x
+	xs := []float64{0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * math.Pow(3, x)
+	}
+	base, c, r2, err := ExpFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(base, 3, 1e-9) || !almost(c, 2, 1e-9) || !almost(r2, 1, 1e-9) {
+		t.Errorf("exp fit = (%v, %v, %v)", base, c, r2)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Correlation(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v, %v", r, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("constant input not rejected")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but nonlinear relation has Spearman 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	r, err := SpearmanCorrelation(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("Spearman monotone = %v, %v", r, err)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.6, 0.9, -5, 5}
+	bins := Histogram(xs, 0, 1, 2)
+	if bins[0] != 3 || bins[1] != 3 {
+		t.Errorf("histogram = %v", bins)
+	}
+	if Histogram(xs, 0, 1, 0) != nil {
+		t.Error("zero-bin histogram should be nil")
+	}
+	if Histogram(xs, 1, 0, 3) != nil {
+		t.Error("inverted range should be nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("alpha", "ratio")
+	tb.AddRow(1, 1.2345678)
+	tb.AddRow(2, 10.0)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.235") {
+		t.Errorf("table output:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pp := float64(p % 101)
+		got, err := Percentile(xs, pp)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return got >= mn && got <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCorrelationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		// Build simple deterministic data from the seed.
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s%1000)/500 - 1
+		}
+		for i := range xs {
+			xs[i], ys[i] = next(), next()
+		}
+		r, err := Correlation(xs, ys)
+		if err != nil {
+			return true
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package workload generates reproducible link instances for experiments:
+// uniform and clustered deployments in a square, with several link-length
+// distributions. Every generator is parameterized by an explicit seed.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+)
+
+// LengthDist selects the link-length distribution.
+type LengthDist int
+
+// Supported link-length distributions.
+const (
+	// UniformLength draws lengths uniformly from [MinLen, MaxLen].
+	UniformLength LengthDist = iota + 1
+	// ExpLength draws exponential lengths with mean (MinLen+MaxLen)/2,
+	// clamped to [MinLen, MaxLen] — a heavy mix of short and long links.
+	ExpLength
+	// EqualLength gives every link length MinLen (the "equi-decay links"
+	// of Theorems 3 and 6).
+	EqualLength
+)
+
+// Config parameterizes the plane instance generators.
+type Config struct {
+	// Links is the number of links to place.
+	Links int
+	// Side is the side length of the deployment square.
+	Side float64
+	// MinLen and MaxLen bound link lengths.
+	MinLen, MaxLen float64
+	// Lengths selects the length distribution (default UniformLength).
+	Lengths LengthDist
+	// Clusters, when positive, concentrates senders around this many
+	// cluster centers with spread Side/10 instead of uniformly.
+	Clusters int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Links <= 0 {
+		return errors.New("workload: Links must be positive")
+	}
+	if c.Side <= 0 {
+		return errors.New("workload: Side must be positive")
+	}
+	if c.MinLen <= 0 || c.MaxLen < c.MinLen {
+		return fmt.Errorf("workload: bad length range [%v, %v]", c.MinLen, c.MaxLen)
+	}
+	return nil
+}
+
+// Instance is a generated set of links in the plane, ready to be bound to a
+// decay model. Node 2i is link i's sender, node 2i+1 its receiver.
+type Instance struct {
+	Points []geom.Point
+	Links  []sinr.Link
+}
+
+// Plane generates an instance per the config.
+func Plane(cfg Config) (*Instance, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	var centers []geom.Point
+	if cfg.Clusters > 0 {
+		centers = make([]geom.Point, cfg.Clusters)
+		for i := range centers {
+			centers[i] = geom.Pt(src.Range(0, cfg.Side), src.Range(0, cfg.Side))
+		}
+	}
+	inst := &Instance{
+		Points: make([]geom.Point, 0, 2*cfg.Links),
+		Links:  make([]sinr.Link, 0, cfg.Links),
+	}
+	seen := make(map[geom.Point]bool, 2*cfg.Links)
+	place := func() geom.Point {
+		for {
+			var p geom.Point
+			if centers != nil {
+				c := centers[src.Intn(len(centers))]
+				p = geom.Pt(c.X+src.Normal()*cfg.Side/10, c.Y+src.Normal()*cfg.Side/10)
+			} else {
+				p = geom.Pt(src.Range(0, cfg.Side), src.Range(0, cfg.Side))
+			}
+			if !seen[p] {
+				seen[p] = true
+				return p
+			}
+		}
+	}
+	for i := 0; i < cfg.Links; i++ {
+		sender := place()
+		length := cfg.linkLength(src)
+		for {
+			theta := src.Range(0, 2*math.Pi)
+			recv := sender.Add(geom.Pt(length, 0).Rotate(theta))
+			if !seen[recv] {
+				seen[recv] = true
+				inst.Points = append(inst.Points, sender, recv)
+				inst.Links = append(inst.Links, sinr.Link{Sender: 2 * i, Receiver: 2*i + 1})
+				break
+			}
+		}
+	}
+	return inst, nil
+}
+
+func (c Config) linkLength(src *rng.Source) float64 {
+	switch c.Lengths {
+	case ExpLength:
+		mean := (c.MinLen + c.MaxLen) / 2
+		l := src.Exp(1 / mean)
+		return math.Max(c.MinLen, math.Min(c.MaxLen, l))
+	case EqualLength:
+		return c.MinLen
+	default:
+		return src.Range(c.MinLen, c.MaxLen)
+	}
+}
+
+// GeometricSystem binds a plane instance to geometric path loss d^alpha and
+// wraps it in a sinr.System with the given options. ζ = α is supplied
+// directly, skipping the O(n³) metricity computation.
+func GeometricSystem(inst *Instance, alpha float64, opts ...sinr.Option) (*sinr.System, error) {
+	space, err := core.NewGeometricSpace(inst.Points, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	opts = append([]sinr.Option{sinr.WithZeta(alpha)}, opts...)
+	return sinr.NewSystem(space, inst.Links, opts...)
+}
+
+// System binds a plane instance to an arbitrary decay space over the
+// instance's points (e.g. an environment-derived space).
+func System(inst *Instance, space core.Space, opts ...sinr.Option) (*sinr.System, error) {
+	return sinr.NewSystem(space, inst.Links, opts...)
+}

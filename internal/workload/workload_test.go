@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"decaynet/internal/sinr"
+)
+
+func TestPlaneValidation(t *testing.T) {
+	bad := []Config{
+		{Links: 0, Side: 1, MinLen: 1, MaxLen: 2},
+		{Links: 5, Side: 0, MinLen: 1, MaxLen: 2},
+		{Links: 5, Side: 1, MinLen: 0, MaxLen: 2},
+		{Links: 5, Side: 1, MinLen: 3, MaxLen: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Plane(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPlaneShape(t *testing.T) {
+	inst, err := Plane(Config{Links: 20, Side: 100, MinLen: 1, MaxLen: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Links) != 20 || len(inst.Points) != 40 {
+		t.Fatalf("shape = %d links, %d points", len(inst.Links), len(inst.Points))
+	}
+	for i, l := range inst.Links {
+		if l.Sender != 2*i || l.Receiver != 2*i+1 {
+			t.Fatalf("link %d = %+v", i, l)
+		}
+	}
+}
+
+func TestPlaneLengthBounds(t *testing.T) {
+	for _, dist := range []LengthDist{UniformLength, ExpLength, EqualLength} {
+		inst, err := Plane(Config{Links: 50, Side: 100, MinLen: 2, MaxLen: 6, Lengths: dist, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range inst.Links {
+			l := inst.Points[2*i].Dist(inst.Points[2*i+1])
+			if l < 2-1e-9 || l > 6+1e-9 {
+				t.Fatalf("dist %v: link %d has length %v", dist, i, l)
+			}
+			if dist == EqualLength && math.Abs(l-2) > 1e-9 {
+				t.Fatalf("equal-length link %d has length %v", i, l)
+			}
+		}
+	}
+}
+
+func TestPlaneDeterministic(t *testing.T) {
+	cfg := Config{Links: 15, Side: 50, MinLen: 1, MaxLen: 3, Seed: 42}
+	a, err := Plane(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plane(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+	cfg.Seed = 43
+	c, err := Plane(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Points {
+		if a.Points[i] != c.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestPlaneClustered(t *testing.T) {
+	inst, err := Plane(Config{Links: 40, Side: 1000, MinLen: 1, MaxLen: 2, Clusters: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustered senders should have much smaller average pairwise distance
+	// than a uniform layout on the same side.
+	uni, err := Plane(Config{Links: 40, Side: 1000, MinLen: 1, MaxLen: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(in *Instance) float64 {
+		total, count := 0.0, 0
+		for i := 0; i < len(in.Links); i++ {
+			for j := i + 1; j < len(in.Links); j++ {
+				total += in.Points[2*i].Dist(in.Points[2*j])
+				count++
+			}
+		}
+		return total / float64(count)
+	}
+	if avg(inst) >= avg(uni) {
+		t.Errorf("clustered avg distance %v >= uniform %v", avg(inst), avg(uni))
+	}
+}
+
+func TestGeometricSystem(t *testing.T) {
+	inst, err := Plane(Config{Links: 10, Side: 50, MinLen: 1, MaxLen: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := GeometricSystem(inst, 3, sinr.WithBeta(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 10 || sys.Beta() != 1.5 {
+		t.Fatalf("system: len=%d beta=%v", sys.Len(), sys.Beta())
+	}
+	if sys.Zeta() != 3 {
+		t.Fatalf("zeta = %v, want supplied 3", sys.Zeta())
+	}
+	// Link decay equals geometric length^alpha.
+	l0 := inst.Points[0].Dist(inst.Points[1])
+	if got := sys.Decay(0); math.Abs(got-math.Pow(l0, 3)) > 1e-9*got {
+		t.Errorf("Decay(0) = %v, want %v", got, math.Pow(l0, 3))
+	}
+}
+
+func TestPlaneDistinctPoints(t *testing.T) {
+	inst, err := Plane(Config{Links: 100, Side: 10, MinLen: 0.5, MaxLen: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]float64]bool)
+	for _, p := range inst.Points {
+		k := [2]float64{p.X, p.Y}
+		if seen[k] {
+			t.Fatal("duplicate point generated")
+		}
+		seen[k] = true
+	}
+}
