@@ -1,12 +1,16 @@
 // Command capsim runs capacity and scheduling algorithms on a link
-// instance: either a generated plane workload or a decay matrix loaded from
-// JSON (as written by scenegen / core.WriteJSON; links pair consecutive
-// nodes: 2i → 2i+1).
+// instance built through the Engine API: any registered scenario
+// (-scenario, see -list), or a decay matrix loaded from JSON (as written
+// by scenegen / decaynet.WriteJSON; links pair consecutive nodes 2i→2i+1).
+//
+// Zero-valued numeric flags defer to the scenario's own defaults.
 //
 // Usage:
 //
-//	capsim -links 40 -alpha 3 -side 80 -seed 1
+//	capsim -scenario plane -links 40 -alpha 3 -side 80 -seed 1
+//	capsim -scenario office -links 20
 //	capsim -matrix space.json
+//	capsim -list
 package main
 
 import (
@@ -14,63 +18,67 @@ import (
 	"fmt"
 	"os"
 
-	"decaynet/internal/capacity"
-	"decaynet/internal/core"
-	"decaynet/internal/schedule"
-	"decaynet/internal/sinr"
+	"decaynet"
 	"decaynet/internal/stats"
-	"decaynet/internal/workload"
 )
 
 func main() {
 	var (
-		nLinks = flag.Int("links", 40, "number of links for generated instances")
-		alpha  = flag.Float64("alpha", 3, "path-loss exponent for generated instances")
-		side   = flag.Float64("side", 80, "deployment square side")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		matrix = flag.String("matrix", "", "JSON decay matrix to load instead of generating")
-		beta   = flag.Float64("beta", 1, "SINR threshold")
-		noise  = flag.Float64("noise", 0, "ambient noise")
+		scenarioName = flag.String("scenario", "plane", "registered scenario to build (see -list)")
+		list         = flag.Bool("list", false, "list registered scenarios and exit")
+		nLinks       = flag.Int("links", 0, "number of links (0 = scenario default)")
+		alpha        = flag.Float64("alpha", 0, "path-loss exponent (0 = scenario default)")
+		side         = flag.Float64("side", 0, "deployment extent (0 = scenario default)")
+		seed         = flag.Uint64("seed", 1, "scenario seed")
+		matrix       = flag.String("matrix", "", "JSON decay matrix to load instead of a scenario")
+		beta         = flag.Float64("beta", 1, "SINR threshold")
+		noise        = flag.Float64("noise", 0, "ambient noise")
 	)
 	flag.Parse()
-	if err := run(*nLinks, *alpha, *side, *seed, *matrix, *beta, *noise); err != nil {
+	if *list {
+		for _, name := range decaynet.ScenarioNames() {
+			s, _ := decaynet.LookupScenario(name)
+			fmt.Printf("%-16s %s\n", name, s.Description)
+		}
+		return
+	}
+	if err := run(*scenarioName, *nLinks, *alpha, *side, *seed, *matrix, *beta, *noise); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) error {
-	sys, err := buildSystem(nLinks, alpha, side, seed, matrix, beta, noise)
+func run(scenarioName string, nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) error {
+	eng, err := buildEngine(scenarioName, nLinks, alpha, side, seed, matrix, beta, noise)
 	if err != nil {
 		return err
 	}
-	p := sinr.UniformPower(sys, 1)
-	all := capacity.AllLinks(sys)
-	fmt.Printf("instance: %d links over %d nodes, zeta=%.3f, phi=%.3f\n",
-		sys.Len(), sys.Space().N(), sys.Zeta(), core.Phi(sys.Space()))
+	p := eng.UniformPower(1)
+	fmt.Printf("instance: scenario=%q, %d links over %d nodes, zeta=%.3f, phi=%.3f\n",
+		eng.Scenario(), eng.Len(), eng.N(), eng.Zeta(), eng.Phi())
 
 	tbl := stats.NewTable("algorithm", "|S|", "feasible")
-	alg1 := capacity.Algorithm1(sys, p, all)
-	tbl.AddRow("Algorithm 1", len(alg1), sinr.IsFeasible(sys, p, alg1))
-	greedy := capacity.GreedyGeneral(sys, p, all)
-	tbl.AddRow("greedy (general metric)", len(greedy), sinr.IsFeasible(sys, p, greedy))
-	ff := capacity.FirstFit(sys, p, all)
-	tbl.AddRow("first fit", len(ff), sinr.IsFeasible(sys, p, ff))
-	if sys.Len() <= 22 {
-		opt := capacity.Exact(sys, p, all)
+	alg1 := eng.Capacity(p, nil)
+	tbl.AddRow("Algorithm 1", len(alg1), eng.Feasible(p, alg1))
+	greedy := eng.GreedyCapacity(p, nil)
+	tbl.AddRow("greedy (general metric)", len(greedy), eng.Feasible(p, greedy))
+	ff := eng.FirstFitCapacity(p, nil)
+	tbl.AddRow("first fit", len(ff), eng.Feasible(p, ff))
+	if eng.Len() <= 22 {
+		opt := eng.ExactCapacity(p, nil)
 		tbl.AddRow("exact optimum", len(opt), true)
 	}
 	fmt.Print(tbl)
 
-	slots, err := schedule.ByCapacity(sys, p, all, capacity.Algorithm1)
+	slots, err := eng.Schedule(p, nil)
 	if err != nil {
 		return fmt.Errorf("schedule: %w", err)
 	}
-	if err := schedule.Validate(sys, p, all, slots); err != nil {
+	if err := eng.ValidateSchedule(p, nil, slots); err != nil {
 		return err
 	}
 	fmt.Printf("schedule via Algorithm 1: %d slots\n", len(slots))
-	ffSlots, err := schedule.FirstFit(sys, p, all)
+	ffSlots, err := eng.ScheduleFirstFit(p, nil)
 	if err != nil {
 		return fmt.Errorf("first-fit schedule: %w", err)
 	}
@@ -78,32 +86,32 @@ func run(nLinks int, alpha, side float64, seed uint64, matrix string, beta, nois
 	return nil
 }
 
-func buildSystem(nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) (*sinr.System, error) {
-	opts := []sinr.Option{sinr.WithBeta(beta), sinr.WithNoise(noise)}
+func buildEngine(scenarioName string, nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) (*decaynet.Engine, error) {
 	if matrix != "" {
 		f, err := os.Open(matrix)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		space, err := core.ReadJSON(f)
+		space, err := decaynet.ReadJSON(f)
 		if err != nil {
 			return nil, err
 		}
 		if space.N() < 2 {
 			return nil, fmt.Errorf("matrix has %d nodes", space.N())
 		}
-		links := make([]sinr.Link, space.N()/2)
-		for i := range links {
-			links[i] = sinr.Link{Sender: 2 * i, Receiver: 2*i + 1}
-		}
-		return sinr.NewSystem(space, links, opts...)
+		return decaynet.NewEngine(
+			decaynet.UsingSpace(space),
+			decaynet.PairedLinks(),
+			decaynet.Beta(beta),
+			decaynet.Noise(noise),
+		)
 	}
-	inst, err := workload.Plane(workload.Config{
-		Links: nLinks, Side: side, MinLen: 1, MaxLen: 3, Seed: seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return workload.GeometricSystem(inst, alpha, opts...)
+	return decaynet.NewEngine(
+		decaynet.UsingScenario(scenarioName, decaynet.ScenarioConfig{
+			Links: nLinks, Side: side, Alpha: alpha, Seed: seed,
+		}),
+		decaynet.Beta(beta),
+		decaynet.Noise(noise),
+	)
 }

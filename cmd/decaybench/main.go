@@ -1,27 +1,46 @@
 // Command decaybench runs the paper-reproduction experiment suite (E1–E14)
 // and the design ablations (A1–A4), printing each experiment's measured
-// series. See DESIGN.md for the experiment index and EXPERIMENTS.md for the
-// recorded outcomes.
+// series, and benchmarks the batched hot paths against their per-pair
+// baselines, emitting machine-readable JSON so the perf trajectory is
+// tracked across PRs.
 //
 // Usage:
 //
 //	decaybench [-only E5] [-skip-ablations]
+//	decaybench -bench [-benchjson BENCH_decaybench.json] [-benchn 256]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 
+	"decaynet/internal/capacity"
+	"decaynet/internal/core"
 	"decaynet/internal/experiments"
+	"decaynet/internal/scenario"
+	"decaynet/internal/sinr"
 )
 
 func main() {
-	only := flag.String("only", "", "run only the experiment with this id (e.g. E5 or A2)")
-	skipAblations := flag.Bool("skip-ablations", false, "skip the A1-A4 ablations")
+	var (
+		only          = flag.String("only", "", "run only the experiment with this id (e.g. E5 or A2)")
+		skipAblations = flag.Bool("skip-ablations", false, "skip the A1-A4 ablations")
+		bench         = flag.Bool("bench", false, "run the batched-vs-per-pair micro benchmarks instead of the experiments")
+		benchJSON     = flag.String("benchjson", "BENCH_decaybench.json", "output path for benchmark JSON (with -bench)")
+		benchN        = flag.Int("benchn", 256, "matrix size for the benchmarks")
+	)
 	flag.Parse()
-	if err := run(*only, *skipAblations); err != nil {
+	var err error
+	if *bench {
+		err = runBench(*benchJSON, *benchN)
+	} else {
+		err = run(*only, *skipAblations)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "decaybench:", err)
 		os.Exit(1)
 	}
@@ -51,4 +70,106 @@ func run(only string, skipAblations bool) error {
 		return fmt.Errorf("no experiment with id %q", only)
 	}
 	return nil
+}
+
+// benchResult is one benchmark row of the JSON output.
+type benchResult struct {
+	// Op names the operation, e.g. "zeta/batched".
+	Op string `json:"op"`
+	// N is the problem size (nodes for zeta, links for affectance).
+	N int `json:"n"`
+	// Iters is the number of timed iterations testing.Benchmark chose.
+	Iters       int   `json:"iters"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// runBench benchmarks the batched ζ and dense-affectance paths against the
+// per-pair baselines on an n-node random matrix space and writes the rows
+// as JSON.
+func runBench(outPath string, n int) error {
+	inst, err := scenario.Build("random", scenario.Config{Nodes: n, Seed: 7})
+	if err != nil {
+		return err
+	}
+	space := inst.Space
+	// Supply the space's real metricity so the Algorithm 1 benchmark runs
+	// with the separation threshold a production session would use.
+	zeta := core.Zeta(space)
+	sys, err := inst.System(sinr.WithZeta(zeta), sinr.WithNoise(0.01))
+	if err != nil {
+		return err
+	}
+	p := sinr.UniformPower(sys, 1)
+	nLinks := sys.Len()
+
+	var results []benchResult
+	record := func(op string, size int, fn func()) {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		results = append(results, benchResult{
+			Op:          op,
+			N:           size,
+			Iters:       r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("%-24s n=%-5d %12d ns/op %8d allocs/op\n", op, size, r.NsPerOp(), r.AllocsPerOp())
+	}
+
+	record("zeta/per-pair", n, func() { core.ZetaPerPair(space, 1e-12) })
+	record("zeta/batched", n, func() { core.Zeta(space) })
+	record("affectance/per-pair", nLinks, func() { buildAffectancePerPair(sys, p) })
+	record("affectance/batched", nLinks, func() { sinr.ComputeAffectances(sys, p) })
+	all := capacity.AllLinks(sys)
+	record("algorithm1/cached", nLinks, func() { capacity.Algorithm1(sys, p, all) })
+
+	speedup := func(base, batched string) {
+		var b0, b1 int64
+		for _, r := range results {
+			if r.Op == base {
+				b0 = r.NsPerOp
+			}
+			if r.Op == batched {
+				b1 = r.NsPerOp
+			}
+		}
+		if b0 > 0 && b1 > 0 {
+			fmt.Printf("%s vs %s: %.1fx\n", batched, base, float64(b0)/float64(b1))
+		}
+	}
+	speedup("zeta/per-pair", "zeta/batched")
+	speedup("affectance/per-pair", "affectance/batched")
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// buildAffectancePerPair is the pre-batching baseline: one AffectanceRaw
+// call (two virtual F calls plus a NoiseFactor recomputation) per matrix
+// element.
+func buildAffectancePerPair(s *sinr.System, p sinr.Power) []float64 {
+	n := s.Len()
+	a := make([]float64, n*n)
+	for w := 0; w < n; w++ {
+		for v := 0; v < n; v++ {
+			a[w*n+v] = sinr.AffectanceRaw(s, p, w, v)
+		}
+	}
+	return a
 }

@@ -1,10 +1,16 @@
-// Command scenegen builds an office-floor propagation scene, places nodes,
-// and writes the resulting decay matrix as JSON (loadable by capsim or
-// core.ReadJSON). It prints the space's measured metricity parameters.
+// Command scenegen builds a registered propagation scenario ("office",
+// "warehouse", "corridor", …), and writes the resulting decay matrix as
+// JSON (loadable by capsim or decaynet.ReadJSON). It prints the space's
+// measured metricity parameters on stderr.
+//
+// Zero-valued numeric flags defer to the scenario's own defaults, and
+// scene-shape flags (-rooms, -door, …) are forwarded only when explicitly
+// set.
 //
 // Usage:
 //
-//	scenegen -nodes 40 -rooms 4 -sigma 6 -out office.json
+//	scenegen -scenario office -links 20 -rooms 4 -sigma 6 -out office.json
+//	scenegen -list
 package main
 
 import (
@@ -12,51 +18,75 @@ import (
 	"fmt"
 	"os"
 
-	"decaynet/internal/core"
-	"decaynet/internal/environment"
+	"decaynet"
 )
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 40, "number of radios to place")
-		rooms  = flag.Int("rooms", 4, "rooms per floor side (rooms x rooms grid)")
-		size   = flag.Float64("roomsize", 10, "room side length")
-		door   = flag.Float64("door", 1.5, "door width in interior walls")
-		alpha  = flag.Float64("alpha", 3, "path-loss exponent")
-		sigma  = flag.Float64("sigma", 6, "log-normal shadowing std dev (dB)")
-		refl   = flag.Float64("reflectivity", 0.3, "single-bounce reflectivity in [0,1)")
-		fading = flag.Bool("fading", false, "enable static Rayleigh fast fading")
-		seed   = flag.Uint64("seed", 1, "seed for shadowing/fading/placement")
-		out    = flag.String("out", "", "output JSON path (default stdout)")
+		scenarioName = flag.String("scenario", "office", "registered scenario to build (see -list)")
+		list         = flag.Bool("list", false, "list registered scenarios and exit")
+		links        = flag.Int("links", 0, "number of links (0 = scenario default; radios = 2x links)")
+		rooms        = flag.Int("rooms", 4, "rooms per floor side (office/corridor)")
+		size         = flag.Float64("roomsize", 10, "room side length")
+		door         = flag.Float64("door", 1.5, "door width in interior walls")
+		alpha        = flag.Float64("alpha", 0, "path-loss exponent (0 = scenario default)")
+		sigma        = flag.Float64("sigma", 0, "log-normal shadowing std dev in dB (0 = scenario default)")
+		refl         = flag.Float64("reflectivity", 0.3, "single-bounce reflectivity in [0,1)")
+		fading       = flag.Bool("fading", false, "enable static Rayleigh fast fading")
+		seed         = flag.Uint64("seed", 1, "seed for shadowing/fading/placement")
+		out          = flag.String("out", "", "output JSON path (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*nodes, *rooms, *size, *door, *alpha, *sigma, *refl, *fading, *seed, *out); err != nil {
+	if *list {
+		for _, name := range decaynet.ScenarioNames() {
+			s, _ := decaynet.LookupScenario(name)
+			fmt.Printf("%-16s %s\n", name, s.Description)
+		}
+		return
+	}
+	// Only explicitly set flags reach Params, so each scenario keeps its
+	// own defaults for everything the user didn't ask for.
+	params := map[string]float64{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "rooms":
+			params["rooms"] = float64(*rooms)
+		case "roomsize":
+			params["roomsize"] = *size
+		case "door":
+			params["door"] = *door
+		case "reflectivity":
+			params["reflect"] = *refl
+		case "fading":
+			if *fading {
+				params["fading"] = 1
+			} else {
+				params["fading"] = 0
+			}
+		}
+	})
+	cfg := decaynet.ScenarioConfig{
+		Links:   *links,
+		Seed:    *seed,
+		Alpha:   *alpha,
+		SigmaDB: *sigma,
+		Params:  params,
+	}
+	if err := run(*scenarioName, cfg, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "scenegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, rooms int, size, door, alpha, sigma, refl float64, fading bool, seed uint64, out string) error {
-	cfg := environment.OfficeConfig{RoomsX: rooms, RoomsY: rooms, RoomSize: size, DoorWidth: door}
-	scene, err := environment.Office(cfg)
+func run(scenarioName string, cfg decaynet.ScenarioConfig, out string) error {
+	eng, err := decaynet.NewEngine(decaynet.UsingScenario(scenarioName, cfg))
 	if err != nil {
 		return err
 	}
-	scene.PathLossExp = alpha
-	scene.ShadowSigmaDB = sigma
-	scene.Reflectivity = refl
-	scene.FastFading = fading
-	scene.Seed = seed
-	w, h := environment.OfficeExtent(cfg)
-	placed := environment.RandomNodes(nodes, w, h, seed+1)
-	space, err := scene.BuildSpace(placed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "scene: %d nodes, %d walls, %gx%g floor\n",
-		nodes, len(scene.Walls), w, h)
+	fmt.Fprintf(os.Stderr, "scenario %q: %d nodes, %d links\n",
+		eng.Scenario(), eng.N(), eng.Len())
 	fmt.Fprintf(os.Stderr, "zeta=%.3f phi=%.3f symmetric=%v\n",
-		core.Zeta(space), core.Phi(space), core.IsSymmetric(space, 1e-9))
+		eng.Zeta(), eng.Phi(), decaynet.IsSymmetric(eng.Space(), 1e-9))
 	dst := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -66,5 +96,5 @@ func run(nodes, rooms int, size, door, alpha, sigma, refl float64, fading bool, 
 		defer f.Close()
 		dst = f
 	}
-	return core.WriteJSON(dst, space)
+	return decaynet.WriteJSON(dst, eng.Space())
 }

@@ -6,27 +6,47 @@
 // algorithms whose approximation depends on ζ, and the hardness
 // constructions bounding what is possible.
 //
-// This root package is the supported public surface: it re-exports the
-// implementation packages as type aliases and thin wrappers. The layering
-// underneath is
+// The supported public surface is batch-first and built around two ideas:
 //
-//	core         decay spaces, ζ/φ, quasi-metrics, packings, γ
-//	sinr         links, power, affectance, feasibility, separations
+//   - Engine: a session object owning a dense decay space, a link set and
+//     the radio parameters. It caches every derived product — ζ, the
+//     induced quasi-metric's distance matrix, ϕ, and the dense affectance
+//     matrix per power vector — so capacity, scheduling and simulation
+//     never recompute them. Hot paths consume whole matrix rows through
+//     the RowSpace contract on a shared worker pool rather than paying an
+//     interface call per element.
+//
+//   - Scenario: a name-based registry of instance sources
+//     (database/sql-driver style) unifying the environment presets
+//     ("office", "warehouse", "corridor"), the plane workload generators
+//     ("plane", "plane-clustered") and the hardness constructions
+//     ("theorem3", "theorem6", "star", "welzl", "gap", …). External
+//     packages plug in their own sources with RegisterScenario.
+//
+// A minimal session:
+//
+//	eng, _ := decaynet.NewEngine(
+//		decaynet.UsingScenario("office", decaynet.ScenarioConfig{Links: 20, Seed: 1}),
+//		decaynet.Beta(1.5),
+//	)
+//	zeta := eng.Zeta()                  // computed once, cached
+//	p := eng.UniformPower(1)
+//	chosen := eng.Capacity(p, nil)      // Algorithm 1 over all links
+//	slots, _ := eng.Schedule(p, nil)    // feasible slot schedule
+//
+// The type aliases and function re-exports below remain available for
+// callers that want the implementation packages' vocabulary directly. The
+// layering underneath is
+//
+//	core         decay spaces, RowSpace batching, ζ/φ, quasi-metrics, packings, γ
+//	sinr         links, power, affectance (per-pair and dense batch), feasibility
 //	capacity     Algorithm 1, baselines, exact optimum
 //	schedule     slot scheduling
+//	scenario     the pluggable instance-source registry
 //	environment  realistic scenes producing decay matrices
 //	hardness     Theorem 3/6 constructions, example spaces
 //	distributed  slotted simulator, local broadcast, capacity game
 //	workload     plane instance generators
-//
-// A minimal session:
-//
-//	space, _ := (&decaynet.Scene{PathLossExp: 3, ShadowSigmaDB: 6}).
-//		BuildSpace(decaynet.RandomNodes(32, 100, 100, 1))
-//	zeta := decaynet.Zeta(space)
-//	sys, _ := decaynet.NewSystem(space, links)
-//	chosen := decaynet.Algorithm1(sys, decaynet.UniformPower(sys, 1),
-//		decaynet.AllLinks(sys))
 package decaynet
 
 import (
@@ -59,6 +79,9 @@ var (
 type (
 	// Space is a decay space D = (V, f) (Def 2.1).
 	Space = core.Space
+	// RowSpace is the optional batch contract: Row(i, dst) fills a whole
+	// decay row, the fast path every batched consumer uses.
+	RowSpace = core.RowSpace
 	// Matrix is a dense decay space.
 	Matrix = core.Matrix
 	// GeometricSpace is GEO-SINR decay f = d^α over plane points.
@@ -139,6 +162,14 @@ var (
 	NewMatrix = core.NewMatrix
 	// FromFunc materializes a decay space from a function.
 	FromFunc = core.FromFunc
+	// Rows returns a RowSpace view of any space (dense spaces directly,
+	// everything else via one-time materialization).
+	Rows = core.Rows
+	// Materialize copies an arbitrary space into a dense Matrix in
+	// parallel.
+	Materialize = core.Materialize
+	// IsSymmetric reports whether decays are symmetric within tolerance.
+	IsSymmetric = core.IsSymmetric
 	// NewGeometricSpace builds f = d^α over plane points.
 	NewGeometricSpace = core.NewGeometricSpace
 	// ReadJSON and WriteJSON serialize dense decay matrices.
@@ -161,6 +192,10 @@ var (
 	MeanPower    = sinr.MeanPower
 	// IsFeasible checks simultaneous SINR feasibility.
 	IsFeasible = sinr.IsFeasible
+	// ComputeAffectances builds the dense pairwise affectance matrix in
+	// parallel through the batch row contract (Engine.Affectances caches
+	// it per power vector).
+	ComputeAffectances = sinr.ComputeAffectances
 	// SignalStrengthen partitions into q-feasible classes (Lemma B.1).
 	SignalStrengthen = sinr.SignalStrengthen
 	// ExtractAmicable runs Theorem 4's constructive argument.

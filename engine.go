@@ -1,0 +1,289 @@
+package decaynet
+
+import (
+	"errors"
+	"sync"
+
+	"decaynet/internal/capacity"
+	"decaynet/internal/core"
+	"decaynet/internal/distributed"
+	"decaynet/internal/scenario"
+	"decaynet/internal/schedule"
+	"decaynet/internal/sinr"
+)
+
+// Engine is the batch-first session object of the public API: it owns a
+// dense decay space, a link set and the radio parameters, and caches every
+// derived product — the metricity ζ, the induced quasi-metric's distance
+// matrix, the ϕ variant, and the dense affectance matrix per power vector
+// — so that capacity, scheduling and simulation stop recomputing them call
+// after call. Build one with NewEngine from a registered scenario or an
+// explicit space; all methods are safe for concurrent use.
+type Engine struct {
+	sys  *System
+	inst *scenario.Instance // nil when built from an explicit space
+
+	phiOnce sync.Once
+	phi     float64
+}
+
+// Affectances is the dense pairwise affectance cache (see Engine.Affectances).
+type Affectances = sinr.Affectances
+
+// engineConfig accumulates functional options.
+type engineConfig struct {
+	space        Space
+	links        []Link
+	pairLinks    bool
+	knownZeta    float64
+	beta         float64
+	noise        float64
+	scenarioName string
+	scenarioCfg  ScenarioConfig
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig) error
+
+// UsingScenario builds the engine's space and links from the named
+// registered scenario (see RegisterScenario / ScenarioNames).
+func UsingScenario(name string, cfg ScenarioConfig) EngineOption {
+	return func(ec *engineConfig) error {
+		ec.scenarioName = name
+		ec.scenarioCfg = cfg
+		return nil
+	}
+}
+
+// UsingSpace supplies an explicit decay space.
+func UsingSpace(space Space) EngineOption {
+	return func(ec *engineConfig) error {
+		if space == nil {
+			return errors.New("decaynet: UsingSpace(nil)")
+		}
+		ec.space = space
+		return nil
+	}
+}
+
+// UsingLinks supplies an explicit link set.
+func UsingLinks(links ...Link) EngineOption {
+	return func(ec *engineConfig) error {
+		ec.links = append([]Link(nil), links...)
+		return nil
+	}
+}
+
+// PairedLinks derives the convention link set {2i → 2i+1} from the space's
+// nodes (the layout scenegen and the JSON tools use).
+func PairedLinks() EngineOption {
+	return func(ec *engineConfig) error {
+		ec.pairLinks = true
+		return nil
+	}
+}
+
+// Beta sets the SINR threshold β (default 1).
+func Beta(b float64) EngineOption {
+	return func(ec *engineConfig) error {
+		ec.beta = b
+		return nil
+	}
+}
+
+// Noise sets the ambient noise N (default 0).
+func Noise(n float64) EngineOption {
+	return func(ec *engineConfig) error {
+		ec.noise = n
+		return nil
+	}
+}
+
+// KnownZeta supplies an analytically known metricity (ζ = α for geometric
+// spaces), skipping the O(n³) computation.
+func KnownZeta(z float64) EngineOption {
+	return func(ec *engineConfig) error {
+		ec.knownZeta = z
+		return nil
+	}
+}
+
+// NewEngine builds an Engine from functional options. The space comes from
+// UsingScenario or UsingSpace (exactly one required); links come from the
+// scenario, UsingLinks, or PairedLinks. The space is materialized into a
+// dense matrix up front so every downstream consumer takes the batch fast
+// path.
+func NewEngine(opts ...EngineOption) (*Engine, error) {
+	var ec engineConfig
+	ec.beta = 1
+	for _, o := range opts {
+		if err := o(&ec); err != nil {
+			return nil, err
+		}
+	}
+	var inst *scenario.Instance
+	if ec.scenarioName != "" {
+		if ec.space != nil {
+			return nil, errors.New("decaynet: UsingScenario and UsingSpace are mutually exclusive")
+		}
+		var err error
+		inst, err = scenario.Build(ec.scenarioName, ec.scenarioCfg)
+		if err != nil {
+			return nil, err
+		}
+		ec.space = inst.Space
+		if len(ec.links) == 0 && !ec.pairLinks {
+			ec.links = inst.Links
+		}
+		if ec.knownZeta == 0 {
+			ec.knownZeta = inst.KnownZeta
+		}
+	}
+	if ec.space == nil {
+		return nil, errors.New("decaynet: an Engine needs UsingScenario or UsingSpace")
+	}
+	dense := core.Dense(ec.space)
+	if ec.pairLinks {
+		if len(ec.links) > 0 {
+			return nil, errors.New("decaynet: PairedLinks conflicts with explicit links")
+		}
+		ec.links = scenario.PairedLinks(dense.N())
+	}
+	sysOpts := []Option{WithBeta(ec.beta), WithNoise(ec.noise)}
+	if ec.knownZeta > 0 {
+		sysOpts = append(sysOpts, WithZeta(ec.knownZeta))
+	}
+	sys, err := NewSystem(dense, ec.links, sysOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{sys: sys, inst: inst}, nil
+}
+
+// System returns the underlying sinr System (shares all caches).
+func (e *Engine) System() *System { return e.sys }
+
+// Space returns the engine's dense decay space.
+func (e *Engine) Space() Space { return e.sys.Space() }
+
+// Links returns a copy of the link set.
+func (e *Engine) Links() []Link { return e.sys.Links() }
+
+// Len returns the number of links.
+func (e *Engine) Len() int { return e.sys.Len() }
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return e.sys.Space().N() }
+
+// Scenario returns the name of the scenario that built this engine, or ""
+// for explicit spaces.
+func (e *Engine) Scenario() string {
+	if e.inst == nil {
+		return ""
+	}
+	return e.inst.Scenario
+}
+
+// Points returns node positions when the engine was built from a scenario
+// with plane geometry (nil otherwise).
+func (e *Engine) Points() []Point {
+	if e.inst == nil {
+		return nil
+	}
+	return e.inst.Points
+}
+
+// Zeta returns the metricity ζ of the space, computed once and cached.
+func (e *Engine) Zeta() float64 { return e.sys.Zeta() }
+
+// Phi returns φ = lg ϕ, computed once and cached.
+func (e *Engine) Phi() float64 {
+	e.phiOnce.Do(func() { e.phi = Phi(e.sys.Space()) })
+	return e.phi
+}
+
+// QuasiMetric returns the cached induced quasi-metric d = f^(1/ζ).
+func (e *Engine) QuasiMetric() *QuasiMetric { return e.sys.QuasiMetric() }
+
+// Affectances returns the cached dense affectance matrix for p, computing
+// it (in parallel, through the batch row contract) only when p changes.
+func (e *Engine) Affectances(p Power) *Affectances { return e.sys.Affectances(p) }
+
+// UniformPower, LinearPower and MeanPower build the standard monotone
+// assignments for this engine's links.
+func (e *Engine) UniformPower(p float64) Power { return sinr.UniformPower(e.sys, p) }
+
+// LinearPower assigns P_v = scale · f_vv.
+func (e *Engine) LinearPower(scale float64) Power { return sinr.LinearPower(e.sys, scale) }
+
+// MeanPower assigns P_v = scale · sqrt(f_vv).
+func (e *Engine) MeanPower(scale float64) Power { return sinr.MeanPower(e.sys, scale) }
+
+// AllLinks returns [0, Len()).
+func (e *Engine) AllLinks() []int { return capacity.AllLinks(e.sys) }
+
+// orAll substitutes the full link set for nil.
+func (e *Engine) orAll(links []int) []int {
+	if links == nil {
+		return e.AllLinks()
+	}
+	return links
+}
+
+// Capacity runs the paper's Algorithm 1 (Theorem 5) on the given links
+// (nil = all) under power p.
+func (e *Engine) Capacity(p Power, links []int) []int {
+	return capacity.Algorithm1(e.sys, p, e.orAll(links))
+}
+
+// GreedyCapacity runs the general-metric baseline.
+func (e *Engine) GreedyCapacity(p Power, links []int) []int {
+	return capacity.GreedyGeneral(e.sys, p, e.orAll(links))
+}
+
+// ExactCapacity runs the exact branch-and-bound optimum (small instances).
+func (e *Engine) ExactCapacity(p Power, links []int) []int {
+	return capacity.Exact(e.sys, p, e.orAll(links))
+}
+
+// FirstFitCapacity runs the naive first-fit baseline.
+func (e *Engine) FirstFitCapacity(p Power, links []int) []int {
+	return capacity.FirstFit(e.sys, p, e.orAll(links))
+}
+
+// Feasible reports whether the set meets the SINR threshold simultaneously.
+func (e *Engine) Feasible(p Power, set []int) bool {
+	return sinr.IsFeasible(e.sys, p, set)
+}
+
+// Schedule partitions the links (nil = all) into feasible slots by
+// repeated extraction with Algorithm 1.
+func (e *Engine) Schedule(p Power, links []int) ([][]int, error) {
+	return schedule.ByCapacity(e.sys, p, e.orAll(links), capacity.Algorithm1)
+}
+
+// ScheduleWith is Schedule with an explicit capacity routine.
+func (e *Engine) ScheduleWith(p Power, links []int, cap schedule.CapacityFunc) ([][]int, error) {
+	return schedule.ByCapacity(e.sys, p, e.orAll(links), cap)
+}
+
+// ScheduleFirstFit builds a first-fit schedule.
+func (e *Engine) ScheduleFirstFit(p Power, links []int) ([][]int, error) {
+	return schedule.FirstFit(e.sys, p, e.orAll(links))
+}
+
+// ValidateSchedule checks a schedule's feasibility and coverage of links
+// (nil = all).
+func (e *Engine) ValidateSchedule(p Power, links []int, slots [][]int) error {
+	return schedule.Validate(e.sys, p, e.orAll(links), slots)
+}
+
+// Sim builds the slotted distributed simulator over the engine's space,
+// inheriting the engine's noise and β, with the given uniform node power.
+func (e *Engine) Sim(power float64) (*Sim, error) {
+	return distributed.NewSim(e.sys.Space(), distributed.Params{
+		Power: power,
+		Noise: e.sys.Noise(),
+		Beta:  e.sys.Beta(),
+	})
+}

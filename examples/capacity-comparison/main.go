@@ -2,7 +2,8 @@
 // and compare Algorithm 1 against the general-metric greedy and the exact
 // optimum — the empirical version of Theorem 5's claim that the plane
 // admits a ζ^O(1) (in fact O(α⁴)) approximation where general metrics
-// need exponential dependence.
+// need exponential dependence. Instances come from the "plane" scenario in
+// the registry; each α gets its own Engine session.
 package main
 
 import (
@@ -21,21 +22,17 @@ func main() {
 func run() error {
 	fmt.Println("alpha   opt  alg1  greedy  ratio(alg1)  ratio(greedy)")
 	for _, alpha := range []float64{1, 2, 3, 4, 6} {
-		inst, err := decaynet.PlaneWorkload(decaynet.WorkloadConfig{
-			Links: 18, Side: 20, MinLen: 1, MaxLen: 3, Seed: 99,
-		})
+		eng, err := decaynet.NewEngine(decaynet.UsingScenario("plane", decaynet.ScenarioConfig{
+			Links: 18, Side: 20, Alpha: alpha, Seed: 99,
+			Params: map[string]float64{"minlen": 1, "maxlen": 3},
+		}))
 		if err != nil {
 			return err
 		}
-		sys, err := decaynet.GeometricSystem(inst, alpha)
-		if err != nil {
-			return err
-		}
-		p := decaynet.UniformPower(sys, 1)
-		all := decaynet.AllLinks(sys)
-		opt := decaynet.ExactCapacity(sys, p, all)
-		a1 := decaynet.Algorithm1(sys, p, all)
-		gr := decaynet.GreedyCapacity(sys, p, all)
+		p := eng.UniformPower(1)
+		opt := eng.ExactCapacity(p, nil)
+		a1 := eng.Capacity(p, nil)
+		gr := eng.GreedyCapacity(p, nil)
 		fmt.Printf("%5.1f  %4d  %4d  %6d  %11.2f  %13.2f\n",
 			alpha, len(opt), len(a1), len(gr),
 			float64(len(opt))/float64(max(1, len(a1))),

@@ -1,7 +1,8 @@
 // Distributed broadcast: run the randomized local-broadcast protocol of
 // Sec 3 on decay spaces of increasing density, illustrating how completion
 // time tracks the fading parameter γ — the quantity Theorem 2 bounds for
-// fading spaces.
+// fading spaces. The grid spaces go through an Engine, whose Sim method
+// inherits the session's radio parameters.
 package main
 
 import (
@@ -34,10 +35,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		eng, err := decaynet.NewEngine(
+			decaynet.UsingSpace(space),
+			decaynet.KnownZeta(3),
+		)
+		if err != nil {
+			return err
+		}
 		// Broadcast radius: reach grid-adjacent nodes (decay spacing^3).
 		radius := math.Pow(cfg.spacing, 3) * 1.01
-		gamma := decaynet.FadingParameter(space, radius)
-		sim, err := decaynet.NewSim(space, decaynet.DistParams{Power: 1, Beta: 1})
+		gamma := decaynet.FadingParameter(eng.Space(), radius)
+		sim, err := eng.Sim(1)
 		if err != nil {
 			return err
 		}

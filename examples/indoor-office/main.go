@@ -2,7 +2,8 @@
 // with drywall partitions and shadowing, measure how far the resulting
 // decay space is from geometric (ζ vs α), and compare plans computed with
 // full decay-space knowledge against a geometric idealization that only
-// knows node positions — showing why "beyond geometry" matters.
+// knows node positions — showing why "beyond geometry" matters. Both
+// channels are driven through Engine sessions sharing one node placement.
 package main
 
 import (
@@ -47,15 +48,19 @@ func run() error {
 		return err
 	}
 	fmt.Printf("office %gx%g, %d walls, %d radios\n", w, h, len(scene.Walls), len(nodes))
-	fmt.Printf("measured zeta = %.2f (geometric would give %.0f)\n",
-		decaynet.Zeta(space), scene.PathLossExp)
 
-	// System A: the truth — the measured decay space.
-	measured, err := decaynet.NewSystem(space, links)
+	// Engine A: the truth — the measured decay space.
+	measured, err := decaynet.NewEngine(
+		decaynet.UsingSpace(space),
+		decaynet.UsingLinks(links...),
+	)
 	if err != nil {
 		return err
 	}
-	// System B: the geometric idealization from node positions only.
+	fmt.Printf("measured zeta = %.2f (geometric would give %.0f)\n",
+		measured.Zeta(), scene.PathLossExp)
+
+	// Engine B: the geometric idealization from node positions only.
 	positions := make([]decaynet.Point, len(nodes))
 	for i, n := range nodes {
 		positions[i] = n.Pos
@@ -64,37 +69,40 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ideal, err := decaynet.NewSystem(geoSpace, links, decaynet.WithZeta(scene.PathLossExp))
+	ideal, err := decaynet.NewEngine(
+		decaynet.UsingSpace(geoSpace),
+		decaynet.UsingLinks(links...),
+		decaynet.KnownZeta(scene.PathLossExp),
+	)
 	if err != nil {
 		return err
 	}
 
 	for _, c := range []struct {
 		name string
-		sys  *decaynet.System
+		eng  *decaynet.Engine
 	}{{"measured decay space", measured}, {"geometric idealization", ideal}} {
-		p := decaynet.UniformPower(c.sys, 1)
-		all := decaynet.AllLinks(c.sys)
-		slots, err := decaynet.ScheduleByCapacity(c.sys, p, all, decaynet.GreedyCapacity)
+		p := c.eng.UniformPower(1)
+		slots, err := c.eng.ScheduleWith(p, nil, decaynet.GreedyCapacity)
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
 		fmt.Printf("%-24s: alg1 capacity %2d, greedy capacity %2d, schedule length %d\n",
-			c.name, len(decaynet.Algorithm1(c.sys, p, all)),
-			len(decaynet.GreedyCapacity(c.sys, p, all)), len(slots))
+			c.name, len(c.eng.Capacity(p, nil)),
+			len(c.eng.GreedyCapacity(p, nil)), len(slots))
 	}
 
 	// A schedule planned on the idealization need not be valid on the
 	// ground truth — quantify how many of its slots break.
-	pIdeal := decaynet.UniformPower(ideal, 1)
-	slots, err := decaynet.ScheduleByCapacity(ideal, pIdeal, decaynet.AllLinks(ideal), decaynet.Algorithm1)
+	pIdeal := ideal.UniformPower(1)
+	slots, err := ideal.Schedule(pIdeal, nil)
 	if err != nil {
 		return err
 	}
-	pReal := decaynet.UniformPower(measured, 1)
+	pReal := measured.UniformPower(1)
 	broken := 0
 	for _, slot := range slots {
-		if !decaynet.IsFeasible(measured, pReal, slot) {
+		if !measured.Feasible(pReal, slot) {
 			broken++
 		}
 	}

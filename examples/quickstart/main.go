@@ -1,6 +1,8 @@
-// Quickstart: build a decay space from measurements (here: a simulated
-// office), compute its metricity ζ, and run the paper's Algorithm 1 to pick
-// a large feasible link set.
+// Quickstart: build a decay space from measurements (here: a small matrix
+// of measured decays), wrap it in an Engine — the session object that owns
+// the space, links and radio parameters and caches ζ, the quasi-metric and
+// the affectance matrix — and run the paper's Algorithm 1 to pick a large
+// feasible link set.
 package main
 
 import (
@@ -29,27 +31,30 @@ func run() error {
 		return err
 	}
 
-	// 2. Metricity: how far this space is from a metric (Def 2.2).
-	zeta := decaynet.Zeta(space)
-	fmt.Printf("metricity zeta = %.3f, variant phi = %.3f\n",
-		zeta, decaynet.Phi(space))
-
-	// 3. Links are sender→receiver node pairs; a System adds the radio
-	//    parameters (beta, noise).
-	links := []decaynet.Link{
-		{Sender: 0, Receiver: 1},
-		{Sender: 2, Receiver: 3},
-	}
-	sys, err := decaynet.NewSystem(space, links, decaynet.WithBeta(1.5))
+	// 2. An Engine binds the space to links and radio parameters. Every
+	//    derived product (ζ, quasi-metric, dense affectance) is computed
+	//    once and cached on the session.
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingSpace(space),
+		decaynet.UsingLinks(
+			decaynet.Link{Sender: 0, Receiver: 1},
+			decaynet.Link{Sender: 2, Receiver: 3},
+		),
+		decaynet.Beta(1.5),
+	)
 	if err != nil {
 		return err
 	}
 
-	// 4. Run the paper's Algorithm 1 with uniform power.
-	power := decaynet.UniformPower(sys, 1)
-	chosen := decaynet.Algorithm1(sys, power, decaynet.AllLinks(sys))
+	// 3. Metricity: how far this space is from a metric (Def 2.2).
+	fmt.Printf("metricity zeta = %.3f, variant phi = %.3f\n",
+		eng.Zeta(), eng.Phi())
+
+	// 4. Run the paper's Algorithm 1 with uniform power (nil = all links).
+	power := eng.UniformPower(1)
+	chosen := eng.Capacity(power, nil)
 	fmt.Printf("Algorithm 1 selected %d of %d links: %v\n",
-		len(chosen), sys.Len(), chosen)
-	fmt.Printf("selection feasible: %v\n", decaynet.IsFeasible(sys, power, chosen))
+		len(chosen), eng.Len(), chosen)
+	fmt.Printf("selection feasible: %v\n", eng.Feasible(power, chosen))
 	return nil
 }

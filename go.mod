@@ -1,0 +1,3 @@
+module decaynet
+
+go 1.24

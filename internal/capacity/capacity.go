@@ -21,6 +21,7 @@ import (
 // in-affectance stayed at most 1.
 func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 	zeta := s.Zeta()
+	aff := s.Affectances(p)
 	var x []int
 	for _, v := range decayOrdered(s, links) {
 		if !viable(s, p, v) {
@@ -29,13 +30,13 @@ func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 		if !sinr.IsSeparatedFrom(s, v, x, zeta/2) {
 			continue
 		}
-		if sinr.OutAffectance(s, p, v, x)+sinr.InAffectance(s, p, x, v) <= 0.5 {
+		if aff.Out(v, x)+aff.In(x, v) <= 0.5 {
 			x = append(x, v)
 		}
 	}
 	var out []int
 	for _, v := range x {
-		if sinr.InAffectance(s, p, x, v) <= 1 {
+		if aff.In(x, v) <= 1 {
 			out = append(out, v)
 		}
 	}
@@ -48,18 +49,19 @@ func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 // after Proposition 1's transfer). Identical to Algorithm 1 minus the
 // separation test.
 func GreedyGeneral(s *sinr.System, p sinr.Power, links []int) []int {
+	aff := s.Affectances(p)
 	var x []int
 	for _, v := range decayOrdered(s, links) {
 		if !viable(s, p, v) {
 			continue
 		}
-		if sinr.OutAffectance(s, p, v, x)+sinr.InAffectance(s, p, x, v) <= 0.5 {
+		if aff.Out(v, x)+aff.In(x, v) <= 0.5 {
 			x = append(x, v)
 		}
 	}
 	var out []int
 	for _, v := range x {
-		if sinr.InAffectance(s, p, x, v) <= 1 {
+		if aff.In(x, v) <= 1 {
 			out = append(out, v)
 		}
 	}

@@ -15,7 +15,10 @@ type GeometricSpace struct {
 	alpha  float64
 }
 
-var _ Space = (*GeometricSpace)(nil)
+var (
+	_ Space    = (*GeometricSpace)(nil)
+	_ RowSpace = (*GeometricSpace)(nil)
+)
 
 // NewGeometricSpace builds a geometric decay space with path-loss exponent
 // alpha over the given (distinct) points.
@@ -44,6 +47,19 @@ func (g *GeometricSpace) F(i, j int) float64 {
 		return 0
 	}
 	return math.Pow(g.points[i].Dist(g.points[j]), g.alpha)
+}
+
+// Row fills dst with d(i,·)^alpha, hoisting the source point out of the
+// loop (the RowSpace batch contract).
+func (g *GeometricSpace) Row(i int, dst []float64) {
+	pi := g.points[i]
+	for j, pj := range g.points {
+		if j == i {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = math.Pow(pi.Dist(pj), g.alpha)
+	}
 }
 
 // Alpha returns the path-loss exponent.

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 
+	"decaynet/internal/par"
 	"decaynet/internal/rng"
 )
 
@@ -24,7 +26,71 @@ func Zeta(d Space) float64 {
 
 // ZetaTol is Zeta with an explicit relative bisection tolerance (used by the
 // bisection-tolerance ablation).
+//
+// The scan is batch-first: the log-decay matrix is materialized once via
+// the RowSpace contract (no per-element interface calls), the O(n³)
+// triplet loop is split over the shared worker pool, and each triplet is
+// first tested against the running maximum — only triplets that violate
+// the relaxed triangle inequality at the current best ζ pay for a
+// bisection. The result equals the per-pair reference up to bisection
+// tolerance.
 func ZetaTol(d Space, tol float64) float64 {
+	n := d.N()
+	if n < 3 {
+		return DefaultZetaFloor
+	}
+	logs := logMatrix(d)
+	var bestBits atomic.Uint64
+	bestBits.Store(math.Float64bits(DefaultZetaFloor))
+	par.ForChunked(n, func(lo, hi int) {
+		local := math.Float64frombits(bestBits.Load())
+		for x := lo; x < hi; x++ {
+			rowX := logs[x*n : (x+1)*n]
+			for z := 0; z < n; z++ {
+				if z == x {
+					continue
+				}
+				b := rowX[z] // ln f(x,z)
+				rowZ := logs[z*n : (z+1)*n]
+				if g := math.Float64frombits(bestBits.Load()); g > local {
+					local = g // adopt other workers' progress for pruning
+				}
+				t := 1 / local
+				for y := 0; y < n; y++ {
+					if y == x || y == z {
+						continue
+					}
+					a := rowX[y] // ln f(x,y)
+					if a <= b {
+						continue // right side dominates at every ζ
+					}
+					c := rowZ[y] // ln f(z,y)
+					if a <= c {
+						continue
+					}
+					// Satisfied at the current best ζ ⇒ this triplet's ζ
+					// cannot raise the maximum; skip the bisection.
+					if math.Exp((b-a)*t)+math.Exp((c-a)*t) >= 1 {
+						continue
+					}
+					if zt := zetaTriplet(a, b, c, tol); zt > local {
+						local = zt
+						t = 1 / local
+						storeMax(&bestBits, zt)
+					}
+				}
+			}
+		}
+		storeMax(&bestBits, local)
+	})
+	return math.Float64frombits(bestBits.Load())
+}
+
+// ZetaPerPair is the pre-batching reference implementation of ZetaTol: one
+// virtual F call per matrix element, serial, no pruning. Kept as the
+// ground-truth oracle for equivalence tests and as the baseline op in
+// cmd/decaybench's perf trajectory.
+func ZetaPerPair(d Space, tol float64) float64 {
 	n := d.N()
 	best := DefaultZetaFloor
 	for x := 0; x < n; x++ {
@@ -45,6 +111,39 @@ func ZetaTol(d Space, tol float64) float64 {
 		}
 	}
 	return best
+}
+
+// logMatrix returns the dense matrix of ln f(i,j), filled row-wise through
+// the batch contract in parallel. Diagonal entries are ln 0 = -Inf and are
+// skipped by all consumers.
+func logMatrix(d Space) []float64 {
+	rs := Rows(d)
+	n := rs.N()
+	logs := make([]float64, n*n)
+	par.ForChunked(n, func(lo, hi int) {
+		buf := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			rs.Row(i, buf)
+			out := logs[i*n : (i+1)*n]
+			for j, v := range buf {
+				out[j] = math.Log(v)
+			}
+		}
+	})
+	return logs
+}
+
+// storeMax raises the float64 packed in bits to v if v is larger.
+func storeMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // ZetaSampled estimates ζ from `samples` random triplets — a lower bound on
@@ -154,26 +253,39 @@ func SatisfiesZeta(d Space, zeta, tol float64) bool {
 // max over triplets of f(x,z)/(f(x,y)+f(y,z)). Returns at least 1/2
 // (attained when all decays are equal). Requires n ≥ 3; smaller spaces
 // return 1/2.
+// Varphi consumes dense rows and parallelizes the triplet scan over the
+// shared worker pool.
 func Varphi(d Space) float64 {
 	n := d.N()
-	best := 0.5
-	for x := 0; x < n; x++ {
-		for z := 0; z < n; z++ {
-			if z == x {
-				continue
-			}
-			fxz := d.F(x, z)
+	if n < 3 {
+		return 0.5
+	}
+	m := Dense(d)
+	var bestBits atomic.Uint64
+	bestBits.Store(math.Float64bits(0.5))
+	par.ForChunked(n, func(lo, hi int) {
+		best := 0.5
+		for x := lo; x < hi; x++ {
+			rowX := m.row(x) // f(x,·)
 			for y := 0; y < n; y++ {
-				if y == x || y == z {
+				if y == x {
 					continue
 				}
-				if r := fxz / (d.F(x, y) + d.F(y, z)); r > best {
-					best = r
+				fxy := rowX[y]
+				rowY := m.row(y) // f(y,·)
+				for z := 0; z < n; z++ {
+					if z == x || z == y {
+						continue
+					}
+					if r := rowX[z] / (fxy + rowY[z]); r > best {
+						best = r
+					}
 				}
 			}
 		}
-	}
-	return best
+		storeMax(&bestBits, best)
+	})
+	return math.Float64frombits(bestBits.Load())
 }
 
 // Phi returns φ = lg ϕ, the logarithmic form of the variant metricity

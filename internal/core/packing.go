@@ -6,12 +6,23 @@ import (
 	"decaynet/internal/graph"
 )
 
+// flatView returns the row-major decay storage when d is dense, letting
+// the packing scans index decays directly instead of through the Space
+// interface. Non-dense spaces fall back to per-pair F calls; Engine-owned
+// spaces are always dense.
+func flatView(d Space) ([]float64, int) {
+	if m, ok := d.(*Matrix); ok {
+		return m.f, m.n
+	}
+	return nil, d.N()
+}
+
 // Ball returns the t-ball B(y, t) = {x ∈ V : f(x, y) < t} (Sec 3.1).
 // Note the direction: membership is by decay from x to the center y.
 // The center itself is always included (f(y, y) = 0 < t for t > 0).
 func Ball(d Space, y int, t float64) []int {
 	var out []int
-	n := d.N()
+	f, n := flatView(d)
 	for x := 0; x < n; x++ {
 		if x == y {
 			if t > 0 {
@@ -19,7 +30,13 @@ func Ball(d Space, y int, t float64) []int {
 			}
 			continue
 		}
-		if d.F(x, y) < t {
+		var v float64
+		if f != nil {
+			v = f[x*n+y]
+		} else {
+			v = d.F(x, y)
+		}
+		if v < t {
 			out = append(out, x)
 		}
 	}
@@ -29,12 +46,19 @@ func Ball(d Space, y int, t float64) []int {
 // IsPacking reports whether the node set Y is a t-packing: every ordered
 // pair of distinct nodes has decay strictly greater than 2t (Sec 3.1).
 func IsPacking(d Space, set []int, t float64) bool {
+	f, n := flatView(d)
 	for i := 0; i < len(set); i++ {
 		for j := 0; j < len(set); j++ {
 			if i == j {
 				continue
 			}
-			if d.F(set[i], set[j]) <= 2*t {
+			var v float64
+			if f != nil {
+				v = f[set[i]*n+set[j]]
+			} else {
+				v = d.F(set[i], set[j])
+			}
+			if v <= 2*t {
 				return false
 			}
 		}
@@ -46,11 +70,17 @@ func IsPacking(d Space, set []int, t float64) bool {
 // scanning candidates in order and keeping nodes compatible with all kept
 // so far. The result is a lower bound on the packing number.
 func GreedyPacking(d Space, candidates []int, t float64) []int {
+	f, n := flatView(d)
 	var kept []int
 	for _, x := range candidates {
 		ok := true
 		for _, y := range kept {
-			if d.F(x, y) <= 2*t || d.F(y, x) <= 2*t {
+			if f != nil {
+				if f[x*n+y] <= 2*t || f[y*n+x] <= 2*t {
+					ok = false
+					break
+				}
+			} else if d.F(x, y) <= 2*t || d.F(y, x) <= 2*t {
 				ok = false
 				break
 			}

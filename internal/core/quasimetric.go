@@ -1,6 +1,11 @@
 package core
 
-import "math"
+import (
+	"math"
+	"sync"
+
+	"decaynet/internal/par"
+)
 
 // QuasiMetric is the quasi-distance structure D' = (V, d) induced by a decay
 // space: d(p, q) = f(p, q)^(1/ζ) (Sec 2.2). It satisfies the triangle
@@ -10,6 +15,10 @@ import "math"
 type QuasiMetric struct {
 	space Space
 	zeta  float64
+	n     int
+
+	denseOnce sync.Once
+	dense     []float64 // d(i,j) materialized row-major on first use
 }
 
 // InduceQuasiMetric computes ζ(D) and returns the induced quasi-metric.
@@ -24,12 +33,12 @@ func NewQuasiMetric(d Space, zeta float64) *QuasiMetric {
 	if zeta <= 0 {
 		zeta = DefaultZetaFloor
 	}
-	return &QuasiMetric{space: d, zeta: zeta}
+	return &QuasiMetric{space: d, zeta: zeta, n: d.N()}
 }
 
 // N returns the number of nodes.
 func (q *QuasiMetric) N() int {
-	return q.space.N()
+	return q.n
 }
 
 // Zeta returns the exponent in use.
@@ -42,35 +51,85 @@ func (q *QuasiMetric) Space() Space {
 	return q.space
 }
 
-// D returns the quasi-distance d(i, j) = f(i, j)^(1/ζ).
+// maxDenseQuasiNodes bounds the spaces whose quasi-distance matrix D
+// materializes implicitly (8192² float64 = 512 MiB). Larger spaces keep
+// the O(1)-memory per-call Pow; an explicit Dense() call still
+// materializes regardless.
+const maxDenseQuasiNodes = 8192
+
+// D returns the quasi-distance d(i, j) = f(i, j)^(1/ζ). For spaces up to
+// maxDenseQuasiNodes nodes, distances are materialized in bulk on first
+// use, so repeated queries (link distances in Algorithm 1's separation
+// tests, packing scans) are flat array loads instead of a Pow per call.
 func (q *QuasiMetric) D(i, j int) float64 {
-	if i == j {
-		return 0
+	if q.n > maxDenseQuasiNodes {
+		if i == j {
+			return 0
+		}
+		return math.Pow(q.space.F(i, j), 1/q.zeta)
 	}
-	return math.Pow(q.space.F(i, j), 1/q.zeta)
+	q.ensureDense()
+	return q.dense[i*q.n+j]
+}
+
+// ensureDense materializes the full quasi-distance matrix once: rows are
+// fetched through the batch contract and exponentiated in parallel.
+func (q *QuasiMetric) ensureDense() {
+	q.denseOnce.Do(func() {
+		rs := Rows(q.space)
+		n := rs.N()
+		inv := 1 / q.zeta
+		dense := make([]float64, n*n)
+		par.ForChunked(n, func(lo, hi int) {
+			buf := make([]float64, n)
+			for i := lo; i < hi; i++ {
+				rs.Row(i, buf)
+				out := dense[i*n : (i+1)*n]
+				for j, v := range buf {
+					if j == i {
+						out[j] = 0
+						continue
+					}
+					out[j] = math.Pow(v, inv)
+				}
+			}
+		})
+		q.dense = dense
+	})
+}
+
+// Dense returns the materialized quasi-distance matrix as a row-major
+// slice (length N²). The slice is shared — callers must not modify it.
+func (q *QuasiMetric) Dense() []float64 {
+	q.ensureDense()
+	return q.dense
 }
 
 // TriangleViolation returns the largest relative violation of the triangle
 // inequality d(x,y) ≤ d(x,z) + d(z,y) over all ordered triplets (0 when the
 // quasi-metric is valid). Used to verify that ζ was computed correctly.
 func (q *QuasiMetric) TriangleViolation() float64 {
+	q.ensureDense()
 	n := q.N()
+	d := q.dense
 	worst := 0.0
 	for x := 0; x < n; x++ {
-		for y := 0; y < n; y++ {
-			if y == x {
+		rowX := d[x*n : (x+1)*n]
+		for z := 0; z < n; z++ {
+			if z == x {
 				continue
 			}
-			dxy := q.D(x, y)
-			for z := 0; z < n; z++ {
-				if z == x || z == y {
+			dxz := rowX[z]
+			rowZ := d[z*n : (z+1)*n]
+			for y := 0; y < n; y++ {
+				if y == x || y == z {
 					continue
 				}
-				rhs := q.D(x, z) + q.D(z, y)
+				rhs := dxz + rowZ[y]
 				if rhs <= 0 {
 					continue
 				}
-				if v := dxy/rhs - 1; v > worst {
+				if v := rowX[y]/rhs - 1; v > worst {
 					worst = v
 				}
 			}
@@ -83,14 +142,9 @@ func (q *QuasiMetric) TriangleViolation() float64 {
 // quasi-distance), which is the form metric-space algorithms consume under
 // Proposition 1.
 func (q *QuasiMetric) AsDecaySpace() *Matrix {
+	q.ensureDense()
 	n := q.N()
 	m := &Matrix{n: n, f: make([]float64, n*n)}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				m.f[i*n+j] = q.D(i, j)
-			}
-		}
-	}
+	copy(m.f, q.dense)
 	return m
 }

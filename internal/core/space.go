@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"decaynet/internal/par"
 )
 
 // Space is a decay space D = (V, f): a finite set of nodes 0..N()-1 and a
@@ -31,13 +33,47 @@ type Space interface {
 	F(i, j int) float64
 }
 
+// RowSpace is the optional batch contract on decay spaces: Row fills dst
+// (length ≥ N()) with the decays f(i, 0..N-1) in one call. Batch consumers
+// (ζ/ϕ scans, dense affectance, quasi-metric materialization) use it to
+// avoid a virtual F call per matrix element. Use Rows to obtain a RowSpace
+// view of any Space: dense spaces expose their storage directly and every
+// other space is materialized once.
+type RowSpace interface {
+	Space
+	// Row copies row i of the decay matrix into dst[:N()].
+	Row(i int, dst []float64)
+}
+
+// Rows returns a RowSpace view of d: d itself when it already implements
+// the batch contract, else a dense Matrix materialized from it (the
+// Materialize-backed adapter giving every space a dense fast path).
+func Rows(d Space) RowSpace {
+	if rs, ok := d.(RowSpace); ok {
+		return rs
+	}
+	return Materialize(d)
+}
+
+// Dense returns a dense Matrix view of d, reusing d's storage when it is
+// already a Matrix.
+func Dense(d Space) *Matrix {
+	if m, ok := d.(*Matrix); ok {
+		return m
+	}
+	return Materialize(d)
+}
+
 // Matrix is a dense decay space backed by an n×n matrix.
 type Matrix struct {
 	n int
 	f []float64
 }
 
-var _ Space = (*Matrix)(nil)
+var (
+	_ Space    = (*Matrix)(nil)
+	_ RowSpace = (*Matrix)(nil)
+)
 
 // Validation errors returned by NewMatrix and Validate.
 var (
@@ -102,6 +138,16 @@ func (m *Matrix) F(i, j int) float64 {
 	return m.f[i*m.n+j]
 }
 
+// Row copies row i into dst[:N()].
+func (m *Matrix) Row(i int, dst []float64) {
+	copy(dst[:m.n], m.f[i*m.n:(i+1)*m.n])
+}
+
+// row returns row i without copying — the in-package fast path.
+func (m *Matrix) row(i int) []float64 {
+	return m.f[i*m.n : (i+1)*m.n]
+}
+
 // Set overwrites the decay from i to j. Diagonal writes are ignored.
 // Invalid values are rejected.
 func (m *Matrix) Set(i, j int, v float64) error {
@@ -128,17 +174,27 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// Materialize copies an arbitrary Space into a dense Matrix.
+// Materialize copies an arbitrary Space into a dense Matrix, evaluating
+// rows in parallel on the shared worker pool. Spaces implementing RowSpace
+// fill whole rows at a time.
 func Materialize(d Space) *Matrix {
 	n := d.N()
 	m := &Matrix{n: n, f: make([]float64, n*n)}
-	for i := 0; i < n; i++ {
+	if rs, ok := d.(RowSpace); ok {
+		par.For(n, func(i int) {
+			rs.Row(i, m.f[i*n:(i+1)*n])
+			m.f[i*n+i] = 0
+		})
+		return m
+	}
+	par.For(n, func(i int) {
+		row := m.f[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			if i != j {
-				m.f[i*n+j] = d.F(i, j)
+				row[j] = d.F(i, j)
 			}
 		}
-	}
+	})
 	return m
 }
 

@@ -18,9 +18,9 @@ import (
 	"decaynet/internal/graph"
 	"decaynet/internal/hardness"
 	"decaynet/internal/rng"
+	"decaynet/internal/scenario"
 	"decaynet/internal/sinr"
 	"decaynet/internal/stats"
-	"decaynet/internal/workload"
 )
 
 // Report is one experiment's outcome.
@@ -51,15 +51,17 @@ func (r *Report) notef(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// planeSystem builds a standard plane workload bound to geometric decay.
+// planeSystem builds a standard plane workload bound to geometric decay,
+// through the scenario registry ("plane" with the default 1–3 length
+// range, so the generated instances match the pre-registry suite).
 func planeSystem(seed uint64, links int, alpha, side float64) (*sinr.System, error) {
-	inst, err := workload.Plane(workload.Config{
-		Links: links, Side: side, MinLen: 1, MaxLen: 3, Seed: seed,
+	inst, err := scenario.Build("plane", scenario.Config{
+		Links: links, Side: side, Alpha: alpha, Seed: seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return workload.GeometricSystem(inst, alpha)
+	return inst.System()
 }
 
 // E1TheoryTransfer verifies Proposition 1 operationally: running the
@@ -78,12 +80,13 @@ func E1TheoryTransfer() (*Report, error) {
 		space core.Space
 	}
 	var cases []namedSpace
-	src := rng.New(42)
-	m, err := core.FromFunc(40, func(i, j int) float64 { return src.Range(0.5, 40) })
+	randInst, err := scenario.Build("random", scenario.Config{
+		Nodes: 40, Seed: 42, Params: map[string]float64{"lo": 0.5, "hi": 40},
+	})
 	if err != nil {
 		return nil, err
 	}
-	cases = append(cases, namedSpace{"random-40", m})
+	cases = append(cases, namedSpace{"random-40", randInst.Space})
 	sc, err := environment.Office(environment.OfficeConfig{RoomsX: 3, RoomsY: 3, RoomSize: 12, DoorWidth: 2})
 	if err != nil {
 		return nil, err
@@ -103,7 +106,7 @@ func E1TheoryTransfer() (*Report, error) {
 		for i := range links {
 			links[i] = sinr.Link{Sender: 2 * i, Receiver: 2*i + 1}
 		}
-		sysD, err := sinr.NewSystem(c.space, links)
+		sysD, err := (&scenario.Instance{Space: c.space, Links: links}).System()
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +119,7 @@ func E1TheoryTransfer() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sysP, err := sinr.NewSystem(prime, links, sinr.WithZeta(zeta))
+		sysP, err := (&scenario.Instance{Space: prime, Links: links, KnownZeta: zeta}).System()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,95 @@
+// Package par provides the shared worker pool used by the batch-oriented
+// hot paths (ζ/ϕ scans, dense affectance construction, quasi-metric
+// materialization, scene evaluation). A single pool of GOMAXPROCS workers
+// is started lazily and shared by every call site, so concurrent callers
+// queue work instead of over-subscribing the scheduler with fresh
+// goroutine herds.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// task is one unit of pool work.
+type task func()
+
+var (
+	startOnce sync.Once
+	jobs      chan task
+	workers   int
+)
+
+// start spins up the shared workers on first use.
+func start() {
+	workers = runtime.GOMAXPROCS(0)
+	jobs = make(chan task, 4*workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range jobs {
+				t()
+			}
+		}()
+	}
+}
+
+// Workers returns the size of the shared pool.
+func Workers() int {
+	startOnce.Do(start)
+	return workers
+}
+
+// serialThreshold is the grain below which parallel dispatch costs more
+// than it saves.
+const serialThreshold = 2
+
+// For runs body(i) for every i in [0, n), splitting the index range into
+// contiguous chunks executed on the shared pool. It blocks until all
+// iterations complete. Iterations must be independent; body must not call
+// For recursively on the pool's goroutines (the caller's goroutine also
+// executes chunks, so simple nesting degrades to serial rather than
+// deadlocking only when the pool is saturated — avoid nesting).
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked runs body(lo, hi) over a partition of [0, n) into contiguous
+// half-open chunks, one chunk per worker (plus the calling goroutine).
+// Chunked form lets bodies hoist per-chunk state (row buffers, local
+// maxima) out of the inner loop.
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	startOnce.Do(start)
+	nchunks := workers
+	if n < serialThreshold*nchunks || nchunks < 2 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nchunks - 1) / nchunks
+	// The last chunk runs on the caller's goroutine so the pool can never
+	// deadlock even when every worker is busy with other callers' tasks.
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi >= n {
+			body(lo, n)
+			break
+		}
+		wg.Add(1)
+		l, h := lo, hi
+		select {
+		case jobs <- func() { defer wg.Done(); body(l, h) }:
+		default:
+			// Pool saturated: run inline rather than queue behind it.
+			body(l, h)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}

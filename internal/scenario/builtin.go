@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"errors"
+	"math"
+
+	"decaynet/internal/core"
+	"decaynet/internal/environment"
+	"decaynet/internal/geom"
+	"decaynet/internal/graph"
+	"decaynet/internal/hardness"
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+	"decaynet/internal/workload"
+)
+
+// Built-in scenarios: the environment presets, the plane workload
+// generators, and the hardness constructions, all behind one registry.
+func init() {
+	Register(Scenario{Name: "office", Description: "office floor: room grid, doors, shadowing; short in-building links", Build: buildOffice})
+	Register(Scenario{Name: "warehouse", Description: "open floor with metal rack rows; obstacle-dominated decays", Build: buildWarehouse})
+	Register(Scenario{Name: "corridor", Description: "hallway flanked by rooms; waveguide-like reflections", Build: buildCorridor})
+	Register(Scenario{Name: "plane", Description: "uniform random links in a square under geometric path loss (ζ = α)", Build: buildPlane(0)})
+	Register(Scenario{Name: "plane-clustered", Description: "clustered random links under geometric path loss (ζ = α)", Build: buildPlane(4)})
+	Register(Scenario{Name: "theorem3", Description: "Theorem 3 MAX-IS reduction over a G(n,p) graph (ζ ≈ lg 2n)", Build: buildTheorem3})
+	Register(Scenario{Name: "theorem6", Description: "Theorem 6 two-line bounded-growth hardness construction", Build: buildTheorem6})
+	Register(Scenario{Name: "star", Description: "Sec 3.4 star space: unbounded doubling, vanishing interference", Build: buildStar})
+	Register(Scenario{Name: "welzl", Description: "Welzl construction: doubling dim 1, unbounded independence dim", Build: buildWelzl})
+	Register(Scenario{Name: "gap", Description: "Sec 4.2 family separating ζ from φ", Build: buildGap})
+	Register(Scenario{Name: "uniform", Description: "uniform decay space (independence dim 1, unbounded doubling)", Build: buildUniform})
+	Register(Scenario{Name: "random", Description: "i.i.d. random decay matrix in a bounded range", Build: buildRandom})
+}
+
+// defaultInt returns v, or def when v is zero.
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// defaultF returns v, or def when v is zero.
+func defaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// sceneInstance places short links in a scene: senders uniform over the
+// extent, each receiver at distance linklen in a random direction (the
+// regime where spatial reuse is possible), then evaluates the scene into a
+// decay matrix.
+func sceneInstance(sc *environment.Scene, w, h float64, cfg Config) (*Instance, error) {
+	nLinks := defaultInt(cfg.Links, 16)
+	linkLen := cfg.Param("linklen", 2)
+	senders := environment.RandomNodes(nLinks, w, h, cfg.Seed+1)
+	src := rng.New(cfg.Seed ^ 0x11de)
+	nodes := make([]environment.Node, 0, 2*nLinks)
+	links := make([]sinr.Link, 0, nLinks)
+	for i, s := range senders {
+		theta := src.Range(0, 2*math.Pi)
+		recv := environment.Node{Pos: s.Pos.Add(geom.Pt(linkLen, 0).Rotate(theta))}
+		nodes = append(nodes, s, recv)
+		links = append(links, sinr.Link{Sender: 2 * i, Receiver: 2*i + 1})
+	}
+	space, err := sc.BuildSpace(nodes)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = n.Pos
+	}
+	return &Instance{Space: space, Links: links, Points: pts}, nil
+}
+
+func buildOffice(cfg Config) (*Instance, error) {
+	ocfg := environment.OfficeConfig{
+		RoomsX:    int(cfg.Param("rooms", 4)),
+		RoomsY:    int(cfg.Param("rooms", 4)),
+		RoomSize:  cfg.Param("roomsize", 10),
+		DoorWidth: cfg.Param("door", 1.5),
+	}
+	sc, err := environment.Office(ocfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.PathLossExp = defaultF(cfg.Alpha, 3)
+	sc.ShadowSigmaDB = defaultF(cfg.SigmaDB, 6)
+	sc.Reflectivity = cfg.Param("reflect", 0.3)
+	sc.FastFading = cfg.Param("fading", 0) != 0
+	sc.Seed = cfg.Seed
+	w, h := environment.OfficeExtent(ocfg)
+	return sceneInstance(sc, w, h, cfg)
+}
+
+func buildWarehouse(cfg Config) (*Instance, error) {
+	w := defaultF(cfg.Side, 60)
+	h := cfg.Param("height", 40)
+	sc, err := environment.Warehouse(environment.WarehouseConfig{
+		Width:     w,
+		Height:    h,
+		Aisles:    int(cfg.Param("aisles", 4)),
+		RackDepth: cfg.Param("rackdepth", 2),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.PathLossExp = defaultF(cfg.Alpha, 2.2)
+	sc.ShadowSigmaDB = defaultF(cfg.SigmaDB, 4)
+	sc.Reflectivity = cfg.Param("reflect", 0.4)
+	sc.Seed = cfg.Seed
+	return sceneInstance(sc, w, h, cfg)
+}
+
+func buildCorridor(cfg Config) (*Instance, error) {
+	ccfg := environment.CorridorConfig{
+		Rooms:         int(cfg.Param("rooms", 6)),
+		RoomSize:      cfg.Param("roomsize", 8),
+		CorridorWidth: cfg.Param("corridor", 3),
+	}
+	sc, err := environment.Corridor(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.PathLossExp = defaultF(cfg.Alpha, 3)
+	sc.ShadowSigmaDB = defaultF(cfg.SigmaDB, 4)
+	sc.Reflectivity = cfg.Param("reflect", 0.5)
+	sc.Seed = cfg.Seed
+	w := float64(ccfg.Rooms) * ccfg.RoomSize
+	h := 2*ccfg.RoomSize + ccfg.CorridorWidth
+	return sceneInstance(sc, w, h, cfg)
+}
+
+// buildPlane returns the workload-backed builder; defaultClusters > 0
+// makes the clustered variant.
+func buildPlane(defaultClusters int) func(Config) (*Instance, error) {
+	return func(cfg Config) (*Instance, error) {
+		alpha := defaultF(cfg.Alpha, 3)
+		inst, err := workload.Plane(workload.Config{
+			Links:    defaultInt(cfg.Links, 40),
+			Side:     defaultF(cfg.Side, 80),
+			MinLen:   cfg.Param("minlen", 1),
+			MaxLen:   cfg.Param("maxlen", 3),
+			Lengths:  workload.LengthDist(cfg.Param("lengths", 0)),
+			Clusters: int(cfg.Param("clusters", float64(defaultClusters))),
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		space, err := core.NewGeometricSpace(inst.Points, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Space: space, Links: inst.Links, KnownZeta: alpha, Points: inst.Points}, nil
+	}
+}
+
+func buildTheorem3(cfg Config) (*Instance, error) {
+	n := defaultInt(cfg.Nodes, 16)
+	g := graph.GNP(n, cfg.Param("edgeprob", 0.3), rng.New(cfg.Seed))
+	inst, err := hardness.Theorem3(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: inst.Space, Links: inst.Links}, nil
+}
+
+func buildTheorem6(cfg Config) (*Instance, error) {
+	n := defaultInt(cfg.Nodes, 12)
+	g := graph.GNP(n, cfg.Param("edgeprob", 0.3), rng.New(cfg.Seed))
+	inst, err := hardness.Theorem6(g, defaultF(cfg.Alpha, 1), cfg.Param("delta", 0.25))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: inst.Space, Links: inst.Links}, nil
+}
+
+func buildStar(cfg Config) (*Instance, error) {
+	k := defaultInt(cfg.Nodes, 16)
+	space, err := hardness.Star(k, defaultF(cfg.Alpha, 2))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: space, Links: PairedLinks(space.N())}, nil
+}
+
+func buildWelzl(cfg Config) (*Instance, error) {
+	space, err := hardness.Welzl(defaultInt(cfg.Nodes, 8), cfg.Param("eps", 0.25))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: space, Links: PairedLinks(space.N())}, nil
+}
+
+func buildGap(cfg Config) (*Instance, error) {
+	space, err := hardness.GapFamily(cfg.Param("q", 1e4))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: space, Links: PairedLinks(space.N())}, nil
+}
+
+func buildUniform(cfg Config) (*Instance, error) {
+	space, err := core.UniformSpace(defaultInt(cfg.Nodes, 16), cfg.Param("decay", 1))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: space, Links: PairedLinks(space.N())}, nil
+}
+
+func buildRandom(cfg Config) (*Instance, error) {
+	n := defaultInt(cfg.Nodes, 32)
+	lo := cfg.Param("lo", 0.5)
+	hi := cfg.Param("hi", 50)
+	if lo <= 0 || hi < lo {
+		return nil, errors.New("scenario: need 0 < lo <= hi")
+	}
+	src := rng.New(cfg.Seed)
+	space, err := core.FromFunc(n, func(i, j int) float64 { return src.Range(lo, hi) })
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: space, Links: PairedLinks(n)}, nil
+}

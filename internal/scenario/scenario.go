@@ -1,0 +1,171 @@
+// Package scenario is the pluggable instance-source registry behind the
+// public decaynet API (database/sql-driver style): a Scenario turns a
+// Config into a decay space plus a link set, and the registry resolves
+// scenarios by name. The built-in scenarios unify the three instance
+// sources that previously required three different call chains — the
+// environment presets (office, warehouse, corridor), the workload plane
+// generators, and the hardness constructions — so commands, examples and
+// experiments all build instances the same way, and external packages can
+// register their own environments without editing this module.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/sinr"
+)
+
+// Config is the common parameter block understood by every scenario.
+// Zero fields take scenario-specific defaults; knobs that only one
+// scenario understands live in Params.
+type Config struct {
+	// Links is the number of links to place (generators that place links).
+	Links int
+	// Nodes is the number of nodes (generators parameterized by node or
+	// vertex count, e.g. the hardness reductions).
+	Nodes int
+	// Seed drives all randomness; equal configs build equal instances.
+	Seed uint64
+	// Alpha is the path-loss exponent (0 = scenario default).
+	Alpha float64
+	// SigmaDB is the log-normal shadowing deviation in dB, where supported.
+	SigmaDB float64
+	// Side is the deployment extent, where meaningful.
+	Side float64
+	// Params holds scenario-specific knobs (e.g. "rooms", "clusters", "q").
+	Params map[string]float64
+}
+
+// Param returns Params[name], or def when absent.
+func (c Config) Param(name string, def float64) float64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Instance is a built scenario: a decay space with a link set, ready to be
+// bound to radio parameters by sinr.NewSystem or the public Engine.
+type Instance struct {
+	// Scenario is the registry name that built this instance.
+	Scenario string
+	// Space is the decay space.
+	Space core.Space
+	// Links index into the space's nodes.
+	Links []sinr.Link
+	// KnownZeta, when positive, is the analytically known metricity
+	// (ζ = α for geometric scenarios), letting consumers skip the O(n³)
+	// computation.
+	KnownZeta float64
+	// Points holds node positions for scenarios with plane geometry
+	// (nil otherwise).
+	Points []geom.Point
+}
+
+// System binds the instance into a sinr.System, supplying the known
+// metricity when the scenario provides one.
+func (in *Instance) System(opts ...sinr.Option) (*sinr.System, error) {
+	if in.KnownZeta > 0 {
+		opts = append([]sinr.Option{sinr.WithZeta(in.KnownZeta)}, opts...)
+	}
+	return sinr.NewSystem(in.Space, in.Links, opts...)
+}
+
+// Scenario is a named instance source.
+type Scenario struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Build constructs an instance from a config.
+	Build func(cfg Config) (*Instance, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register makes a scenario available under its name. Like
+// database/sql.Register it panics when the name is empty, Build is nil, or
+// the name is already taken — registration conflicts are programmer
+// errors, not runtime conditions.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if s.Build == nil {
+		panic("scenario: Register " + s.Name + " with nil Build")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: Register called twice for " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the scenario registered under name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrUnknown is wrapped by Build for unregistered names.
+var ErrUnknown = errors.New("scenario: unknown scenario")
+
+// Build resolves name in the registry and builds an instance. The built
+// instance is validated: non-nil space, in-range links, and the scenario
+// name stamped.
+func Build(name string, cfg Config) (*Instance, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknown, name, Names())
+	}
+	inst, err := s.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	}
+	if inst.Space == nil {
+		return nil, fmt.Errorf("scenario %q: built nil space", name)
+	}
+	n := inst.Space.N()
+	for i, l := range inst.Links {
+		if l.Sender < 0 || l.Sender >= n || l.Receiver < 0 || l.Receiver >= n || l.Sender == l.Receiver {
+			return nil, fmt.Errorf("scenario %q: link %d (%d→%d) invalid for %d nodes", name, i, l.Sender, l.Receiver, n)
+		}
+	}
+	inst.Scenario = name
+	return inst, nil
+}
+
+// PairedLinks returns the convention links {2i → 2i+1} covering the first
+// 2·⌊n/2⌋ nodes — the single definition of the pairing layout used by
+// generators without intrinsic link structure, the JSON matrix tools, and
+// the Engine's PairedLinks option.
+func PairedLinks(n int) []sinr.Link {
+	links := make([]sinr.Link, n/2)
+	for i := range links {
+		links[i] = sinr.Link{Sender: 2 * i, Receiver: 2*i + 1}
+	}
+	return links
+}

@@ -1,0 +1,108 @@
+package sinr
+
+import (
+	"math"
+
+	"decaynet/internal/core"
+	"decaynet/internal/par"
+)
+
+// Affectances is the dense pairwise affectance cache for one (system,
+// power) pair: entry (w, v) holds the unclipped a_w(v) of Sec 2.4. It is
+// built row-first through the RowSpace batch contract on the shared worker
+// pool — one space row per sender instead of an interface call per matrix
+// element — and is what the capacity and scheduling algorithms consume.
+type Affectances struct {
+	n   int
+	raw []float64 // a_w(v) unclipped, row-major by w; +Inf for dead links
+}
+
+// ComputeAffectances builds the dense affectance matrix for power vector p.
+//
+// AffectanceRaw(w, v) factors as (c_v·f_vv/P_v) · P_w / f_wv: the first
+// term depends only on v and is hoisted into a per-link vector, after
+// which each row w needs only the decays out of w's sender.
+func ComputeAffectances(s *System, p Power) *Affectances {
+	n := s.Len()
+	a := &Affectances{n: n, raw: make([]float64, n*n)}
+	if n == 0 {
+		return a
+	}
+	// factor[v] = c_v · f_vv / P_v  (+Inf when the link cannot meet its
+	// threshold even in isolation, matching NoiseFactor).
+	factor := make([]float64, n)
+	recv := make([]int, n)
+	for v := 0; v < n; v++ {
+		factor[v] = NoiseFactor(s, p, v) * s.Decay(v) / p[v]
+		recv[v] = s.links[v].Receiver
+	}
+	rows := core.Rows(s.space)
+	nodes := rows.N()
+	par.ForChunked(n, func(lo, hi int) {
+		buf := make([]float64, nodes)
+		for w := lo; w < hi; w++ {
+			rows.Row(s.links[w].Sender, buf)
+			out := a.raw[w*n : (w+1)*n]
+			pw := p[w]
+			for v := 0; v < n; v++ {
+				if v == w {
+					out[v] = 0
+					continue
+				}
+				out[v] = factor[v] * pw / buf[recv[v]]
+			}
+		}
+	})
+	return a
+}
+
+// N returns the number of links covered.
+func (a *Affectances) N() int { return a.n }
+
+// Raw returns the unclipped a_w(v), identical to AffectanceRaw.
+func (a *Affectances) Raw(w, v int) float64 { return a.raw[w*a.n+v] }
+
+// Clipped returns min(1, a_w(v)), identical to Affectance.
+func (a *Affectances) Clipped(w, v int) float64 {
+	return math.Min(1, a.raw[w*a.n+v])
+}
+
+// In returns a_S(v) = Σ_{w∈S} min(1, a_w(v)).
+func (a *Affectances) In(set []int, v int) float64 {
+	total := 0.0
+	for _, w := range set {
+		total += math.Min(1, a.raw[w*a.n+v])
+	}
+	return total
+}
+
+// InRaw returns a_S(v) with unclipped terms.
+func (a *Affectances) InRaw(set []int, v int) float64 {
+	total := 0.0
+	for _, w := range set {
+		total += a.raw[w*a.n+v]
+	}
+	return total
+}
+
+// Out returns a_v(S) = Σ_{w∈S} min(1, a_v(w)).
+func (a *Affectances) Out(v int, set []int) float64 {
+	row := a.raw[v*a.n : (v+1)*a.n]
+	total := 0.0
+	for _, w := range set {
+		total += math.Min(1, row[w])
+	}
+	return total
+}
+
+// MaxInRaw returns the largest unclipped a_S(v) over v ∈ S — the quantity
+// whose ≤ 1 contour is feasibility.
+func (a *Affectances) MaxInRaw(set []int) float64 {
+	worst := 0.0
+	for _, v := range set {
+		if in := a.InRaw(set, v); in > worst {
+			worst = in
+		}
+	}
+	return worst
+}

@@ -32,6 +32,39 @@ type System struct {
 	zetaOnce sync.Once
 	zeta     float64
 	qm       *core.QuasiMetric
+
+	// Single-slot cache of the dense affectance matrix keyed by the power
+	// vector's values: the scheduling/capacity loops call the affectance
+	// routines with one power assignment many times over.
+	affMu sync.Mutex
+	affP  Power
+	aff   *Affectances
+}
+
+// Affectances returns the dense affectance cache for p, recomputing only
+// when p differs from the previously cached power vector. Callers must not
+// mutate p after passing it here.
+func (s *System) Affectances(p Power) *Affectances {
+	s.affMu.Lock()
+	defer s.affMu.Unlock()
+	if s.aff != nil && powerEqual(s.affP, p) {
+		return s.aff
+	}
+	s.aff = ComputeAffectances(s, p)
+	s.affP = append(Power(nil), p...)
+	return s.aff
+}
+
+func powerEqual(a, b Power) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Option configures a System.

@@ -1,0 +1,33 @@
+package decaynet
+
+import "decaynet/internal/scenario"
+
+// Scenario plumbing: the name-based instance-source registry
+// (database/sql-driver style). Built-in names cover the environment
+// presets ("office", "warehouse", "corridor"), the plane workload
+// generators ("plane", "plane-clustered"), and the hardness constructions
+// ("theorem3", "theorem6", "star", "welzl", "gap", "uniform", "random").
+// External packages add their own sources with RegisterScenario, usually
+// from an init function, and anything accepting a scenario name — the
+// Engine, capsim, scenegen — picks them up.
+type (
+	// Scenario is a named instance source.
+	Scenario = scenario.Scenario
+	// ScenarioConfig is the common parameter block scenarios consume.
+	ScenarioConfig = scenario.Config
+	// ScenarioInstance is a built scenario: space + links (+ geometry).
+	ScenarioInstance = scenario.Instance
+)
+
+var (
+	// RegisterScenario adds a scenario to the registry; it panics on
+	// duplicate or empty names (registration conflicts are programmer
+	// errors, as with database/sql.Register).
+	RegisterScenario = scenario.Register
+	// BuildScenario resolves a name and builds an instance.
+	BuildScenario = scenario.Build
+	// ScenarioNames lists the registered names, sorted.
+	ScenarioNames = scenario.Names
+	// LookupScenario fetches a registered scenario by name.
+	LookupScenario = scenario.Lookup
+)
