@@ -338,3 +338,93 @@ func TestEngineOptionValidation(t *testing.T) {
 		t.Fatalf("paired links = %d, want 3", eng.Len())
 	}
 }
+
+// TestApproxMetricityRouting: above the threshold an Engine's Zeta/Phi come
+// from the batched sampled estimators (lower bounds on the exact values);
+// below it, the exact scans run and MetricityApproximate reports false.
+func TestApproxMetricityRouting(t *testing.T) {
+	m := randomMatrix(t, 48, 90)
+	exactEng, err := NewEngine(UsingSpace(m), PairedLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactZeta, exactPhi := exactEng.Zeta(), exactEng.Phi()
+
+	approxEng, err := NewEngine(UsingSpace(m), PairedLinks(), WithApproxMetricity(32, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling is lazy: nothing is drawn until ζ is first consumed.
+	if approx, samples := approxEng.MetricityApproximate(); !approx || samples != 0 {
+		t.Fatalf("before Zeta: MetricityApproximate = (%v, %d), want (true, 0)", approx, samples)
+	}
+	if z := approxEng.Zeta(); z > exactZeta*(1+1e-9) || z < 1 {
+		t.Fatalf("sampled zeta %v out of (floor, exact %v]", z, exactZeta)
+	}
+	if approx, samples := approxEng.MetricityApproximate(); !approx || samples != 20000 {
+		t.Fatalf("after Zeta: MetricityApproximate = (%v, %d), want (true, 20000)", approx, samples)
+	}
+	if phi := approxEng.Phi(); phi > exactPhi+1e-9 {
+		t.Fatalf("sampled phi %v exceeds exact %v", phi, exactPhi)
+	}
+	// The quasi-metric and scheduling stack consume the estimate without
+	// triggering the exact scan.
+	if qm := approxEng.QuasiMetric(); qm.Zeta() != approxEng.Zeta() {
+		t.Fatalf("quasi-metric zeta %v != engine zeta %v", qm.Zeta(), approxEng.Zeta())
+	}
+
+	// Below the threshold: exact path, no sampling.
+	belowEng, err := NewEngine(UsingSpace(m), PairedLinks(), WithApproxMetricity(1000, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx, _ := belowEng.MetricityApproximate(); approx {
+		t.Fatal("engine below threshold reports approximate metricity")
+	}
+	if z := belowEng.Zeta(); !relClose(z, exactZeta, 1e-12) {
+		t.Fatalf("below-threshold zeta %v != exact %v", z, exactZeta)
+	}
+}
+
+// TestApproxMetricityDeterministic: two identical engines report identical
+// sampled estimates (fixed internal seed).
+func TestApproxMetricityDeterministic(t *testing.T) {
+	m := randomMatrix(t, 48, 91)
+	mk := func() (float64, float64) {
+		e, err := NewEngine(UsingSpace(m), PairedLinks(), WithApproxMetricity(16, 5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Zeta(), e.Phi()
+	}
+	z1, p1 := mk()
+	z2, p2 := mk()
+	if z1 != z2 || p1 != p2 {
+		t.Fatalf("non-deterministic approx metricity: (%v,%v) vs (%v,%v)", z1, p1, z2, p2)
+	}
+}
+
+// TestApproxMetricityRespectsKnownZeta: a supplied ζ wins over the sampled
+// estimate, while ϕ still routes to the sampled estimator.
+func TestApproxMetricityRespectsKnownZeta(t *testing.T) {
+	m := randomMatrix(t, 40, 92)
+	e, err := NewEngine(UsingSpace(m), PairedLinks(), KnownZeta(3.5), WithApproxMetricity(16, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := e.Zeta(); z != 3.5 {
+		t.Fatalf("zeta %v, want supplied 3.5", z)
+	}
+	if approx, samples := e.MetricityApproximate(); !approx || samples != 0 {
+		t.Fatalf("MetricityApproximate = (%v, %d), want (true, 0)", approx, samples)
+	}
+}
+
+func TestApproxMetricityOptionValidation(t *testing.T) {
+	m := randomMatrix(t, 8, 93)
+	for _, args := range [][2]int{{0, 100}, {100, 0}, {-1, -1}} {
+		if _, err := NewEngine(UsingSpace(m), PairedLinks(), WithApproxMetricity(args[0], args[1])); err == nil {
+			t.Errorf("WithApproxMetricity(%d, %d) accepted", args[0], args[1])
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	decaybench [-only E5] [-skip-ablations]
 //	decaybench -bench [-benchjson BENCH_decaybench.json] [-benchn 256]
+//	          [-benchlarge] [-alloccheck bench_thresholds.json]
 package main
 
 import (
@@ -21,7 +22,9 @@ import (
 	"decaynet/internal/capacity"
 	"decaynet/internal/core"
 	"decaynet/internal/experiments"
+	"decaynet/internal/rng"
 	"decaynet/internal/scenario"
+	"decaynet/internal/schedule"
 	"decaynet/internal/sinr"
 )
 
@@ -32,11 +35,13 @@ func main() {
 		bench         = flag.Bool("bench", false, "run the batched-vs-per-pair micro benchmarks instead of the experiments")
 		benchJSON     = flag.String("benchjson", "BENCH_decaybench.json", "output path for benchmark JSON (with -bench)")
 		benchN        = flag.Int("benchn", 256, "matrix size for the benchmarks")
+		benchLarge    = flag.Bool("benchlarge", false, "also run the large-n suite (exact tiled zeta at n=512/1024, sampled estimators at n=4096)")
+		allocCheck    = flag.String("alloccheck", "", "JSON file of per-op allocs/op ceilings; exit non-zero when a measured op regresses above its ceiling")
 	)
 	flag.Parse()
 	var err error
 	if *bench {
-		err = runBench(*benchJSON, *benchN)
+		err = runBench(*benchJSON, *benchN, *benchLarge, *allocCheck)
 	} else {
 		err = run(*only, *skipAblations)
 	}
@@ -85,10 +90,17 @@ type benchResult struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
-// runBench benchmarks the batched ζ and dense-affectance paths against the
-// per-pair baselines on an n-node random matrix space and writes the rows
-// as JSON.
-func runBench(outPath string, n int) error {
+// sampledBenchBudget is the triplet budget of the large-n sampled
+// estimator ops: enough draws to pin the heavy tail of a 4096-node space
+// while staying in single-digit seconds.
+const sampledBenchBudget = 1_000_000
+
+// runBench benchmarks the tiled ζ/ϕ and dense-affectance paths against the
+// per-pair baselines plus the allocation-lean scheduling ops on an n-node
+// random matrix space, optionally adds the large-n suite, and writes the
+// rows as JSON. With a non-empty allocCheck path it then gates the
+// measured allocs/op against the checked-in ceilings.
+func runBench(outPath string, n int, large bool, allocCheck string) error {
 	inst, err := scenario.Build("random", scenario.Config{Nodes: n, Seed: 7})
 	if err != nil {
 		return err
@@ -119,23 +131,61 @@ func runBench(outPath string, n int) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
-		fmt.Printf("%-24s n=%-5d %12d ns/op %8d allocs/op\n", op, size, r.NsPerOp(), r.AllocsPerOp())
+		fmt.Printf("%-24s n=%-5d %12d ns/op %8d allocs/op %10d B/op\n",
+			op, size, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
 	}
 
 	record("zeta/per-pair", n, func() { core.ZetaPerPair(space, 1e-12) })
 	record("zeta/batched", n, func() { core.Zeta(space) })
+	record("varphi/batched", n, func() { core.Varphi(space) })
 	record("affectance/per-pair", nLinks, func() { buildAffectancePerPair(sys, p) })
 	record("affectance/batched", nLinks, func() { sinr.ComputeAffectances(sys, p) })
 	all := capacity.AllLinks(sys)
+	sys.Affectances(p) // warm the LRU: the scheduling ops measure the steady state
 	record("algorithm1/cached", nLinks, func() { capacity.Algorithm1(sys, p, all) })
+	record("schedule/bycapacity", nLinks, func() {
+		if _, err := schedule.ByCapacity(sys, p, all, capacity.Algorithm1); err != nil {
+			panic(err)
+		}
+	})
+	record("schedule/firstfit", nLinks, func() {
+		if _, err := schedule.FirstFit(sys, p, all); err != nil {
+			panic(err)
+		}
+	})
+
+	if large {
+		for _, ln := range []int{512, 1024} {
+			li, err := scenario.Build("random", scenario.Config{Nodes: ln, Seed: 7})
+			if err != nil {
+				return err
+			}
+			record("zeta/batched", ln, func() { core.Zeta(li.Space) })
+		}
+		huge, err := scenario.Build("random", scenario.Config{Nodes: 4096, Seed: 7})
+		if err != nil {
+			return err
+		}
+		record("zeta/sampled-batch", 4096, func() {
+			core.ZetaSampledBatch(huge.Space, sampledBenchBudget, rng.New(11))
+		})
+		record("varphi/sampled-batch", 4096, func() {
+			core.VarphiSampledBatch(huge.Space, sampledBenchBudget, rng.New(11))
+		})
+	}
 
 	speedup := func(base, batched string) {
 		var b0, b1 int64
+		baseN := -1
 		for _, r := range results {
 			if r.Op == base {
-				b0 = r.NsPerOp
+				b0, baseN = r.NsPerOp, r.N
 			}
-			if r.Op == batched {
+		}
+		for _, r := range results {
+			// Match the baseline's size: the -benchlarge suite records the
+			// batched op at additional sizes that have no baseline row.
+			if r.Op == batched && r.N == baseN {
 				b1 = r.NsPerOp
 			}
 		}
@@ -157,6 +207,45 @@ func runBench(outPath string, n int) error {
 		return err
 	}
 	fmt.Println("wrote", outPath)
+	if allocCheck != "" {
+		return checkAllocs(allocCheck, results)
+	}
+	return nil
+}
+
+// checkAllocs gates measured allocs/op against the checked-in per-op
+// ceilings (the CI bench-smoke regression guard for the allocation-lean
+// scheduling path). Every op named in the ceiling file must have been
+// measured — a silently skipped op would hollow out the gate.
+func checkAllocs(path string, results []benchResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var limits map[string]int64
+	if err := json.Unmarshal(data, &limits); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var failures []string
+	for op, limit := range limits {
+		seen := false
+		for _, r := range results {
+			if r.Op != op {
+				continue
+			}
+			seen = true
+			if r.AllocsPerOp > limit {
+				failures = append(failures, fmt.Sprintf("%s at n=%d allocates %d/op, ceiling %d", op, r.N, r.AllocsPerOp, limit))
+			}
+		}
+		if !seen {
+			failures = append(failures, fmt.Sprintf("%s has a ceiling but was not measured", op))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("alloc regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("alloc check passed (%d ceilings)\n", len(limits))
 	return nil
 }
 

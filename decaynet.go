@@ -82,6 +82,9 @@ type (
 	// RowSpace is the optional batch contract: Row(i, dst) fills a whole
 	// decay row, the fast path every batched consumer uses.
 	RowSpace = core.RowSpace
+	// SymmetricSpace is the optional marker contract certifying exact
+	// decay symmetry; the triplet kernels use it to halve their scans.
+	SymmetricSpace = core.Symmetric
 	// Matrix is a dense decay space.
 	Matrix = core.Matrix
 	// GeometricSpace is GEO-SINR decay f = d^α over plane points.
@@ -148,6 +151,15 @@ var (
 	Varphi = core.Varphi
 	// Phi computes φ = lg ϕ.
 	Phi = core.Phi
+	// ZetaSampledBatch and VarphiSampledBatch estimate ζ and ϕ from random
+	// triplets drawn in whole-row strata on the worker pool — lower bounds
+	// for spaces beyond the exact O(n³) scans (Engine routes to them via
+	// WithApproxMetricity).
+	ZetaSampledBatch   = core.ZetaSampledBatch
+	VarphiSampledBatch = core.VarphiSampledBatch
+	// KnownSymmetric reports whether a space certifies exact symmetry
+	// through the SymmetricSpace marker.
+	KnownSymmetric = core.KnownSymmetric
 	// InduceQuasiMetric computes ζ and wraps the space.
 	InduceQuasiMetric = core.InduceQuasiMetric
 	// NewQuasiMetric wraps a space with a known exponent.

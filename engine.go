@@ -2,11 +2,15 @@ package decaynet
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"decaynet/internal/capacity"
 	"decaynet/internal/core"
 	"decaynet/internal/distributed"
+	"decaynet/internal/rng"
 	"decaynet/internal/scenario"
 	"decaynet/internal/schedule"
 	"decaynet/internal/sinr"
@@ -23,23 +27,37 @@ type Engine struct {
 	sys  *System
 	inst *scenario.Instance // nil when built from an explicit space
 
+	// approxSamples > 0 routes Zeta/Phi to the sampled estimators
+	// (WithApproxMetricity fired: the space is at or above the size
+	// threshold). zetaSamples records the ζ estimator's triplet count once
+	// the lazily seeded estimate has been consumed.
+	approxSamples int
+	zetaSamples   atomic.Int64
+
 	phiOnce sync.Once
 	phi     float64
 }
+
+// approxMetricitySeed seeds the sampled metricity estimators an Engine
+// runs under WithApproxMetricity, fixed so that equal engines report equal
+// estimates across processes.
+const approxMetricitySeed = 0xdeca95eed
 
 // Affectances is the dense pairwise affectance cache (see Engine.Affectances).
 type Affectances = sinr.Affectances
 
 // engineConfig accumulates functional options.
 type engineConfig struct {
-	space        Space
-	links        []Link
-	pairLinks    bool
-	knownZeta    float64
-	beta         float64
-	noise        float64
-	scenarioName string
-	scenarioCfg  ScenarioConfig
+	space           Space
+	links           []Link
+	pairLinks       bool
+	knownZeta       float64
+	beta            float64
+	noise           float64
+	scenarioName    string
+	scenarioCfg     ScenarioConfig
+	approxThreshold int
+	approxSamples   int
 }
 
 // EngineOption configures NewEngine.
@@ -108,6 +126,25 @@ func KnownZeta(z float64) EngineOption {
 	}
 }
 
+// WithApproxMetricity routes Engine.Zeta and Engine.Phi to the batched
+// sampled estimators (core.ZetaSampledBatch / core.VarphiSampledBatch,
+// drawing `samples` random triplets in whole-row strata on the worker
+// pool) whenever the space has at least threshold nodes. Below the
+// threshold — and by default — the exact O(n³) scans run; the sampled
+// values are lower bounds on the exact parameters, deterministic for a
+// given engine. The induced quasi-metric and every ζ-consuming algorithm
+// then use the estimate. KnownZeta still wins for ζ when supplied.
+func WithApproxMetricity(threshold, samples int) EngineOption {
+	return func(ec *engineConfig) error {
+		if threshold <= 0 || samples <= 0 {
+			return fmt.Errorf("decaynet: WithApproxMetricity(%d, %d): threshold and samples must be positive", threshold, samples)
+		}
+		ec.approxThreshold = threshold
+		ec.approxSamples = samples
+		return nil
+	}
+}
+
 // NewEngine builds an Engine from functional options. The space comes from
 // UsingScenario or UsingSpace (exactly one required); links come from the
 // scenario, UsingLinks, or PairedLinks. The space is materialized into a
@@ -150,14 +187,33 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		ec.links = scenario.PairedLinks(dense.N())
 	}
 	sysOpts := []Option{WithBeta(ec.beta), WithNoise(ec.noise)}
-	if ec.knownZeta > 0 {
+	e := &Engine{inst: inst}
+	approx := ec.approxThreshold > 0 && dense.N() >= ec.approxThreshold
+	if approx {
+		e.approxSamples = ec.approxSamples
+	}
+	switch {
+	case ec.knownZeta > 0:
 		sysOpts = append(sysOpts, WithZeta(ec.knownZeta))
+	case approx:
+		// Above the approx threshold the exact O(n³) scan is what the
+		// option exists to avoid: seed the system with a lazy sampled
+		// estimate, paid for only when ζ is first consumed (mirroring the
+		// lazy exact path) and shared by the quasi-metric and every
+		// downstream consumer.
+		samples := ec.approxSamples
+		sysOpts = append(sysOpts, sinr.WithZetaFunc(func() float64 {
+			z, k := core.ZetaSampledBatch(dense, samples, rng.New(approxMetricitySeed))
+			e.zetaSamples.Store(int64(k))
+			return z
+		}))
 	}
 	sys, err := NewSystem(dense, ec.links, sysOpts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{sys: sys, inst: inst}, nil
+	e.sys = sys
+	return e, nil
 }
 
 // System returns the underlying sinr System (shares all caches).
@@ -193,13 +249,32 @@ func (e *Engine) Points() []Point {
 	return e.inst.Points
 }
 
-// Zeta returns the metricity ζ of the space, computed once and cached.
+// Zeta returns the metricity ζ of the space, computed once and cached —
+// the exact scan by default, the batched sampled estimate when
+// WithApproxMetricity fired (see MetricityApproximate).
 func (e *Engine) Zeta() float64 { return e.sys.Zeta() }
 
-// Phi returns φ = lg ϕ, computed once and cached.
+// Phi returns φ = lg ϕ, computed once and cached; sampled when
+// WithApproxMetricity fired, exact otherwise.
 func (e *Engine) Phi() float64 {
-	e.phiOnce.Do(func() { e.phi = Phi(e.sys.Space()) })
+	e.phiOnce.Do(func() {
+		if e.approxSamples > 0 {
+			vphi, _ := core.VarphiSampledBatch(e.sys.Space(), e.approxSamples, rng.New(approxMetricitySeed+1))
+			e.phi = math.Log2(vphi)
+			return
+		}
+		e.phi = Phi(e.sys.Space())
+	})
 	return e.phi
+}
+
+// MetricityApproximate reports whether this engine's Zeta and Phi come
+// from the sampled estimators — WithApproxMetricity was set and the space
+// met its size threshold — together with the number of triplets the ζ
+// estimate drew (0 until Zeta is first consumed, and always 0 when ζ came
+// from KnownZeta or the scenario).
+func (e *Engine) MetricityApproximate() (bool, int) {
+	return e.approxSamples > 0, int(e.zetaSamples.Load())
 }
 
 // QuasiMetric returns the cached induced quasi-metric d = f^(1/ζ).

@@ -7,10 +7,35 @@
 package capacity
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"decaynet/internal/sinr"
 )
+
+// scratch is the reusable per-call state of the greedy capacity routines
+// (decay ordering, sort keys, candidate set). Pooling it keeps scheduling
+// loops — which call a capacity routine once per slot over the cached
+// affectance matrix — at roughly zero allocations per call beyond the
+// returned subset.
+type scratch struct {
+	order []int
+	keys  []float64
+	x     []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// decayOrdered fills sc.order with the given links in sinr.SortByDecay
+// order, reusing sc.keys as the precomputed-key scratch.
+func (sc *scratch) decayOrdered(s *sinr.System, links []int) []int {
+	sc.order = append(sc.order[:0], links...)
+	if cap(sc.keys) < s.Len() {
+		sc.keys = make([]float64, s.Len())
+	}
+	sinr.SortByDecay(s, sc.order, sc.keys[:s.Len()])
+	return sc.order
+}
 
 // Algorithm1 is the paper's Algorithm 1: uniform-power capacity for
 // bounded-growth decay spaces, ζ^O(1)-approximate (Theorem 5).
@@ -22,8 +47,10 @@ import (
 func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 	zeta := s.Zeta()
 	aff := s.Affectances(p)
-	var x []int
-	for _, v := range decayOrdered(s, links) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	x := sc.x[:0]
+	for _, v := range sc.decayOrdered(s, links) {
 		if !viable(s, p, v) {
 			continue
 		}
@@ -34,13 +61,14 @@ func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 			x = append(x, v)
 		}
 	}
-	var out []int
+	sc.x = x // retain grown capacity for the next pooled call
+	out := make([]int, 0, len(x))
 	for _, v := range x {
 		if aff.In(x, v) <= 1 {
 			out = append(out, v)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -50,8 +78,10 @@ func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 // separation test.
 func GreedyGeneral(s *sinr.System, p sinr.Power, links []int) []int {
 	aff := s.Affectances(p)
-	var x []int
-	for _, v := range decayOrdered(s, links) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	x := sc.x[:0]
+	for _, v := range sc.decayOrdered(s, links) {
 		if !viable(s, p, v) {
 			continue
 		}
@@ -59,27 +89,29 @@ func GreedyGeneral(s *sinr.System, p sinr.Power, links []int) []int {
 			x = append(x, v)
 		}
 	}
-	var out []int
+	sc.x = x
+	out := make([]int, 0, len(x))
 	for _, v := range x {
 		if aff.In(x, v) <= 1 {
 			out = append(out, v)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
 // FirstFit adds each link (in decay order) whenever the set stays feasible
 // under an exact SINR check — the naive baseline with no guarantee.
 func FirstFit(s *sinr.System, p sinr.Power, links []int) []int {
-	var out []int
-	for _, v := range decayOrdered(s, links) {
-		out = append(out, v)
-		if !sinr.IsFeasible(s, p, out) {
-			out = out[:len(out)-1]
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	out := make([]int, 0, len(links))
+	for _, v := range sc.decayOrdered(s, links) {
+		if sinr.IsFeasibleWith(s, p, out, v) {
+			out = append(out, v)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -114,7 +146,7 @@ func Exact(s *sinr.System, p sinr.Power, links []int) []int {
 	}
 	rec(0)
 	out := append([]int(nil), best...)
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -136,17 +168,12 @@ func AllLinks(s *sinr.System) []int {
 }
 
 // decayOrdered returns the given links sorted by non-decreasing decay with
-// deterministic tie-breaks.
+// deterministic tie-breaks (the standalone form of scratch.decayOrdered
+// for callers outside the pooled hot path; the local scratch's slices are
+// freshly allocated, so the result is unshared).
 func decayOrdered(s *sinr.System, links []int) []int {
-	order := append([]int(nil), links...)
-	sort.Slice(order, func(a, b int) bool {
-		da, db := s.Decay(order[a]), s.Decay(order[b])
-		if da != db {
-			return da < db
-		}
-		return order[a] < order[b]
-	})
-	return order
+	var sc scratch
+	return sc.decayOrdered(s, links)
 }
 
 // Ratio returns |opt| / |got| (the empirical approximation ratio), and 1

@@ -7,6 +7,7 @@ import (
 
 	"decaynet/internal/core"
 	"decaynet/internal/geom"
+	"decaynet/internal/race"
 	"decaynet/internal/rng"
 	"decaynet/internal/sinr"
 )
@@ -239,5 +240,25 @@ func TestDecayOrderedStable(t *testing.T) {
 	})
 	if !sorted {
 		t.Error("not sorted by decay")
+	}
+}
+
+// TestAlgorithm1AllocationFloor: over a warm affectance cache, Algorithm 1
+// allocates only its returned subset — the scratch pool absorbs ordering,
+// sort keys and the candidate set.
+func TestAlgorithm1AllocationFloor(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation floors do not hold under the race detector")
+	}
+	sys := planeSystem(t, 1, 40, 3, 25)
+	p := sinr.UniformPower(sys, 1)
+	all := AllLinks(sys)
+	sys.Affectances(p) // warm the cache: steady-state scheduling condition
+	Algorithm1(sys, p, all)
+	if avg := testing.AllocsPerRun(100, func() { Algorithm1(sys, p, all) }); avg > 2 {
+		t.Errorf("Algorithm1 allocates %.1f/op over a warm cache, want <= 2", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { GreedyGeneral(sys, p, all) }); avg > 2 {
+		t.Errorf("GreedyGeneral allocates %.1f/op over a warm cache, want <= 2", avg)
 	}
 }

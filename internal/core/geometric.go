@@ -16,8 +16,9 @@ type GeometricSpace struct {
 }
 
 var (
-	_ Space    = (*GeometricSpace)(nil)
-	_ RowSpace = (*GeometricSpace)(nil)
+	_ Space     = (*GeometricSpace)(nil)
+	_ RowSpace  = (*GeometricSpace)(nil)
+	_ Symmetric = (*GeometricSpace)(nil)
 )
 
 // NewGeometricSpace builds a geometric decay space with path-loss exponent
@@ -60,6 +61,13 @@ func (g *GeometricSpace) Row(i int, dst []float64) {
 		}
 		dst[j] = math.Pow(pi.Dist(pj), g.alpha)
 	}
+}
+
+// Symmetric always reports true — the core.Symmetric marker. Euclidean
+// distance is exactly symmetric (Dist computes the same hypot either way),
+// so f = d^α is too.
+func (g *GeometricSpace) Symmetric() bool {
+	return true
 }
 
 // Alpha returns the path-loss exponent.

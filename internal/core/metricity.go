@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"decaynet/internal/par"
-	"decaynet/internal/rng"
 )
 
 // DefaultZetaFloor is the value Zeta reports for spaces in which every
@@ -27,36 +26,58 @@ func Zeta(d Space) float64 {
 // ZetaTol is Zeta with an explicit relative bisection tolerance (used by the
 // bisection-tolerance ablation).
 //
-// The scan is batch-first: the log-decay matrix is materialized once via
-// the RowSpace contract (no per-element interface calls), the O(n³)
-// triplet loop is split over the shared worker pool, and each triplet is
-// first tested against the running maximum — only triplets that violate
-// the relaxed triangle inequality at the current best ζ pay for a
-// bisection. The result equals the per-pair reference up to bisection
-// tolerance.
+// The scan is batch-first and cache-blocked: the log-decay matrix is
+// materialized once via the RowSpace contract (no per-element interface
+// calls) and the O(n³) triplet loop runs as (x,z)-tile kernels on the
+// shared worker pool (par.ForTiles), so each decay row is streamed O(n/tile)
+// times instead of O(n). Two prune levels keep most triplets out of the
+// bisection: a whole-row test pairs each (x,z) with the precomputed
+// per-row extrema — if even the strongest possible triplet (largest
+// ln f(x,y), smallest ln f(z,y)) satisfies the inequality at the current
+// best ζ, the entire y-loop is skipped — and surviving triplets are still
+// screened individually against the running maximum. Spaces certifying
+// exact symmetry through the Symmetric marker scan only ordered pairs
+// x < y, halving the triplet set (ζ is invariant under swapping the
+// endpoints when f is symmetric). The result equals the per-pair reference
+// up to bisection tolerance.
 func ZetaTol(d Space, tol float64) float64 {
 	n := d.N()
 	if n < 3 {
 		return DefaultZetaFloor
 	}
 	logs := logMatrix(d)
+	rowMax, rowMin := rowExtrema(logs, n)
+	sym := KnownSymmetric(d)
 	var bestBits atomic.Uint64
 	bestBits.Store(math.Float64bits(DefaultZetaFloor))
-	par.ForChunked(n, func(lo, hi int) {
+	par.ForTiles(n, tripletTile(n), func(xlo, xhi, zlo, zhi int) {
 		local := math.Float64frombits(bestBits.Load())
-		for x := lo; x < hi; x++ {
+		t := 1 / local
+		for x := xlo; x < xhi; x++ {
 			rowX := logs[x*n : (x+1)*n]
-			for z := 0; z < n; z++ {
+			maxX := rowMax[x]
+			yStart := 0
+			if sym {
+				yStart = x + 1 // (x,y) and (y,x) triplets coincide
+			}
+			if g := math.Float64frombits(bestBits.Load()); g > local {
+				local = g // adopt other workers' progress for pruning
+				t = 1 / local
+			}
+			for z := zlo; z < zhi; z++ {
 				if z == x {
 					continue
 				}
 				b := rowX[z] // ln f(x,z)
-				rowZ := logs[z*n : (z+1)*n]
-				if g := math.Float64frombits(bestBits.Load()); g > local {
-					local = g // adopt other workers' progress for pruning
+				// Whole-row prune: the strongest triplet this (x,z) pair can
+				// field combines the largest a = ln f(x,y) with the smallest
+				// c = ln f(z,y). If even that satisfies the inequality at the
+				// current best ζ, no y can raise the maximum.
+				if math.Exp((b-maxX)*t)+math.Exp((rowMin[z]-maxX)*t) >= 1 {
+					continue
 				}
-				t := 1 / local
-				for y := 0; y < n; y++ {
+				rowZ := logs[z*n : (z+1)*n]
+				for y := yStart; y < n; y++ {
 					if y == x || y == z {
 						continue
 					}
@@ -84,6 +105,50 @@ func ZetaTol(d Space, tol float64) float64 {
 		storeMax(&bestBits, local)
 	})
 	return math.Float64frombits(bestBits.Load())
+}
+
+// tripletTile returns the (x,z) tile edge for an n-node triplet scan: small
+// enough that the ~2·tile decay rows a tile touches stay cache-resident,
+// large enough that (n/tile)² tiles amortize pool dispatch. Sub-64-node
+// scans run as a single inline block.
+func tripletTile(n int) int {
+	switch {
+	case n >= 256:
+		return 64
+	case n >= 64:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// rowExtrema returns, for each row i of an n×n row-major matrix (log
+// decays for ZetaTol, raw decays for Varphi), the largest and smallest
+// off-diagonal entry. The triplet kernels use them to discharge whole
+// row pairs without touching the inner loop. Diagonal entries (ln 0 or 0)
+// are skipped.
+func rowExtrema(vals []float64, n int) (rowMax, rowMin []float64) {
+	rowMax = make([]float64, n)
+	rowMin = make([]float64, n)
+	par.ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := vals[i*n : (i+1)*n]
+			mx, mn := math.Inf(-1), math.Inf(1)
+			for j, v := range row {
+				if j == i {
+					continue
+				}
+				if v > mx {
+					mx = v
+				}
+				if v < mn {
+					mn = v
+				}
+			}
+			rowMax[i], rowMin[i] = mx, mn
+		}
+	})
+	return rowMax, rowMin
 }
 
 // ZetaPerPair is the pre-batching reference implementation of ZetaTol: one
@@ -144,29 +209,6 @@ func storeMax(bits *atomic.Uint64, v float64) {
 			return
 		}
 	}
-}
-
-// ZetaSampled estimates ζ from `samples` random triplets — a lower bound on
-// the true ζ, for spaces too large for the O(n³) exact scan.
-func ZetaSampled(d Space, samples int, src *rng.Source) float64 {
-	n := d.N()
-	if n < 3 {
-		return DefaultZetaFloor
-	}
-	best := DefaultZetaFloor
-	for s := 0; s < samples; s++ {
-		x := src.Intn(n)
-		y := src.Intn(n)
-		z := src.Intn(n)
-		if x == y || y == z || x == z {
-			continue
-		}
-		zt := zetaTriplet(math.Log(d.F(x, y)), math.Log(d.F(x, z)), math.Log(d.F(z, y)), 1e-12)
-		if zt > best {
-			best = zt
-		}
-	}
-	return best
 }
 
 // ZetaTriplet returns the smallest ζ at which the triplet with decays
@@ -253,32 +295,52 @@ func SatisfiesZeta(d Space, zeta, tol float64) bool {
 // max over triplets of f(x,z)/(f(x,y)+f(y,z)). Returns at least 1/2
 // (attained when all decays are equal). Requires n ≥ 3; smaller spaces
 // return 1/2.
-// Varphi consumes dense rows and parallelizes the triplet scan over the
-// shared worker pool.
+//
+// Like ZetaTol, the scan is a cache-blocked (x,y)-tile kernel on the
+// shared worker pool: per-row decay extrema discharge whole (x,y) pairs
+// whose best possible ratio max_z f(x,z)/(f(x,y)+min_z f(y,z)) cannot beat
+// the running maximum, and exactly symmetric spaces scan only x < z (the
+// ratio is invariant under swapping the endpoints).
 func Varphi(d Space) float64 {
 	n := d.N()
 	if n < 3 {
 		return 0.5
 	}
 	m := Dense(d)
+	sym := m.Symmetric()
+	rowMaxF, rowMinF := rowExtrema(m.f, m.n)
 	var bestBits atomic.Uint64
 	bestBits.Store(math.Float64bits(0.5))
-	par.ForChunked(n, func(lo, hi int) {
-		best := 0.5
-		for x := lo; x < hi; x++ {
+	par.ForTiles(n, tripletTile(n), func(xlo, xhi, ylo, yhi int) {
+		best := math.Float64frombits(bestBits.Load())
+		for x := xlo; x < xhi; x++ {
 			rowX := m.row(x) // f(x,·)
-			for y := 0; y < n; y++ {
+			maxX := rowMaxF[x]
+			zStart := 0
+			if sym {
+				zStart = x + 1 // (x,·,z) and (z,·,x) ratios coincide
+			}
+			if g := math.Float64frombits(bestBits.Load()); g > best {
+				best = g // adopt other workers' progress for pruning
+			}
+			for y := ylo; y < yhi; y++ {
 				if y == x {
 					continue
 				}
 				fxy := rowX[y]
+				// Whole-row prune: even the largest numerator over the
+				// smallest denominator cannot beat the running maximum.
+				if maxX <= best*(fxy+rowMinF[y]) {
+					continue
+				}
 				rowY := m.row(y) // f(y,·)
-				for z := 0; z < n; z++ {
+				for z := zStart; z < n; z++ {
 					if z == x || z == y {
 						continue
 					}
 					if r := rowX[z] / (fxy + rowY[z]); r > best {
 						best = r
+						storeMax(&bestBits, r)
 					}
 				}
 			}
@@ -286,6 +348,32 @@ func Varphi(d Space) float64 {
 		storeMax(&bestBits, best)
 	})
 	return math.Float64frombits(bestBits.Load())
+}
+
+// VarphiPerPair is the serial, per-element reference implementation of
+// Varphi: one virtual F call per decay access, no pruning. Kept as the
+// ground-truth oracle for equivalence tests and as a baseline op in
+// cmd/decaybench's perf trajectory.
+func VarphiPerPair(d Space) float64 {
+	n := d.N()
+	best := 0.5
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			fxy := d.F(x, y)
+			for z := 0; z < n; z++ {
+				if z == x || z == y {
+					continue
+				}
+				if r := d.F(x, z) / (fxy + d.F(y, z)); r > best {
+					best = r
+				}
+			}
+		}
+	}
+	return best
 }
 
 // Phi returns φ = lg ϕ, the logarithmic form of the variant metricity

@@ -111,6 +111,95 @@ func TestZetaUpperBoundErrors(t *testing.T) {
 	}
 }
 
+// TestZetaTiledMatchesPerPair: the tiled, pruned, symmetry-halved kernel
+// equals the serial per-pair oracle on random symmetric and asymmetric
+// spaces across sizes (the satellite property test of the tiling PR).
+func TestZetaTiledMatchesPerPair(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 13, 21, 34, 64} {
+		asym := randomSpace(t, uint64(300+n), n, 0.05, 40)
+		sym := Symmetrized(asym)
+		// Symmetrized must certify (halved kernel); an i.i.d. random matrix
+		// must not (full kernel) — so both paths are exercised.
+		if !KnownSymmetric(sym) {
+			t.Fatalf("n=%d: symmetrized space does not certify symmetry", n)
+		}
+		if KnownSymmetric(asym) {
+			t.Fatalf("n=%d: random space unexpectedly symmetric", n)
+		}
+		for name, m := range map[string]*Matrix{"asym": asym, "sym": sym} {
+			tiled := ZetaTol(m, 1e-12)
+			ref := ZetaPerPair(m, 1e-12)
+			if math.Abs(tiled-ref) > 1e-9*ref {
+				t.Errorf("n=%d %s: tiled zeta %v != per-pair %v", n, name, tiled, ref)
+			}
+		}
+	}
+}
+
+// TestVarphiTiledMatchesPerPair is the ϕ analogue of the property test
+// above.
+func TestVarphiTiledMatchesPerPair(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 13, 21, 34, 64} {
+		asym := randomSpace(t, uint64(400+n), n, 0.05, 40)
+		sym := Symmetrized(asym)
+		for name, m := range map[string]*Matrix{"asym": asym, "sym": sym} {
+			tiled := Varphi(m)
+			ref := VarphiPerPair(m)
+			if math.Abs(tiled-ref) > 1e-12*ref {
+				t.Errorf("n=%d %s: tiled varphi %v != per-pair %v", n, name, tiled, ref)
+			}
+		}
+	}
+}
+
+// TestZetaTiledMatchesPerPairGeometric covers the Symmetric-marker fast
+// path on a space that certifies symmetry without being a Matrix.
+func TestZetaTiledMatchesPerPairGeometric(t *testing.T) {
+	src := rng.New(5)
+	pts := make([]geom.Point, 24)
+	for i := range pts {
+		pts[i] = geom.Pt(src.Range(0, 10), src.Range(0, 10))
+	}
+	g, err := NewGeometricSpace(pts, 2.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !KnownSymmetric(g) {
+		t.Fatal("geometric space does not certify symmetry")
+	}
+	tiled := ZetaTol(g, 1e-12)
+	ref := ZetaPerPair(g, 1e-12)
+	if math.Abs(tiled-ref) > 1e-9*ref {
+		t.Fatalf("tiled zeta %v != per-pair %v", tiled, ref)
+	}
+}
+
+func TestSymmetricMarker(t *testing.T) {
+	sym, _ := NewMatrix([][]float64{{0, 1, 2}, {1, 0, 3}, {2, 3, 0}})
+	if !KnownSymmetric(sym) {
+		t.Error("symmetric matrix not certified")
+	}
+	asym, _ := NewMatrix([][]float64{{0, 1, 2}, {4, 0, 3}, {2, 3, 0}})
+	if KnownSymmetric(asym) {
+		t.Error("asymmetric matrix certified")
+	}
+	// A space without the marker never certifies, even when symmetric.
+	if KnownSymmetric(funcSpace{n: 3}) {
+		t.Error("marker-less space certified")
+	}
+}
+
+// funcSpace is a minimal Space without RowSpace or Symmetric markers.
+type funcSpace struct{ n int }
+
+func (f funcSpace) N() int { return f.n }
+func (f funcSpace) F(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return float64(i + j + 1)
+}
+
 func TestZetaSampledLowerBoundsExact(t *testing.T) {
 	m := randomSpace(t, 21, 12, 0.5, 40)
 	exact := Zeta(m)
@@ -129,6 +218,121 @@ func TestZetaSampledTinySpace(t *testing.T) {
 	two, _ := NewMatrix([][]float64{{0, 5}, {9, 0}})
 	if z := ZetaSampled(two, 100, rng.New(1)); z != DefaultZetaFloor {
 		t.Errorf("tiny sampled zeta = %v", z)
+	}
+}
+
+// TestDistinctTripletAlwaysDistinct: the redraw loop (the fix for the
+// silent sample loss of skipped collisions) yields pairwise-distinct
+// indices every draw, including at the minimum n = 3 where two thirds of
+// naive draws collide.
+func TestDistinctTripletAlwaysDistinct(t *testing.T) {
+	for _, n := range []int{3, 4, 10} {
+		src := rng.New(uint64(n))
+		seen := make(map[[3]int]bool)
+		// 20000 draws: comfortably past the ~5160-draw coupon-collector
+		// expectation for n=10's 720 ordered triplets, so the exact-coverage
+		// assertion is robust to rng-stream changes, not seed luck.
+		for s := 0; s < 20000; s++ {
+			x, y, z := distinctTriplet(src, n)
+			if x == y || y == z || x == z {
+				t.Fatalf("n=%d: collision (%d,%d,%d)", n, x, y, z)
+			}
+			if x < 0 || x >= n || y < 0 || y >= n || z < 0 || z >= n {
+				t.Fatalf("n=%d: out of range (%d,%d,%d)", n, x, y, z)
+			}
+			seen[[3]int{x, y, z}] = true
+		}
+		// All n(n-1)(n-2) ordered triplets should appear.
+		if want := n * (n - 1) * (n - 2); len(seen) != want {
+			t.Errorf("n=%d: %d distinct triplets drawn, want %d", n, len(seen), want)
+		}
+	}
+}
+
+// TestZetaSampledFullBudget: with the redraw fix, a modest budget on n=3
+// (where naive sampling loses ~78%% of draws to collisions) pins the exact
+// ζ — every sample evaluates a real triplet and only 6 exist.
+func TestZetaSampledFullBudget(t *testing.T) {
+	m, err := NewMatrix([][]float64{{0, 1, 200}, {1, 0, 10}, {200, 10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Zeta(m)
+	if got := ZetaSampled(m, 100, rng.New(3)); math.Abs(got-exact) > 1e-9*exact {
+		t.Fatalf("sampled %v != exact %v on n=3", got, exact)
+	}
+}
+
+// TestZetaSampledBatchBounds: the batched estimator is a lower bound on
+// exact ζ, reports its evaluated count exactly, and converges to the exact
+// value as the sample budget approaches the triplet population.
+func TestZetaSampledBatchBounds(t *testing.T) {
+	m := randomSpace(t, 77, 24, 0.2, 60)
+	exact := Zeta(m)
+	prev := 0.0
+	for _, samples := range []int{10, 1000, 60000} {
+		got, k := ZetaSampledBatch(m, samples, rng.New(9))
+		if k != samples {
+			t.Fatalf("samples=%d: evaluated %d triplets", samples, k)
+		}
+		if got > exact*(1+1e-9) {
+			t.Fatalf("samples=%d: estimate %v exceeds exact %v", samples, got, exact)
+		}
+		if got < prev {
+			// Not guaranteed in general (different streams), but with this
+			// seed the estimates grow with the budget; keep as a regression
+			// canary for the stratification.
+			t.Logf("samples=%d: estimate %v below previous %v", samples, got, prev)
+		}
+		prev = got
+	}
+	// 60000 samples over 24·23·22 = 12144 triplets: essentially exhaustive.
+	got, _ := ZetaSampledBatch(m, 60000, rng.New(9))
+	if got < exact*0.999 {
+		t.Fatalf("converged estimate %v too far below exact %v", got, exact)
+	}
+}
+
+func TestVarphiSampledBatchBounds(t *testing.T) {
+	m := randomSpace(t, 78, 24, 0.2, 60)
+	exact := Varphi(m)
+	got, k := VarphiSampledBatch(m, 60000, rng.New(9))
+	if k != 60000 {
+		t.Fatalf("evaluated %d triplets, want 60000", k)
+	}
+	if got > exact*(1+1e-9) {
+		t.Fatalf("estimate %v exceeds exact %v", got, exact)
+	}
+	if got < exact*0.999 {
+		t.Fatalf("converged estimate %v too far below exact %v", got, exact)
+	}
+	if got < 0.5 {
+		t.Fatalf("estimate %v below the 1/2 floor", got)
+	}
+}
+
+func TestSampledBatchTinySpaces(t *testing.T) {
+	two, _ := NewMatrix([][]float64{{0, 5}, {9, 0}})
+	if z, k := ZetaSampledBatch(two, 100, rng.New(1)); z != DefaultZetaFloor || k != 0 {
+		t.Errorf("tiny batch zeta = (%v, %d)", z, k)
+	}
+	if v, k := VarphiSampledBatch(two, 100, rng.New(1)); v != 0.5 || k != 0 {
+		t.Errorf("tiny batch varphi = (%v, %d)", v, k)
+	}
+	m := randomSpace(t, 79, 12, 0.2, 60)
+	if z, k := ZetaSampledBatch(m, 0, rng.New(1)); z != DefaultZetaFloor || k != 0 {
+		t.Errorf("zero-budget batch zeta = (%v, %d)", z, k)
+	}
+}
+
+// TestZetaSampledBatchDeterministic: equal (space, samples, seed) yield
+// bit-equal estimates regardless of pool scheduling.
+func TestZetaSampledBatchDeterministic(t *testing.T) {
+	m := randomSpace(t, 80, 40, 0.2, 60)
+	a, ka := ZetaSampledBatch(m, 5000, rng.New(4))
+	b, kb := ZetaSampledBatch(m, 5000, rng.New(4))
+	if a != b || ka != kb {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", a, ka, b, kb)
 	}
 }
 

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"decaynet/internal/par"
+	"decaynet/internal/rng"
+)
+
+// The sampled metricity estimators for spaces too large for the exact
+// O(n³) scans. Every estimator is a maximum over randomly drawn triplets,
+// hence a lower bound on the exact parameter that converges to it as the
+// sample count approaches the n³ triplet population.
+
+// sampleRowBlock is the number of third-index draws evaluated against one
+// sampled row pair by the batched estimators: large enough to amortize
+// fetching two decay rows through the RowSpace contract, small enough that
+// a modest sample budget still spreads over many row pairs.
+const sampleRowBlock = 64
+
+// ZetaSampled estimates ζ from exactly `samples` uniformly random ordered
+// triplets of distinct nodes, serially and per-pair — a lower bound on the
+// exact ζ. Colliding index draws are redrawn until distinct, so the full
+// sample budget is always evaluated; a triplet costs a geometrically
+// distributed number of extra draws with expectation below 3/(n−2), i.e.
+// at most 3 expected draws per triplet even at the minimum n = 3.
+// Prefer ZetaSampledBatch for large spaces: it draws whole rows and runs
+// on the worker pool.
+func ZetaSampled(d Space, samples int, src *rng.Source) float64 {
+	n := d.N()
+	if n < 3 {
+		return DefaultZetaFloor
+	}
+	best := DefaultZetaFloor
+	for s := 0; s < samples; s++ {
+		x, y, z := distinctTriplet(src, n)
+		zt := zetaTriplet(math.Log(d.F(x, y)), math.Log(d.F(x, z)), math.Log(d.F(z, y)), 1e-12)
+		if zt > best {
+			best = zt
+		}
+	}
+	return best
+}
+
+// distinctTriplet draws an ordered triplet of pairwise-distinct indices in
+// [0, n), redrawing collisions. Requires n ≥ 3.
+func distinctTriplet(src *rng.Source, n int) (x, y, z int) {
+	x = src.Intn(n)
+	y = src.Intn(n)
+	for y == x {
+		y = src.Intn(n)
+	}
+	z = src.Intn(n)
+	for z == x || z == y {
+		z = src.Intn(n)
+	}
+	return x, y, z
+}
+
+// ZetaSampledBatch estimates ζ from `samples` random triplets drawn in
+// whole-row strata (see sampledScan). It returns the estimate — a lower
+// bound on the exact ζ — and the number of triplets evaluated (exactly
+// samples). Deterministic in (d, samples, src).
+func ZetaSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
+	return sampledScan(d, samples, src, DefaultZetaFloor,
+		func(pr *rng.Source, rowX, rowZ []float64, x, z, budget int) (float64, int) {
+			n := len(rowX)
+			b := math.Log(rowX[z]) // ln f(x,z)
+			local := DefaultZetaFloor
+			for s := 0; s < budget; s++ {
+				y := pr.Intn(n)
+				for y == x || y == z {
+					y = pr.Intn(n)
+				}
+				a := math.Log(rowX[y]) // ln f(x,y)
+				if a <= b {
+					continue // right side dominates at every ζ
+				}
+				c := math.Log(rowZ[y]) // ln f(z,y)
+				if a <= c {
+					continue
+				}
+				if zt := zetaTriplet(a, b, c, 1e-12); zt > local {
+					local = zt
+				}
+			}
+			return local, budget
+		})
+}
+
+// VarphiSampledBatch is the ϕ analogue of ZetaSampledBatch: each resident
+// (x, y) row pair is probed with draws of the ratio f(x,z)/(f(x,y)+f(y,z)).
+// Returns the estimate — a lower bound on the exact ϕ, never below the 1/2
+// floor — and the number of triplets evaluated. Deterministic in
+// (d, samples, src).
+func VarphiSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
+	return sampledScan(d, samples, src, 0.5,
+		func(pr *rng.Source, rowX, rowY []float64, x, y, budget int) (float64, int) {
+			n := len(rowX)
+			fxy := rowX[y]
+			local := 0.5
+			for s := 0; s < budget; s++ {
+				z := pr.Intn(n)
+				for z == x || z == y {
+					z = pr.Intn(n)
+				}
+				if r := rowX[z] / (fxy + rowY[z]); r > local {
+					local = r
+				}
+			}
+			return local, budget
+		})
+}
+
+// sampledScan is the shared driver of the batched estimators: the sample
+// budget is split into strata of sampleRowBlock draws, each stratum samples
+// a row pair (a, b) — a stratified round-robin over a random permutation of
+// the nodes (every node's out-row is visited before any repeats), b drawn
+// uniformly distinct from a — fetches both decay rows once through the
+// RowSpace batch contract, and hands them to pairKernel for `budget` draws
+// (the final stratum takes the budget remainder, so exactly `samples`
+// triplets are evaluated in total). Strata run on the shared worker pool
+// with per-stratum SplitMix64 streams derived up front, so the returned
+// (max statistic, evaluated count) is deterministic in (d, samples, src)
+// regardless of scheduling. floor seeds the maximum for empty and
+// undersized inputs.
+func sampledScan(d Space, samples int, src *rng.Source, floor float64,
+	pairKernel func(pr *rng.Source, rowA, rowB []float64, a, b, budget int) (float64, int)) (float64, int) {
+	n := d.N()
+	if n < 3 || samples <= 0 {
+		return floor, 0
+	}
+	rs := Rows(d)
+	strata := (samples + sampleRowBlock - 1) / sampleRowBlock
+	perm := src.Perm(n)
+	seeds := make([]uint64, strata)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+	var bestBits atomic.Uint64
+	bestBits.Store(math.Float64bits(floor))
+	var evaluated atomic.Int64
+	par.ForChunked(strata, func(lo, hi int) {
+		rowA := make([]float64, n)
+		rowB := make([]float64, n)
+		pr := rng.New(0) // reseeded per stratum; one allocation per chunk
+		local := floor
+		count := 0
+		for k := lo; k < hi; k++ {
+			pr.Seed(seeds[k])
+			a := perm[k%n]
+			b := pr.Intn(n)
+			for b == a {
+				b = pr.Intn(n)
+			}
+			rs.Row(a, rowA)
+			rs.Row(b, rowB)
+			budget := sampleRowBlock
+			if k == strata-1 {
+				if rem := samples - k*sampleRowBlock; rem > 0 {
+					budget = rem
+				}
+			}
+			got, kCount := pairKernel(pr, rowA, rowB, a, b, budget)
+			count += kCount
+			if got > local {
+				local = got
+			}
+		}
+		storeMax(&bestBits, local)
+		evaluated.Add(int64(count))
+	})
+	return math.Float64frombits(bestBits.Load()), int(evaluated.Load())
+}

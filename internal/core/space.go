@@ -33,6 +33,27 @@ type Space interface {
 	F(i, j int) float64
 }
 
+// Symmetric is the optional marker contract on decay spaces that can
+// certify f(i,j) == f(j,i) exactly. The triplet kernels (ZetaTol, Varphi)
+// use it to halve the scanned triplet set: each unordered endpoint pair is
+// visited once instead of twice. Implementations must only return true for
+// bitwise-exact symmetry — the halved kernels rely on equality, not
+// closeness. Geometric spaces are symmetric by construction; dense matrices
+// check their storage.
+type Symmetric interface {
+	Space
+	// Symmetric reports whether f(i,j) == f(j,i) for all pairs, exactly.
+	Symmetric() bool
+}
+
+// KnownSymmetric reports whether d certifies exact symmetry through the
+// Symmetric marker. Spaces without the marker report false (the kernels
+// then run the full ordered-triplet scan, which is always correct).
+func KnownSymmetric(d Space) bool {
+	s, ok := d.(Symmetric)
+	return ok && s.Symmetric()
+}
+
 // RowSpace is the optional batch contract on decay spaces: Row fills dst
 // (length ≥ N()) with the decays f(i, 0..N-1) in one call. Batch consumers
 // (ζ/ϕ scans, dense affectance, quasi-metric materialization) use it to
@@ -71,8 +92,9 @@ type Matrix struct {
 }
 
 var (
-	_ Space    = (*Matrix)(nil)
-	_ RowSpace = (*Matrix)(nil)
+	_ Space     = (*Matrix)(nil)
+	_ RowSpace  = (*Matrix)(nil)
+	_ Symmetric = (*Matrix)(nil)
 )
 
 // Validation errors returned by NewMatrix and Validate.
@@ -146,6 +168,20 @@ func (m *Matrix) Row(i int, dst []float64) {
 // row returns row i without copying — the in-package fast path.
 func (m *Matrix) row(i int) []float64 {
 	return m.f[i*m.n : (i+1)*m.n]
+}
+
+// Symmetric reports exact (bitwise) symmetry of the stored matrix — the
+// core.Symmetric marker. The O(n²) check is free next to the O(n³) triplet
+// scans it unlocks, and rechecking on each call keeps Set safe.
+func (m *Matrix) Symmetric() bool {
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if m.f[i*m.n+j] != m.f[j*m.n+i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Set overwrites the decay from i to j. Diagonal writes are ignored.

@@ -93,3 +93,52 @@ func ForChunked(n int, body func(lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// ForTiles runs body over a partition of the n×n index square into
+// tile×tile blocks (the boundary blocks are smaller), dispatching blocks on
+// the shared pool. It is the driver of the cache-blocked triplet kernels:
+// within one block the rows indexed by [xlo,xhi) and [zlo,zhi) stay
+// resident, so an O(n³) scan touches each row O(n/tile) times instead of
+// O(n). Blocks must be independent; body must not call back into the pool.
+// The final block runs on the caller's goroutine, so — as with ForChunked —
+// a saturated pool degrades to inline execution rather than deadlocking.
+func ForTiles(n, tile int, body func(xlo, xhi, zlo, zhi int)) {
+	if n <= 0 {
+		return
+	}
+	if tile <= 0 || tile >= n {
+		body(0, n, 0, n)
+		return
+	}
+	startOnce.Do(start)
+	tiles := (n + tile - 1) / tile
+	// Without a usable pool the blocks still run — serially, in order: the
+	// cache-blocking structure is worth keeping even single-threaded.
+	serial := workers < 2 || tiles*tiles < 2
+	var wg sync.WaitGroup
+	last := tiles*tiles - 1
+	for k := 0; k <= last; k++ {
+		xlo := (k / tiles) * tile
+		zlo := (k % tiles) * tile
+		xhi, zhi := xlo+tile, zlo+tile
+		if xhi > n {
+			xhi = n
+		}
+		if zhi > n {
+			zhi = n
+		}
+		if serial || k == last {
+			body(xlo, xhi, zlo, zhi)
+			continue
+		}
+		wg.Add(1)
+		xl, xh, zl, zh := xlo, xhi, zlo, zhi
+		select {
+		case jobs <- func() { defer wg.Done(); body(xl, xh, zl, zh) }:
+		default:
+			body(xl, xh, zl, zh)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17, 1000} {
+		hits := make([]atomic.Int32, n)
+		For(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForChunkedPartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 31, 257} {
+		hits := make([]atomic.Int32, n)
+		ForChunked(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad chunk [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// TestForTilesCoversSquare: every (x,z) cell of the n×n square is visited
+// exactly once, for tile sizes below, at and above n, including the
+// serial-fallback paths.
+func TestForTilesCoversSquare(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 130} {
+		for _, tile := range []int{0, 1, 3, 16, 64, 200} {
+			var mu sync.Mutex
+			hits := make([]int, n*n)
+			ForTiles(n, tile, func(xlo, xhi, zlo, zhi int) {
+				if xlo < 0 || xhi > n || xlo > xhi || zlo < 0 || zhi > n || zlo > zhi {
+					t.Errorf("n=%d tile=%d: bad block [%d,%d)x[%d,%d)", n, tile, xlo, xhi, zlo, zhi)
+				}
+				mu.Lock()
+				for x := xlo; x < xhi; x++ {
+					for z := zlo; z < zhi; z++ {
+						hits[x*n+z]++
+					}
+				}
+				mu.Unlock()
+			})
+			for i, got := range hits {
+				if got != 1 {
+					t.Fatalf("n=%d tile=%d: cell (%d,%d) visited %d times", n, tile, i/n, i%n, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForTilesBlockShape: with a tile evenly dividing n, every block is
+// exactly tile×tile.
+func TestForTilesBlockShape(t *testing.T) {
+	const n, tile = 64, 16
+	var blocks atomic.Int32
+	ForTiles(n, tile, func(xlo, xhi, zlo, zhi int) {
+		if xhi-xlo != tile || zhi-zlo != tile {
+			t.Errorf("block [%d,%d)x[%d,%d) is not %dx%d", xlo, xhi, zlo, zhi, tile, tile)
+		}
+		blocks.Add(1)
+	})
+	if want := int32((n / tile) * (n / tile)); blocks.Load() != want {
+		t.Fatalf("got %d blocks, want %d", blocks.Load(), want)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is active. Allocation
+// assertions skip under -race: the detector instruments allocations and
+// makes sync.Pool intentionally drop items, so allocs/op floors that hold
+// in production builds do not hold there.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -22,6 +22,13 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Seed resets the receiver to the stream New(seed) would produce. It lets
+// hot loops reuse one Source across many deterministic sub-streams instead
+// of allocating a fresh generator per stream.
+func (s *Source) Seed(seed uint64) {
+	s.state = seed
+}
+
 // mix is the SplitMix64 output function applied to z.
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -7,7 +7,6 @@ package schedule
 
 import (
 	"errors"
-	"sort"
 
 	"decaynet/internal/sinr"
 )
@@ -22,17 +21,24 @@ type CapacityFunc func(s *sinr.System, p sinr.Power, links []int) []int
 var ErrStalled = errors.New("schedule: capacity routine selected no links")
 
 // ByCapacity schedules links by repeatedly extracting a feasible subset
-// with cap and assigning it to the next slot.
+// with cap and assigning it to the next slot. One []bool membership scratch
+// (indexed by link id) is reused across slots, so the loop allocates only
+// the returned schedule: one owned slice per slot plus the remaining-set
+// copy.
 func ByCapacity(s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([][]int, error) {
 	remaining := append([]int(nil), links...)
 	var slots [][]int
+	inSlot := make([]bool, s.Len())
 	for len(remaining) > 0 {
 		slot := cap(s, p, remaining)
 		if len(slot) == 0 {
 			return nil, ErrStalled
 		}
+		// Own the slot before compacting: cap is a public extension point
+		// and may return a slice aliasing remaining, whose backing array
+		// the in-place compaction below overwrites.
+		slot = append([]int(nil), slot...)
 		slots = append(slots, slot)
-		inSlot := make(map[int]bool, len(slot))
 		for _, v := range slot {
 			inSlot[v] = true
 		}
@@ -42,6 +48,9 @@ func ByCapacity(s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([]
 				next = append(next, v)
 			}
 		}
+		for _, v := range slot {
+			inSlot[v] = false
+		}
 		remaining = next
 	}
 	return slots, nil
@@ -49,27 +58,24 @@ func ByCapacity(s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([]
 
 // FirstFit schedules links in decay order, placing each into the first slot
 // that remains feasible with it, opening a new slot when none does. It
-// fails with ErrStalled if a link is infeasible even alone.
+// fails with ErrStalled if a link is infeasible even alone. Decay sort keys
+// are precomputed (no virtual F calls inside the comparator) and slot
+// probes run through sinr.IsFeasibleWith, so beyond the returned slots the
+// call allocates only its order copy and keys scratch — nothing
+// per-iteration.
 func FirstFit(s *sinr.System, p sinr.Power, links []int) ([][]int, error) {
 	order := append([]int(nil), links...)
-	sort.Slice(order, func(a, b int) bool {
-		da, db := s.Decay(order[a]), s.Decay(order[b])
-		if da != db {
-			return da < db
-		}
-		return order[a] < order[b]
-	})
+	sinr.SortByDecay(s, order, make([]float64, s.Len()))
 	var slots [][]int
 next:
 	for _, v := range order {
 		for i := range slots {
-			cand := append(slots[i], v)
-			if sinr.IsFeasible(s, p, cand) {
-				slots[i] = cand
+			if sinr.IsFeasibleWith(s, p, slots[i], v) {
+				slots[i] = append(slots[i], v)
 				continue next
 			}
 		}
-		if !sinr.IsFeasible(s, p, []int{v}) {
+		if !sinr.IsFeasibleWith(s, p, nil, v) {
 			return nil, ErrStalled
 		}
 		slots = append(slots, []int{v})

@@ -8,6 +8,7 @@ import (
 	"decaynet/internal/capacity"
 	"decaynet/internal/core"
 	"decaynet/internal/geom"
+	"decaynet/internal/race"
 	"decaynet/internal/rng"
 	"decaynet/internal/sinr"
 )
@@ -160,5 +161,69 @@ func TestUniformSpaceScheduleLength(t *testing.T) {
 	}
 	if Length(slots) != 4 {
 		t.Errorf("uniform schedule length = %d, want 4", Length(slots))
+	}
+}
+
+// TestScheduleAllocationFloor: over a warm affectance cache the schedulers
+// allocate only the returned slot structure — roughly one slice per slot
+// plus growth — never per-iteration maps or comparator closures.
+func TestScheduleAllocationFloor(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation floors do not hold under the race detector")
+	}
+	sys := planeSystem(t, 13, 40, 3, 25, sinr.WithNoise(0.001))
+	p := sinr.UniformPower(sys, 1)
+	links := capacity.AllLinks(sys)
+	sys.Affectances(p)
+	slots, err := ByCapacity(sys, p, links, capacity.Algorithm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: one alloc per returned slot (the slot slice and the capacity
+	// routine's subset coincide), the remaining-copy, membership scratch,
+	// slots growth, and pool slack.
+	budget := float64(2*len(slots) + 8)
+	if avg := testing.AllocsPerRun(50, func() { ByCapacity(sys, p, links, capacity.Algorithm1) }); avg > budget {
+		t.Errorf("ByCapacity allocates %.1f/op, want <= %.0f (%d slots)", avg, budget, len(slots))
+	}
+	ffSlots, err := FirstFit(sys, p, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget = float64(3*len(ffSlots) + 10) // slot opens + amortized growth + order/keys
+	if avg := testing.AllocsPerRun(50, func() { FirstFit(sys, p, links) }); avg > budget {
+		t.Errorf("FirstFit allocates %.1f/op, want <= %.0f (%d slots)", avg, budget, len(ffSlots))
+	}
+}
+
+// TestByCapacityToleratesAliasingCapacityFunc: CapacityFunc is a public
+// extension point; a zero-alloc routine may legitimately return a slice
+// aliasing the links argument. ByCapacity must own each slot before its
+// in-place compaction reuses that backing array.
+func TestByCapacityToleratesAliasingCapacityFunc(t *testing.T) {
+	sys := planeSystem(t, 11, 20, 4, 200) // sparse: big feasible prefixes
+	p := sinr.UniformPower(sys, 1)
+	links := capacity.AllLinks(sys)
+	// Return the first half of the remainder as a prefix of the argument —
+	// maximal aliasing pressure on the compaction.
+	aliasCap := func(s *sinr.System, p sinr.Power, ls []int) []int {
+		k := (len(ls) + 1) / 2
+		return ls[:k]
+	}
+	slots, err := ByCapacity(sys, p, links, aliasCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, slot := range slots {
+		for _, v := range slot {
+			if seen[v] {
+				t.Fatalf("link %d scheduled twice: aliased slot was corrupted", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != len(links) {
+		t.Fatalf("schedule covers %d of %d links", len(seen), len(links))
 	}
 }

@@ -65,18 +65,7 @@ func OutAffectance(s *System, p Power, v int, set []int) float64 {
 // the links in set transmit simultaneously with powers p (Eq. 1). v itself
 // is excluded from the interference sum whether or not it appears in set.
 func SINR(s *System, p Power, set []int, v int) float64 {
-	signal := p[v] / s.Decay(v)
-	interference := s.noise
-	for _, w := range set {
-		if w == v {
-			continue
-		}
-		interference += p[w] / s.CrossDecay(w, v)
-	}
-	if interference == 0 {
-		return math.Inf(1)
-	}
-	return signal / interference
+	return sinrWith(s, p, set, v, v) // extra == v contributes nothing
 }
 
 // Succeeds reports whether link v meets the SINR threshold β when set
@@ -94,6 +83,41 @@ func IsFeasible(s *System, p Power, set []int) bool {
 		}
 	}
 	return true
+}
+
+// IsFeasibleWith reports whether set ∪ {extra} is feasible, without
+// materializing the union — the allocation-free probe the first-fit
+// scheduler runs once per (link, slot) pair. extra must not already be a
+// member of set.
+func IsFeasibleWith(s *System, p Power, set []int, extra int) bool {
+	if sinrWith(s, p, set, extra, extra) < s.beta {
+		return false
+	}
+	for _, v := range set {
+		if sinrWith(s, p, set, extra, v) < s.beta {
+			return false
+		}
+	}
+	return true
+}
+
+// sinrWith is SINR over the implicit set ∪ {extra}, evaluated at link v.
+func sinrWith(s *System, p Power, set []int, extra, v int) float64 {
+	signal := p[v] / s.Decay(v)
+	interference := s.noise
+	for _, w := range set {
+		if w == v {
+			continue
+		}
+		interference += p[w] / s.CrossDecay(w, v)
+	}
+	if extra != v {
+		interference += p[extra] / s.CrossDecay(extra, v)
+	}
+	if interference == 0 {
+		return math.Inf(1)
+	}
+	return signal / interference
 }
 
 // IsKFeasible reports whether a_S(v) ≤ 1/K for every link v in S (with

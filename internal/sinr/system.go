@@ -8,7 +8,8 @@ package sinr
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"sync"
 
 	"decaynet/internal/core"
@@ -31,28 +32,89 @@ type System struct {
 
 	zetaOnce sync.Once
 	zeta     float64
+	zetaFn   func() float64 // optional lazy ζ source (WithZetaFunc)
 	qm       *core.QuasiMetric
 
-	// Single-slot cache of the dense affectance matrix keyed by the power
-	// vector's values: the scheduling/capacity loops call the affectance
-	// routines with one power assignment many times over.
-	affMu sync.Mutex
-	affP  Power
-	aff   *Affectances
+	// Small LRU cache of dense affectance matrices keyed by a fingerprint
+	// of the power vector's values: the scheduling/capacity loops call the
+	// affectance routines with one power assignment many times over, and
+	// workloads comparing power schemes (uniform / linear / mean /
+	// oblivious search) alternate among a handful.
+	affMu    sync.Mutex
+	affTick  uint64
+	affCache [affCacheSlots]affEntry
 }
 
-// Affectances returns the dense affectance cache for p, recomputing only
-// when p differs from the previously cached power vector. Callers must not
-// mutate p after passing it here.
+// affCacheSlots is the affectance LRU capacity: enough for the power
+// schemes a comparison workload alternates among, small enough that stale
+// dense matrices don't pin memory.
+const affCacheSlots = 4
+
+// affEntry is one affectance LRU slot. fp is the fast reject; p is the
+// retained copy that confirms a fingerprint match, so hash collisions cost
+// a recompute, never a wrong matrix.
+type affEntry struct {
+	fp    uint64
+	p     Power
+	aff   *Affectances
+	stamp uint64 // last-use tick; 0 marks an empty slot
+}
+
+// Affectances returns the dense affectance cache for p, recomputing only on
+// an LRU miss. The O(links²) build runs outside the cache lock, so a miss
+// never stalls concurrent hits; two goroutines missing on the same power
+// may both compute, and the first insert wins. Callers must not mutate p
+// after passing it here.
 func (s *System) Affectances(p Power) *Affectances {
+	fp := powerFingerprint(p)
+	s.affMu.Lock()
+	if a := s.affLookup(fp, p); a != nil {
+		s.affMu.Unlock()
+		return a
+	}
+	s.affMu.Unlock()
+	aff := ComputeAffectances(s, p)
 	s.affMu.Lock()
 	defer s.affMu.Unlock()
-	if s.aff != nil && powerEqual(s.affP, p) {
-		return s.aff
+	if a := s.affLookup(fp, p); a != nil {
+		return a // lost the race: share the first insert's matrix
 	}
-	s.aff = ComputeAffectances(s, p)
-	s.affP = append(Power(nil), p...)
-	return s.aff
+	victim := 0
+	for i := 1; i < affCacheSlots; i++ {
+		if s.affCache[i].stamp < s.affCache[victim].stamp {
+			victim = i
+		}
+	}
+	s.affTick++
+	s.affCache[victim] = affEntry{fp: fp, p: append(Power(nil), p...), aff: aff, stamp: s.affTick}
+	return aff
+}
+
+// affLookup returns the cached matrix for (fp, p) and refreshes its LRU
+// stamp, or nil on a miss. The caller must hold affMu.
+func (s *System) affLookup(fp uint64, p Power) *Affectances {
+	for i := range s.affCache {
+		e := &s.affCache[i]
+		if e.aff != nil && e.fp == fp && powerEqual(e.p, p) {
+			s.affTick++
+			e.stamp = s.affTick
+			return e.aff
+		}
+	}
+	return nil
+}
+
+// powerFingerprint hashes a power vector's length and float bits
+// (SplitMix64 mixing), the LRU key of the affectance cache.
+func powerFingerprint(p Power) uint64 {
+	h := uint64(len(p))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, v := range p {
+		h ^= math.Float64bits(v)
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
 }
 
 func powerEqual(a, b Power) bool {
@@ -89,6 +151,14 @@ func WithZeta(z float64) Option {
 			s.qm = core.NewQuasiMetric(s.space, z)
 		})
 	}
+}
+
+// WithZetaFunc supplies a lazy metricity source consulted instead of the
+// exact scan on first use (Engine's sampled-estimator routing: the
+// estimate is only paid for when ζ is actually consumed). A WithZeta value
+// takes precedence; fn runs at most once.
+func WithZetaFunc(fn func() float64) Option {
+	return func(s *System) { s.zetaFn = fn }
 }
 
 // NewSystem validates and builds a system. Links must reference distinct
@@ -169,7 +239,11 @@ func (s *System) QuasiMetric() *core.QuasiMetric {
 
 func (s *System) ensureQuasiMetric() {
 	s.zetaOnce.Do(func() {
-		s.zeta = core.Zeta(s.space)
+		if s.zetaFn != nil {
+			s.zeta = s.zetaFn()
+		} else {
+			s.zeta = core.Zeta(s.space)
+		}
 		s.qm = core.NewQuasiMetric(s.space, s.zeta)
 	})
 }
@@ -207,7 +281,7 @@ func (s *System) Sub(linkIdx []int) *System {
 	for i, v := range linkIdx {
 		links[i] = s.links[v]
 	}
-	out := &System{space: s.space, links: links, noise: s.noise, beta: s.beta}
+	out := &System{space: s.space, links: links, noise: s.noise, beta: s.beta, zetaFn: s.zetaFn}
 	if s.qm != nil {
 		out.zetaOnce.Do(func() {
 			out.zeta = s.zeta
@@ -224,16 +298,27 @@ func (s *System) DecayOrder() []int {
 	for i := range order {
 		order[i] = i
 	}
-	decays := make([]float64, len(s.links))
-	for i := range decays {
-		decays[i] = s.Decay(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		va, vb := order[a], order[b]
-		if decays[va] != decays[vb] {
-			return decays[va] < decays[vb]
-		}
-		return va < vb // deterministic tie-break
-	})
+	SortByDecay(s, order, make([]float64, len(s.links)))
 	return order
+}
+
+// SortByDecay sorts the link indices in order by non-decreasing decay f_vv
+// with deterministic index tie-breaks — the ≺ order every greedy routine
+// processes links in. keys (length ≥ s.Len(), indexed by link id) receives
+// the precomputed decay values, so the comparator makes no virtual F
+// calls; callers on hot paths pass a reusable scratch slice.
+func SortByDecay(s *System, order []int, keys []float64) {
+	for _, v := range order {
+		keys[v] = s.Decay(v)
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case keys[a] < keys[b]:
+			return -1
+		case keys[a] > keys[b]:
+			return 1
+		default:
+			return a - b
+		}
+	})
 }

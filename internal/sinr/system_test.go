@@ -181,3 +181,127 @@ func TestDecayOrderTiesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestAffectanceCacheHit: equal power vectors (by value, not identity)
+// return the identical cached matrix.
+func TestAffectanceCacheHit(t *testing.T) {
+	sys := lineSystem(t, 6, 2)
+	p1 := UniformPower(sys, 1)
+	p2 := UniformPower(sys, 1) // distinct slice, equal values
+	a := sys.Affectances(p1)
+	if b := sys.Affectances(p2); b != a {
+		t.Fatal("equal power vector missed the cache")
+	}
+}
+
+// TestAffectanceLRUHoldsAlternatingPowers: the LRU (the ROADMAP's
+// multi-slot upgrade of the single-slot cache) keeps all of a comparison
+// workload's power schemes resident — alternating among them never
+// recomputes.
+func TestAffectanceLRUHoldsAlternatingPowers(t *testing.T) {
+	sys := lineSystem(t, 6, 2)
+	powers := []Power{
+		UniformPower(sys, 1),
+		LinearPower(sys, 1),
+		MeanPower(sys, 1),
+	}
+	first := make([]*Affectances, len(powers))
+	for i, p := range powers {
+		first[i] = sys.Affectances(p)
+	}
+	for round := 0; round < 3; round++ {
+		for i, p := range powers {
+			if got := sys.Affectances(p); got != first[i] {
+				t.Fatalf("round %d: power %d was evicted", round, i)
+			}
+		}
+	}
+}
+
+// TestAffectanceLRUEvictsOldest: pushing more distinct powers than slots
+// evicts the least recently used entry, and the evicted matrix is rebuilt
+// correctly on return.
+func TestAffectanceLRUEvictsOldest(t *testing.T) {
+	sys := lineSystem(t, 4, 2)
+	mk := func(scale float64) Power { return UniformPower(sys, scale) }
+	p0 := mk(1)
+	a0 := sys.Affectances(p0)
+	for i := 0; i < affCacheSlots; i++ { // fill the remaining slots and one more
+		sys.Affectances(mk(float64(i + 2)))
+	}
+	b0 := sys.Affectances(p0)
+	if b0 == a0 {
+		t.Fatal("oldest entry survived cache overflow")
+	}
+	// Rebuilt matrix must agree with the original values.
+	for w := 0; w < sys.Len(); w++ {
+		for v := 0; v < sys.Len(); v++ {
+			if b0.Raw(w, v) != a0.Raw(w, v) {
+				t.Fatalf("rebuilt affectance differs at (%d,%d)", w, v)
+			}
+		}
+	}
+}
+
+// TestAffectanceCacheMatchesDirectCompute: cached matrices agree with a
+// direct ComputeAffectances for every cached power.
+func TestAffectanceCacheMatchesDirectCompute(t *testing.T) {
+	sys := randomSystem(t, 41, 8, 0.5, 5, WithNoise(0.01), WithZeta(2))
+	for _, p := range []Power{UniformPower(sys, 1), LinearPower(sys, 2), MeanPower(sys, 3)} {
+		got := sys.Affectances(p)
+		want := ComputeAffectances(sys, p)
+		for w := 0; w < sys.Len(); w++ {
+			for v := 0; v < sys.Len(); v++ {
+				if got.Raw(w, v) != want.Raw(w, v) {
+					t.Fatalf("cached affectance differs at (%d,%d)", w, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPowerFingerprintDistinguishes: the fingerprint separates the standard
+// power schemes and length prefixes (collisions are only a perf hazard, but
+// the standard schemes must not collide).
+func TestPowerFingerprintDistinguishes(t *testing.T) {
+	sys := randomSystem(t, 47, 5, 0.5, 8, WithZeta(2))
+	fps := map[uint64]string{}
+	for name, p := range map[string]Power{
+		"uniform":  UniformPower(sys, 1),
+		"uniform2": UniformPower(sys, 2),
+		"linear":   LinearPower(sys, 1),
+		"mean":     MeanPower(sys, 1),
+		"prefix":   UniformPower(sys, 1)[:4],
+	} {
+		fp := powerFingerprint(p)
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("fingerprint collision: %s vs %s", name, prev)
+		}
+		fps[fp] = name
+	}
+}
+
+// TestIsFeasibleWithMatchesUnion: the allocation-free probe agrees with
+// IsFeasible on the materialized union.
+func TestIsFeasibleWithMatchesUnion(t *testing.T) {
+	sys := randomSystem(t, 43, 7, 0.5, 8, WithNoise(0.02), WithZeta(2))
+	p := UniformPower(sys, 3)
+	sets := [][]int{nil, {0}, {1, 2}, {0, 3, 5}, {1, 2, 4, 6}}
+	for _, set := range sets {
+		for v := 0; v < sys.Len(); v++ {
+			member := false
+			for _, w := range set {
+				if w == v {
+					member = true
+				}
+			}
+			if member {
+				continue
+			}
+			union := append(append([]int(nil), set...), v)
+			if got, want := IsFeasibleWith(sys, p, set, v), IsFeasible(sys, p, union); got != want {
+				t.Fatalf("set %v + %d: IsFeasibleWith %v, IsFeasible %v", set, v, got, want)
+			}
+		}
+	}
+}
