@@ -7,6 +7,7 @@ package decaynet
 
 import (
 	"math"
+	"os"
 	"sort"
 	"testing"
 
@@ -262,8 +263,20 @@ func TestScenarioRegistryRoundTripsBuiltins(t *testing.T) {
 	if len(names) < 10 {
 		t.Fatalf("expected the built-in scenarios registered, got %v", names)
 	}
+	// The file-backed "trace" scenario needs a campaign on disk.
+	synth, err := SynthesizeCampaign(SynthConfig{N: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := writeSampleCampaign(t, "roundtrip.csv", func(f *os.File) error {
+		return WriteCampaignCSV(f, synth.Campaign)
+	})
 	for _, name := range names {
-		inst, err := BuildScenario(name, ScenarioConfig{Seed: 3})
+		cfg := ScenarioConfig{Seed: 3}
+		if name == "trace" {
+			cfg.Path = tracePath
+		}
+		inst, err := BuildScenario(name, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -279,7 +292,7 @@ func TestScenarioRegistryRoundTripsBuiltins(t *testing.T) {
 		if len(inst.Links) == 0 {
 			t.Fatalf("%s: no links", name)
 		}
-		eng, err := NewEngine(UsingScenario(name, ScenarioConfig{Seed: 3}))
+		eng, err := NewEngine(UsingScenario(name, cfg))
 		if err != nil {
 			t.Fatalf("%s: engine: %v", name, err)
 		}
@@ -287,7 +300,7 @@ func TestScenarioRegistryRoundTripsBuiltins(t *testing.T) {
 			t.Fatalf("%s: engine mismatch (%q, %d links vs %d)", name, eng.Scenario(), eng.Len(), len(inst.Links))
 		}
 		// Determinism: the same config builds the same space.
-		inst2, err := BuildScenario(name, ScenarioConfig{Seed: 3})
+		inst2, err := BuildScenario(name, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 //
 //	capsim -scenario plane -links 40 -alpha 3 -side 80 -seed 1
 //	capsim -scenario office -links 20
+//	capsim -scenario trace -path campaign.csv
 //	capsim -matrix space.json
 //	capsim -list
 package main
@@ -30,6 +31,7 @@ func main() {
 		alpha        = flag.Float64("alpha", 0, "path-loss exponent (0 = scenario default)")
 		side         = flag.Float64("side", 0, "deployment extent (0 = scenario default)")
 		seed         = flag.Uint64("seed", 1, "scenario seed")
+		path         = flag.String("path", "", "input path for file-backed scenarios (e.g. -scenario trace)")
 		matrix       = flag.String("matrix", "", "JSON decay matrix to load instead of a scenario")
 		beta         = flag.Float64("beta", 1, "SINR threshold")
 		noise        = flag.Float64("noise", 0, "ambient noise")
@@ -42,14 +44,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenarioName, *nLinks, *alpha, *side, *seed, *matrix, *beta, *noise); err != nil {
+	if err := run(*scenarioName, *nLinks, *alpha, *side, *seed, *path, *matrix, *beta, *noise); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioName string, nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) error {
-	eng, err := buildEngine(scenarioName, nLinks, alpha, side, seed, matrix, beta, noise)
+func run(scenarioName string, nLinks int, alpha, side float64, seed uint64, path, matrix string, beta, noise float64) error {
+	eng, err := buildEngine(scenarioName, nLinks, alpha, side, seed, path, matrix, beta, noise)
 	if err != nil {
 		return err
 	}
@@ -86,7 +88,7 @@ func run(scenarioName string, nLinks int, alpha, side float64, seed uint64, matr
 	return nil
 }
 
-func buildEngine(scenarioName string, nLinks int, alpha, side float64, seed uint64, matrix string, beta, noise float64) (*decaynet.Engine, error) {
+func buildEngine(scenarioName string, nLinks int, alpha, side float64, seed uint64, path, matrix string, beta, noise float64) (*decaynet.Engine, error) {
 	if matrix != "" {
 		f, err := os.Open(matrix)
 		if err != nil {
@@ -109,7 +111,7 @@ func buildEngine(scenarioName string, nLinks int, alpha, side float64, seed uint
 	}
 	return decaynet.NewEngine(
 		decaynet.UsingScenario(scenarioName, decaynet.ScenarioConfig{
-			Links: nLinks, Side: side, Alpha: alpha, Seed: seed,
+			Links: nLinks, Side: side, Alpha: alpha, Seed: seed, Path: path,
 		}),
 		decaynet.Beta(beta),
 		decaynet.Noise(noise),

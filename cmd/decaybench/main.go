@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"decaynet/internal/scenario"
 	"decaynet/internal/schedule"
 	"decaynet/internal/sinr"
+	"decaynet/internal/trace"
 )
 
 func main() {
@@ -95,6 +97,10 @@ type benchResult struct {
 // while staying in single-digit seconds.
 const sampledBenchBudget = 1_000_000
 
+// ingestBenchNodes sizes the trace-ingestion op: a 1024-node synthetic
+// campaign whose 90% drop rate leaves ~10⁵ readings.
+const ingestBenchNodes = 1024
+
 // runBench benchmarks the tiled ζ/ϕ and dense-affectance paths against the
 // per-pair baselines plus the allocation-lean scheduling ops on an n-node
 // random matrix space, optionally adds the large-n suite, and writes the
@@ -154,6 +160,31 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 		}
 	})
 
+	// Campaign ingestion: parse + clean a ~10⁵-reading synthetic campaign
+	// (n=1024, 90% of readings dropped so geometry-backed imputation does
+	// real work). The op covers the whole measured-trace hot path: CSV
+	// parse, per-pair aggregation, asymmetry audit, path-loss fit,
+	// imputation and Def 2.1 validation.
+	synth, err := trace.Synthesize(trace.SynthConfig{N: ingestBenchNodes, Repeats: 1, DropRate: 0.9, Seed: 7})
+	if err != nil {
+		return err
+	}
+	var campBuf bytes.Buffer
+	if err := trace.WriteCSV(&campBuf, synth.Campaign); err != nil {
+		return err
+	}
+	campBytes := campBuf.Bytes()
+	fmt.Printf("%-24s n=%-5d %12d readings\n", "trace/ingest (setup)", ingestBenchNodes, len(synth.Campaign.Readings))
+	record("trace/ingest", ingestBenchNodes, func() {
+		camp, err := trace.Read(bytes.NewReader(campBytes), trace.CSV)
+		if err != nil {
+			panic(err)
+		}
+		if _, _, err := trace.Clean(camp, trace.Options{Points: synth.Points}); err != nil {
+			panic(err)
+		}
+	})
+
 	if large {
 		for _, ln := range []int{512, 1024} {
 			li, err := scenario.Build("random", scenario.Config{Nodes: ln, Seed: 7})
@@ -172,6 +203,15 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 		record("varphi/sampled-batch", 4096, func() {
 			core.VarphiSampledBatch(huge.Space, sampledBenchBudget, rng.New(11))
 		})
+		// Surface the concentration summary next to the timed ops: the
+		// point estimate, its strata, and the Hoeffding half-width over
+		// stratum maxima (how settled the sampled value is at this budget).
+		ze := core.ZetaSampledEstimate(huge.Space, sampledBenchBudget, rng.New(11))
+		fmt.Printf("zeta/sampled-batch     n=4096 estimate %.4f (%d strata, E[stratum max] %.4f ±%.4f @95%%)\n",
+			ze.Value, ze.Strata, ze.MeanStratumMax, ze.HalfWidth95)
+		ve := core.VarphiSampledEstimate(huge.Space, sampledBenchBudget, rng.New(11))
+		fmt.Printf("varphi/sampled-batch   n=4096 estimate %.4f (%d strata, E[stratum max] %.4f ±%.4f @95%%)\n",
+			ve.Value, ve.Strata, ve.MeanStratumMax, ve.HalfWidth95)
 	}
 
 	speedup := func(base, batched string) {

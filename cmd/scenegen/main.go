@@ -1,7 +1,10 @@
 // Command scenegen builds a registered propagation scenario ("office",
 // "warehouse", "corridor", …), and writes the resulting decay matrix as
-// JSON (loadable by capsim or decaynet.ReadJSON). It prints the space's
-// measured metricity parameters on stderr.
+// JSON (loadable by capsim or decaynet.ReadJSON) — or, with -trace, as a
+// synthetic RSSI measurement campaign (CSV or JSON-lines readings with
+// repeats, measurement noise and drops), the sample-input generator for
+// decaytrace and the "trace" scenario. It prints the space's measured
+// metricity parameters on stderr.
 //
 // Zero-valued numeric flags defer to the scenario's own defaults, and
 // scene-shape flags (-rooms, -door, …) are forwarded only when explicitly
@@ -10,6 +13,7 @@
 // Usage:
 //
 //	scenegen -scenario office -links 20 -rooms 4 -sigma 6 -out office.json
+//	scenegen -scenario warehouse -trace -repeats 5 -droprate 0.1 -out campaign.csv
 //	scenegen -list
 package main
 
@@ -34,7 +38,14 @@ func main() {
 		refl         = flag.Float64("reflectivity", 0.3, "single-bounce reflectivity in [0,1)")
 		fading       = flag.Bool("fading", false, "enable static Rayleigh fast fading")
 		seed         = flag.Uint64("seed", 1, "seed for shadowing/fading/placement")
-		out          = flag.String("out", "", "output JSON path (default stdout)")
+		out          = flag.String("out", "", "output path (default stdout)")
+		path         = flag.String("path", "", "input path for file-backed scenarios (e.g. trace campaigns)")
+		asTrace      = flag.Bool("trace", false, "export a synthetic RSSI campaign log instead of the decay matrix")
+		traceFmt     = flag.String("tracefmt", "csv", "campaign format with -trace: csv or jsonl")
+		txPower      = flag.Float64("txpower", 0, "campaign transmit power in dBm (with -trace)")
+		repeats      = flag.Int("repeats", 3, "readings per ordered pair (with -trace)")
+		measNoise    = flag.Float64("measnoise", 0.5, "per-reading measurement noise in dB (with -trace)")
+		dropRate     = flag.Float64("droprate", 0, "probability each reading is dropped (with -trace)")
 	)
 	flag.Parse()
 	if *list {
@@ -70,15 +81,35 @@ func main() {
 		Seed:    *seed,
 		Alpha:   *alpha,
 		SigmaDB: *sigma,
+		Path:    *path,
 		Params:  params,
 	}
-	if err := run(*scenarioName, cfg, *out); err != nil {
+	var traceCfg *traceExport
+	if *asTrace {
+		traceCfg = &traceExport{
+			format: *traceFmt,
+			cfg: decaynet.TraceExportConfig{
+				TXPowerDBm:   *txPower,
+				Repeats:      *repeats,
+				NoiseSigmaDB: *measNoise,
+				DropRate:     *dropRate,
+				Seed:         *seed,
+			},
+		}
+	}
+	if err := run(*scenarioName, cfg, *out, traceCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "scenegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioName string, cfg decaynet.ScenarioConfig, out string) error {
+// traceExport carries the -trace mode's campaign parameters.
+type traceExport struct {
+	format string
+	cfg    decaynet.TraceExportConfig
+}
+
+func run(scenarioName string, cfg decaynet.ScenarioConfig, out string, traceCfg *traceExport) error {
 	eng, err := decaynet.NewEngine(decaynet.UsingScenario(scenarioName, cfg))
 	if err != nil {
 		return err
@@ -96,5 +127,17 @@ func run(scenarioName string, cfg decaynet.ScenarioConfig, out string) error {
 		defer f.Close()
 		dst = f
 	}
-	return decaynet.WriteJSON(dst, eng.Space())
+	if traceCfg == nil {
+		return decaynet.WriteJSON(dst, eng.Space())
+	}
+	camp := decaynet.SpaceCampaign(eng.Space(), traceCfg.cfg)
+	fmt.Fprintf(os.Stderr, "campaign: %d readings over %d nodes\n", len(camp.Readings), camp.N)
+	switch traceCfg.format {
+	case "csv":
+		return decaynet.WriteCampaignCSV(dst, camp)
+	case "jsonl":
+		return decaynet.WriteCampaignJSONL(dst, camp)
+	default:
+		return fmt.Errorf("unknown trace format %q", traceCfg.format)
+	}
 }

@@ -43,6 +43,7 @@
 //	capacity     Algorithm 1, baselines, exact optimum
 //	schedule     slot scheduling
 //	scenario     the pluggable instance-source registry
+//	trace        measured RSSI campaign ingestion (parse, clean, impute)
 //	environment  realistic scenes producing decay matrices
 //	hardness     Theorem 3/6 constructions, example spaces
 //	distributed  slotted simulator, local broadcast, capacity game
@@ -58,6 +59,7 @@ import (
 	"decaynet/internal/hardness"
 	"decaynet/internal/schedule"
 	"decaynet/internal/sinr"
+	"decaynet/internal/trace"
 	"decaynet/internal/workload"
 )
 
@@ -93,6 +95,61 @@ type (
 	QuasiMetric = core.QuasiMetric
 	// AssouadOptions tunes dimension estimation.
 	AssouadOptions = core.AssouadOptions
+	// SampledEstimate is a sampled ζ/ϕ estimate with its concentration
+	// summary (Hoeffding over stratum maxima).
+	SampledEstimate = core.SampledEstimate
+)
+
+// Measured-trace ingestion (RSSI campaigns → decay spaces). A Campaign is
+// parsed from CSV or JSON-lines logs of (tx, rx, rssi_dbm, t) readings and
+// cleaned — per-pair aggregation, dBm→decay conversion, asymmetry audit,
+// imputation — into a validated dense Matrix. The "trace" scenario and
+// cmd/decaytrace wrap the same pipeline.
+type (
+	// Campaign is a parsed RSSI measurement campaign.
+	Campaign = trace.Campaign
+	// TraceReading is one raw (tx, rx, rssi_dbm, t) measurement.
+	TraceReading = trace.Reading
+	// TraceFormat selects a campaign wire format (TraceAuto/TraceCSV/TraceJSONL).
+	TraceFormat = trace.Format
+	// CleanOptions tunes the campaign cleaning pipeline.
+	CleanOptions = trace.Options
+	// CleanReport is the pipeline's audit trail (coverage, asymmetry,
+	// imputation counts, path-loss fit).
+	CleanReport = trace.Report
+	// SynthConfig parameterizes synthetic campaign generation.
+	SynthConfig = trace.SynthConfig
+	// TraceExportConfig parameterizes exporting a space as a campaign.
+	TraceExportConfig = trace.ExportConfig
+)
+
+// Campaign wire formats and per-pair aggregation modes.
+const (
+	TraceAuto  = trace.Auto
+	TraceCSV   = trace.CSV
+	TraceJSONL = trace.JSONL
+
+	AggMedian = trace.Median
+	AggMean   = trace.Mean
+)
+
+// Campaign parsing, cleaning, generation and export.
+var (
+	// ReadCampaign parses a campaign from a reader; ReadCampaignFile picks
+	// the format from the file extension.
+	ReadCampaign     = trace.Read
+	ReadCampaignFile = trace.ReadFile
+	// CleanCampaign aggregates, converts and imputes a campaign into a
+	// validated dense decay Matrix plus the audit report.
+	CleanCampaign = trace.Clean
+	// SynthesizeCampaign generates a campaign from geometric ground truth
+	// with shadowing, asymmetry and drops.
+	SynthesizeCampaign = trace.Synthesize
+	// SpaceCampaign exports any decay space as a synthetic campaign.
+	SpaceCampaign = trace.FromSpace
+	// WriteCampaignCSV and WriteCampaignJSONL serialize campaigns.
+	WriteCampaignCSV   = trace.WriteCSV
+	WriteCampaignJSONL = trace.WriteJSONL
 )
 
 // SINR machinery (Sec 2.4).
@@ -157,6 +214,11 @@ var (
 	// WithApproxMetricity).
 	ZetaSampledBatch   = core.ZetaSampledBatch
 	VarphiSampledBatch = core.VarphiSampledBatch
+	// ZetaSampledEstimate and VarphiSampledEstimate are the sampled
+	// estimators with a concentration summary (Hoeffding over the scan's
+	// per-stratum maxima) alongside the point estimate.
+	ZetaSampledEstimate   = core.ZetaSampledEstimate
+	VarphiSampledEstimate = core.VarphiSampledEstimate
 	// KnownSymmetric reports whether a space certifies exact symmetry
 	// through the SymmetricSpace marker.
 	KnownSymmetric = core.KnownSymmetric

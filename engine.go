@@ -29,10 +29,12 @@ type Engine struct {
 
 	// approxSamples > 0 routes Zeta/Phi to the sampled estimators
 	// (WithApproxMetricity fired: the space is at or above the size
-	// threshold). zetaSamples records the ζ estimator's triplet count once
-	// the lazily seeded estimate has been consumed.
+	// threshold). zetaSamples records the ζ estimator's triplet count and
+	// zetaEst its full concentration summary once the lazily seeded
+	// estimate has been consumed.
 	approxSamples int
 	zetaSamples   atomic.Int64
+	zetaEst       atomic.Pointer[core.SampledEstimate]
 
 	phiOnce sync.Once
 	phi     float64
@@ -203,9 +205,10 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		// downstream consumer.
 		samples := ec.approxSamples
 		sysOpts = append(sysOpts, sinr.WithZetaFunc(func() float64 {
-			z, k := core.ZetaSampledBatch(dense, samples, rng.New(approxMetricitySeed))
-			e.zetaSamples.Store(int64(k))
-			return z
+			est := core.ZetaSampledEstimate(dense, samples, rng.New(approxMetricitySeed))
+			e.zetaSamples.Store(int64(est.Evaluated))
+			e.zetaEst.Store(&est)
+			return est.Value
 		}))
 	}
 	sys, err := NewSystem(dense, ec.links, sysOpts...)
@@ -275,6 +278,17 @@ func (e *Engine) Phi() float64 {
 // from KnownZeta or the scenario).
 func (e *Engine) MetricityApproximate() (bool, int) {
 	return e.approxSamples > 0, int(e.zetaSamples.Load())
+}
+
+// ZetaEstimate returns the sampled ζ estimate's concentration summary
+// (point estimate, strata, Hoeffding half-width over stratum maxima). The
+// bool is false until the engine has actually sampled ζ — i.e. before the
+// first Zeta call, or always when ζ is exact or scenario-known.
+func (e *Engine) ZetaEstimate() (SampledEstimate, bool) {
+	if p := e.zetaEst.Load(); p != nil {
+		return *p, true
+	}
+	return SampledEstimate{}, false
 }
 
 // QuasiMetric returns the cached induced quasi-metric d = f^(1/ζ).

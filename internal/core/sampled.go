@@ -58,11 +58,97 @@ func distinctTriplet(src *rng.Source, n int) (x, y, z int) {
 	return x, y, z
 }
 
+// SampledEstimate is a sampled metricity estimate together with a simple
+// concentration statement over its strata. Value — the maximum over every
+// evaluated triplet — is the point estimate and a lower bound on the exact
+// parameter. The full strata of the underlying scan (sampleRowBlock-draw
+// row pairs; a trailing partial stratum still contributes to Value and
+// Evaluated but is excluded from the summary, since its maximum is not
+// identically distributed) yield i.i.d. stratum maxima; MeanStratumMax is
+// their mean and HalfWidth95 the Hoeffding 95% half-width on
+// E[stratum max] using the observed stratum-maximum range as the bounding
+// interval. A small half-width says further equal-sized strata are
+// unlikely to move the estimate: Value sits at least
+// (Value − MeanStratumMax) above the center of the interval new strata
+// concentrate in.
+type SampledEstimate struct {
+	// Value is the point estimate (max over all evaluated triplets).
+	Value float64
+	// Evaluated is the number of triplets drawn (exactly the budget).
+	Evaluated int
+	// Strata is the number of full (sampleRowBlock-draw) strata behind
+	// the concentration summary.
+	Strata int
+	// MeanStratumMax is the mean of the per-stratum maxima.
+	MeanStratumMax float64
+	// HalfWidth95 is the Hoeffding 95% half-width on E[stratum max].
+	HalfWidth95 float64
+}
+
+// hoeffding95 is ln(2/δ) at δ = 0.05, the constant of the two-sided
+// Hoeffding bound P(|mean − E| ≥ t) ≤ 2·exp(−2·S·t²/range²).
+var hoeffding95 = math.Log(2 / 0.05)
+
+// newSampledEstimate derives the concentration summary from the scan's
+// per-stratum maxima.
+func newSampledEstimate(value float64, evaluated int, maxima []float64) SampledEstimate {
+	est := SampledEstimate{Value: value, Evaluated: evaluated, Strata: len(maxima)}
+	if len(maxima) == 0 {
+		return est
+	}
+	lo, hi, sum := maxima[0], maxima[0], 0.0
+	for _, m := range maxima {
+		sum += m
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	est.MeanStratumMax = sum / float64(len(maxima))
+	est.HalfWidth95 = (hi - lo) * math.Sqrt(hoeffding95/(2*float64(len(maxima))))
+	return est
+}
+
+// ZetaSampledEstimate is ZetaSampledBatch with the concentration summary:
+// the same deterministic scan, plus Hoeffding statistics over the
+// per-stratum maxima (see SampledEstimate).
+func ZetaSampledEstimate(d Space, samples int, src *rng.Source) SampledEstimate {
+	v, k, maxima := zetaSampledScan(d, samples, src)
+	return newSampledEstimate(v, k, fullStrata(maxima, samples))
+}
+
+// VarphiSampledEstimate is VarphiSampledBatch with the concentration
+// summary (see SampledEstimate).
+func VarphiSampledEstimate(d Space, samples int, src *rng.Source) SampledEstimate {
+	v, k, maxima := varphiSampledScan(d, samples, src)
+	return newSampledEstimate(v, k, fullStrata(maxima, samples))
+}
+
+// fullStrata trims a trailing partial stratum (budget < sampleRowBlock)
+// from the scan's maxima: its maximum is stochastically smaller than the
+// full strata's, and pooling it would bias the Hoeffding summary.
+func fullStrata(maxima []float64, samples int) []float64 {
+	full := samples / sampleRowBlock
+	if full > len(maxima) {
+		full = len(maxima)
+	}
+	return maxima[:full]
+}
+
 // ZetaSampledBatch estimates ζ from `samples` random triplets drawn in
 // whole-row strata (see sampledScan). It returns the estimate — a lower
 // bound on the exact ζ — and the number of triplets evaluated (exactly
 // samples). Deterministic in (d, samples, src).
 func ZetaSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
+	v, k, _ := zetaSampledScan(d, samples, src)
+	return v, k
+}
+
+// zetaSampledScan is the shared ζ scan behind ZetaSampledBatch and
+// ZetaSampledEstimate, returning the per-stratum maxima as well.
+func zetaSampledScan(d Space, samples int, src *rng.Source) (float64, int, []float64) {
 	return sampledScan(d, samples, src, DefaultZetaFloor,
 		func(pr *rng.Source, rowX, rowZ []float64, x, z, budget int) (float64, int) {
 			n := len(rowX)
@@ -95,6 +181,13 @@ func ZetaSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
 // floor — and the number of triplets evaluated. Deterministic in
 // (d, samples, src).
 func VarphiSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
+	v, k, _ := varphiSampledScan(d, samples, src)
+	return v, k
+}
+
+// varphiSampledScan is the shared ϕ scan behind VarphiSampledBatch and
+// VarphiSampledEstimate, returning the per-stratum maxima as well.
+func varphiSampledScan(d Space, samples int, src *rng.Source) (float64, int, []float64) {
 	return sampledScan(d, samples, src, 0.5,
 		func(pr *rng.Source, rowX, rowY []float64, x, y, budget int) (float64, int) {
 			n := len(rowX)
@@ -124,12 +217,13 @@ func VarphiSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
 // with per-stratum SplitMix64 streams derived up front, so the returned
 // (max statistic, evaluated count) is deterministic in (d, samples, src)
 // regardless of scheduling. floor seeds the maximum for empty and
-// undersized inputs.
+// undersized inputs. The third result holds each stratum's local maximum
+// (floor-seeded), the raw material of the concentration summary.
 func sampledScan(d Space, samples int, src *rng.Source, floor float64,
-	pairKernel func(pr *rng.Source, rowA, rowB []float64, a, b, budget int) (float64, int)) (float64, int) {
+	pairKernel func(pr *rng.Source, rowA, rowB []float64, a, b, budget int) (float64, int)) (float64, int, []float64) {
 	n := d.N()
 	if n < 3 || samples <= 0 {
-		return floor, 0
+		return floor, 0, nil
 	}
 	rs := Rows(d)
 	strata := (samples + sampleRowBlock - 1) / sampleRowBlock
@@ -138,6 +232,7 @@ func sampledScan(d Space, samples int, src *rng.Source, floor float64,
 	for i := range seeds {
 		seeds[i] = src.Uint64()
 	}
+	maxima := make([]float64, strata)
 	var bestBits atomic.Uint64
 	bestBits.Store(math.Float64bits(floor))
 	var evaluated atomic.Int64
@@ -164,6 +259,7 @@ func sampledScan(d Space, samples int, src *rng.Source, floor float64,
 			}
 			got, kCount := pairKernel(pr, rowA, rowB, a, b, budget)
 			count += kCount
+			maxima[k] = got
 			if got > local {
 				local = got
 			}
@@ -171,5 +267,5 @@ func sampledScan(d Space, samples int, src *rng.Source, floor float64,
 		storeMax(&bestBits, local)
 		evaluated.Add(int64(count))
 	})
-	return math.Float64frombits(bestBits.Load()), int(evaluated.Load())
+	return math.Float64frombits(bestBits.Load()), int(evaluated.Load()), maxima
 }

@@ -37,6 +37,9 @@ type Config struct {
 	SigmaDB float64
 	// Side is the deployment extent, where meaningful.
 	Side float64
+	// Path points file-backed scenarios (e.g. "trace") at their input —
+	// a measurement campaign log or other on-disk artifact.
+	Path string
 	// Params holds scenario-specific knobs (e.g. "rooms", "clusters", "q").
 	Params map[string]float64
 }

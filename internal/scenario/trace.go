@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"errors"
+
+	"decaynet/internal/trace"
+)
+
+// The "trace" scenario: a measured RSSI campaign ingested from disk, the
+// registry's bridge from real measurement drives to engine instances.
+func init() {
+	Register(Scenario{
+		Name:        "trace",
+		Description: "measured RSSI campaign ingested from Config.Path (CSV or JSON-lines)",
+		Build:       buildTrace,
+	})
+}
+
+// buildTrace ingests the campaign at cfg.Path through the trace cleaning
+// pipeline. Knobs: "txpower" (dBm behind the readings, default 0), "mean"
+// (non-zero aggregates repeats by mean instead of median), "k"
+// (k-nearest-row imputation width, default 4), "noreciprocal" (non-zero
+// disables reverse-direction fill). Links follow the paired convention
+// {2i → 2i+1} over the campaign's nodes.
+func buildTrace(cfg Config) (*Instance, error) {
+	if cfg.Path == "" {
+		return nil, errors.New("trace scenario needs Config.Path (campaign file)")
+	}
+	camp, err := trace.ReadFile(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	opts := trace.Options{
+		TXPowerDBm:   cfg.Param("txpower", 0),
+		K:            int(cfg.Param("k", 4)),
+		NoReciprocal: cfg.Param("noreciprocal", 0) != 0,
+	}
+	if cfg.Param("mean", 0) != 0 {
+		opts.Aggregate = trace.Mean
+	}
+	space, _, err := trace.Clean(camp, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Space: space, Links: PairedLinks(space.N())}, nil
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+)
+
+// Agg selects the per-pair aggregation applied over repeated readings.
+type Agg int
+
+const (
+	// Median is the default aggregate: robust to the occasional outlier
+	// reading a real campaign always contains.
+	Median Agg = iota
+	// Mean averages repeats in the dBm domain.
+	Mean
+)
+
+// Options tunes the cleaning pipeline. The zero value is a sensible
+// default: 0 dBm transmit power, median aggregation, reverse-direction
+// fill enabled, k = 4 nearest rows, no geometry.
+type Options struct {
+	// TXPowerDBm is the campaign's transmit power; decays are computed as
+	// f = 10^((TXPowerDBm − rssi)/10), the linear TX/RX power ratio.
+	TXPowerDBm float64
+	// Aggregate picks median (default) or mean over repeated readings.
+	Aggregate Agg
+	// NoReciprocal disables the first imputation step (filling a missing
+	// direction from the measured reverse direction).
+	NoReciprocal bool
+	// K is the neighbour count of the k-nearest-row imputation (default 4).
+	K int
+	// Points, when non-nil, supplies node geometry (length ≥ campaign N):
+	// missing pairs are then imputed from a log-distance path-loss fit
+	// instead of row similarity.
+	Points []geom.Point
+}
+
+// Asymmetry summarizes |rssi(i,j) − rssi(j,i)| in dB over the unordered
+// pairs measured in both directions.
+type Asymmetry struct {
+	// Pairs is the number of unordered pairs with both directions measured.
+	Pairs int
+	// MeanDB, RMSDB and MaxDB aggregate the absolute directional gaps.
+	MeanDB, RMSDB, MaxDB float64
+}
+
+// PathLossFit reports the log-distance model rssi = InterceptDBm −
+// 10·Exponent·log10(d) fitted to the measured pairs (geometry-aware
+// imputation). Exponent is the empirical path-loss exponent — the
+// measured analogue of the geometric α.
+type PathLossFit struct {
+	InterceptDBm, Exponent, R2 float64
+	// Pairs is the number of measured pairs the fit consumed.
+	Pairs int
+}
+
+// Report is the cleaning audit trail: what was measured, how reciprocal
+// the channel was, and where every unmeasured decay came from.
+type Report struct {
+	// N is the node count; Readings and Malformed echo the campaign.
+	N, Readings, Malformed int
+	// PairsMeasured counts ordered off-diagonal pairs with ≥ 1 reading;
+	// Coverage is the fraction of the n(n−1) ordered pairs measured.
+	PairsMeasured int
+	Coverage      float64
+	// Asymmetry summarizes directional gaps on doubly-measured pairs.
+	Asymmetry Asymmetry
+	// Imputation counters, by method, in application order.
+	ImputedReciprocal, ImputedPathLoss, ImputedKNN, ImputedFallback int
+	// Fit is the path-loss fit when geometry was supplied (nil otherwise).
+	Fit *PathLossFit
+}
+
+// maxDensePairs bounds the dense n×n cleaning buffers (n ≤ 8192); larger
+// campaigns need a sharded pipeline this package does not yet provide.
+const maxDensePairs = 1 << 26
+
+// Clean runs the aggregation/conversion/imputation pipeline on a parsed
+// campaign and returns the validated dense decay space plus the audit
+// report: per-pair aggregation over repeats (median or mean, in dBm),
+// asymmetry statistics, dBm→linear conversion against Options.TXPowerDBm,
+// and imputation of unmeasured pairs (reciprocal fill, then a log-distance
+// path-loss fit when geometry is present or k-nearest-row regression
+// otherwise, then a global-median fallback).
+func Clean(c *Campaign, opts Options) (*core.Matrix, *Report, error) {
+	// Trust the readings over the campaign's N field: a hand-built
+	// Campaign may understate it, and the dense buffers index by id. The
+	// parsers only emit valid readings, but a hand-built campaign can
+	// hold anything — reject what would corrupt the dense grouping.
+	n := c.N
+	for i, r := range c.Readings {
+		if !validReading(r) {
+			return nil, nil, fmt.Errorf("trace: invalid reading %d: %+v", i, r)
+		}
+		if r.TX >= n {
+			n = r.TX + 1
+		}
+		if r.RX >= n {
+			n = r.RX + 1
+		}
+	}
+	if n < 2 || len(c.Readings) == 0 {
+		return nil, nil, errors.New("trace: campaign needs readings on at least 2 nodes")
+	}
+	if uint64(n)*uint64(n) > maxDensePairs {
+		return nil, nil, fmt.Errorf("trace: campaign spans %d nodes, beyond the dense cleaning bound", n)
+	}
+	if opts.K <= 0 {
+		opts.K = 4
+	}
+	if opts.Points != nil && len(opts.Points) < n {
+		return nil, nil, fmt.Errorf("trace: %d points for %d nodes", len(opts.Points), n)
+	}
+	rep := &Report{N: n, Readings: len(c.Readings), Malformed: c.Malformed}
+
+	rssi := aggregate(c, n, opts.Aggregate, rep)
+	asymmetry(rssi, n, rep)
+	impute(rssi, n, opts, rep)
+
+	// Convert dBm to linear decay: f = P_tx/P_rx = 10^((tx − rssi)/10).
+	// Readings are bounded (±maxAbsRSSIdBm), but imputed values are not —
+	// a path-loss fit extrapolated to a near-coincident pair can predict
+	// an arbitrarily extreme RSSI — so the exponent is clamped to the
+	// finite-float64 range: every entry stays a positive finite decay
+	// (Def 2.1) and one wild extrapolation cannot poison the campaign.
+	// NewMatrix re-validates anyway.
+	rows := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		row := flat[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if i != j {
+				e := (opts.TXPowerDBm - rssi[i*n+j]) / 10
+				if e > 300 {
+					e = 300
+				} else if e < -300 {
+					e = -300
+				}
+				row[j] = math.Pow(10, e)
+			}
+		}
+		rows[i] = row
+	}
+	m, err := core.NewMatrix(rows)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: cleaned campaign invalid: %w", err)
+	}
+	return m, rep, nil
+}
+
+// aggregate groups readings by ordered pair and reduces repeats to one
+// dBm value per pair (counting-sort grouping: one pass for counts, one
+// scatter pass, no comparison sort). Unmeasured entries are NaN.
+func aggregate(c *Campaign, n int, agg Agg, rep *Report) []float64 {
+	counts := make([]int32, n*n+1)
+	for _, r := range c.Readings {
+		counts[r.TX*n+r.RX+1]++
+	}
+	for k := 1; k <= n*n; k++ {
+		counts[k] += counts[k-1]
+	}
+	offsets := counts // prefix sums double as scatter cursors
+	values := make([]float64, len(c.Readings))
+	for _, r := range c.Readings {
+		k := r.TX*n + r.RX
+		values[offsets[k]] = r.RSSIdBm
+		offsets[k]++
+	}
+	// After scattering, offsets[k] is the end of group k and offsets[k-1]
+	// its start.
+	rssi := make([]float64, n*n)
+	for k := n*n - 1; k >= 0; k-- {
+		start := int32(0)
+		if k > 0 {
+			start = offsets[k-1]
+		}
+		group := values[start:offsets[k]]
+		if len(group) == 0 {
+			rssi[k] = math.NaN()
+			continue
+		}
+		rep.PairsMeasured++
+		switch agg {
+		case Mean:
+			sum := 0.0
+			for _, v := range group {
+				sum += v
+			}
+			rssi[k] = sum / float64(len(group))
+		default:
+			rssi[k] = median(group)
+		}
+	}
+	rep.Coverage = float64(rep.PairsMeasured) / float64(n*(n-1))
+	return rssi
+}
+
+// median sorts group in place and returns its median (mean of the middle
+// two for even lengths).
+func median(group []float64) float64 {
+	sort.Float64s(group)
+	m := len(group) / 2
+	if len(group)%2 == 1 {
+		return group[m]
+	}
+	return (group[m-1] + group[m]) / 2
+}
+
+// asymmetry fills the report's directional-gap statistics from the
+// aggregated dBm matrix.
+func asymmetry(rssi []float64, n int, rep *Report) {
+	var sum, sumSq, max float64
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := rssi[i*n+j], rssi[j*n+i]
+			if math.IsNaN(a) || math.IsNaN(b) {
+				continue
+			}
+			d := math.Abs(a - b)
+			sum += d
+			sumSq += d * d
+			if d > max {
+				max = d
+			}
+			count++
+		}
+	}
+	rep.Asymmetry.Pairs = count
+	if count > 0 {
+		rep.Asymmetry.MeanDB = sum / float64(count)
+		rep.Asymmetry.RMSDB = math.Sqrt(sumSq / float64(count))
+		rep.Asymmetry.MaxDB = max
+	}
+}

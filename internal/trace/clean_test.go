@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"decaynet/internal/core"
+	"decaynet/internal/rng"
+)
+
+// readings builds a campaign directly (no parsing) from (tx, rx, rssi)
+// triples.
+func readings(rs ...Reading) *Campaign {
+	c := &Campaign{}
+	for _, r := range rs {
+		c.add(r)
+	}
+	return c
+}
+
+// fromDBm is the pipeline's conversion at 0 dBm TX power.
+func fromDBm(rssi float64) float64 {
+	return math.Pow(10, -rssi/10)
+}
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestAggregationMedianAndMean(t *testing.T) {
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 0, RX: 1, RSSIdBm: -60},
+		Reading{TX: 0, RX: 1, RSSIdBm: -52},
+		Reading{TX: 1, RX: 0, RSSIdBm: -54},
+	)
+	m, rep, err := Clean(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.F(0, 1), fromDBm(-52)) { // median of {-50, -60, -52}
+		t.Fatalf("median f(0,1) = %g, want %g", m.F(0, 1), fromDBm(-52))
+	}
+	if rep.PairsMeasured != 2 || rep.Readings != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	m, _, err = Clean(c, Options{Aggregate: Mean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.F(0, 1), fromDBm(-54)) { // mean of {-50, -60, -52}
+		t.Fatalf("mean f(0,1) = %g, want %g", m.F(0, 1), fromDBm(-54))
+	}
+}
+
+func TestTXPowerShiftsDecay(t *testing.T) {
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 1, RX: 0, RSSIdBm: -50},
+	)
+	m, _, err := Clean(c, Options{TXPowerDBm: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = 10^((20 − (−50))/10) = 10^7.
+	if !almost(m.F(0, 1), 1e7) {
+		t.Fatalf("f(0,1) = %g, want 1e7", m.F(0, 1))
+	}
+}
+
+func TestAsymmetryStats(t *testing.T) {
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 1, RX: 0, RSSIdBm: -54}, // gap 4 dB
+		Reading{TX: 0, RX: 2, RSSIdBm: -60},
+		Reading{TX: 2, RX: 0, RSSIdBm: -63}, // gap 3 dB
+		Reading{TX: 1, RX: 2, RSSIdBm: -55},
+		Reading{TX: 2, RX: 1, RSSIdBm: -55}, // gap 0 dB
+	)
+	_, rep, err := Clean(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Asymmetry
+	if a.Pairs != 3 {
+		t.Fatalf("asymmetry pairs = %d, want 3", a.Pairs)
+	}
+	if !almost(a.MeanDB, 7.0/3) || !almost(a.MaxDB, 4) || !almost(a.RMSDB, math.Sqrt(25.0/3)) {
+		t.Fatalf("asymmetry = %+v, want mean 7/3, rms sqrt(25/3), max 4", a)
+	}
+}
+
+func TestReciprocalImputation(t *testing.T) {
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 1, RX: 2, RSSIdBm: -60},
+		Reading{TX: 2, RX: 0, RSSIdBm: -70},
+	)
+	m, rep, err := Clean(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ImputedReciprocal != 3 {
+		t.Fatalf("reciprocal imputations = %d, want 3", rep.ImputedReciprocal)
+	}
+	if !almost(m.F(1, 0), m.F(0, 1)) || !almost(m.F(2, 1), m.F(1, 2)) || !almost(m.F(0, 2), m.F(2, 0)) {
+		t.Fatal("reciprocal fill should mirror the measured direction")
+	}
+}
+
+func TestNoReciprocalFallsThrough(t *testing.T) {
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 1, RX: 2, RSSIdBm: -60},
+		Reading{TX: 2, RX: 0, RSSIdBm: -70},
+	)
+	_, rep, err := Clean(c, Options{NoReciprocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ImputedReciprocal != 0 {
+		t.Fatalf("reciprocal imputations = %d, want 0", rep.ImputedReciprocal)
+	}
+	if rep.ImputedKNN+rep.ImputedFallback != 3 {
+		t.Fatalf("report = %+v, want the 3 missing pairs knn/fallback-imputed", rep)
+	}
+}
+
+func TestKNNImputationUsesSimilarRows(t *testing.T) {
+	// Rows 0 and 1 are identical transmitters; row 2 is far away. The
+	// missing (1, 3) should copy row 0's view of column 3, not row 2's.
+	c := readings(
+		Reading{TX: 0, RX: 2, RSSIdBm: -50},
+		Reading{TX: 1, RX: 2, RSSIdBm: -50},
+		Reading{TX: 2, RX: 3, RSSIdBm: -90},
+		Reading{TX: 0, RX: 3, RSSIdBm: -55},
+		Reading{TX: 3, RX: 2, RSSIdBm: -90},
+	)
+	m, rep, err := Clean(c, Options{NoReciprocal: true, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ImputedKNN == 0 {
+		t.Fatalf("report = %+v, want knn imputations", rep)
+	}
+	if !almost(m.F(1, 3), fromDBm(-55)) {
+		t.Fatalf("f(1,3) = %g, want row 0's value %g", m.F(1, 3), fromDBm(-55))
+	}
+}
+
+func TestPathLossImputationRecoversGeometry(t *testing.T) {
+	synth, err := Synthesize(SynthConfig{
+		N: 24, Alpha: 3, Repeats: 1, DropRate: 0.4, Seed: 3,
+		ShadowSigmaDB: -1, AsymSigmaDB: -1, NoiseSigmaDB: -1, // exact log-distance readings
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, rep, err := Clean(synth.Campaign, Options{Points: synth.Points, NoReciprocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fit == nil {
+		t.Fatal("no path-loss fit despite geometry")
+	}
+	if math.Abs(rep.Fit.Exponent-3) > 1e-6 || rep.Fit.R2 < 1-1e-9 {
+		t.Fatalf("fit = %+v, want exponent 3 with r² 1 on noiseless readings", rep.Fit)
+	}
+	if rep.ImputedPathLoss == 0 || rep.ImputedKNN != 0 {
+		t.Fatalf("report = %+v, want path-loss imputations only", rep)
+	}
+	// Every decay — measured or imputed — matches the d^α ground truth.
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if i == j {
+				continue
+			}
+			want := math.Pow(synth.Points[i].Dist(synth.Points[j]), 3)
+			if rel := math.Abs(m.F(i, j)-want) / want; rel > 1e-6 {
+				t.Fatalf("f(%d,%d) = %g, want %g", i, j, m.F(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFallbackImputation(t *testing.T) {
+	// Column 3 is never measured and reciprocity is off, so (·, 3) can
+	// only come from the global-median fallback.
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 1, RX: 0, RSSIdBm: -50},
+		Reading{TX: 0, RX: 2, RSSIdBm: -60},
+		Reading{TX: 2, RX: 0, RSSIdBm: -60},
+		Reading{TX: 1, RX: 2, RSSIdBm: -70},
+		Reading{TX: 2, RX: 1, RSSIdBm: -70},
+		Reading{TX: 3, RX: 0, RSSIdBm: -80},
+	)
+	m, rep, err := Clean(c, Options{NoReciprocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ImputedFallback < 3 {
+		t.Fatalf("report = %+v, want ≥3 fallback imputations", rep)
+	}
+	if err := core.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanRejectsDegenerateCampaigns(t *testing.T) {
+	if _, _, err := Clean(&Campaign{}, Options{}); err == nil {
+		t.Fatal("want error for empty campaign")
+	}
+	one := &Campaign{Readings: []Reading{{TX: 0, RX: 0, RSSIdBm: -50}}, N: 1}
+	if _, _, err := Clean(one, Options{}); err == nil {
+		t.Fatal("want error for single-node campaign")
+	}
+}
+
+// TestCleanHandBuiltCampaigns: campaigns assembled directly (bypassing the
+// parsers) must not panic the dense grouping — an understated N is
+// corrected from the readings, and readings the parsers would never emit
+// are rejected with an error.
+func TestCleanHandBuiltCampaigns(t *testing.T) {
+	understated := &Campaign{N: 3, Readings: []Reading{
+		{TX: 0, RX: 9, RSSIdBm: -50},
+		{TX: 9, RX: 0, RSSIdBm: -55},
+	}}
+	m, rep, err := Clean(understated, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 10 || rep.N != 10 {
+		t.Fatalf("n = %d (report %d), want 10 from max id", m.N(), rep.N)
+	}
+	for _, bad := range []Reading{
+		{TX: -1, RX: 0, RSSIdBm: -50},
+		{TX: 0, RX: 0, RSSIdBm: -50},
+		{TX: 0, RX: 1, RSSIdBm: math.NaN()},
+		{TX: 0, RX: 1, RSSIdBm: -5000},
+	} {
+		c := &Campaign{Readings: []Reading{{TX: 0, RX: 1, RSSIdBm: -50}, bad}, N: 2}
+		if _, _, err := Clean(c, Options{}); err == nil {
+			t.Fatalf("want error for hand-built reading %+v", bad)
+		}
+	}
+}
+
+// TestCleanedMatricesSatisfyDef21 is the property test: whatever we feed
+// the pipeline — dropped readings, duplicates, corrupted log lines,
+// partial coverage, with or without geometry — the produced space is a
+// valid decay space (Def 2.1: finite, non-negative, positive off the
+// diagonal), which core.NewMatrix enforces and core.Validate re-checks.
+func TestCleanedMatricesSatisfyDef21(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		synth, err := Synthesize(SynthConfig{N: 12, Repeats: 2, DropRate: 0.4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, synth.Campaign); err != nil {
+			t.Fatal(err)
+		}
+		corrupted := corruptLog(buf.String(), seed)
+		camp, err := Read(strings.NewReader(corrupted), CSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{}
+		if seed%2 == 0 {
+			opts.Points = synth.Points
+		}
+		if seed%3 == 0 {
+			opts.Aggregate = Mean
+		}
+		m, rep, err := Clean(camp, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := core.Validate(m); err != nil {
+			t.Fatalf("seed %d: cleaned matrix violates Def 2.1: %v", seed, err)
+		}
+		if m.N() != rep.N {
+			t.Fatalf("seed %d: matrix has %d nodes, report says %d", seed, m.N(), rep.N)
+		}
+	}
+}
+
+// corruptLog injects garbage lines, duplicates and truncations into a
+// serialized campaign, deterministically per seed. The header line is left
+// alone: a destroyed header is a (tested) hard parse error, not a reading
+// defect.
+func corruptLog(log string, seed uint64) string {
+	src := rng.New(seed ^ 0xbad)
+	lines := strings.Split(strings.TrimSuffix(log, "\n"), "\n")
+	out := lines[:1:1]
+	for _, line := range lines[1:] {
+		switch src.Intn(10) {
+		case 0:
+			out = append(out, "### corrupted ###")
+			out = append(out, line)
+		case 1:
+			out = append(out, line, line) // duplicate reading
+		case 2:
+			out = append(out, line[:len(line)/2]) // truncated line
+		default:
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+func TestCleanLargeCampaignGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large campaign")
+	}
+	synth, err := Synthesize(SynthConfig{N: 256, Repeats: 1, DropRate: 0.8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, rep, err := Clean(synth.Campaign, Options{Points: synth.Points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fit == nil || math.Abs(rep.Fit.Exponent-3) > 0.5 {
+		t.Fatalf("fit = %+v, want exponent near the ground-truth 3", rep.Fit)
+	}
+}
+
+// ExampleClean demonstrates the campaign → decay-space pipeline.
+func ExampleClean() {
+	c := readings(
+		Reading{TX: 0, RX: 1, RSSIdBm: -50},
+		Reading{TX: 1, RX: 0, RSSIdBm: -54},
+	)
+	m, rep, _ := Clean(c, Options{})
+	fmt.Printf("n=%d coverage=%.0f%% f(0,1)=%.3g\n", m.N(), 100*rep.Coverage, m.F(0, 1))
+	// Output: n=2 coverage=100% f(0,1)=1e+05
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"math"
+	"sync/atomic"
+
+	"decaynet/internal/par"
+	"decaynet/internal/stats"
+)
+
+// impute fills every unmeasured off-diagonal entry of the aggregated dBm
+// matrix, in three stages: reverse-direction (reciprocal-channel) fill,
+// then a log-distance path-loss fit when geometry is available or
+// k-nearest-row regression otherwise, then a global-median fallback for
+// pairs nothing else could reach. Counts land in the report.
+func impute(rssi []float64, n int, opts Options, rep *Report) {
+	if !opts.NoReciprocal {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && math.IsNaN(rssi[i*n+j]) && !math.IsNaN(rssi[j*n+i]) {
+					rssi[i*n+j] = rssi[j*n+i]
+					rep.ImputedReciprocal++
+				}
+			}
+		}
+	}
+	if opts.Points != nil {
+		pathLossImpute(rssi, n, opts, rep)
+	} else {
+		knnImpute(rssi, n, opts.K, rep)
+	}
+	fallbackImpute(rssi, n, rep)
+}
+
+// pathLossImpute fits rssi = A − 10·β·log10(d) over the measured pairs and
+// predicts every remaining missing pair from its distance. Pairs at zero
+// distance (coincident points) are left for the fallback.
+func pathLossImpute(rssi []float64, n int, opts Options, rep *Report) {
+	var xs, ys []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rssi[i*n+j]
+			if i == j || math.IsNaN(v) {
+				continue
+			}
+			d := opts.Points[i].Dist(opts.Points[j])
+			if d <= 0 {
+				continue
+			}
+			xs = append(xs, math.Log10(d))
+			ys = append(ys, v)
+		}
+	}
+	a, b, r2, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		// Too few (or degenerate) measurements for a fit; the k-nearest
+		// pipeline still applies.
+		knnImpute(rssi, n, opts.K, rep)
+		return
+	}
+	rep.Fit = &PathLossFit{InterceptDBm: a, Exponent: -b / 10, R2: r2, Pairs: len(xs)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !math.IsNaN(rssi[i*n+j]) {
+				continue
+			}
+			d := opts.Points[i].Dist(opts.Points[j])
+			if d <= 0 {
+				continue
+			}
+			rssi[i*n+j] = a + b*math.Log10(d)
+			rep.ImputedPathLoss++
+		}
+	}
+}
+
+// knnImpute predicts each missing (i, j) as the mean dBm of the k rows
+// most similar to row i (RMS gap over commonly measured columns) that
+// measured a value towards j. Predictions read a pre-imputation snapshot,
+// so fills never cascade into later fills, which also makes rows
+// independent: they run chunked on the shared worker pool (each goroutine
+// writes only its own rows). Worst case O(n³) when most of the matrix is
+// missing — the path-loss route is the fast path for large sparse
+// campaigns with geometry.
+func knnImpute(rssi []float64, n, k int, rep *Report) {
+	snap := append([]float64(nil), rssi...)
+	var imputed atomic.Int64
+	par.ForChunked(n, func(lo, hi int) {
+		dist := make([]float64, n)
+		bestVal := make([]float64, k)
+		bestDist := make([]float64, k)
+		count := 0
+		for i := lo; i < hi; i++ {
+			if !rowHasMissing(snap, i, n) {
+				continue
+			}
+			rowDistances(snap, i, n, dist)
+			for j := 0; j < n; j++ {
+				if i == j || !math.IsNaN(snap[i*n+j]) {
+					continue
+				}
+				// Top-k insertion over rows r with a measurement towards j.
+				found := 0
+				for r := 0; r < n; r++ {
+					v := snap[r*n+j]
+					if r == i || math.IsNaN(v) || math.IsInf(dist[r], 0) {
+						continue
+					}
+					pos := found
+					if pos < k {
+						found++
+					} else if dist[r] >= bestDist[k-1] {
+						continue
+					} else {
+						pos = k - 1
+					}
+					for pos > 0 && bestDist[pos-1] > dist[r] {
+						bestVal[pos], bestDist[pos] = bestVal[pos-1], bestDist[pos-1]
+						pos--
+					}
+					bestVal[pos], bestDist[pos] = v, dist[r]
+				}
+				if found == 0 {
+					continue
+				}
+				sum := 0.0
+				for s := 0; s < found; s++ {
+					sum += bestVal[s]
+				}
+				rssi[i*n+j] = sum / float64(found)
+				count++
+			}
+		}
+		imputed.Add(int64(count))
+	})
+	rep.ImputedKNN += int(imputed.Load())
+}
+
+// rowHasMissing reports whether row i has an unmeasured off-diagonal entry.
+func rowHasMissing(rssi []float64, i, n int) bool {
+	for j := 0; j < n; j++ {
+		if i != j && math.IsNaN(rssi[i*n+j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// rowDistances fills dist[r] with the RMS dBm gap between rows i and r
+// over their commonly measured columns (+Inf when they share none).
+func rowDistances(rssi []float64, i, n int, dist []float64) {
+	rowI := rssi[i*n : (i+1)*n]
+	for r := 0; r < n; r++ {
+		if r == i {
+			dist[r] = math.Inf(1)
+			continue
+		}
+		rowR := rssi[r*n : (r+1)*n]
+		var sum float64
+		common := 0
+		for c := 0; c < n; c++ {
+			a, b := rowI[c], rowR[c]
+			if math.IsNaN(a) || math.IsNaN(b) {
+				continue
+			}
+			g := a - b
+			sum += g * g
+			common++
+		}
+		if common == 0 {
+			dist[r] = math.Inf(1)
+			continue
+		}
+		dist[r] = math.Sqrt(sum / float64(common))
+	}
+}
+
+// fallbackImpute fills anything still missing with the global median of
+// the matrix's known values — the imputation of last resort that keeps the
+// produced space Def 2.1-valid for arbitrarily sparse campaigns.
+func fallbackImpute(rssi []float64, n int, rep *Report) {
+	var known []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && !math.IsNaN(rssi[i*n+j]) {
+				known = append(known, rssi[i*n+j])
+			}
+		}
+	}
+	if len(known) == 0 {
+		return // Clean rejects empty campaigns before imputation
+	}
+	med := median(known)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && math.IsNaN(rssi[i*n+j]) {
+				rssi[i*n+j] = med
+				rep.ImputedFallback++
+			}
+		}
+	}
+}

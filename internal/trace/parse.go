@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Format selects a campaign wire format.
+type Format int
+
+const (
+	// Auto sniffs the format from the first non-blank byte ('{' or '['
+	// means JSON-lines, anything else CSV).
+	Auto Format = iota
+	// CSV is comma-separated `tx,rx,rssi_dbm[,t]` rows with an optional
+	// header naming the columns in any order.
+	CSV
+	// JSONL is one JSON object per line: {"tx":0,"rx":1,"rssi_dbm":-62.5,"t":0.25}.
+	JSONL
+)
+
+// parseScanBuffer sizes the line scanner: campaign lines are tiny, but a
+// generous ceiling keeps pathological logs from failing on length.
+const parseScanBuffer = 1 << 20
+
+// Read parses a campaign from r in the given format, streaming line by
+// line. Parsing is lenient: records that cannot be understood (bad syntax,
+// missing fields, tx == rx, out-of-range ids, non-finite RSSI) are counted
+// in Campaign.Malformed and skipped, so a partially corrupt log still
+// yields its valid readings. Blank lines and '#' comments are ignored.
+func Read(r io.Reader, format Format) (*Campaign, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if format == Auto {
+		sniffed, err := sniffFormat(br)
+		if err != nil {
+			return nil, err
+		}
+		format = sniffed
+	}
+	switch format {
+	case CSV:
+		return readCSV(br)
+	case JSONL:
+		return readJSONL(br)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %d", format)
+	}
+}
+
+// ReadFile parses the campaign at path, picking the format from the file
+// extension (.jsonl/.ndjson/.json → JSON-lines, .csv → CSV, anything else
+// sniffed from the content).
+func ReadFile(path string) (*Campaign, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	format := Auto
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson", ".json":
+		format = JSONL
+	case ".csv":
+		format = CSV
+	}
+	return Read(f, format)
+}
+
+// sniffFormat peeks past leading whitespace: JSON-lines logs start with an
+// object (or a stray array bracket); everything else is treated as CSV.
+func sniffFormat(br *bufio.Reader) (Format, error) {
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return CSV, nil
+		}
+		if err != nil {
+			return Auto, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return Auto, err
+		}
+		if b == '{' || b == '[' {
+			return JSONL, nil
+		}
+		return CSV, nil
+	}
+}
+
+// csvColumns maps the three mandatory fields (and the optional timestamp)
+// to their column positions.
+type csvColumns struct {
+	tx, rx, rssi, t int
+}
+
+// defaultColumns is the headerless layout: tx, rx, rssi_dbm, then an
+// optional trailing t.
+var defaultColumns = csvColumns{tx: 0, rx: 1, rssi: 2, t: 3}
+
+// headerColumns interprets a header line, matching the field aliases the
+// common campaign exports use. It returns an error when a mandatory column
+// is missing; unknown columns are ignored.
+func headerColumns(fields [][]byte) (csvColumns, error) {
+	cols := csvColumns{tx: -1, rx: -1, rssi: -1, t: -1}
+	for i, f := range fields {
+		switch strings.ToLower(string(bytes.TrimSpace(f))) {
+		case "tx", "sender", "src":
+			cols.tx = i
+		case "rx", "receiver", "dst":
+			cols.rx = i
+		case "rssi_dbm", "rssi", "dbm":
+			cols.rssi = i
+		case "t", "time", "timestamp":
+			cols.t = i
+		}
+	}
+	if cols.tx < 0 || cols.rx < 0 || cols.rssi < 0 {
+		return cols, errors.New("trace: CSV header must name tx, rx and rssi_dbm columns")
+	}
+	return cols, nil
+}
+
+// readCSV streams CSV rows. The first data line is probed for a header
+// (its first field fails integer parsing); with no header the default
+// tx,rx,rssi_dbm[,t] layout applies.
+func readCSV(r io.Reader) (*Campaign, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<14), parseScanBuffer)
+	c := &Campaign{}
+	cols := defaultColumns
+	first := true
+	var fields [][]byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		fields = splitComma(line, fields[:0])
+		if first {
+			first = false
+			if _, err := strconv.Atoi(string(bytes.TrimSpace(fields[0]))); err != nil {
+				hdr, err := headerColumns(fields)
+				if err != nil {
+					return nil, err
+				}
+				cols = hdr
+				continue
+			}
+		}
+		if rd, ok := parseCSVReading(fields, cols); ok {
+			c.add(rd)
+		} else {
+			c.Malformed++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading campaign: %w", err)
+	}
+	return c, nil
+}
+
+// splitComma splits line on commas into dst (reused across lines).
+func splitComma(line []byte, dst [][]byte) [][]byte {
+	for {
+		i := bytes.IndexByte(line, ',')
+		if i < 0 {
+			return append(dst, line)
+		}
+		dst = append(dst, line[:i])
+		line = line[i+1:]
+	}
+}
+
+// parseCSVReading extracts one reading from split fields under the given
+// column layout. The bool result reports validity.
+func parseCSVReading(fields [][]byte, cols csvColumns) (Reading, bool) {
+	if cols.tx >= len(fields) || cols.rx >= len(fields) || cols.rssi >= len(fields) {
+		return Reading{}, false
+	}
+	tx, err := strconv.Atoi(string(bytes.TrimSpace(fields[cols.tx])))
+	if err != nil {
+		return Reading{}, false
+	}
+	rx, err := strconv.Atoi(string(bytes.TrimSpace(fields[cols.rx])))
+	if err != nil {
+		return Reading{}, false
+	}
+	rssi, err := strconv.ParseFloat(string(bytes.TrimSpace(fields[cols.rssi])), 64)
+	if err != nil {
+		return Reading{}, false
+	}
+	var t float64
+	if cols.t >= 0 && cols.t < len(fields) {
+		t, err = strconv.ParseFloat(string(bytes.TrimSpace(fields[cols.t])), 64)
+		if err != nil {
+			return Reading{}, false
+		}
+	}
+	rd := Reading{TX: tx, RX: rx, RSSIdBm: rssi, T: t}
+	if !validReading(rd) {
+		return Reading{}, false
+	}
+	return rd, true
+}
+
+// jsonReading is the JSON-lines record shape; pointers distinguish absent
+// mandatory fields from zero values.
+type jsonReading struct {
+	TX   *int     `json:"tx"`
+	RX   *int     `json:"rx"`
+	RSSI *float64 `json:"rssi_dbm"`
+	Alt  *float64 `json:"rssi"`
+	T    float64  `json:"t"`
+}
+
+// readJSONL streams one JSON object per line.
+func readJSONL(r io.Reader) (*Campaign, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<14), parseScanBuffer)
+	c := &Campaign{}
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var jr jsonReading
+		if err := json.Unmarshal(line, &jr); err != nil {
+			c.Malformed++
+			continue
+		}
+		rssi := jr.RSSI
+		if rssi == nil {
+			rssi = jr.Alt
+		}
+		if jr.TX == nil || jr.RX == nil || rssi == nil {
+			c.Malformed++
+			continue
+		}
+		rd := Reading{TX: *jr.TX, RX: *jr.RX, RSSIdBm: *rssi, T: jr.T}
+		if !validReading(rd) {
+			c.Malformed++
+			continue
+		}
+		c.add(rd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading campaign: %w", err)
+	}
+	return c, nil
+}
+
+// maxAbsRSSIdBm bounds accepted signal strengths. ±1000 dBm is orders of
+// magnitude beyond any physical radio, but a reading past it is corrupt
+// data whose dBm→linear conversion would drift toward overflow; it is
+// counted as malformed instead.
+const maxAbsRSSIdBm = 1000
+
+// validReading applies the semantic checks shared by both parsers (and
+// re-applied by Clean for hand-built campaigns): distinct in-range node
+// ids and a finite, physically bounded RSSI.
+func validReading(r Reading) bool {
+	return r.TX >= 0 && r.RX >= 0 && r.TX != r.RX &&
+		r.TX < maxNodeID && r.RX < maxNodeID &&
+		!math.IsNaN(r.RSSIdBm) && math.Abs(r.RSSIdBm) <= maxAbsRSSIdBm
+}

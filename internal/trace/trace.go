@@ -1,0 +1,59 @@
+// Package trace ingests measured RSSI campaigns — the raw logs produced
+// by signal-strength measurement drives (the paper's [24]-style format) —
+// and turns them into validated decay spaces. This is the subsystem that
+// makes "beyond geometry" literal: instead of synthesizing decays from a
+// geometric or scene model, a campaign of (tx, rx, rssi_dbm, t) readings
+// is parsed (CSV or JSON-lines, streaming), aggregated per ordered pair
+// (median or mean over repeats), converted from dBm against the campaign's
+// transmit power into linear decays f = P_tx/P_rx, audited for
+// reciprocity/asymmetry, and completed by imputation (reverse-direction
+// fill, log-distance path-loss fit when geometry is known, k-nearest-row
+// regression otherwise) into a dense core.Matrix satisfying Def 2.1.
+//
+// The package also generates synthetic campaigns (geometric ground truth +
+// log-normal shadowing + asymmetric offsets + dropped readings) so the
+// pipeline is testable and benchmarkable at n ≫ 10³, and writes campaigns
+// back out in both wire formats (scenegen's -trace export).
+package trace
+
+// Reading is one raw campaign measurement: node TX transmitted, node RX
+// observed RSSIdBm received signal strength, at time T (seconds, optional —
+// zero when the log carries no timestamps).
+type Reading struct {
+	// TX and RX are the transmitting and receiving node ids (dense ids
+	// 0..n-1 by convention; the campaign's N is the largest id + 1).
+	TX, RX int
+	// RSSIdBm is the received signal strength in dBm.
+	RSSIdBm float64
+	// T is the reading's timestamp in seconds (0 when absent).
+	T float64
+}
+
+// Campaign is a parsed measurement campaign: the readings that survived
+// parsing plus counts of what did not.
+type Campaign struct {
+	// Readings are the valid measurements, in file order.
+	Readings []Reading
+	// Malformed counts input records that were skipped: unparseable lines,
+	// missing fields, self-measurements (tx == rx), negative or oversized
+	// node ids, and non-finite RSSI values.
+	Malformed int
+	// N is the number of nodes implied by the readings (max id + 1), 0 for
+	// an empty campaign.
+	N int
+}
+
+// maxNodeID bounds accepted node ids; a reading beyond it is counted as
+// malformed rather than silently sizing a multi-gigabyte matrix.
+const maxNodeID = 1 << 20
+
+// add appends a validated reading, growing the campaign's node count.
+func (c *Campaign) add(r Reading) {
+	c.Readings = append(c.Readings, r)
+	if r.TX >= c.N {
+		c.N = r.TX + 1
+	}
+	if r.RX >= c.N {
+		c.N = r.RX + 1
+	}
+}

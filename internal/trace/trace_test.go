@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"decaynet/internal/core"
+)
+
+func TestReadCSVLenientAndHeaderless(t *testing.T) {
+	in := strings.Join([]string{
+		"# drive 7, 2014-03-02",
+		"",
+		"0,1,-50.5,0.0",
+		"1,0,-52,0.1",
+		"0,1,-51,",      // malformed: empty timestamp field
+		"oops,1,-50,0",  // malformed: non-numeric id
+		"2,2,-40,0",     // malformed: self-measurement
+		"1,2,inf,0",     // malformed: non-finite RSSI
+		"1,2,-4000,0",   // malformed: RSSI beyond the ±1000 dBm bound
+		"1,-3,-50,0",    // malformed: negative id
+		" 2 , 0 , -61 ", // three fields, padded: fine
+	}, "\n")
+	c, err := Read(strings.NewReader(in), CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Reading{
+		{TX: 0, RX: 1, RSSIdBm: -50.5, T: 0},
+		{TX: 1, RX: 0, RSSIdBm: -52, T: 0.1},
+		{TX: 2, RX: 0, RSSIdBm: -61},
+	}
+	if !reflect.DeepEqual(c.Readings, want) {
+		t.Fatalf("readings = %+v, want %+v", c.Readings, want)
+	}
+	if c.Malformed != 6 {
+		t.Fatalf("malformed = %d, want 6", c.Malformed)
+	}
+	if c.N != 3 {
+		t.Fatalf("N = %d, want 3", c.N)
+	}
+}
+
+func TestReadCSVHeaderReordersColumns(t *testing.T) {
+	in := "time,rssi,receiver,sender\n1.5,-47,3,0\n"
+	c, err := Read(strings.NewReader(in), CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Reading{{TX: 0, RX: 3, RSSIdBm: -47, T: 1.5}}
+	if !reflect.DeepEqual(c.Readings, want) {
+		t.Fatalf("readings = %+v, want %+v", c.Readings, want)
+	}
+}
+
+func TestReadCSVHeaderMissingColumn(t *testing.T) {
+	if _, err := Read(strings.NewReader("tx,rssi_dbm\n0,-50\n"), CSV); err == nil {
+		t.Fatal("want error for header without rx column")
+	}
+}
+
+func TestReadJSONL(t *testing.T) {
+	in := strings.Join([]string{
+		`{"tx":0,"rx":1,"rssi_dbm":-62.5,"t":0.25}`,
+		`{"tx":1,"rx":0,"rssi":-64}`,     // rssi alias, no timestamp
+		`{"tx":1,"rx":1,"rssi_dbm":-10}`, // malformed: self
+		`{"tx":2,"rssi_dbm":-50}`,        // malformed: missing rx
+		`not json`,                       // malformed: syntax
+		``,
+	}, "\n")
+	c, err := Read(strings.NewReader(in), JSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Reading{
+		{TX: 0, RX: 1, RSSIdBm: -62.5, T: 0.25},
+		{TX: 1, RX: 0, RSSIdBm: -64},
+	}
+	if !reflect.DeepEqual(c.Readings, want) {
+		t.Fatalf("readings = %+v, want %+v", c.Readings, want)
+	}
+	if c.Malformed != 3 {
+		t.Fatalf("malformed = %d, want 3", c.Malformed)
+	}
+}
+
+func TestReadAutoSniffsFormat(t *testing.T) {
+	csv := "0,1,-50,0\n"
+	jsonl := "\n  " + `{"tx":0,"rx":1,"rssi_dbm":-50}` + "\n"
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{csv, 1}, {jsonl, 1}} {
+		c, err := Read(strings.NewReader(tc.in), Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Readings) != tc.want {
+			t.Fatalf("sniffed parse of %q got %d readings", tc.in, len(c.Readings))
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	synth, err := Synthesize(SynthConfig{N: 8, Repeats: 2, DropRate: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string]struct {
+		write  func(*bytes.Buffer, *Campaign) error
+		format Format
+	}{
+		"csv":   {func(b *bytes.Buffer, c *Campaign) error { return WriteCSV(b, c) }, CSV},
+		"jsonl": {func(b *bytes.Buffer, c *Campaign) error { return WriteJSONL(b, c) }, JSONL},
+	} {
+		var buf bytes.Buffer
+		if err := pair.write(&buf, synth.Campaign); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		back, err := Read(&buf, pair.format)
+		if err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		if !reflect.DeepEqual(back.Readings, synth.Campaign.Readings) {
+			t.Fatalf("%s round trip changed readings", name)
+		}
+		if back.Malformed != 0 {
+			t.Fatalf("%s round trip produced %d malformed readings", name, back.Malformed)
+		}
+	}
+}
+
+// TestGoldenCampaignRoundTrip pins the full pipeline end to end: the
+// bundled sample campaign must clean to exactly the golden decay matrix.
+func TestGoldenCampaignRoundTrip(t *testing.T) {
+	camp, err := ReadFile(filepath.Join("testdata", "sample_campaign.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, rep, err := Clean(camp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 6 || rep.Readings != 29 || rep.Malformed != 4 {
+		t.Fatalf("report = %+v, want 6 nodes / 29 readings / 4 malformed", rep)
+	}
+	if rep.PairsMeasured != 27 || rep.ImputedReciprocal != 1 || rep.ImputedKNN != 2 || rep.ImputedFallback != 0 {
+		t.Fatalf("report = %+v, want 27 measured, 1 reciprocal + 2 knn imputed", rep)
+	}
+	var got bytes.Buffer
+	if err := core.WriteJSON(&got, m); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "sample_matrix.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("cleaned matrix diverges from testdata/sample_matrix.golden.json:\n%s", got.String())
+	}
+}
+
+func TestSynthesizeDeterministicAndDrops(t *testing.T) {
+	cfg := SynthConfig{N: 10, Repeats: 3, DropRate: 0.3, Seed: 9}
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Campaign, b.Campaign) {
+		t.Fatal("equal configs produced different campaigns")
+	}
+	full := 10 * 9 * 3
+	if got := len(a.Campaign.Readings); got >= full || got < full/3 {
+		t.Fatalf("drop rate 0.3 left %d of %d readings", got, full)
+	}
+	if a.Campaign.N != 10 {
+		t.Fatalf("N = %d, want 10", a.Campaign.N)
+	}
+}
+
+func TestFromSpaceRecoversSpace(t *testing.T) {
+	m, err := core.FromFunc(6, func(i, j int) float64 { return 1 + float64(7*i+j) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := FromSpace(m, ExportConfig{Repeats: 1, NoiseSigmaDB: -1})
+	got, _, err := Clean(camp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			if rel := (got.F(i, j) - m.F(i, j)) / m.F(i, j); rel > 1e-9 || rel < -1e-9 {
+				t.Fatalf("f(%d,%d) = %g, want %g", i, j, got.F(i, j), m.F(i, j))
+			}
+		}
+	}
+}

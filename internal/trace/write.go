@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the campaign in the CSV wire format with the canonical
+// header, one reading per line. Floats use the shortest exact
+// representation, so a write/read round trip is lossless.
+func WriteCSV(w io.Writer, c *Campaign) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("tx,rx,rssi_dbm,t\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, r := range c.Readings {
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(r.TX), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.RX), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.RSSIdBm, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.T, 'g', -1, 64)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes the campaign as JSON-lines, one object per reading.
+// Like WriteCSV it is lossless under a read round trip.
+func WriteJSONL(w io.Writer, c *Campaign) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for _, r := range c.Readings {
+		buf = append(buf[:0], `{"tx":`...)
+		buf = strconv.AppendInt(buf, int64(r.TX), 10)
+		buf = append(buf, `,"rx":`...)
+		buf = strconv.AppendInt(buf, int64(r.RX), 10)
+		buf = append(buf, `,"rssi_dbm":`...)
+		buf = strconv.AppendFloat(buf, r.RSSIdBm, 'g', -1, 64)
+		buf = append(buf, `,"t":`...)
+		buf = strconv.AppendFloat(buf, r.T, 'g', -1, 64)
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -5,11 +5,15 @@ import "decaynet/internal/scenario"
 // Scenario plumbing: the name-based instance-source registry
 // (database/sql-driver style). Built-in names cover the environment
 // presets ("office", "warehouse", "corridor"), the plane workload
-// generators ("plane", "plane-clustered"), and the hardness constructions
-// ("theorem3", "theorem6", "star", "welzl", "gap", "uniform", "random").
-// External packages add their own sources with RegisterScenario, usually
-// from an init function, and anything accepting a scenario name — the
-// Engine, capsim, scenegen — picks them up.
+// generators ("plane", "plane-clustered"), the hardness constructions
+// ("theorem3", "theorem6", "star", "welzl", "gap", "uniform", "random"),
+// and measured data: "trace" ingests an RSSI measurement campaign (CSV or
+// JSON-lines) from ScenarioConfig.Path through the cleaning/imputation
+// pipeline (knobs via Params: "txpower" dBm, "mean", "k", "noreciprocal";
+// see the internal trace package and cmd/decaytrace). External packages
+// add their own sources with RegisterScenario, usually from an init
+// function, and anything accepting a scenario name — the Engine, capsim,
+// scenegen — picks them up.
 type (
 	// Scenario is a named instance source.
 	Scenario = scenario.Scenario

@@ -1,0 +1,165 @@
+package decaynet
+
+// Integration tests for the measured-trace workload: a campaign written to
+// disk is ingested through the "trace" scenario, consumed by the Engine,
+// and scheduled — the full measured-data pipeline behind cmd/decaytrace.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSampleCampaign synthesizes a campaign and writes it in the given
+// format, returning the file path.
+func writeSampleCampaign(t *testing.T, name string, write func(*os.File) error) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceScenarioThroughEngine covers the acceptance path: campaign file
+// → BuildScenario("trace") → Engine → capacity + schedule, in both wire
+// formats.
+func TestTraceScenarioThroughEngine(t *testing.T) {
+	synth, err := SynthesizeCampaign(SynthConfig{N: 16, Repeats: 2, DropRate: 0.2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, write := range map[string]func(*os.File) error{
+		"campaign.csv":   func(f *os.File) error { return WriteCampaignCSV(f, synth.Campaign) },
+		"campaign.jsonl": func(f *os.File) error { return WriteCampaignJSONL(f, synth.Campaign) },
+	} {
+		path := writeSampleCampaign(t, name, write)
+		inst, err := BuildScenario("trace", ScenarioConfig{Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Space.N() != 16 || len(inst.Links) != 8 {
+			t.Fatalf("%s: built %d nodes / %d links, want 16/8", name, inst.Space.N(), len(inst.Links))
+		}
+		eng, err := NewEngine(UsingScenario("trace", ScenarioConfig{Path: path}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.Scenario() != "trace" {
+			t.Fatalf("scenario = %q", eng.Scenario())
+		}
+		if z := eng.Zeta(); math.IsNaN(z) || z <= 0 {
+			t.Fatalf("zeta = %v", z)
+		}
+		p := eng.UniformPower(1)
+		slots, err := eng.Schedule(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.ValidateSchedule(p, nil, slots); err != nil {
+			t.Fatalf("%s: schedule invalid: %v", name, err)
+		}
+	}
+}
+
+// TestTraceScenarioKnobs checks the Params plumbing (txpower shifts every
+// decay by a constant factor) and the Path requirement.
+func TestTraceScenarioKnobs(t *testing.T) {
+	synth, err := SynthesizeCampaign(SynthConfig{N: 8, Repeats: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeSampleCampaign(t, "c.csv", func(f *os.File) error { return WriteCampaignCSV(f, synth.Campaign) })
+	base, err := BuildScenario("trace", ScenarioConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := BuildScenario("trace", ScenarioConfig{Path: path, Params: map[string]float64{"txpower": 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +10 dBm TX power scales every decay by exactly 10×.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			ratio := shifted.Space.F(i, j) / base.Space.F(i, j)
+			if math.Abs(ratio-10) > 1e-9 {
+				t.Fatalf("txpower knob: f(%d,%d) ratio = %v, want 10", i, j, ratio)
+			}
+		}
+	}
+	if _, err := BuildScenario("trace", ScenarioConfig{}); err == nil {
+		t.Fatal("want error when Config.Path is empty")
+	}
+}
+
+// TestEngineZetaEstimate: an engine on the approx path exposes the
+// concentration summary after ζ is first consumed, and the point estimate
+// is the value Zeta returned.
+func TestEngineZetaEstimate(t *testing.T) {
+	space, err := FromFunc(40, func(i, j int) float64 { return 1 + float64((i*7+j*3)%11) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(UsingSpace(space), PairedLinks(), WithApproxMetricity(16, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.ZetaEstimate(); ok {
+		t.Fatal("estimate available before Zeta was consumed")
+	}
+	z := eng.Zeta()
+	est, ok := eng.ZetaEstimate()
+	if !ok || est.Value != z {
+		t.Fatalf("estimate = (%+v, %v), want value %v", est, ok, z)
+	}
+	if est.Evaluated != 2000 || est.HalfWidth95 < 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	// Exact engines never report a summary.
+	exact, err := NewEngine(UsingSpace(space), PairedLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact.Zeta()
+	if _, ok := exact.ZetaEstimate(); ok {
+		t.Fatal("exact engine reported a sampled summary")
+	}
+}
+
+// TestCampaignPublicRoundTrip exercises the re-exported campaign API the
+// way an external consumer would: synthesize, export, re-ingest, compare.
+func TestCampaignPublicRoundTrip(t *testing.T) {
+	space, err := FromFunc(10, func(i, j int) float64 { return 1 + float64(i*10+j) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := SpaceCampaign(space, TraceExportConfig{Repeats: 1, NoiseSigmaDB: -1})
+	back, rep, err := CleanCampaign(camp, CleanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage != 1 {
+		t.Fatalf("coverage = %v, want 1", rep.Coverage)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i == j {
+				continue
+			}
+			if rel := math.Abs(back.F(i, j)-space.F(i, j)) / space.F(i, j); rel > 1e-9 {
+				t.Fatalf("f(%d,%d) = %g, want %g", i, j, back.F(i, j), space.F(i, j))
+			}
+		}
+	}
+}
