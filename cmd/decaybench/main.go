@@ -20,6 +20,7 @@ import (
 	"strings"
 	"testing"
 
+	"decaynet"
 	"decaynet/internal/capacity"
 	"decaynet/internal/core"
 	"decaynet/internal/experiments"
@@ -185,6 +186,15 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 		}
 	})
 
+	// Dynamic-session update path: a warm mutation-tracking engine absorbs
+	// a k-dirty-row batch and re-serves ζ, the affectance matrix and a
+	// capacity call via incremental repair; the rebuild baseline pays a
+	// from-scratch engine on the same mutated instance. The ≥10× gap is
+	// the PR 4 acceptance bar (measured at n=1024 under -benchlarge).
+	if err := benchEngineUpdate(record, n); err != nil {
+		return err
+	}
+
 	if large {
 		for _, ln := range []int{512, 1024} {
 			li, err := scenario.Build("random", scenario.Config{Nodes: ln, Seed: 7})
@@ -212,6 +222,9 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 		ve := core.VarphiSampledEstimate(huge.Space, sampledBenchBudget, rng.New(11))
 		fmt.Printf("varphi/sampled-batch   n=4096 estimate %.4f (%d strata, E[stratum max] %.4f ±%.4f @95%%)\n",
 			ve.Value, ve.Strata, ve.MeanStratumMax, ve.HalfWidth95)
+		if err := benchEngineUpdate(record, 1024); err != nil {
+			return err
+		}
 	}
 
 	speedup := func(base, batched string) {
@@ -235,6 +248,26 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 	}
 	speedup("zeta/per-pair", "zeta/batched")
 	speedup("affectance/per-pair", "affectance/batched")
+	// The update path is measured at every benchmarked size; report the
+	// incremental-vs-rebuild gap at the largest one.
+	updSpeedup := func() {
+		var upd, reb int64
+		size := 0
+		for _, r := range results {
+			if r.Op == "engine/update" && r.N >= size {
+				upd, size = r.NsPerOp, r.N
+			}
+		}
+		for _, r := range results {
+			if r.Op == "engine/rebuild" && r.N == size {
+				reb = r.NsPerOp
+			}
+		}
+		if upd > 0 && reb > 0 {
+			fmt.Printf("engine/update vs engine/rebuild (n=%d): %.1fx\n", size, float64(reb)/float64(upd))
+		}
+	}
+	updSpeedup()
 
 	f, err := os.Create(outPath)
 	if err != nil {
@@ -286,6 +319,80 @@ func checkAllocs(path string, results []benchResult) error {
 		return fmt.Errorf("alloc regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	fmt.Printf("alloc check passed (%d ceilings)\n", len(limits))
+	return nil
+}
+
+// updateDirtyRows is the dirty-row batch size of the update-path ops: the
+// k = 16 of the PR 4 acceptance criterion, shrunk on tiny smoke sizes.
+const updateDirtyRows = 16
+
+// benchEngineUpdate measures the dynamic-session update path at size n:
+// "engine/update" applies a k-row decay batch to a warm mutation-tracking
+// engine and re-reads ζ, the affectance matrix and a capacity pick (all
+// incrementally repaired); "engine/rebuild" serves the same reads through
+// a from-scratch engine on the mutated instance.
+func benchEngineUpdate(record func(op string, size int, fn func()), n int) error {
+	k := updateDirtyRows
+	if k > n/4 {
+		k = n / 4
+	}
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("random", decaynet.ScenarioConfig{Nodes: n, Seed: 7}),
+		decaynet.Noise(0.01),
+		decaynet.WithMutationTracking(),
+	)
+	if err != nil {
+		return err
+	}
+	p := eng.UniformPower(1)
+	// Warm the session: ζ (building the incremental tracker), the
+	// affectance cache, and the quasi-metric's dense matrix (via the
+	// capacity call) — the steady state a long-lived session serves from.
+	eng.Zeta()
+	eng.Affectances(p)
+	eng.Capacity(p, nil)
+
+	// Two alternating row batches, so every iteration applies a genuine
+	// change to the same k rows.
+	src := rng.New(23)
+	batches := [2]map[int][]float64{}
+	for b := range batches {
+		rows := make(map[int][]float64, k)
+		for i := 0; i < k; i++ {
+			r := (i * n) / k
+			row := make([]float64, n)
+			for j := range row {
+				if j != r {
+					row[j] = src.Range(0.5, 50)
+				}
+			}
+			rows[r] = row
+		}
+		batches[b] = rows
+	}
+	flip := 0
+	record("engine/update", n, func() {
+		flip ^= 1
+		if err := eng.SetDecayRows(batches[flip]); err != nil {
+			panic(err)
+		}
+		eng.Zeta()
+		eng.Affectances(p)
+		eng.Capacity(p, nil)
+	})
+	record("engine/rebuild", n, func() {
+		fresh, err := decaynet.NewEngine(
+			decaynet.UsingSpace(decaynet.Materialize(eng.Space())),
+			decaynet.UsingLinks(eng.Links()...),
+			decaynet.Noise(0.01),
+		)
+		if err != nil {
+			panic(err)
+		}
+		fresh.Zeta()
+		fresh.Affectances(p)
+		fresh.Capacity(p, nil)
+	})
 	return nil
 }
 

@@ -8,13 +8,18 @@
 //
 // The supported public surface is batch-first and built around two ideas:
 //
-//   - Engine: a session object owning a dense decay space, a link set and
-//     the radio parameters. It caches every derived product — ζ, the
-//     induced quasi-metric's distance matrix, ϕ, and the dense affectance
-//     matrix per power vector — so capacity, scheduling and simulation
-//     never recompute them. Hot paths consume whole matrix rows through
-//     the RowSpace contract on a shared worker pool rather than paying an
-//     interface call per element.
+//   - Engine: a mutable session object owning a dense decay space, a link
+//     set and the radio parameters. It caches every derived product — ζ,
+//     the induced quasi-metric's distance matrix, ϕ, and the dense
+//     affectance matrix per power vector — so capacity, scheduling and
+//     simulation never recompute them, and it absorbs topology/decay
+//     churn: Engine.Update (AddLinks, RemoveLinks, SetDecayRows, MoveNode)
+//     applies batched edits under a session version counter and repairs
+//     the caches incrementally instead of rebuilding. Long-running entry
+//     points have context-accepting forms (ZetaCtx, ScheduleCtx, …) for
+//     cooperative cancellation. Hot paths consume whole matrix rows
+//     through the RowSpace contract on a shared worker pool rather than
+//     paying an interface call per element.
 //
 //   - Scenario: a name-based registry of instance sources
 //     (database/sql-driver style) unifying the environment presets
@@ -140,8 +145,11 @@ var (
 	ReadCampaign     = trace.Read
 	ReadCampaignFile = trace.ReadFile
 	// CleanCampaign aggregates, converts and imputes a campaign into a
-	// validated dense decay Matrix plus the audit report.
-	CleanCampaign = trace.Clean
+	// validated dense decay Matrix plus the audit report. CleanCampaignCtx
+	// is the cancellable form (checked between pipeline stages and inside
+	// the imputation row loops).
+	CleanCampaign    = trace.Clean
+	CleanCampaignCtx = trace.CleanCtx
 	// SynthesizeCampaign generates a campaign from geometric ground truth
 	// with shadowing, asymmetry and drops.
 	SynthesizeCampaign = trace.Synthesize
@@ -219,6 +227,12 @@ var (
 	// per-stratum maxima) alongside the point estimate.
 	ZetaSampledEstimate   = core.ZetaSampledEstimate
 	VarphiSampledEstimate = core.VarphiSampledEstimate
+	// ZetaSampledTarget and VarphiSampledTarget iterate the sampled
+	// estimators, doubling the triplet budget until the Hoeffding 95%
+	// half-width is at most eps (Engine routes through them under
+	// WithTargetPrecision).
+	ZetaSampledTarget   = core.ZetaSampledTarget
+	VarphiSampledTarget = core.VarphiSampledTarget
 	// KnownSymmetric reports whether a space certifies exact symmetry
 	// through the SymmetricSpace marker.
 	KnownSymmetric = core.KnownSymmetric

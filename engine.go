@@ -1,6 +1,7 @@
 package decaynet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,23 +22,70 @@ import (
 // derived product — the metricity ζ, the induced quasi-metric's distance
 // matrix, the ϕ variant, and the dense affectance matrix per power vector
 // — so that capacity, scheduling and simulation stop recomputing them call
-// after call. Build one with NewEngine from a registered scenario or an
-// explicit space; all methods are safe for concurrent use.
+// after call.
+//
+// Engines are mutable sessions: Update (and the AddLinks / RemoveLinks /
+// SetDecayRows / SetDecay / MoveNode conveniences) applies a batch of
+// topology or decay edits under a session version counter, and every
+// cached product repairs itself incrementally instead of rebuilding —
+// affectance matrices patch only the rows and columns of touched links,
+// the quasi-metric rematerializes only mutated rows, and ζ/ϕ re-scan only
+// triplets incident to dirty rows. All methods are safe for concurrent
+// use: reads proceed in parallel and serialize only against Update.
+//
+// The long-running entry points have context.Context-accepting forms
+// (ZetaCtx, PhiCtx, AffectancesCtx, CapacityCtx, ScheduleCtx) with
+// cooperative cancellation plumbed through the worker pool, so a serving
+// layer can shed load; a cancelled call returns ctx.Err() promptly and
+// caches nothing.
 type Engine struct {
-	sys  *System
-	inst *scenario.Instance // nil when built from an explicit space
+	// mu is the session lock: every reader takes it shared, Update takes
+	// it exclusively. Cached-product repair therefore never races a read.
+	mu      sync.RWMutex
+	version uint64
+
+	sys    *System
+	matrix *core.Matrix       // the dense space sys wraps (mutation target)
+	inst   *scenario.Instance // nil when built from an explicit space
+
+	// Geometry of the session, when built from a geometric scenario or
+	// space: node positions and the path-loss exponent MoveNode recomputes
+	// decays with. points is engine-owned (mutated by MoveNode).
+	points    []Point
+	geomAlpha float64
+
+	// analytic is the analytically known metricity (ζ = α for geometric
+	// sessions), kept across moves — a node move preserves f = d^α — and
+	// voided by any direct decay edit.
+	analytic float64
+
+	// dynamic marks the session as mutation-tracking: exact ζ/ϕ are then
+	// computed through the incremental trackers (repairable after Update)
+	// instead of the one-shot scans. Set by WithMutationTracking or by the
+	// first Update.
+	dynamic bool
+	zt      *core.ZetaTracker
+	vt      *core.VarphiTracker
 
 	// approxSamples > 0 routes Zeta/Phi to the sampled estimators
 	// (WithApproxMetricity fired: the space is at or above the size
-	// threshold). zetaSamples records the ζ estimator's triplet count and
-	// zetaEst its full concentration summary once the lazily seeded
-	// estimate has been consumed.
+	// threshold). targetEps > 0 additionally iterates them, doubling the
+	// triplet budget until the Hoeffding half-width is at most targetEps.
+	// zetaSamples records the ζ estimator's triplet count and zetaEst its
+	// full concentration summary once the lazily seeded estimate has been
+	// consumed.
 	approxSamples int
+	targetEps     float64
 	zetaSamples   atomic.Int64
 	zetaEst       atomic.Pointer[core.SampledEstimate]
 
-	phiOnce sync.Once
-	phi     float64
+	// φ cache: resettable (Update invalidates or repairs it), with the
+	// sampled path's concentration summary alongside. Guarded by phiMu,
+	// acquired after mu.
+	phiMu  sync.Mutex
+	phiOK  bool
+	phi    float64
+	phiEst *core.SampledEstimate
 }
 
 // approxMetricitySeed seeds the sampled metricity estimators an Engine
@@ -60,6 +108,8 @@ type engineConfig struct {
 	scenarioCfg     ScenarioConfig
 	approxThreshold int
 	approxSamples   int
+	targetEps       float64
+	tracking        bool
 }
 
 // EngineOption configures NewEngine.
@@ -75,7 +125,9 @@ func UsingScenario(name string, cfg ScenarioConfig) EngineOption {
 	}
 }
 
-// UsingSpace supplies an explicit decay space.
+// UsingSpace supplies an explicit decay space. A *Matrix is adopted
+// without copying: the engine then owns its storage, and Update mutates it
+// in place.
 func UsingSpace(space Space) EngineOption {
 	return func(ec *engineConfig) error {
 		if space == nil {
@@ -147,6 +199,36 @@ func WithApproxMetricity(threshold, samples int) EngineOption {
 	}
 }
 
+// WithTargetPrecision drives the sampled ζ/ϕ estimators by precision
+// instead of a fixed budget: when WithApproxMetricity routes to them, the
+// triplet budget doubles (from the configured `samples`) until the
+// estimate's Hoeffding 95% half-width is at most eps, and ZetaEstimate /
+// PhiEstimate report the half-width actually achieved. The budget is
+// internally capped, so a half-width the instance cannot reach terminates
+// with a best-effort estimate rather than looping. On engines running the
+// exact scans the option has no effect.
+func WithTargetPrecision(eps float64) EngineOption {
+	return func(ec *engineConfig) error {
+		if eps <= 0 {
+			return fmt.Errorf("decaynet: WithTargetPrecision(%v): eps must be positive", eps)
+		}
+		ec.targetEps = eps
+		return nil
+	}
+}
+
+// WithMutationTracking pre-arms the incremental session machinery: exact
+// ζ/ϕ computations build their per-row trackers immediately, so even the
+// first Update repairs instead of invalidating. Without the option the
+// first Update enables tracking implicitly, at the cost of one full
+// recomputation of whatever exact products were already cached.
+func WithMutationTracking() EngineOption {
+	return func(ec *engineConfig) error {
+		ec.tracking = true
+		return nil
+	}
+}
+
 // NewEngine builds an Engine from functional options. The space comes from
 // UsingScenario or UsingSpace (exactly one required); links come from the
 // scenario, UsingLinks, or PairedLinks. The space is materialized into a
@@ -188,28 +270,39 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		}
 		ec.links = scenario.PairedLinks(dense.N())
 	}
-	sysOpts := []Option{WithBeta(ec.beta), WithNoise(ec.noise)}
-	e := &Engine{inst: inst}
+	e := &Engine{
+		inst:      inst,
+		matrix:    dense,
+		analytic:  ec.knownZeta,
+		dynamic:   ec.tracking,
+		targetEps: ec.targetEps,
+	}
+	// Capture the session geometry MoveNode needs: positions from the
+	// scenario instance (or the space itself) and the path-loss exponent
+	// when the space is geometric.
+	if gs, ok := ec.space.(*core.GeometricSpace); ok {
+		e.geomAlpha = gs.Alpha()
+		if inst == nil || len(inst.Points) == 0 {
+			e.points = make([]Point, gs.N())
+			for i := range e.points {
+				e.points[i] = gs.Point(i)
+			}
+		}
+	}
+	if inst != nil && len(inst.Points) > 0 {
+		e.points = append([]Point(nil), inst.Points...)
+	}
 	approx := ec.approxThreshold > 0 && dense.N() >= ec.approxThreshold
 	if approx {
 		e.approxSamples = ec.approxSamples
 	}
-	switch {
-	case ec.knownZeta > 0:
+	// The engine always owns ζ production (sampled / tracked / exact,
+	// see computeZeta): installing the lazy source up front means an
+	// invalidation after any mutation re-routes through it, even when the
+	// session started from an analytically known ζ.
+	sysOpts := []Option{WithBeta(ec.beta), WithNoise(ec.noise), sinr.WithZetaCtxFunc(e.computeZeta)}
+	if ec.knownZeta > 0 {
 		sysOpts = append(sysOpts, WithZeta(ec.knownZeta))
-	case approx:
-		// Above the approx threshold the exact O(n³) scan is what the
-		// option exists to avoid: seed the system with a lazy sampled
-		// estimate, paid for only when ζ is first consumed (mirroring the
-		// lazy exact path) and shared by the quasi-metric and every
-		// downstream consumer.
-		samples := ec.approxSamples
-		sysOpts = append(sysOpts, sinr.WithZetaFunc(func() float64 {
-			est := core.ZetaSampledEstimate(dense, samples, rng.New(approxMetricitySeed))
-			e.zetaSamples.Store(int64(est.Evaluated))
-			e.zetaEst.Store(&est)
-			return est.Value
-		}))
 	}
 	sys, err := NewSystem(dense, ec.links, sysOpts...)
 	if err != nil {
@@ -219,20 +312,75 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	return e, nil
 }
 
-// System returns the underlying sinr System (shares all caches).
+// computeZeta is the engine's lazy metricity source, consulted by the
+// System on the first ζ access of each (in)validation cycle: the sampled
+// estimator above the approx threshold (iterated to the target precision
+// when one is set), the incremental tracker on mutation-tracking sessions,
+// the one-shot exact scan otherwise. Runs with System.metMu held, which
+// serializes tracker installation.
+func (e *Engine) computeZeta(ctx context.Context) (float64, error) {
+	if e.approxSamples > 0 {
+		var (
+			est core.SampledEstimate
+			err error
+		)
+		if e.targetEps > 0 {
+			est, err = core.ZetaSampledTarget(ctx, e.matrix, e.approxSamples, e.targetEps, rng.New(approxMetricitySeed))
+		} else {
+			est, err = core.ZetaSampledEstimateCtx(ctx, e.matrix, e.approxSamples, rng.New(approxMetricitySeed))
+		}
+		if err != nil {
+			return 0, err
+		}
+		e.zetaSamples.Store(int64(est.Evaluated))
+		e.zetaEst.Store(&est)
+		return est.Value, nil
+	}
+	if e.dynamic {
+		zt, err := core.NewZetaTracker(ctx, e.matrix, 1e-12)
+		if err != nil {
+			return 0, err
+		}
+		e.zt = zt
+		return zt.Zeta(), nil
+	}
+	return core.ZetaTolCtx(ctx, e.matrix, 1e-12)
+}
+
+// System returns the underlying sinr System (shares all caches). Direct
+// System use is not serialized against Update — hold off mutating the
+// engine while working through it.
 func (e *Engine) System() *System { return e.sys }
 
-// Space returns the engine's dense decay space.
+// Space returns the engine's dense decay space. The returned space is the
+// live session matrix: Update mutates it in place.
 func (e *Engine) Space() Space { return e.sys.Space() }
 
 // Links returns a copy of the link set.
-func (e *Engine) Links() []Link { return e.sys.Links() }
+func (e *Engine) Links() []Link {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sys.Links()
+}
 
 // Len returns the number of links.
-func (e *Engine) Len() int { return e.sys.Len() }
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sys.Len()
+}
 
 // N returns the number of nodes.
-func (e *Engine) N() int { return e.sys.Space().N() }
+func (e *Engine) N() int { return e.matrix.N() }
+
+// Version returns the session version: 0 at construction, incremented by
+// every applied Update. Two reads returning the same version bracket an
+// unmutated session.
+func (e *Engine) Version() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
 
 // Scenario returns the name of the scenario that built this engine, or ""
 // for explicit spaces.
@@ -243,32 +391,87 @@ func (e *Engine) Scenario() string {
 	return e.inst.Scenario
 }
 
-// Points returns node positions when the engine was built from a scenario
-// with plane geometry (nil otherwise).
+// Points returns a copy of the current node positions for sessions with
+// plane geometry (nil otherwise). MoveNode updates them.
 func (e *Engine) Points() []Point {
-	if e.inst == nil {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.points == nil {
 		return nil
 	}
-	return e.inst.Points
+	return append([]Point(nil), e.points...)
 }
 
 // Zeta returns the metricity ζ of the space, computed once and cached —
 // the exact scan by default, the batched sampled estimate when
-// WithApproxMetricity fired (see MetricityApproximate).
-func (e *Engine) Zeta() float64 { return e.sys.Zeta() }
+// WithApproxMetricity fired (see MetricityApproximate). After an Update
+// the cached value has been repaired (or invalidated and lazily
+// recomputed) to match the mutated space.
+func (e *Engine) Zeta() float64 {
+	z, _ := e.ZetaCtx(context.Background())
+	return z
+}
+
+// ZetaCtx is Zeta with cooperative cancellation: a cold call pays the scan
+// (or estimate) under ctx and returns ctx.Err() when cancelled, caching
+// nothing; a warm call returns the cache immediately.
+func (e *Engine) ZetaCtx(ctx context.Context) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sys.ZetaCtx(ctx)
+}
 
 // Phi returns φ = lg ϕ, computed once and cached; sampled when
-// WithApproxMetricity fired, exact otherwise.
+// WithApproxMetricity fired, exact otherwise. Like Zeta it is repaired or
+// recomputed after mutations.
 func (e *Engine) Phi() float64 {
-	e.phiOnce.Do(func() {
-		if e.approxSamples > 0 {
-			vphi, _ := core.VarphiSampledBatch(e.sys.Space(), e.approxSamples, rng.New(approxMetricitySeed+1))
-			e.phi = math.Log2(vphi)
-			return
+	phi, _ := e.PhiCtx(context.Background())
+	return phi
+}
+
+// PhiCtx is Phi with cooperative cancellation (see ZetaCtx).
+func (e *Engine) PhiCtx(ctx context.Context) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.phiMu.Lock()
+	defer e.phiMu.Unlock()
+	if e.phiOK {
+		return e.phi, nil
+	}
+	var vphi float64
+	switch {
+	case e.approxSamples > 0:
+		var (
+			est core.SampledEstimate
+			err error
+		)
+		if e.targetEps > 0 {
+			est, err = core.VarphiSampledTarget(ctx, e.matrix, e.approxSamples, e.targetEps, rng.New(approxMetricitySeed+1))
+		} else {
+			est, err = core.VarphiSampledEstimateCtx(ctx, e.matrix, e.approxSamples, rng.New(approxMetricitySeed+1))
 		}
-		e.phi = Phi(e.sys.Space())
-	})
-	return e.phi
+		if err != nil {
+			return 0, err
+		}
+		e.phiEst = &est
+		vphi = est.Value
+	case e.dynamic:
+		vt, err := core.NewVarphiTracker(ctx, e.matrix)
+		if err != nil {
+			return 0, err
+		}
+		e.vt = vt
+		vphi = vt.Varphi()
+	default:
+		var err error
+		vphi, err = core.VarphiCtx(ctx, e.matrix)
+		if err != nil {
+			return 0, err
+		}
+	}
+	e.phi = math.Log2(vphi)
+	e.phiOK = true
+	return e.phi, nil
 }
 
 // MetricityApproximate reports whether this engine's Zeta and Phi come
@@ -291,30 +494,88 @@ func (e *Engine) ZetaEstimate() (SampledEstimate, bool) {
 	return SampledEstimate{}, false
 }
 
-// QuasiMetric returns the cached induced quasi-metric d = f^(1/ζ).
-func (e *Engine) QuasiMetric() *QuasiMetric { return e.sys.QuasiMetric() }
+// PhiEstimate is the ϕ analogue of ZetaEstimate: the sampled ϕ estimate's
+// concentration summary, available once Phi has been consumed on an
+// engine routed through the sampled estimators, and false otherwise (the
+// exact and tracker paths carry no sampling uncertainty).
+func (e *Engine) PhiEstimate() (SampledEstimate, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.phiMu.Lock()
+	defer e.phiMu.Unlock()
+	if e.phiOK && e.phiEst != nil {
+		return *e.phiEst, true
+	}
+	return SampledEstimate{}, false
+}
+
+// QuasiMetric returns the cached induced quasi-metric d = f^(1/ζ). The
+// returned structure is a snapshot: its distance matrix is materialized
+// before it leaves the session lock, and an Update replaces (never
+// mutates) it. The exception is spaces beyond the dense-materialization
+// bound (8192 nodes), whose quasi-metrics compute distances per call from
+// the live decay matrix — holding one across an Update then reads current
+// decays at the snapshot's exponent.
+func (e *Engine) QuasiMetric() *QuasiMetric {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	qm := e.sys.QuasiMetric()
+	if qm != nil {
+		qm.Freeze()
+	}
+	return qm
+}
 
 // Affectances returns the cached dense affectance matrix for p, computing
 // it (in parallel, through the batch row contract) only when p changes.
-func (e *Engine) Affectances(p Power) *Affectances { return e.sys.Affectances(p) }
+// The returned matrix is a snapshot: an Update patches a fresh copy into
+// the cache instead of touching handed-out matrices.
+func (e *Engine) Affectances(p Power) *Affectances {
+	a, _ := e.AffectancesCtx(context.Background(), p)
+	return a
+}
+
+// AffectancesCtx is Affectances with cooperative cancellation of the
+// O(links²) build on a cache miss.
+func (e *Engine) AffectancesCtx(ctx context.Context, p Power) (*Affectances, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sys.AffectancesCtx(ctx, p)
+}
 
 // UniformPower, LinearPower and MeanPower build the standard monotone
 // assignments for this engine's links.
-func (e *Engine) UniformPower(p float64) Power { return sinr.UniformPower(e.sys, p) }
+func (e *Engine) UniformPower(p float64) Power {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return sinr.UniformPower(e.sys, p)
+}
 
 // LinearPower assigns P_v = scale · f_vv.
-func (e *Engine) LinearPower(scale float64) Power { return sinr.LinearPower(e.sys, scale) }
+func (e *Engine) LinearPower(scale float64) Power {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return sinr.LinearPower(e.sys, scale)
+}
 
 // MeanPower assigns P_v = scale · sqrt(f_vv).
-func (e *Engine) MeanPower(scale float64) Power { return sinr.MeanPower(e.sys, scale) }
+func (e *Engine) MeanPower(scale float64) Power {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return sinr.MeanPower(e.sys, scale)
+}
 
 // AllLinks returns [0, Len()).
-func (e *Engine) AllLinks() []int { return capacity.AllLinks(e.sys) }
+func (e *Engine) AllLinks() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return capacity.AllLinks(e.sys)
+}
 
-// orAll substitutes the full link set for nil.
+// orAll substitutes the full link set for nil. Callers hold mu.
 func (e *Engine) orAll(links []int) []int {
 	if links == nil {
-		return e.AllLinks()
+		return capacity.AllLinks(e.sys)
 	}
 	return links
 }
@@ -322,54 +583,92 @@ func (e *Engine) orAll(links []int) []int {
 // Capacity runs the paper's Algorithm 1 (Theorem 5) on the given links
 // (nil = all) under power p.
 func (e *Engine) Capacity(p Power, links []int) []int {
-	return capacity.Algorithm1(e.sys, p, e.orAll(links))
+	out, _ := e.CapacityCtx(context.Background(), p, links)
+	return out
+}
+
+// CapacityCtx is Capacity with cooperative cancellation: the expensive
+// session inputs (ζ on a cold session, the dense affectance matrix) are
+// computed under ctx and the greedy pass polls it, so a cancelled call
+// returns ctx.Err() promptly.
+func (e *Engine) CapacityCtx(ctx context.Context, p Power, links []int) ([]int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return capacity.Algorithm1Ctx(ctx, e.sys, p, e.orAll(links))
 }
 
 // GreedyCapacity runs the general-metric baseline.
 func (e *Engine) GreedyCapacity(p Power, links []int) []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return capacity.GreedyGeneral(e.sys, p, e.orAll(links))
 }
 
 // ExactCapacity runs the exact branch-and-bound optimum (small instances).
 func (e *Engine) ExactCapacity(p Power, links []int) []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return capacity.Exact(e.sys, p, e.orAll(links))
 }
 
 // FirstFitCapacity runs the naive first-fit baseline.
 func (e *Engine) FirstFitCapacity(p Power, links []int) []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return capacity.FirstFit(e.sys, p, e.orAll(links))
 }
 
 // Feasible reports whether the set meets the SINR threshold simultaneously.
 func (e *Engine) Feasible(p Power, set []int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return sinr.IsFeasible(e.sys, p, set)
 }
 
 // Schedule partitions the links (nil = all) into feasible slots by
 // repeated extraction with Algorithm 1.
 func (e *Engine) Schedule(p Power, links []int) ([][]int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return schedule.ByCapacity(e.sys, p, e.orAll(links), capacity.Algorithm1)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: ζ and the
+// affectance matrix are forced under ctx up front and the slot loop polls
+// it between extractions.
+func (e *Engine) ScheduleCtx(ctx context.Context, p Power, links []int) ([][]int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return schedule.ByCapacityCtx(ctx, e.sys, p, e.orAll(links), capacity.Algorithm1)
 }
 
 // ScheduleWith is Schedule with an explicit capacity routine.
 func (e *Engine) ScheduleWith(p Power, links []int, cap schedule.CapacityFunc) ([][]int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return schedule.ByCapacity(e.sys, p, e.orAll(links), cap)
 }
 
 // ScheduleFirstFit builds a first-fit schedule.
 func (e *Engine) ScheduleFirstFit(p Power, links []int) ([][]int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return schedule.FirstFit(e.sys, p, e.orAll(links))
 }
 
 // ValidateSchedule checks a schedule's feasibility and coverage of links
 // (nil = all).
 func (e *Engine) ValidateSchedule(p Power, links []int, slots [][]int) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return schedule.Validate(e.sys, p, e.orAll(links), slots)
 }
 
 // Sim builds the slotted distributed simulator over the engine's space,
 // inheriting the engine's noise and β, with the given uniform node power.
 func (e *Engine) Sim(power float64) (*Sim, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return distributed.NewSim(e.sys.Space(), distributed.Params{
 		Power: power,
 		Noise: e.sys.Noise(),

@@ -1,0 +1,46 @@
+package decaynet_test
+
+import (
+	"fmt"
+
+	"decaynet"
+)
+
+// ExampleEngine_Update shows a dynamic session: build an engine, consume
+// its cached products, then apply batched mutations — the caches repair
+// themselves incrementally and the session version tracks every batch.
+// Existing immutable usage keeps working unchanged; Update is opt-in.
+func ExampleEngine_Update() {
+	// A 4-node decay space with two links.
+	m, _ := decaynet.NewMatrix([][]float64{
+		{0, 1, 8, 8},
+		{1, 0, 8, 8},
+		{8, 8, 0, 1},
+		{8, 8, 1, 0},
+	})
+	eng, _ := decaynet.NewEngine(
+		decaynet.UsingSpace(m),
+		decaynet.PairedLinks(),
+		decaynet.WithMutationTracking(),
+	)
+	p := eng.UniformPower(1)
+	fmt.Printf("v%d: zeta %.3f, capacity %d\n", eng.Version(), eng.Zeta(), len(eng.Capacity(p, nil)))
+
+	// Weaken the cross-pair isolation: both links no longer fit one slot.
+	eng.Update(decaynet.Mutation{SetDecays: []decaynet.DecayEdit{
+		{I: 0, J: 3, F: 1.1}, {I: 2, J: 1, F: 1.1},
+	}})
+	fmt.Printf("v%d: zeta %.3f, capacity %d\n", eng.Version(), eng.Zeta(), len(eng.Capacity(p, nil)))
+
+	// Link churn: drop link 1, add a fresh one; powers are per-link, so
+	// rebuild the assignment for the new link set.
+	eng.Update(decaynet.Mutation{
+		RemoveLinks: []int{1},
+		AddLinks:    []decaynet.Link{{Sender: 1, Receiver: 2}},
+	})
+	fmt.Printf("v%d: %d links\n", eng.Version(), eng.Len())
+	// Output:
+	// v0: zeta 1.000, capacity 2
+	// v1: zeta 2.931, capacity 1
+	// v2: 2 links
+}

@@ -1,0 +1,108 @@
+// Dynamic session: a long-lived Engine absorbing topology and decay churn
+// the way a serving layer would — nodes move, links appear and die, rows
+// get re-measured — with every cached product (ζ, the quasi-metric, the
+// affectance matrices) repairing itself incrementally instead of paying
+// the O(n²)–O(n³) rebuild per change. The churn itself comes from the
+// "churn" scenario's deterministic mutation stream, so the whole session
+// replays bit-for-bit anywhere. The example also shows load shedding: a
+// context cancelled mid-computation aborts a cold scan promptly.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"decaynet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A dynamic session over the "churn" scenario: a geometric base
+	//    instance (ζ = α analytically) plus a deterministic mutation
+	//    stream. WithMutationTracking pre-arms the incremental machinery.
+	cfg := decaynet.ScenarioConfig{Links: 24, Seed: 42}
+	// Zero ambient noise keeps every link viable in isolation: churn adds
+	// arbitrarily long links, and a link that cannot meet β even alone
+	// would (correctly) stall any schedule.
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("churn", cfg),
+		decaynet.Beta(1.2),
+		decaynet.WithMutationTracking(),
+	)
+	if err != nil {
+		return err
+	}
+	p := eng.UniformPower(1)
+	fmt.Printf("base instance: n=%d links=%d zeta=%.2f\n", eng.N(), eng.Len(), eng.Zeta())
+
+	// 2. Replay the mutation stream, serving capacity picks continuously.
+	//    Node moves preserve the analytic ζ = α; link churn resizes the
+	//    affectance caches; every batch bumps the session version.
+	stream, err := decaynet.ChurnStream(cfg, 12)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	served := 0
+	for _, m := range stream {
+		if err := eng.Update(m); err != nil {
+			return err
+		}
+		// Powers are per-link: rebuild the assignment when churn changed
+		// the link set.
+		if len(p) != eng.Len() {
+			p = eng.UniformPower(1)
+		}
+		served += len(eng.Capacity(p, nil))
+	}
+	fmt.Printf("replayed %d mutation batches in %v (version %d, zeta still %.2f)\n",
+		len(stream), time.Since(start).Round(time.Microsecond), eng.Version(), eng.Zeta())
+	fmt.Printf("served %d link grants across the churn\n", served)
+
+	// 3. A schedule over the final topology, then one decay retune — a
+	//    re-measured row voids the analytic ζ, and the session switches to
+	//    the incrementally tracked value.
+	slots, err := eng.Schedule(p, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final schedule: %d slots for %d links\n", len(slots), eng.Len())
+
+	row := make([]float64, eng.N())
+	for j := range row {
+		if j != 0 {
+			row[j] = 25
+		}
+	}
+	if err := eng.SetDecayRows(map[int][]float64{0: row}); err != nil {
+		return err
+	}
+	fmt.Printf("after retuning row 0: zeta=%.2f (computed, no longer analytic)\n", eng.Zeta())
+
+	// 4. Load shedding: a context cancelled mid-scan aborts promptly with
+	//    ctx.Err() instead of finishing the O(n³) work. (A fresh engine
+	//    without KnownZeta pays the full scan, so the cancellation has
+	//    something to interrupt.)
+	cold, err := decaynet.NewEngine(
+		decaynet.UsingScenario("random", decaynet.ScenarioConfig{Nodes: 512, Seed: 1}),
+	)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if _, err := cold.ZetaCtx(ctx); err != nil {
+		fmt.Printf("cancelled cold ZetaCtx after %v: %v\n", time.Since(t0).Round(time.Millisecond), err)
+	} else {
+		fmt.Println("cold scan finished before the deadline (fast machine)")
+	}
+	return nil
+}

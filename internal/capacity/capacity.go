@@ -7,6 +7,7 @@
 package capacity
 
 import (
+	"context"
 	"slices"
 	"sync"
 
@@ -45,12 +46,32 @@ func (sc *scratch) decayOrdered(s *sinr.System, links []int) []int {
 // affectance with X is at most 1/2; the result keeps the members of X whose
 // in-affectance stayed at most 1.
 func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
-	zeta := s.Zeta()
-	aff := s.Affectances(p)
+	out, _ := Algorithm1Ctx(context.Background(), s, p, links)
+	return out
+}
+
+// Algorithm1Ctx is Algorithm 1 with cooperative cancellation: the two
+// expensive inputs — the metricity ζ (an O(n³) scan on a cold session) and
+// the dense affectance matrix — are computed under ctx, and the greedy
+// pass polls ctx periodically, so a cancelled call returns ctx.Err()
+// promptly instead of finishing the scan.
+func Algorithm1Ctx(ctx context.Context, s *sinr.System, p sinr.Power, links []int) ([]int, error) {
+	zeta, err := s.ZetaCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	aff, err := s.AffectancesCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 	x := sc.x[:0]
-	for _, v := range sc.decayOrdered(s, links) {
+	for i, v := range sc.decayOrdered(s, links) {
+		if i&0xff == 0 && ctx.Err() != nil {
+			sc.x = x
+			return nil, ctx.Err()
+		}
 		if !viable(s, p, v) {
 			continue
 		}
@@ -69,7 +90,7 @@ func Algorithm1(s *sinr.System, p sinr.Power, links []int) []int {
 		}
 	}
 	slices.Sort(out)
-	return out
+	return out, nil
 }
 
 // GreedyGeneral is the general-metric baseline (the capacity algorithm of

@@ -1,0 +1,783 @@
+package core
+
+import (
+	"context"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"decaynet/internal/par"
+)
+
+// Incremental maintenance of the triplet-scan parameters for mutable
+// sessions. A tracker maintains a *candidate set*: every ordered triplet
+// whose value (ζ for ZetaTracker, the ϕ ratio for VarphiTracker) exceeds a
+// retained floor τ, chosen a margin below the maximum at the last full
+// scan. The tracked parameter is the maximum over the set.
+//
+// After a mutation that dirtied a node set M (rows and/or columns of the
+// decay matrix), a triplet's value changed only if one of its three
+// indices lies in M, so Repair drops the set's dirty-incident members and
+// re-scans exactly the dirty-incident triplets — full rows for x ∈ M,
+// the (x, ·, z ∈ M) and (x, y ∈ M, ·) slices for clean x — collecting
+// values above the *same* floor τ. Because τ sits just below the maximum,
+// the whole-pair prunes discharge almost every pair without touching an
+// inner loop: the repair is O(|M|·n) pair probes plus a handful of
+// survivors, against the O(n³) full scan. A mutation that lowers the
+// maximum simply pops to the next candidate; only when the set drains
+// completely (the maximum fell below τ) does a full rescan run and reset
+// the floor. Values are computed by the same kernels as the one-shot
+// scans, so the tracked maximum is bit-identical to a from-scratch
+// computation.
+
+// candMargin is the relative width of the candidate band: the floor is
+// (1 − candMargin) · max. Wider bands survive deeper decreases before a
+// full rescan but collect more candidates.
+const candMargin = 0.05
+
+// candCap bounds the candidate set; degenerate spaces with huge near-tied
+// bands are trimmed to the strongest candKeep members and the floor is
+// raised to match, so pathological instances degrade to more frequent
+// rescans instead of unbounded memory.
+const (
+	candCap  = 1 << 20
+	candKeep = 1 << 16
+)
+
+// triplet is one candidate: value and coordinates.
+type triplet struct {
+	val     float64
+	x, y, z int32
+}
+
+// maxTriplet returns the largest candidate value, or floor for an empty
+// set.
+func maxTriplet(set []triplet, floor float64) float64 {
+	v := floor
+	for i := range set {
+		if set[i].val > v {
+			v = set[i].val
+		}
+	}
+	return v
+}
+
+// dropDirty removes candidates incident to a dirty node, in place.
+func dropDirty(set []triplet, mask []bool) []triplet {
+	out := set[:0]
+	for _, c := range set {
+		if !mask[c.x] && !mask[c.y] && !mask[c.z] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// trim enforces the candidate cap: keep the strongest candKeep members and
+// raise the floor to the weakest kept value (the set stays complete above
+// the new floor).
+func trim(set []triplet, floor float64) ([]triplet, float64) {
+	if len(set) <= candCap {
+		return set, floor
+	}
+	slices.SortFunc(set, func(a, b triplet) int {
+		switch {
+		case a.val > b.val:
+			return -1
+		case a.val < b.val:
+			return 1
+		default:
+			return 0
+		}
+	})
+	set = set[:candKeep:candKeep]
+	return set, set[len(set)-1].val
+}
+
+// ZetaTracker maintains the metricity ζ of a dense decay space under row /
+// column mutations. It keeps its own log-decay matrix (patched on repair)
+// plus the pruning extrema and the candidate set; the underlying Matrix is
+// read on construction and on each Repair and must reflect the mutation
+// before Repair is called.
+type ZetaTracker struct {
+	m   *Matrix
+	n   int
+	tol float64
+
+	logs                   []float64 // ln f, row-major, patched on repair
+	rowMax, rowMin, colMin []float64 // off-diagonal extrema of logs
+
+	zeta  float64
+	floor float64 // τ: the set holds every triplet with ζ > τ
+	set   []triplet
+}
+
+// NewZetaTracker runs the full scan, fixes the candidate floor a margin
+// below the maximum, and collects the candidate band. ctx is polled
+// between rows; a cancelled build returns ctx.Err().
+func NewZetaTracker(ctx context.Context, m *Matrix, tol float64) (*ZetaTracker, error) {
+	n := m.N()
+	t := &ZetaTracker{m: m, n: n, tol: tol, zeta: DefaultZetaFloor, floor: DefaultZetaFloor}
+	if n < 3 {
+		return t, ctx.Err()
+	}
+	t.logs = logMatrix(m)
+	t.refreshExtrema()
+	if err := t.rescan(ctx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Zeta returns the tracked metricity.
+func (t *ZetaTracker) Zeta() float64 { return t.zeta }
+
+// Repair re-establishes the tracked ζ after the underlying matrix mutated
+// on the rows and columns of the given nodes, and returns the new value.
+// rowsOnly declares that only the dirty *rows* changed (SetRows / SetDecay
+// mutations; node moves also rewrite columns): the clean rows' log
+// entries, extrema and sort order are then provably unchanged and skipped.
+// Only triplets incident to a dirty node are re-scanned; a drained
+// candidate set triggers the full rescan fallback.
+func (t *ZetaTracker) Repair(dirty []int, rowsOnly bool) float64 {
+	if t.n < 3 || len(dirty) == 0 {
+		return t.zeta
+	}
+	n := t.n
+	mask := make([]bool, n)
+	for _, r := range dirty {
+		mask[r] = true
+	}
+	// Patch the log matrix: dirty rows wholesale, and — when columns
+	// changed too — dirty columns per entry.
+	par.ForChunked(n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			row := t.m.row(x)
+			out := t.logs[x*n : (x+1)*n]
+			if mask[x] {
+				for j, v := range row {
+					out[j] = math.Log(v)
+				}
+				continue
+			}
+			if rowsOnly {
+				continue
+			}
+			for _, r := range dirty {
+				out[r] = math.Log(row[r])
+			}
+		}
+	})
+	if rowsOnly {
+		for _, r := range dirty {
+			t.refreshRow(r)
+		}
+	} else {
+		t.rowMax, t.rowMin = rowExtrema(t.logs, n)
+	}
+	// Only the dirty columns' minima are consulted below; refresh exactly
+	// those (a column's minimum shifts whenever any dirty row rewrote its
+	// entry in it, so even rowsOnly mutations move them).
+	refreshColMinima(t.colMin, t.logs, n, dirty)
+	t.set = dropDirty(t.set, mask)
+
+	// Collect the dirty-incident triplets that reach the candidate band.
+	var mu sync.Mutex
+	tau := t.floor
+	invT := 1 / tau
+	amgm := 2 * math.Ln2 * tau
+	par.ForChunked(n, func(lo, hi int) {
+		var local []triplet
+		zList := make([]int32, 0, n)
+		for x := lo; x < hi; x++ {
+			rowX := t.logs[x*n : (x+1)*n]
+			if mask[x] {
+				// Every triplet of a dirty row changed: scan all pairs.
+				for z := 0; z < n; z++ {
+					if z != x {
+						local = t.collectPair(local, rowX, x, z, invT, amgm)
+					}
+				}
+				continue
+			}
+			for _, z := range dirty {
+				if z != x {
+					local = t.collectPair(local, rowX, x, z, invT, amgm)
+				}
+			}
+			// The (x, y ∈ M, z ∉ M) slice. The AM-GM necessary condition
+			// b + c + amgm < 2a with c ≥ colMin[y] bounds b from above, so
+			// one pass over the row shortlists the viable z — typically a
+			// small fraction of n — before the per-y loops run.
+			aMax := math.Inf(-1)
+			cMinD := math.Inf(1)
+			live := 0
+			for _, y := range dirty {
+				if y == x {
+					continue
+				}
+				a := rowX[y]
+				if t.rowMin[x]+t.colMin[y]+amgm >= 2*a {
+					continue // pair (x, y) cannot reach the floor
+				}
+				live++
+				if a > aMax {
+					aMax = a
+				}
+				if t.colMin[y] < cMinD {
+					cMinD = t.colMin[y]
+				}
+			}
+			if live == 0 {
+				continue
+			}
+			bLim := 2*aMax - amgm - cMinD
+			zList = zList[:0]
+			for z := 0; z < n; z++ {
+				if z != x && !mask[z] && rowX[z] < bLim {
+					zList = append(zList, int32(z)) // dirty z covered above
+				}
+			}
+			for _, y := range dirty {
+				if y == x {
+					continue
+				}
+				a := rowX[y]
+				if t.rowMin[x]+t.colMin[y]+amgm >= 2*a {
+					continue
+				}
+				bLimY := 2*a - amgm - t.colMin[y]
+				for _, z32 := range zList {
+					z := int(z32)
+					if z == y {
+						continue
+					}
+					b := rowX[z]
+					if b >= bLimY || a <= b {
+						continue
+					}
+					c := t.logs[z*n+y]
+					if a <= c || b+c+amgm >= 2*a {
+						continue
+					}
+					if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
+						continue
+					}
+					if zt := zetaTriplet(a, b, c, t.tol); zt > tau {
+						local = append(local, triplet{zt, int32(x), int32(y), int32(z)})
+					}
+				}
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			t.set = append(t.set, local...)
+			mu.Unlock()
+		}
+	})
+
+	if len(t.set) == 0 && t.floor > DefaultZetaFloor {
+		// The maximum fell through the candidate band: full rescan.
+		t.rescan(context.Background())
+		return t.zeta
+	}
+	t.set, t.floor = trim(t.set, t.floor)
+	t.zeta = maxTriplet(t.set, DefaultZetaFloor)
+	return t.zeta
+}
+
+// collectPair scans the (x, ·, z) pair — all y against fixed x, z —
+// appending every triplet above the floor to local. The whole-pair prune
+// discharges the pair without entering the loop whenever even its
+// strongest triplet (largest a, smallest c) stays within the floor;
+// surviving pairs walk row x's descending-value order and stop at the
+// first y whose a = ln f(x,y) cannot reach the floor (a necessary
+// condition from the AM-GM bound with c ≥ rowMin[z]), so the loop touches
+// only the handful of strongest y instead of all n.
+func (t *ZetaTracker) collectPair(local []triplet, rowX []float64, x, z int, invT, amgm float64) []triplet {
+	maxX := t.rowMax[x]
+	b := rowX[z]
+	if b+t.rowMin[z]+amgm >= 2*maxX {
+		return local
+	}
+	if math.Exp((b-maxX)*invT)+math.Exp((t.rowMin[z]-maxX)*invT) >= 1 {
+		return local
+	}
+	n := t.n
+	rowZ := t.logs[z*n : (z+1)*n]
+	tau := 1 / invT
+	// Necessary condition on a alone: a > (b + c + amgm)/2 with
+	// c ≥ rowMin[z] — one compare discharges most y before c is read.
+	aMin := (b + t.rowMin[z] + amgm) / 2
+	for y := 0; y < n; y++ {
+		a := rowX[y]
+		if a <= aMin {
+			continue
+		}
+		if y == x || y == z {
+			continue
+		}
+		c := rowZ[y]
+		if a <= c || b+c+amgm >= 2*a {
+			continue
+		}
+		if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
+			continue
+		}
+		if zt := zetaTriplet(a, b, c, t.tol); zt > tau {
+			local = append(local, triplet{zt, int32(x), int32(y), int32(z)})
+		}
+	}
+	return local
+}
+
+// rescan runs the full-matrix pass: an exact maximum scan over the cached
+// log matrix followed by a collection pass a margin below it.
+func (t *ZetaTracker) rescan(ctx context.Context) error {
+	zmax, err := t.fullMax(ctx)
+	if err != nil {
+		return err
+	}
+	t.zeta = zmax
+	t.floor = zmax - candMargin*zmax
+	if t.floor < DefaultZetaFloor {
+		t.floor = DefaultZetaFloor
+	}
+	t.set = t.set[:0]
+	if zmax <= DefaultZetaFloor {
+		return ctx.Err() // nothing above the floor to collect
+	}
+	var mu sync.Mutex
+	invT := 1 / t.floor
+	amgm := 2 * math.Ln2 * t.floor
+	err = par.ForChunkedCtx(ctx, t.n, func(lo, hi int) {
+		var local []triplet
+		for x := lo; x < hi; x++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rowX := t.logs[x*t.n : (x+1)*t.n]
+			for z := 0; z < t.n; z++ {
+				if z != x {
+					local = t.collectPair(local, rowX, x, z, invT, amgm)
+				}
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			t.set = append(t.set, local...)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	t.set, t.floor = trim(t.set, t.floor)
+	return nil
+}
+
+// fullMax is the exact tiled maximum scan over the tracker's cached log
+// matrix — ZetaTol's kernel minus the symmetric halving (the tracker
+// serves mutated, generally asymmetric sessions).
+func (t *ZetaTracker) fullMax(ctx context.Context) (float64, error) {
+	n := t.n
+	var bestBits uint64Max
+	bestBits.store(DefaultZetaFloor)
+	err := par.ForTilesCtx(ctx, n, tripletTile(n), func(xlo, xhi, zlo, zhi int) {
+		local := bestBits.load()
+		invT := 1 / local
+		amgm := 2 * math.Ln2 * local
+		for x := xlo; x < xhi; x++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rowX := t.logs[x*n : (x+1)*n]
+			maxX := t.rowMax[x]
+			if g := bestBits.load(); g > local {
+				local = g
+				invT = 1 / local
+				amgm = 2 * math.Ln2 * local
+			}
+			for z := zlo; z < zhi; z++ {
+				if z == x {
+					continue
+				}
+				b := rowX[z]
+				if b+t.rowMin[z]+amgm >= 2*maxX {
+					continue
+				}
+				if math.Exp((b-maxX)*invT)+math.Exp((t.rowMin[z]-maxX)*invT) >= 1 {
+					continue
+				}
+				rowZ := t.logs[z*n : (z+1)*n]
+				aMin := (b + t.rowMin[z] + amgm) / 2
+				for y := 0; y < n; y++ {
+					if y == x || y == z {
+						continue
+					}
+					a := rowX[y]
+					if a <= aMin {
+						continue
+					}
+					c := rowZ[y]
+					if a <= c || b+c+amgm >= 2*a {
+						continue
+					}
+					if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
+						continue
+					}
+					if zt := zetaTriplet(a, b, c, t.tol); zt > local {
+						local = zt
+						invT = 1 / local
+						amgm = 2 * math.Ln2 * local
+						aMin = (b + t.rowMin[z] + amgm) / 2
+						bestBits.storeMax(zt)
+					}
+				}
+			}
+		}
+		bestBits.storeMax(local)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return bestBits.load(), nil
+}
+
+// refreshExtrema recomputes the off-diagonal row max/min and column min of
+// the log matrix — the pruning bounds. O(n²), parallel, negligible next to
+// any triplet scan.
+func (t *ZetaTracker) refreshExtrema() {
+	t.rowMax, t.rowMin = rowExtrema(t.logs, t.n)
+	t.colMin = colMinima(t.logs, t.n)
+}
+
+// refreshColMinima recomputes mins[j] for the given columns only — one
+// strided pass per column, O(|cols|·n) against colMinima's O(n²).
+func refreshColMinima(mins, vals []float64, n int, cols []int) {
+	for _, j := range cols {
+		mn := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			if v := vals[i*n+j]; v < mn {
+				mn = v
+			}
+		}
+		mins[j] = mn
+	}
+}
+
+// refreshRow re-derives one row's extrema after its log entries were
+// patched.
+func (t *ZetaTracker) refreshRow(x int) {
+	n := t.n
+	row := t.logs[x*n : (x+1)*n]
+	mx, mn := math.Inf(-1), math.Inf(1)
+	for j, v := range row {
+		if j == x {
+			continue
+		}
+		if v > mx {
+			mx = v
+		}
+		if v < mn {
+			mn = v
+		}
+	}
+	t.rowMax[x], t.rowMin[x] = mx, mn
+}
+
+// VarphiTracker maintains the variant parameter ϕ = max f(x,z) /
+// (f(x,y) + f(y,z)) under mutations, with the same candidate-set scheme as
+// ZetaTracker. It reads the tracked Matrix directly (no private copy): the
+// session layer mutates the matrix first and then calls Repair with the
+// dirty node set.
+type VarphiTracker struct {
+	m *Matrix
+	n int
+
+	rowMaxF, rowMinF, colMinF []float64 // off-diagonal extrema of f
+
+	varphi float64
+	floor  float64
+	set    []triplet
+}
+
+// varphiFloorValue is ϕ's universal lower bound (attained on uniform
+// spaces).
+const varphiFloorValue = 0.5
+
+// NewVarphiTracker runs the full ϕ scan and collects the candidate band.
+// ctx is polled between rows; a cancelled build returns ctx.Err().
+func NewVarphiTracker(ctx context.Context, m *Matrix) (*VarphiTracker, error) {
+	n := m.N()
+	t := &VarphiTracker{m: m, n: n, varphi: varphiFloorValue, floor: varphiFloorValue}
+	if n < 3 {
+		return t, ctx.Err()
+	}
+	t.refreshExtrema()
+	if err := t.rescan(ctx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Varphi returns the tracked parameter.
+func (t *VarphiTracker) Varphi() float64 { return t.varphi }
+
+// Repair re-establishes the tracked ϕ after the matrix mutated on the rows
+// and columns of the given nodes, and returns the new value. rowsOnly
+// declares a row-only mutation (see ZetaTracker.Repair): clean rows'
+// extrema are then provably unchanged and skipped.
+func (t *VarphiTracker) Repair(dirty []int, rowsOnly bool) float64 {
+	if t.n < 3 || len(dirty) == 0 {
+		return t.varphi
+	}
+	n := t.n
+	mask := make([]bool, n)
+	for _, r := range dirty {
+		mask[r] = true
+	}
+	if rowsOnly {
+		for _, r := range dirty {
+			t.refreshRowF(r)
+		}
+	} else {
+		t.rowMaxF, t.rowMinF = rowExtrema(t.m.f, n)
+	}
+	refreshColMinima(t.colMinF, t.m.f, n, dirty)
+	t.set = dropDirty(t.set, mask)
+	var mu sync.Mutex
+	tau := t.floor
+	par.ForChunked(n, func(lo, hi int) {
+		var local []triplet
+		for x := lo; x < hi; x++ {
+			rowX := t.m.row(x)
+			if mask[x] {
+				for y := 0; y < n; y++ {
+					if y != x {
+						local = t.collectPair(local, rowX, x, y, tau)
+					}
+				}
+				continue
+			}
+			for _, y := range dirty {
+				if y != x {
+					local = t.collectPair(local, rowX, x, y, tau)
+				}
+			}
+			for _, z := range dirty {
+				if z == x {
+					continue
+				}
+				fxz := rowX[z]
+				// Whole-pair prune for fixed (x, z): the largest possible
+				// ratio pairs fxz with the smallest f(x,y) and f(y,z).
+				if fxz <= tau*(t.rowMinF[x]+t.colMinF[z]) {
+					continue
+				}
+				for y := 0; y < n; y++ {
+					if y == x || y == z || mask[y] {
+						continue // dirty y already covered above
+					}
+					if r := fxz / (rowX[y] + t.m.f[y*n+z]); r > tau {
+						local = append(local, triplet{r, int32(x), int32(y), int32(z)})
+					}
+				}
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			t.set = append(t.set, local...)
+			mu.Unlock()
+		}
+	})
+	if len(t.set) == 0 && t.floor > varphiFloorValue {
+		t.rescan(context.Background())
+		return t.varphi
+	}
+	t.set, t.floor = trim(t.set, t.floor)
+	t.varphi = maxTriplet(t.set, varphiFloorValue)
+	return t.varphi
+}
+
+// collectPair scans the (x, y, ·) pair — all z against fixed x, y —
+// appending every ratio above the floor to local.
+func (t *VarphiTracker) collectPair(local []triplet, rowX []float64, x, y int, tau float64) []triplet {
+	fxy := rowX[y]
+	// Whole-pair prune: even the largest numerator over the smallest
+	// denominator cannot reach the floor.
+	if t.rowMaxF[x] <= tau*(fxy+t.rowMinF[y]) {
+		return local
+	}
+	n := t.n
+	rowY := t.m.row(y)
+	for z := 0; z < n; z++ {
+		if z == x || z == y {
+			continue
+		}
+		if r := rowX[z] / (fxy + rowY[z]); r > tau {
+			local = append(local, triplet{r, int32(x), int32(y), int32(z)})
+		}
+	}
+	return local
+}
+
+// rescan runs the full ϕ pass: exact maximum, then candidate collection a
+// margin below it.
+func (t *VarphiTracker) rescan(ctx context.Context) error {
+	vmax, err := t.fullMax(ctx)
+	if err != nil {
+		return err
+	}
+	t.varphi = vmax
+	t.floor = vmax - candMargin*vmax
+	if t.floor < varphiFloorValue {
+		t.floor = varphiFloorValue
+	}
+	t.set = t.set[:0]
+	if vmax <= varphiFloorValue {
+		return ctx.Err()
+	}
+	var mu sync.Mutex
+	tau := t.floor
+	err = par.ForChunkedCtx(ctx, t.n, func(lo, hi int) {
+		var local []triplet
+		for x := lo; x < hi; x++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rowX := t.m.row(x)
+			for y := 0; y < t.n; y++ {
+				if y != x {
+					local = t.collectPair(local, rowX, x, y, tau)
+				}
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			t.set = append(t.set, local...)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	t.set, t.floor = trim(t.set, t.floor)
+	return nil
+}
+
+// fullMax is the exact tiled ϕ maximum over the tracked matrix — Varphi's
+// kernel minus the symmetric halving.
+func (t *VarphiTracker) fullMax(ctx context.Context) (float64, error) {
+	n := t.n
+	var bestBits uint64Max
+	bestBits.store(varphiFloorValue)
+	err := par.ForTilesCtx(ctx, n, tripletTile(n), func(xlo, xhi, ylo, yhi int) {
+		best := bestBits.load()
+		for x := xlo; x < xhi; x++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rowX := t.m.row(x)
+			maxX := t.rowMaxF[x]
+			if g := bestBits.load(); g > best {
+				best = g
+			}
+			for y := ylo; y < yhi; y++ {
+				if y == x {
+					continue
+				}
+				fxy := rowX[y]
+				if maxX <= best*(fxy+t.rowMinF[y]) {
+					continue
+				}
+				rowY := t.m.row(y)
+				for z := 0; z < n; z++ {
+					if z == x || z == y {
+						continue
+					}
+					if r := rowX[z] / (fxy + rowY[z]); r > best {
+						best = r
+						bestBits.storeMax(r)
+					}
+				}
+			}
+		}
+		bestBits.storeMax(best)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return bestBits.load(), nil
+}
+
+func (t *VarphiTracker) refreshExtrema() {
+	t.rowMaxF, t.rowMinF = rowExtrema(t.m.f, t.n)
+	t.colMinF = colMinima(t.m.f, t.n)
+}
+
+// refreshRowF re-derives one row's decay extrema after the row mutated.
+func (t *VarphiTracker) refreshRowF(x int) {
+	row := t.m.row(x)
+	mx, mn := math.Inf(-1), math.Inf(1)
+	for j, v := range row {
+		if j == x {
+			continue
+		}
+		if v > mx {
+			mx = v
+		}
+		if v < mn {
+			mn = v
+		}
+	}
+	t.rowMaxF[x], t.rowMinF[x] = mx, mn
+}
+
+// uint64Max is a small atomic float64 running-maximum (the shared-progress
+// cell of the tiled scans).
+type uint64Max struct{ bits atomic.Uint64 }
+
+func (u *uint64Max) store(v float64) { u.bits.Store(math.Float64bits(v)) }
+func (u *uint64Max) load() float64   { return math.Float64frombits(u.bits.Load()) }
+func (u *uint64Max) storeMax(v float64) {
+	storeMax(&u.bits, v)
+}
+
+// colMinima returns the smallest off-diagonal entry of each column of an
+// n×n row-major matrix — the column-side pruning bound of the partial
+// repair scans. Row chunks reduce into per-chunk minima merged under a
+// lock, keeping the traversal row-major.
+func colMinima(vals []float64, n int) []float64 {
+	mins := make([]float64, n)
+	for j := range mins {
+		mins[j] = math.Inf(1)
+	}
+	var mu sync.Mutex
+	par.ForChunked(n, func(lo, hi int) {
+		local := make([]float64, n)
+		for j := range local {
+			local[j] = math.Inf(1)
+		}
+		for i := lo; i < hi; i++ {
+			row := vals[i*n : (i+1)*n]
+			for j, v := range row {
+				if j != i && v < local[j] {
+					local[j] = v
+				}
+			}
+		}
+		mu.Lock()
+		for j, v := range local {
+			if v < mins[j] {
+				mins[j] = v
+			}
+		}
+		mu.Unlock()
+	})
+	return mins
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -41,19 +42,31 @@ func Zeta(d Space) float64 {
 // endpoints when f is symmetric). The result equals the per-pair reference
 // up to bisection tolerance.
 func ZetaTol(d Space, tol float64) float64 {
+	z, _ := ZetaTolCtx(context.Background(), d, tol)
+	return z
+}
+
+// ZetaTolCtx is ZetaTol with cooperative cancellation: the tile kernels
+// poll ctx between x-rows (a row is O(tile·n) work, microseconds even at
+// n ≫ 10³), so a cancelled scan returns promptly with ctx.Err() and no
+// partial value.
+func ZetaTolCtx(ctx context.Context, d Space, tol float64) (float64, error) {
 	n := d.N()
 	if n < 3 {
-		return DefaultZetaFloor
+		return DefaultZetaFloor, ctx.Err()
 	}
 	logs := logMatrix(d)
 	rowMax, rowMin := rowExtrema(logs, n)
 	sym := KnownSymmetric(d)
 	var bestBits atomic.Uint64
 	bestBits.Store(math.Float64bits(DefaultZetaFloor))
-	par.ForTiles(n, tripletTile(n), func(xlo, xhi, zlo, zhi int) {
+	err := par.ForTilesCtx(ctx, n, tripletTile(n), func(xlo, xhi, zlo, zhi int) {
 		local := math.Float64frombits(bestBits.Load())
 		t := 1 / local
 		for x := xlo; x < xhi; x++ {
+			if ctx.Err() != nil {
+				return
+			}
 			rowX := logs[x*n : (x+1)*n]
 			maxX := rowMax[x]
 			yStart := 0
@@ -104,7 +117,10 @@ func ZetaTol(d Space, tol float64) float64 {
 		}
 		storeMax(&bestBits, local)
 	})
-	return math.Float64frombits(bestBits.Load())
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bestBits.Load()), nil
 }
 
 // tripletTile returns the (x,z) tile edge for an n-node triplet scan: small
@@ -225,17 +241,18 @@ func ZetaTriplet(fxy, fxz, fzy float64) float64 {
 //
 //	g(t) = e^((b−a)t) + e^((c−a)t),  t = 1/ζ
 //
-// is strictly decreasing from 2 to 0, so the constraint g(t) ≥ 1 holds
-// exactly for t ≤ t*, i.e. ζ ≥ 1/t*, with the unique root t* found by
-// bisection.
+// is strictly decreasing and convex from g(0) = 2 towards 0, so the
+// constraint g(t) ≥ 1 holds exactly for t ≤ t*, i.e. ζ ≥ 1/t*, with the
+// unique root t* found by bracketed Newton iteration (bisecting whenever a
+// Newton step would leave the bracket or stops halving it). Quadratic
+// convergence makes the root a handful of exp-pair evaluations — this
+// function dominates every triplet scan, from the exact tiled kernels to
+// the incremental session repairs.
 func zetaTriplet(a, b, c float64, tol float64) float64 {
 	if a <= b || a <= c {
 		return DefaultZetaFloor
 	}
 	db, dc := b-a, c-a // both strictly negative
-	g := func(t float64) float64 {
-		return math.Exp(db*t) + math.Exp(dc*t)
-	}
 	// Bracket the root: g(0) = 2 > 1; at tHi the larger term is 1/2 so
 	// g(tHi) ≤ 1.
 	worst := db
@@ -244,18 +261,35 @@ func zetaTriplet(a, b, c float64, tol float64) float64 {
 	}
 	tHi := math.Ln2 / -worst
 	tLo := 0.0
-	for i := 0; i < 200; i++ {
-		mid := (tLo + tHi) / 2
-		if g(mid) >= 1 {
-			tLo = mid
+	t := 0.5 * tHi
+	dtOld := tHi
+	dt := dtOld
+	e1, e2 := math.Exp(db*t), math.Exp(dc*t)
+	g := e1 + e2 - 1
+	dg := db*e1 + dc*e2
+	for i := 0; i < 100; i++ {
+		if ((t-tHi)*dg-g)*((t-tLo)*dg-g) > 0 || math.Abs(2*g) > math.Abs(dtOld*dg) {
+			dtOld = dt
+			dt = 0.5 * (tHi - tLo)
+			t = tLo + dt
 		} else {
-			tHi = mid
+			dtOld = dt
+			dt = g / dg
+			t -= dt
 		}
-		if tHi-tLo <= tol*tHi {
+		if math.Abs(dt) <= tol*t {
 			break
 		}
+		e1, e2 = math.Exp(db*t), math.Exp(dc*t)
+		g = e1 + e2 - 1
+		dg = db*e1 + dc*e2
+		if g > 0 {
+			tLo = t
+		} else {
+			tHi = t
+		}
 	}
-	z := 2 / (tLo + tHi)
+	z := 1 / t
 	if z < DefaultZetaFloor {
 		return DefaultZetaFloor
 	}
@@ -302,18 +336,29 @@ func SatisfiesZeta(d Space, zeta, tol float64) bool {
 // the running maximum, and exactly symmetric spaces scan only x < z (the
 // ratio is invariant under swapping the endpoints).
 func Varphi(d Space) float64 {
+	v, _ := VarphiCtx(context.Background(), d)
+	return v
+}
+
+// VarphiCtx is Varphi with cooperative cancellation (see ZetaTolCtx): ctx
+// is polled between x-rows and a cancelled scan returns ctx.Err() with no
+// partial value.
+func VarphiCtx(ctx context.Context, d Space) (float64, error) {
 	n := d.N()
 	if n < 3 {
-		return 0.5
+		return 0.5, ctx.Err()
 	}
 	m := Dense(d)
 	sym := m.Symmetric()
 	rowMaxF, rowMinF := rowExtrema(m.f, m.n)
 	var bestBits atomic.Uint64
 	bestBits.Store(math.Float64bits(0.5))
-	par.ForTiles(n, tripletTile(n), func(xlo, xhi, ylo, yhi int) {
+	err := par.ForTilesCtx(ctx, n, tripletTile(n), func(xlo, xhi, ylo, yhi int) {
 		best := math.Float64frombits(bestBits.Load())
 		for x := xlo; x < xhi; x++ {
+			if ctx.Err() != nil {
+				return
+			}
 			rowX := m.row(x) // f(x,·)
 			maxX := rowMaxF[x]
 			zStart := 0
@@ -347,7 +392,10 @@ func Varphi(d Space) float64 {
 		}
 		storeMax(&bestBits, best)
 	})
-	return math.Float64frombits(bestBits.Load())
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bestBits.Load()), nil
 }
 
 // VarphiPerPair is the serial, per-element reference implementation of

@@ -98,6 +98,63 @@ func (q *QuasiMetric) ensureDense() {
 	})
 }
 
+// PatchedCopy returns a new QuasiMetric at the same exponent over the same
+// (since-mutated) space whose materialized distance matrix is copied from
+// the receiver with the rows — and, unless rowsOnly, the columns — of the
+// given nodes recomputed: the incremental-session repair path when a
+// mutation left ζ unchanged. rowsOnly declares that only the nodes' decay
+// rows changed (node moves also rewrite columns). When the receiver never
+// materialized its matrix, the copy is lazy too (nothing to patch: a later
+// materialization reads the mutated space). The receiver is left
+// untouched, so snapshots handed to earlier callers stay valid.
+func (q *QuasiMetric) PatchedCopy(nodes []int, rowsOnly bool) *QuasiMetric {
+	out := &QuasiMetric{space: q.space, zeta: q.zeta, n: q.n}
+	if q.dense == nil {
+		return out
+	}
+	dense := append([]float64(nil), q.dense...) // alloc without redundant zeroing
+	inv := 1 / q.zeta
+	n := q.n
+	rs := Rows(q.space)
+	buf := make([]float64, n)
+	for _, i := range nodes {
+		rs.Row(i, buf)
+		row := dense[i*n : (i+1)*n]
+		for j, v := range buf {
+			if j == i {
+				row[j] = 0
+				continue
+			}
+			row[j] = math.Pow(v, inv)
+		}
+		if rowsOnly {
+			continue
+		}
+		for x := 0; x < n; x++ {
+			if x == i {
+				continue
+			}
+			dense[x*n+i] = math.Pow(q.space.F(x, i), inv)
+		}
+	}
+	out.dense = dense
+	out.denseOnce.Do(func() {}) // the copy is already materialized
+	return out
+}
+
+// Freeze materializes the distance matrix now (for spaces within the
+// dense bound), after which the structure never reads its source space
+// again — the session layer calls it before handing a quasi-metric out of
+// its lock, making the returned value a true immutable snapshot across
+// later mutations. Spaces beyond maxDenseQuasiNodes stay live-reading
+// (per-call Pow over the current decays); a holder of one across
+// mutations sees current decays at the frozen exponent.
+func (q *QuasiMetric) Freeze() {
+	if q.n <= maxDenseQuasiNodes {
+		q.ensureDense()
+	}
+}
+
 // Dense returns the materialized quasi-distance matrix as a row-major
 // slice (length N²). The slice is shared — callers must not modify it.
 func (q *QuasiMetric) Dense() []float64 {

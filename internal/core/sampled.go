@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -115,15 +116,87 @@ func newSampledEstimate(value float64, evaluated int, maxima []float64) SampledE
 // the same deterministic scan, plus Hoeffding statistics over the
 // per-stratum maxima (see SampledEstimate).
 func ZetaSampledEstimate(d Space, samples int, src *rng.Source) SampledEstimate {
-	v, k, maxima := zetaSampledScan(d, samples, src)
-	return newSampledEstimate(v, k, fullStrata(maxima, samples))
+	est, _ := ZetaSampledEstimateCtx(context.Background(), d, samples, src)
+	return est
+}
+
+// ZetaSampledEstimateCtx is ZetaSampledEstimate with cooperative
+// cancellation: ctx is polled between strata, and a cancelled scan returns
+// ctx.Err() with no partial estimate.
+func ZetaSampledEstimateCtx(ctx context.Context, d Space, samples int, src *rng.Source) (SampledEstimate, error) {
+	v, k, maxima, err := zetaSampledScan(ctx, d, samples, src)
+	if err != nil {
+		return SampledEstimate{}, err
+	}
+	return newSampledEstimate(v, k, fullStrata(maxima, samples)), nil
 }
 
 // VarphiSampledEstimate is VarphiSampledBatch with the concentration
 // summary (see SampledEstimate).
 func VarphiSampledEstimate(d Space, samples int, src *rng.Source) SampledEstimate {
-	v, k, maxima := varphiSampledScan(d, samples, src)
-	return newSampledEstimate(v, k, fullStrata(maxima, samples))
+	est, _ := VarphiSampledEstimateCtx(context.Background(), d, samples, src)
+	return est
+}
+
+// VarphiSampledEstimateCtx is VarphiSampledEstimate with cooperative
+// cancellation (see ZetaSampledEstimateCtx).
+func VarphiSampledEstimateCtx(ctx context.Context, d Space, samples int, src *rng.Source) (SampledEstimate, error) {
+	v, k, maxima, err := varphiSampledScan(ctx, d, samples, src)
+	if err != nil {
+		return SampledEstimate{}, err
+	}
+	return newSampledEstimate(v, k, fullStrata(maxima, samples)), nil
+}
+
+// maxTargetSamples caps the doubling loops of the target-precision
+// estimators: 2²⁶ triplets keep the worst case in single-digit seconds on
+// the worker pool, far past the budget any realistic half-width target
+// needs.
+const maxTargetSamples = 1 << 26
+
+// ZetaSampledTarget iterates the sampled ζ estimator, doubling the triplet
+// budget from `initial` until the estimate's Hoeffding 95% half-width is at
+// most eps (or the budget reaches an internal cap — the returned estimate
+// then reports the half-width actually achieved). Each attempt continues
+// drawing from src, so the sequence is deterministic in (d, initial, eps,
+// src).
+func ZetaSampledTarget(ctx context.Context, d Space, initial int, eps float64, src *rng.Source) (SampledEstimate, error) {
+	return sampledTarget(ctx, d, initial, eps, src, zetaSampledScan)
+}
+
+// VarphiSampledTarget is the ϕ analogue of ZetaSampledTarget.
+func VarphiSampledTarget(ctx context.Context, d Space, initial int, eps float64, src *rng.Source) (SampledEstimate, error) {
+	return sampledTarget(ctx, d, initial, eps, src, varphiSampledScan)
+}
+
+// sampledTarget drives the half-width-targeted doubling loop shared by the
+// ζ and ϕ estimators. The point estimate only grows across attempts (each
+// scan's maximum is folded into the running value), while the concentration
+// summary is the final — largest — scan's, whose strata dominate every
+// earlier attempt's.
+func sampledTarget(ctx context.Context, d Space, initial int, eps float64, src *rng.Source,
+	scan func(ctx context.Context, d Space, samples int, src *rng.Source) (float64, int, []float64, error)) (SampledEstimate, error) {
+	if initial <= 0 {
+		initial = sampleRowBlock
+	}
+	samples := initial
+	best := math.Inf(-1)
+	evaluated := 0
+	for {
+		v, k, maxima, err := scan(ctx, d, samples, src)
+		if err != nil {
+			return SampledEstimate{}, err
+		}
+		evaluated += k
+		if v > best {
+			best = v
+		}
+		est := newSampledEstimate(best, evaluated, fullStrata(maxima, samples))
+		if (est.Strata > 0 && est.HalfWidth95 <= eps) || samples >= maxTargetSamples {
+			return est, nil
+		}
+		samples *= 2
+	}
 }
 
 // fullStrata trims a trailing partial stratum (budget < sampleRowBlock)
@@ -142,14 +215,14 @@ func fullStrata(maxima []float64, samples int) []float64 {
 // bound on the exact ζ — and the number of triplets evaluated (exactly
 // samples). Deterministic in (d, samples, src).
 func ZetaSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
-	v, k, _ := zetaSampledScan(d, samples, src)
+	v, k, _, _ := zetaSampledScan(context.Background(), d, samples, src)
 	return v, k
 }
 
 // zetaSampledScan is the shared ζ scan behind ZetaSampledBatch and
 // ZetaSampledEstimate, returning the per-stratum maxima as well.
-func zetaSampledScan(d Space, samples int, src *rng.Source) (float64, int, []float64) {
-	return sampledScan(d, samples, src, DefaultZetaFloor,
+func zetaSampledScan(ctx context.Context, d Space, samples int, src *rng.Source) (float64, int, []float64, error) {
+	return sampledScan(ctx, d, samples, src, DefaultZetaFloor,
 		func(pr *rng.Source, rowX, rowZ []float64, x, z, budget int) (float64, int) {
 			n := len(rowX)
 			b := math.Log(rowX[z]) // ln f(x,z)
@@ -181,14 +254,14 @@ func zetaSampledScan(d Space, samples int, src *rng.Source) (float64, int, []flo
 // floor — and the number of triplets evaluated. Deterministic in
 // (d, samples, src).
 func VarphiSampledBatch(d Space, samples int, src *rng.Source) (float64, int) {
-	v, k, _ := varphiSampledScan(d, samples, src)
+	v, k, _, _ := varphiSampledScan(context.Background(), d, samples, src)
 	return v, k
 }
 
 // varphiSampledScan is the shared ϕ scan behind VarphiSampledBatch and
 // VarphiSampledEstimate, returning the per-stratum maxima as well.
-func varphiSampledScan(d Space, samples int, src *rng.Source) (float64, int, []float64) {
-	return sampledScan(d, samples, src, 0.5,
+func varphiSampledScan(ctx context.Context, d Space, samples int, src *rng.Source) (float64, int, []float64, error) {
+	return sampledScan(ctx, d, samples, src, 0.5,
 		func(pr *rng.Source, rowX, rowY []float64, x, y, budget int) (float64, int) {
 			n := len(rowX)
 			fxy := rowX[y]
@@ -219,11 +292,11 @@ func varphiSampledScan(d Space, samples int, src *rng.Source) (float64, int, []f
 // regardless of scheduling. floor seeds the maximum for empty and
 // undersized inputs. The third result holds each stratum's local maximum
 // (floor-seeded), the raw material of the concentration summary.
-func sampledScan(d Space, samples int, src *rng.Source, floor float64,
-	pairKernel func(pr *rng.Source, rowA, rowB []float64, a, b, budget int) (float64, int)) (float64, int, []float64) {
+func sampledScan(ctx context.Context, d Space, samples int, src *rng.Source, floor float64,
+	pairKernel func(pr *rng.Source, rowA, rowB []float64, a, b, budget int) (float64, int)) (float64, int, []float64, error) {
 	n := d.N()
 	if n < 3 || samples <= 0 {
-		return floor, 0, nil
+		return floor, 0, nil, ctx.Err()
 	}
 	rs := Rows(d)
 	strata := (samples + sampleRowBlock - 1) / sampleRowBlock
@@ -236,13 +309,16 @@ func sampledScan(d Space, samples int, src *rng.Source, floor float64,
 	var bestBits atomic.Uint64
 	bestBits.Store(math.Float64bits(floor))
 	var evaluated atomic.Int64
-	par.ForChunked(strata, func(lo, hi int) {
+	err := par.ForChunkedCtx(ctx, strata, func(lo, hi int) {
 		rowA := make([]float64, n)
 		rowB := make([]float64, n)
 		pr := rng.New(0) // reseeded per stratum; one allocation per chunk
 		local := floor
 		count := 0
 		for k := lo; k < hi; k++ {
+			if ctx.Err() != nil {
+				break
+			}
 			pr.Seed(seeds[k])
 			a := perm[k%n]
 			b := pr.Intn(n)
@@ -267,5 +343,8 @@ func sampledScan(d Space, samples int, src *rng.Source, floor float64,
 		storeMax(&bestBits, local)
 		evaluated.Add(int64(count))
 	})
-	return math.Float64frombits(bestBits.Load()), int(evaluated.Load()), maxima
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return math.Float64frombits(bestBits.Load()), int(evaluated.Load()), maxima, nil
 }

@@ -203,6 +203,33 @@ func (m *Matrix) Set(i, j int, v float64) error {
 	return nil
 }
 
+// SetRow overwrites the decays out of node i, f(i, ·), with row (length
+// N()). The whole row is validated before any entry is written, so a
+// rejected row leaves the matrix untouched; the diagonal entry is forced to
+// zero regardless of row[i].
+func (m *Matrix) SetRow(i int, row []float64) error {
+	if len(row) != m.n {
+		return fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(row), m.n)
+	}
+	for j, v := range row {
+		if j == i {
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: f(%d,%d) = %v", ErrNotFinite, i, j, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: f(%d,%d) = %v", ErrNegativeDecay, i, j, v)
+		}
+		if v == 0 {
+			return fmt.Errorf("%w: f(%d,%d)", ErrZeroOffDiag, i, j)
+		}
+	}
+	copy(m.f[i*m.n:(i+1)*m.n], row)
+	m.f[i*m.n+i] = 0
+	return nil
+}
+
 // Clone returns an independent copy of the matrix space.
 func (m *Matrix) Clone() *Matrix {
 	out := &Matrix{n: m.n, f: make([]float64, len(m.f))}

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -62,20 +63,36 @@ func For(n int, body func(i int)) {
 // Chunked form lets bodies hoist per-chunk state (row buffers, local
 // maxima) out of the inner loop.
 func ForChunked(n int, body func(lo, hi int)) {
+	ForChunkedCtx(context.Background(), n, body)
+}
+
+// ForChunkedCtx is ForChunked with cooperative cancellation: it stops
+// dispatching new chunks once ctx is done and returns ctx.Err() (nil when
+// every chunk ran). Chunks are coarse — one per worker — so bodies that run
+// long must poll ctx themselves and return early for prompt cancellation;
+// the driver only guarantees no *new* chunk starts after cancellation and
+// always waits for in-flight chunks before returning.
+func ForChunkedCtx(ctx context.Context, n int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	startOnce.Do(start)
 	nchunks := workers
 	if n < serialThreshold*nchunks || nchunks < 2 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		body(0, n)
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	chunk := (n + nchunks - 1) / nchunks
 	// The last chunk runs on the caller's goroutine so the pool can never
 	// deadlock even when every worker is busy with other callers' tasks.
 	for lo := 0; lo < n; lo += chunk {
+		if ctx.Err() != nil {
+			break
+		}
 		hi := lo + chunk
 		if hi >= n {
 			body(lo, n)
@@ -92,6 +109,7 @@ func ForChunked(n int, body func(lo, hi int)) {
 		}
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ForTiles runs body over a partition of the n×n index square into
@@ -103,21 +121,34 @@ func ForChunked(n int, body func(lo, hi int)) {
 // The final block runs on the caller's goroutine, so — as with ForChunked —
 // a saturated pool degrades to inline execution rather than deadlocking.
 func ForTiles(n, tile int, body func(xlo, xhi, zlo, zhi int)) {
+	ForTilesCtx(context.Background(), n, tile, body)
+}
+
+// ForTilesCtx is ForTiles with cooperative cancellation: no new tile is
+// dispatched once ctx is done, and the call returns ctx.Err() (nil when the
+// full grid ran). As with ForChunkedCtx, a tile is O(tile²·n) work in the
+// triplet kernels, so bodies poll ctx between rows to keep cancellation
+// latency well under a tile's runtime.
+func ForTilesCtx(ctx context.Context, n, tile int, body func(xlo, xhi, zlo, zhi int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if tile <= 0 || tile >= n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		body(0, n, 0, n)
-		return
+		return ctx.Err()
 	}
 	startOnce.Do(start)
 	tiles := (n + tile - 1) / tile
-	// Without a usable pool the blocks still run — serially, in order: the
-	// cache-blocking structure is worth keeping even single-threaded.
 	serial := workers < 2 || tiles*tiles < 2
 	var wg sync.WaitGroup
 	last := tiles*tiles - 1
 	for k := 0; k <= last; k++ {
+		if ctx.Err() != nil {
+			break
+		}
 		xlo := (k / tiles) * tile
 		zlo := (k % tiles) * tile
 		xhi, zhi := xlo+tile, zlo+tile
@@ -141,4 +172,5 @@ func ForTiles(n, tile int, body func(xlo, xhi, zlo, zhi int)) {
 		}
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
+)
+
+// Mutation is one batch of session edits — the unit the public
+// Engine.Update applies atomically under its version counter, and the unit
+// the churn generator emits. The zero value is a no-op. Edits apply in
+// field order: decay rows, then single decays, then node moves, then link
+// removals (indices into the pre-mutation link list, compacting), then
+// link additions.
+type Mutation struct {
+	// SetRows overwrites whole decay rows: node → f(node, ·), length n.
+	SetRows map[int][]float64
+	// SetDecays overwrites single decay entries.
+	SetDecays []DecayEdit
+	// Moves relocates nodes of a geometric session; decays in and out of
+	// each moved node are recomputed from the session's path-loss exponent.
+	Moves []NodeMove
+	// RemoveLinks lists link indices (pre-mutation numbering) to delete;
+	// remaining links are compacted, shifting later indices down.
+	RemoveLinks []int
+	// AddLinks appends links after removals are applied.
+	AddLinks []sinr.Link
+}
+
+// IsZero reports whether the mutation carries no edits.
+func (m *Mutation) IsZero() bool {
+	return len(m.SetRows) == 0 && len(m.SetDecays) == 0 && len(m.Moves) == 0 &&
+		len(m.RemoveLinks) == 0 && len(m.AddLinks) == 0
+}
+
+// DecayEdit overwrites one directed decay: f(I, J) = F.
+type DecayEdit struct {
+	I, J int
+	F    float64
+}
+
+// NodeMove relocates one node of a geometric session.
+type NodeMove struct {
+	Node int
+	To   geom.Point
+}
+
+// Churn generates a deterministic mutation stream for the "churn"
+// scenario's base instance: a sequence of `steps` batches in which nodes
+// take bounded random-walk moves, links appear and die, and (when the
+// "retune" knob is set) decay rows are re-measured wholesale. The stream
+// is a function of the config alone, so replaying it against the same base
+// instance reproduces the same session state everywhere.
+//
+// Knobs (cfg.Params): "moves" (nodes moved per step, default 2), "step"
+// (walk radius as a fraction of the side, default 0.02), "linkrate"
+// (probability of a link add and of a link remove per step, default 0.25),
+// "retune" (probability of one full-row re-measurement per step, default
+// 0 — row retunes void an analytic ζ, so geometric sessions keep them off
+// unless asked).
+func Churn(cfg Config, steps int) ([]Mutation, error) {
+	inst, err := Build("churn", cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := inst.Space.N()
+	side := defaultF(cfg.Side, 80)
+	walk := cfg.Param("step", 0.02) * side
+	movesPer := int(cfg.Param("moves", 2))
+	linkRate := cfg.Param("linkrate", 0.25)
+	retune := cfg.Param("retune", 0)
+	src := rng.New(cfg.Seed ^ 0xc44119)
+	pts := append([]geom.Point(nil), inst.Points...)
+	links := append([]sinr.Link(nil), inst.Links...)
+	out := make([]Mutation, 0, steps)
+	for s := 0; s < steps; s++ {
+		var m Mutation
+		for k := 0; k < movesPer; k++ {
+			node := src.Intn(n)
+			theta := src.Range(0, 2*math.Pi)
+			to := pts[node].Add(geom.Pt(walk, 0).Rotate(theta))
+			// Keep the walk inside the deployment and off other nodes.
+			to.X = math.Min(math.Max(to.X, 0), side)
+			to.Y = math.Min(math.Max(to.Y, 0), side)
+			if collides(pts, node, to) {
+				continue
+			}
+			pts[node] = to
+			m.Moves = append(m.Moves, NodeMove{Node: node, To: to})
+		}
+		if src.Float64() < linkRate && len(links) > 1 {
+			victim := src.Intn(len(links))
+			m.RemoveLinks = append(m.RemoveLinks, victim)
+			links = append(links[:victim], links[victim+1:]...)
+		}
+		if src.Float64() < linkRate {
+			a, b := src.Intn(n), src.Intn(n)
+			if a != b {
+				l := sinr.Link{Sender: a, Receiver: b}
+				m.AddLinks = append(m.AddLinks, l)
+				links = append(links, l)
+			}
+		}
+		if retune > 0 && src.Float64() < retune {
+			row := make([]float64, n)
+			r := src.Intn(n)
+			for j := range row {
+				if j != r {
+					row[j] = src.Range(0.5, 50)
+				}
+			}
+			m.SetRows = map[int][]float64{r: row}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// collides reports whether placing node at to would coincide with another
+// node's position (zero distance means zero decay, invalid under Def 2.1).
+func collides(pts []geom.Point, node int, to geom.Point) bool {
+	for j, p := range pts {
+		if j != node && p == to {
+			return true
+		}
+	}
+	return false
+}
+
+// buildChurn is the "churn" base instance: a plane workload under
+// geometric path loss — the natural substrate for node mobility, with
+// ζ = α known analytically and every derived product repairable after
+// moves. The mutation stream itself comes from Churn.
+func buildChurn(cfg Config) (*Instance, error) {
+	inst, err := buildPlane(0)(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(inst.Points) == 0 {
+		return nil, fmt.Errorf("churn: base instance has no geometry")
+	}
+	return inst, nil
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "churn",
+		Description: "dynamic plane workload: base geometric instance plus a deterministic mutation stream (see Churn)",
+		Build:       buildChurn,
+	})
+}

@@ -6,6 +6,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 
 	"decaynet/internal/sinr"
@@ -26,10 +27,33 @@ var ErrStalled = errors.New("schedule: capacity routine selected no links")
 // the returned schedule: one owned slice per slot plus the remaining-set
 // copy.
 func ByCapacity(s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([][]int, error) {
+	return ByCapacityCtx(context.Background(), s, p, links, cap)
+}
+
+// ByCapacityCtx is ByCapacity with cooperative cancellation. Under a
+// cancellable context the expensive session inputs (ζ, the dense
+// affectance matrix) are forced under ctx up front — on a warm session
+// the remaining work is the slot loop, which polls ctx between
+// extractions — so a cancelled schedule returns ctx.Err() promptly. A
+// non-cancellable context (Background) skips the forcing: custom capacity
+// routines that never consult ζ or the dense matrix then pay nothing for
+// them, exactly as before.
+func ByCapacityCtx(ctx context.Context, s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([][]int, error) {
+	if len(links) > 0 && ctx.Done() != nil {
+		if _, err := s.ZetaCtx(ctx); err != nil {
+			return nil, err
+		}
+		if _, err := s.AffectancesCtx(ctx, p); err != nil {
+			return nil, err
+		}
+	}
 	remaining := append([]int(nil), links...)
 	var slots [][]int
 	inSlot := make([]bool, s.Len())
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		slot := cap(s, p, remaining)
 		if len(slot) == 0 {
 			return nil, ErrStalled
@@ -64,11 +88,20 @@ func ByCapacity(s *sinr.System, p sinr.Power, links []int, cap CapacityFunc) ([]
 // call allocates only its order copy and keys scratch — nothing
 // per-iteration.
 func FirstFit(s *sinr.System, p sinr.Power, links []int) ([][]int, error) {
+	return FirstFitCtx(context.Background(), s, p, links)
+}
+
+// FirstFitCtx is FirstFit with cooperative cancellation, polling ctx once
+// per placed link.
+func FirstFitCtx(ctx context.Context, s *sinr.System, p sinr.Power, links []int) ([][]int, error) {
 	order := append([]int(nil), links...)
 	sinr.SortByDecay(s, order, make([]float64, s.Len()))
 	var slots [][]int
 next:
 	for _, v := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := range slots {
 			if sinr.IsFeasibleWith(s, p, slots[i], v) {
 				slots[i] = append(slots[i], v)

@@ -1,6 +1,7 @@
 package sinr
 
 import (
+	"context"
 	"math"
 
 	"decaynet/internal/core"
@@ -23,10 +24,18 @@ type Affectances struct {
 // term depends only on v and is hoisted into a per-link vector, after
 // which each row w needs only the decays out of w's sender.
 func ComputeAffectances(s *System, p Power) *Affectances {
+	a, _ := ComputeAffectancesCtx(context.Background(), s, p)
+	return a
+}
+
+// ComputeAffectancesCtx is ComputeAffectances with cooperative
+// cancellation: ctx is polled per sender row and a cancelled build returns
+// ctx.Err() with no matrix.
+func ComputeAffectancesCtx(ctx context.Context, s *System, p Power) (*Affectances, error) {
 	n := s.Len()
 	a := &Affectances{n: n, raw: make([]float64, n*n)}
 	if n == 0 {
-		return a
+		return a, ctx.Err()
 	}
 	// factor[v] = c_v · f_vv / P_v  (+Inf when the link cannot meet its
 	// threshold even in isolation, matching NoiseFactor).
@@ -38,9 +47,12 @@ func ComputeAffectances(s *System, p Power) *Affectances {
 	}
 	rows := core.Rows(s.space)
 	nodes := rows.N()
-	par.ForChunked(n, func(lo, hi int) {
+	err := par.ForChunkedCtx(ctx, n, func(lo, hi int) {
 		buf := make([]float64, nodes)
 		for w := lo; w < hi; w++ {
+			if ctx.Err() != nil {
+				return
+			}
 			rows.Row(s.links[w].Sender, buf)
 			out := a.raw[w*n : (w+1)*n]
 			pw := p[w]
@@ -53,6 +65,57 @@ func ComputeAffectances(s *System, p Power) *Affectances {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// PatchAffectances returns a copy of old with the rows and columns of the
+// given links recomputed against the (since-mutated) space — the
+// incremental repair after a decay mutation. dirty must contain every link
+// whose sender or receiver node changed: a_w(v) reads f(s_w, r_v) and the
+// per-link factor c_v·f_vv/P_v, so exactly the rows w and columns v of
+// links incident to a dirty node are stale. Unchanged entries are copied
+// bit-for-bit, and recomputed ones evaluate the same expression as
+// ComputeAffectances, so the patched matrix is identical to a fresh build.
+// old is left untouched.
+func PatchAffectances(s *System, p Power, old *Affectances, dirty []int) *Affectances {
+	n := s.Len()
+	a := &Affectances{n: n, raw: append([]float64(nil), old.raw...)}
+	if n == 0 || len(dirty) == 0 {
+		return a
+	}
+	factor := make([]float64, n)
+	recv := make([]int, n)
+	for v := 0; v < n; v++ {
+		factor[v] = NoiseFactor(s, p, v) * s.Decay(v) / p[v]
+		recv[v] = s.links[v].Receiver
+	}
+	rows := core.Rows(s.space)
+	buf := make([]float64, rows.N())
+	for _, w := range dirty {
+		rows.Row(s.links[w].Sender, buf)
+		out := a.raw[w*n : (w+1)*n]
+		pw := p[w]
+		for v := 0; v < n; v++ {
+			if v == w {
+				out[v] = 0
+				continue
+			}
+			out[v] = factor[v] * pw / buf[recv[v]]
+		}
+	}
+	for _, v := range dirty {
+		rv := recv[v]
+		fv := factor[v]
+		for w := 0; w < n; w++ {
+			if w == v {
+				continue
+			}
+			a.raw[w*n+v] = fv * p[w] / s.space.F(s.links[w].Sender, rv)
+		}
+	}
 	return a
 }
 

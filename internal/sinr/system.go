@@ -6,6 +6,7 @@
 package sinr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,16 +25,25 @@ type Link struct {
 // System binds a decay space, a set of links and the radio parameters
 // (ambient noise N and SINR threshold β ≥ 1). All algorithmic routines in
 // this and higher packages operate on a System.
+//
+// The metricity state (ζ and the induced quasi-metric) is lazily computed,
+// cached, and — unlike a sync.Once — resettable: the mutable-session layer
+// invalidates or replaces it when the underlying space changes
+// (InvalidateMetricity / SetMetricity). Reads and lazy computation are
+// mutex-guarded and safe for concurrent use; mutating the space itself
+// concurrently with readers is the session layer's responsibility (the
+// public Engine serializes mutations behind a write lock).
 type System struct {
 	space core.Space
 	links []Link
 	noise float64
 	beta  float64
 
-	zetaOnce sync.Once
-	zeta     float64
-	zetaFn   func() float64 // optional lazy ζ source (WithZetaFunc)
-	qm       *core.QuasiMetric
+	metMu  sync.Mutex
+	metOK  bool
+	zeta   float64
+	zetaFn func(context.Context) (float64, error) // optional lazy ζ source
+	qm     *core.QuasiMetric
 
 	// Small LRU cache of dense affectance matrices keyed by a fingerprint
 	// of the power vector's values: the scheduling/capacity loops call the
@@ -66,18 +76,29 @@ type affEntry struct {
 // may both compute, and the first insert wins. Callers must not mutate p
 // after passing it here.
 func (s *System) Affectances(p Power) *Affectances {
+	a, _ := s.AffectancesCtx(context.Background(), p)
+	return a
+}
+
+// AffectancesCtx is Affectances with cooperative cancellation of the
+// O(links²) build on a cache miss; a cancelled build caches nothing and
+// returns ctx.Err(). Cache hits never block on ctx.
+func (s *System) AffectancesCtx(ctx context.Context, p Power) (*Affectances, error) {
 	fp := powerFingerprint(p)
 	s.affMu.Lock()
 	if a := s.affLookup(fp, p); a != nil {
 		s.affMu.Unlock()
-		return a
+		return a, nil
 	}
 	s.affMu.Unlock()
-	aff := ComputeAffectances(s, p)
+	aff, err := ComputeAffectancesCtx(ctx, s, p)
+	if err != nil {
+		return nil, err
+	}
 	s.affMu.Lock()
 	defer s.affMu.Unlock()
 	if a := s.affLookup(fp, p); a != nil {
-		return a // lost the race: share the first insert's matrix
+		return a, nil // lost the race: share the first insert's matrix
 	}
 	victim := 0
 	for i := 1; i < affCacheSlots; i++ {
@@ -87,7 +108,7 @@ func (s *System) Affectances(p Power) *Affectances {
 	}
 	s.affTick++
 	s.affCache[victim] = affEntry{fp: fp, p: append(Power(nil), p...), aff: aff, stamp: s.affTick}
-	return aff
+	return aff, nil
 }
 
 // affLookup returns the cached matrix for (fp, p) and refreshes its LRU
@@ -146,18 +167,27 @@ func WithBeta(b float64) Option {
 // computation (e.g. ζ = α for geometric spaces).
 func WithZeta(z float64) Option {
 	return func(s *System) {
-		s.zetaOnce.Do(func() {
+		if !s.metOK {
+			s.metOK = true
 			s.zeta = z
 			s.qm = core.NewQuasiMetric(s.space, z)
-		})
+		}
 	}
 }
 
 // WithZetaFunc supplies a lazy metricity source consulted instead of the
 // exact scan on first use (Engine's sampled-estimator routing: the
 // estimate is only paid for when ζ is actually consumed). A WithZeta value
-// takes precedence; fn runs at most once.
+// takes precedence; fn runs once per (in)validation cycle.
 func WithZetaFunc(fn func() float64) Option {
+	return WithZetaCtxFunc(func(context.Context) (float64, error) { return fn(), nil })
+}
+
+// WithZetaCtxFunc is WithZetaFunc for cancellable sources: fn receives the
+// caller's context (ZetaCtx and the other *Ctx entry points thread theirs;
+// the non-ctx forms pass context.Background()). A returned error leaves
+// the metricity uncached so a later call can retry.
+func WithZetaCtxFunc(fn func(context.Context) (float64, error)) Option {
 	return func(s *System) { s.zetaFn = fn }
 }
 
@@ -227,30 +257,136 @@ func (s *System) CrossDecay(w, v int) float64 {
 // Zeta returns the metricity of the underlying space, computing and caching
 // it on first use.
 func (s *System) Zeta() float64 {
-	s.ensureQuasiMetric()
-	return s.zeta
+	z, _ := s.ZetaCtx(context.Background())
+	return z
+}
+
+// ZetaCtx is Zeta with cooperative cancellation: a first call pays the
+// metricity computation (the exact tiled scan, or the configured lazy
+// source) under ctx and returns ctx.Err() when cancelled, leaving the
+// cache unset so a later call retries.
+func (s *System) ZetaCtx(ctx context.Context) (float64, error) {
+	if err := s.ensureMetricity(ctx); err != nil {
+		return 0, err
+	}
+	return s.zeta, nil
 }
 
 // QuasiMetric returns the induced quasi-metric d = f^(1/ζ).
 func (s *System) QuasiMetric() *core.QuasiMetric {
-	s.ensureQuasiMetric()
+	s.ensureMetricity(context.Background())
 	return s.qm
 }
 
-func (s *System) ensureQuasiMetric() {
-	s.zetaOnce.Do(func() {
-		if s.zetaFn != nil {
-			s.zeta = s.zetaFn()
-		} else {
-			s.zeta = core.Zeta(s.space)
+// ensureMetricity computes and caches ζ and the quasi-metric on first use
+// (or after an invalidation). Concurrent callers serialize on metMu, as
+// with the previous sync.Once; a cancelled computation caches nothing.
+func (s *System) ensureMetricity(ctx context.Context) error {
+	s.metMu.Lock()
+	defer s.metMu.Unlock()
+	if s.metOK {
+		return nil
+	}
+	var (
+		z   float64
+		err error
+	)
+	if s.zetaFn != nil {
+		z, err = s.zetaFn(ctx)
+	} else {
+		z, err = core.ZetaTolCtx(ctx, s.space, 1e-12)
+	}
+	if err != nil {
+		return err
+	}
+	s.zeta = z
+	s.qm = core.NewQuasiMetric(s.space, z)
+	s.metOK = true
+	return nil
+}
+
+// Metricity returns the cached (ζ, quasi-metric) pair without computing
+// anything: ok is false when no metricity has been materialized yet (or it
+// was invalidated). The session layer uses it to decide between repairing
+// and lazily recomputing after a mutation.
+func (s *System) Metricity() (zeta float64, qm *core.QuasiMetric, ok bool) {
+	s.metMu.Lock()
+	defer s.metMu.Unlock()
+	return s.zeta, s.qm, s.metOK
+}
+
+// SetMetricity installs a repaired (ζ, quasi-metric) pair, replacing
+// whatever was cached. A nil qm wraps the space lazily at the given
+// exponent.
+func (s *System) SetMetricity(zeta float64, qm *core.QuasiMetric) {
+	if qm == nil {
+		qm = core.NewQuasiMetric(s.space, zeta)
+	}
+	s.metMu.Lock()
+	defer s.metMu.Unlock()
+	s.zeta = zeta
+	s.qm = qm
+	s.metOK = true
+}
+
+// InvalidateMetricity drops the cached ζ and quasi-metric; the next
+// consumer recomputes them from the (presumably mutated) space.
+func (s *System) InvalidateMetricity() {
+	s.metMu.Lock()
+	defer s.metMu.Unlock()
+	s.metOK = false
+	s.qm = nil
+}
+
+// SetLinks replaces the link set (validating as NewSystem does) and
+// flushes the affectance cache, whose matrices are indexed by link id.
+// Callers interleaving SetLinks with readers must serialize externally —
+// the public Engine holds its session write lock across mutations.
+func (s *System) SetLinks(links []Link) error {
+	n := s.space.N()
+	for i, l := range links {
+		if l.Sender < 0 || l.Sender >= n || l.Receiver < 0 || l.Receiver >= n {
+			return fmt.Errorf("sinr: link %d references node outside [0,%d)", i, n)
 		}
-		s.qm = core.NewQuasiMetric(s.space, s.zeta)
-	})
+		if l.Sender == l.Receiver {
+			return fmt.Errorf("sinr: link %d has sender == receiver", i)
+		}
+	}
+	s.links = append(s.links[:0:0], links...)
+	s.FlushAffectances()
+	return nil
+}
+
+// FlushAffectances empties the affectance LRU (a link-set or power-model
+// change made every cached matrix stale).
+func (s *System) FlushAffectances() {
+	s.affMu.Lock()
+	defer s.affMu.Unlock()
+	for i := range s.affCache {
+		s.affCache[i] = affEntry{}
+	}
+}
+
+// RepatchAffectances maps every occupied affectance-cache slot through
+// patch (called with the slot's power vector and matrix), replacing the
+// slot's matrix with the result — the decay-mutation repair path, which
+// patches instead of recomputing. Slots keep their LRU stamps. patch must
+// return a fresh matrix (snapshots handed out earlier must stay valid) and
+// must not call back into the cache.
+func (s *System) RepatchAffectances(patch func(p Power, aff *Affectances) *Affectances) {
+	s.affMu.Lock()
+	defer s.affMu.Unlock()
+	for i := range s.affCache {
+		e := &s.affCache[i]
+		if e.aff != nil {
+			e.aff = patch(e.p, e.aff)
+		}
+	}
 }
 
 // LinkLength returns d_vv = d(s_v, r_v), the link length in quasi-distance.
 func (s *System) LinkLength(v int) float64 {
-	s.ensureQuasiMetric()
+	s.ensureMetricity(context.Background())
 	l := s.links[v]
 	return s.qm.D(l.Sender, l.Receiver)
 }
@@ -259,7 +395,7 @@ func (s *System) LinkLength(v int) float64 {
 //
 //	d(l_v, l_w) = min( d(s_v,r_w), d(s_w,r_v), d(s_v,s_w), d(r_v,r_w) ).
 func (s *System) LinkDist(v, w int) float64 {
-	s.ensureQuasiMetric()
+	s.ensureMetricity(context.Background())
 	lv, lw := s.links[v], s.links[w]
 	m := s.qm.D(lv.Sender, lw.Receiver)
 	if d := s.qm.D(lw.Sender, lv.Receiver); d < m {
@@ -282,12 +418,13 @@ func (s *System) Sub(linkIdx []int) *System {
 		links[i] = s.links[v]
 	}
 	out := &System{space: s.space, links: links, noise: s.noise, beta: s.beta, zetaFn: s.zetaFn}
-	if s.qm != nil {
-		out.zetaOnce.Do(func() {
-			out.zeta = s.zeta
-			out.qm = s.qm
-		})
+	s.metMu.Lock()
+	if s.metOK {
+		out.metOK = true
+		out.zeta = s.zeta
+		out.qm = s.qm
 	}
+	s.metMu.Unlock()
 	return out
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -39,6 +40,12 @@ type Options struct {
 	// missing pairs are then imputed from a log-distance path-loss fit
 	// instead of row similarity.
 	Points []geom.Point
+	// MaxDensePairs bounds the n² ordered pairs the dense cleaning buffers
+	// may span; campaigns beyond it are rejected rather than silently
+	// allocating multi-gigabyte grids. 0 means the package default of 2²⁶
+	// pairs (n ≤ 8192); see the package documentation for the memory
+	// implications of raising it.
+	MaxDensePairs int
 }
 
 // Asymmetry summarizes |rssi(i,j) − rssi(j,i)| in dB over the unordered
@@ -77,8 +84,9 @@ type Report struct {
 	Fit *PathLossFit
 }
 
-// maxDensePairs bounds the dense n×n cleaning buffers (n ≤ 8192); larger
-// campaigns need a sharded pipeline this package does not yet provide.
+// maxDensePairs is the default Options.MaxDensePairs: dense n×n cleaning
+// buffers up to n ≤ 8192. Larger campaigns need a sharded pipeline this
+// package does not yet provide.
 const maxDensePairs = 1 << 26
 
 // Clean runs the aggregation/conversion/imputation pipeline on a parsed
@@ -89,6 +97,14 @@ const maxDensePairs = 1 << 26
 // path-loss fit when geometry is present or k-nearest-row regression
 // otherwise, then a global-median fallback).
 func Clean(c *Campaign, opts Options) (*core.Matrix, *Report, error) {
+	return CleanCtx(context.Background(), c, opts)
+}
+
+// CleanCtx is Clean with cooperative cancellation: ctx is checked between
+// pipeline stages and inside the imputation row loops (the O(n³) worst
+// case of k-nearest-row regression), so a cancelled ingestion returns
+// ctx.Err() promptly with no partial result.
+func CleanCtx(ctx context.Context, c *Campaign, opts Options) (*core.Matrix, *Report, error) {
 	// Trust the readings over the campaign's N field: a hand-built
 	// Campaign may understate it, and the dense buffers index by id. The
 	// parsers only emit valid readings, but a hand-built campaign can
@@ -108,8 +124,12 @@ func Clean(c *Campaign, opts Options) (*core.Matrix, *Report, error) {
 	if n < 2 || len(c.Readings) == 0 {
 		return nil, nil, errors.New("trace: campaign needs readings on at least 2 nodes")
 	}
-	if uint64(n)*uint64(n) > maxDensePairs {
-		return nil, nil, fmt.Errorf("trace: campaign spans %d nodes, beyond the dense cleaning bound", n)
+	densePairs := uint64(maxDensePairs)
+	if opts.MaxDensePairs > 0 {
+		densePairs = uint64(opts.MaxDensePairs)
+	}
+	if uint64(n)*uint64(n) > densePairs {
+		return nil, nil, fmt.Errorf("trace: campaign spans %d nodes, beyond the dense cleaning bound of %d pairs", n, densePairs)
 	}
 	if opts.K <= 0 {
 		opts.K = 4
@@ -120,8 +140,16 @@ func Clean(c *Campaign, opts Options) (*core.Matrix, *Report, error) {
 	rep := &Report{N: n, Readings: len(c.Readings), Malformed: c.Malformed}
 
 	rssi := aggregate(c, n, opts.Aggregate, rep)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	asymmetry(rssi, n, rep)
-	impute(rssi, n, opts, rep)
+	if err := imputeCtx(ctx, rssi, n, opts, rep); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Convert dBm to linear decay: f = P_tx/P_rx = 10^((tx − rssi)/10).
 	// Readings are bounded (±maxAbsRSSIdBm), but imputed values are not —

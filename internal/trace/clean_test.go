@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"math"
@@ -342,4 +343,41 @@ func ExampleClean() {
 	m, rep, _ := Clean(c, Options{})
 	fmt.Printf("n=%d coverage=%.0f%% f(0,1)=%.3g\n", m.N(), 100*rep.Coverage, m.F(0, 1))
 	// Output: n=2 coverage=100% f(0,1)=1e+05
+}
+
+// TestMaxDensePairsOption: the dense-cleaning cap is configurable; 0 keeps
+// the package default, a small cap rejects campaigns the default admits,
+// and a raised cap admits them again.
+func TestMaxDensePairsOption(t *testing.T) {
+	c := readings(
+		Reading{TX: 0, RX: 9, RSSIdBm: -50},
+		Reading{TX: 9, RX: 0, RSSIdBm: -55},
+	) // spans 10 nodes = 100 ordered pairs
+	if _, _, err := Clean(c, Options{}); err != nil {
+		t.Fatalf("default cap rejected a 10-node campaign: %v", err)
+	}
+	if _, _, err := Clean(c, Options{MaxDensePairs: 81}); err == nil {
+		t.Fatal("cap of 81 pairs admitted a 100-pair campaign")
+	}
+	if _, _, err := Clean(c, Options{MaxDensePairs: 100}); err != nil {
+		t.Fatalf("cap of 100 pairs rejected a 100-pair campaign: %v", err)
+	}
+}
+
+// TestCleanCtxCancelled: a cancelled ingestion returns ctx.Err() and no
+// partial matrix.
+func TestCleanCtxCancelled(t *testing.T) {
+	synth, err := Synthesize(SynthConfig{N: 24, Repeats: 1, DropRate: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, rep, err := CleanCtx(ctx, synth.Campaign, Options{})
+	if err != context.Canceled {
+		t.Fatalf("CleanCtx err = %v, want context.Canceled", err)
+	}
+	if m != nil || rep != nil {
+		t.Fatal("cancelled CleanCtx returned partial results")
+	}
 }

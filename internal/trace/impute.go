@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -8,12 +9,15 @@ import (
 	"decaynet/internal/stats"
 )
 
-// impute fills every unmeasured off-diagonal entry of the aggregated dBm
-// matrix, in three stages: reverse-direction (reciprocal-channel) fill,
-// then a log-distance path-loss fit when geometry is available or
+// imputeCtx fills every unmeasured off-diagonal entry of the aggregated
+// dBm matrix, in three stages: reverse-direction (reciprocal-channel)
+// fill, then a log-distance path-loss fit when geometry is available or
 // k-nearest-row regression otherwise, then a global-median fallback for
-// pairs nothing else could reach. Counts land in the report.
-func impute(rssi []float64, n int, opts Options, rep *Report) {
+// pairs nothing else could reach. Counts land in the report. ctx is
+// checked between stages and per row inside the k-nearest scan (the only
+// super-quadratic stage); cancellation leaves rssi partially imputed and
+// returns ctx.Err().
+func imputeCtx(ctx context.Context, rssi []float64, n int, opts Options, rep *Report) error {
 	if !opts.NoReciprocal {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -24,18 +28,25 @@ func impute(rssi []float64, n int, opts Options, rep *Report) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if opts.Points != nil {
-		pathLossImpute(rssi, n, opts, rep)
+		pathLossImpute(ctx, rssi, n, opts, rep)
 	} else {
-		knnImpute(rssi, n, opts.K, rep)
+		knnImpute(ctx, rssi, n, opts.K, rep)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	fallbackImpute(rssi, n, rep)
+	return nil
 }
 
 // pathLossImpute fits rssi = A − 10·β·log10(d) over the measured pairs and
 // predicts every remaining missing pair from its distance. Pairs at zero
 // distance (coincident points) are left for the fallback.
-func pathLossImpute(rssi []float64, n int, opts Options, rep *Report) {
+func pathLossImpute(ctx context.Context, rssi []float64, n int, opts Options, rep *Report) {
 	var xs, ys []float64
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -55,7 +66,7 @@ func pathLossImpute(rssi []float64, n int, opts Options, rep *Report) {
 	if err != nil {
 		// Too few (or degenerate) measurements for a fit; the k-nearest
 		// pipeline still applies.
-		knnImpute(rssi, n, opts.K, rep)
+		knnImpute(ctx, rssi, n, opts.K, rep)
 		return
 	}
 	rep.Fit = &PathLossFit{InterceptDBm: a, Exponent: -b / 10, R2: r2, Pairs: len(xs)}
@@ -82,15 +93,18 @@ func pathLossImpute(rssi []float64, n int, opts Options, rep *Report) {
 // writes only its own rows). Worst case O(n³) when most of the matrix is
 // missing — the path-loss route is the fast path for large sparse
 // campaigns with geometry.
-func knnImpute(rssi []float64, n, k int, rep *Report) {
+func knnImpute(ctx context.Context, rssi []float64, n, k int, rep *Report) {
 	snap := append([]float64(nil), rssi...)
 	var imputed atomic.Int64
-	par.ForChunked(n, func(lo, hi int) {
+	par.ForChunkedCtx(ctx, n, func(lo, hi int) {
 		dist := make([]float64, n)
 		bestVal := make([]float64, k)
 		bestDist := make([]float64, k)
 		count := 0
 		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if !rowHasMissing(snap, i, n) {
 				continue
 			}

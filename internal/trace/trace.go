@@ -14,6 +14,14 @@
 // log-normal shadowing + asymmetric offsets + dropped readings) so the
 // pipeline is testable and benchmarkable at n ≫ 10³, and writes campaigns
 // back out in both wire formats (scenegen's -trace export).
+//
+// Cleaning materializes dense n×n buffers (the aggregated dBm grid, its
+// snapshot for imputation, and the produced matrix), so the campaign's
+// node count is capped: the default Options.MaxDensePairs of 2²⁶ ordered
+// pairs admits n ≤ 8192 (three n² float64 buffers ≈ 1.5 GiB at the cap).
+// Raising MaxDensePairs lifts the cap at a proportional memory cost;
+// campaigns beyond any dense budget need a sharded aggregation this
+// package does not yet provide (pairs partition naturally by tx row).
 package trace
 
 // Reading is one raw campaign measurement: node TX transmitted, node RX

@@ -10,7 +10,10 @@ import "decaynet/internal/scenario"
 // and measured data: "trace" ingests an RSSI measurement campaign (CSV or
 // JSON-lines) from ScenarioConfig.Path through the cleaning/imputation
 // pipeline (knobs via Params: "txpower" dBm, "mean", "k", "noreciprocal";
-// see the internal trace package and cmd/decaytrace). External packages
+// see the internal trace package and cmd/decaytrace). "churn" is the
+// dynamic workload: a geometric base instance plus the deterministic
+// mutation stream of ChurnStream, replayed through Engine.Update (knobs:
+// "moves", "step", "linkrate", "retune"). External packages
 // add their own sources with RegisterScenario, usually from an init
 // function, and anything accepting a scenario name — the Engine, capsim,
 // scenegen — picks them up.
