@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"decaynet/internal/rng"
 	"decaynet/internal/scenario"
 	"decaynet/internal/schedule"
+	"decaynet/internal/shard"
 	"decaynet/internal/sinr"
 	"decaynet/internal/trace"
 )
@@ -186,6 +188,27 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 		}
 	})
 
+	// Sharded campaign ingestion: the same parse + clean hot path through
+	// trace.CleanSharded's per-tx-row runtime (K = 8 row-range shards).
+	record("shard/ingest", ingestBenchNodes, func() {
+		camp, err := trace.Read(bytes.NewReader(campBytes), trace.CSV)
+		if err != nil {
+			panic(err)
+		}
+		if _, _, err := trace.CleanSharded(context.Background(), camp, trace.Options{Points: synth.Points}, shardBenchK); err != nil {
+			panic(err)
+		}
+	})
+
+	// Sharded ζ scan: the row-range coordinator's merged exact scan over a
+	// warm replica, across shard counts. K is the scan's parallelism (each
+	// in-process worker is one goroutine), so the K-scaling of these rows
+	// is the sharding runtime's speedup curve on a multicore runner; the
+	// shard/zeta vs shard/zeta-k1 gap is the acceptance figure.
+	if err := benchShardZeta(record, space, n); err != nil {
+		return err
+	}
+
 	// Dynamic-session update path: a warm mutation-tracking engine absorbs
 	// a k-dirty-row batch and re-serves ζ, the affectance matrix and a
 	// capacity call via incremental repair; the rebuild baseline pays a
@@ -202,6 +225,13 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 				return err
 			}
 			record("zeta/batched", ln, func() { core.Zeta(li.Space) })
+			if ln == 1024 {
+				// The acceptance size of the sharding runtime: shard/zeta
+				// K-scaling at n = 1024.
+				if err := benchShardZeta(record, li.Space, ln); err != nil {
+					return err
+				}
+			}
 		}
 		huge, err := scenario.Build("random", scenario.Config{Nodes: 4096, Seed: 7})
 		if err != nil {
@@ -248,6 +278,26 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 	}
 	speedup("zeta/per-pair", "zeta/batched")
 	speedup("affectance/per-pair", "affectance/batched")
+	// Sharding K-scaling: the single-shard baseline against the full
+	// worker fleet at the largest benchmarked size.
+	shardSpeedup := func() {
+		var k1, kN int64
+		size := 0
+		for _, r := range results {
+			if r.Op == "shard/zeta-k1" && r.N >= size {
+				k1, size = r.NsPerOp, r.N
+			}
+		}
+		for _, r := range results {
+			if r.Op == "shard/zeta" && r.N == size {
+				kN = r.NsPerOp
+			}
+		}
+		if k1 > 0 && kN > 0 {
+			fmt.Printf("shard/zeta (K=%d) vs shard/zeta-k1 (n=%d): %.1fx\n", shardBenchK, size, float64(k1)/float64(kN))
+		}
+	}
+	shardSpeedup()
 	// The update path is measured at every benchmarked size; report the
 	// incremental-vs-rebuild gap at the largest one.
 	updSpeedup := func() {
@@ -319,6 +369,39 @@ func checkAllocs(path string, results []benchResult) error {
 		return fmt.Errorf("alloc regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	fmt.Printf("alloc check passed (%d ceilings)\n", len(limits))
+	return nil
+}
+
+// shardBenchK is the worker-fleet size of the sharded ops: the K of the
+// recorded shard/zeta and shard/ingest rows (shard/zeta-k1 and -k2/-k4
+// rows trace the scaling curve below it).
+const shardBenchK = 8
+
+// benchShardZeta measures the sharded exact ζ scan at n nodes for
+// K ∈ {1, 2, 4, 8}: each op fans the row ranges out to K single-goroutine
+// workers over a warm shared replica (the state build is paid once outside
+// the timed loop, as a session's replica is), so the rows isolate the
+// scan itself — the part that scales with K.
+func benchShardZeta(record func(op string, size int, fn func()), space core.Space, n int) error {
+	m := core.Dense(space)
+	for _, k := range []int{1, 2, 4, shardBenchK} {
+		c, err := shard.New(m, 1e-12, k)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Zeta(context.Background()); err != nil { // warm the replica
+			return err
+		}
+		op := "shard/zeta"
+		if k != shardBenchK {
+			op = fmt.Sprintf("shard/zeta-k%d", k)
+		}
+		record(op, n, func() {
+			if _, err := c.Zeta(context.Background()); err != nil {
+				panic(err)
+			}
+		})
+	}
 	return nil
 }
 

@@ -44,6 +44,7 @@
 // layering underneath is
 //
 //	core         decay spaces, RowSpace batching, ζ/φ, quasi-metrics, packings, γ
+//	shard        row-range sharding runtime (WithShards): coordinator + workers
 //	sinr         links, power, affectance (per-pair and dense batch), feasibility
 //	capacity     Algorithm 1, baselines, exact optimum
 //	schedule     slot scheduling
@@ -150,6 +151,11 @@ var (
 	// the imputation row loops).
 	CleanCampaign    = trace.Clean
 	CleanCampaignCtx = trace.CleanCtx
+	// CleanCampaignSharded fans the cleaning pipeline out over per-tx-row
+	// shards: bit-identical to CleanCampaign where both run, and it lifts
+	// the dense cap from 2²⁶ to 2²⁸ ordered pairs (n ≤ 16384), so
+	// campaigns the dense path refuses still ingest.
+	CleanCampaignSharded = trace.CleanSharded
 	// SynthesizeCampaign generates a campaign from geometric ground truth
 	// with shadowing, asymmetry and drops.
 	SynthesizeCampaign = trace.Synthesize

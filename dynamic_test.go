@@ -132,45 +132,7 @@ func TestMutatedEngineEquivalence(t *testing.T) {
 
 		src := newTestRand(uint64(tc.n) * 1013)
 		for step := 0; step < tc.steps; step++ {
-			var m decaynet.Mutation
-			switch step % 3 {
-			case 0: // retune a couple of rows
-				m.SetRows = map[int][]float64{}
-				for k := 0; k < 2; k++ {
-					r := src.intn(tc.n)
-					row := make([]float64, tc.n)
-					for j := range row {
-						if j != r {
-							row[j] = src.rangef(0.5, 50)
-						}
-					}
-					m.SetRows[r] = row
-				}
-			case 1: // point edits
-				for k := 0; k < 3; k++ {
-					i, j := src.intn(tc.n), src.intn(tc.n)
-					if i == j {
-						j = (j + 1) % tc.n
-					}
-					m.SetDecays = append(m.SetDecays, decaynet.DecayEdit{I: i, J: j, F: src.rangef(0.5, 50)})
-				}
-			case 2: // link churn plus a row retune in one batch
-				if l := eng.Len(); l > 1 {
-					m.RemoveLinks = []int{src.intn(l)}
-				}
-				a, b := src.intn(tc.n), src.intn(tc.n)
-				if a != b {
-					m.AddLinks = []decaynet.Link{{Sender: a, Receiver: b}}
-				}
-				r := src.intn(tc.n)
-				row := make([]float64, tc.n)
-				for j := range row {
-					if j != r {
-						row[j] = src.rangef(0.5, 50)
-					}
-				}
-				m.SetRows = map[int][]float64{r: row}
-			}
+			m := stepMutation(src, tc.n, eng.Len(), step)
 			v := eng.Version()
 			if err := eng.Update(m); err != nil {
 				t.Fatalf("n=%d step=%d: %v", tc.n, step, err)
@@ -515,6 +477,54 @@ func TestUpdateValidationAtomic(t *testing.T) {
 	if eng.Version() != 0 {
 		t.Fatal("no-op update bumped the version")
 	}
+}
+
+// stepMutation builds the step'th mutation of the shared equivalence
+// harness — row retunes, point edits, or link churn plus a retune — from
+// the deterministic source. links is the engine's current link count
+// (identical across engines replaying the same stream, so two engines fed
+// the same source see the same mutations).
+func stepMutation(src *testRand, n, links, step int) decaynet.Mutation {
+	var m decaynet.Mutation
+	switch step % 3 {
+	case 0: // retune a couple of rows
+		m.SetRows = map[int][]float64{}
+		for k := 0; k < 2; k++ {
+			r := src.intn(n)
+			row := make([]float64, n)
+			for j := range row {
+				if j != r {
+					row[j] = src.rangef(0.5, 50)
+				}
+			}
+			m.SetRows[r] = row
+		}
+	case 1: // point edits
+		for k := 0; k < 3; k++ {
+			i, j := src.intn(n), src.intn(n)
+			if i == j {
+				j = (j + 1) % n
+			}
+			m.SetDecays = append(m.SetDecays, decaynet.DecayEdit{I: i, J: j, F: src.rangef(0.5, 50)})
+		}
+	case 2: // link churn plus a row retune in one batch
+		if links > 1 {
+			m.RemoveLinks = []int{src.intn(links)}
+		}
+		a, b := src.intn(n), src.intn(n)
+		if a != b {
+			m.AddLinks = []decaynet.Link{{Sender: a, Receiver: b}}
+		}
+		r := src.intn(n)
+		row := make([]float64, n)
+		for j := range row {
+			if j != r {
+				row[j] = src.rangef(0.5, 50)
+			}
+		}
+		m.SetRows = map[int][]float64{r: row}
+	}
+	return m
 }
 
 // tname labels equivalence failures.

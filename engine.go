@@ -14,6 +14,7 @@ import (
 	"decaynet/internal/rng"
 	"decaynet/internal/scenario"
 	"decaynet/internal/schedule"
+	"decaynet/internal/shard"
 	"decaynet/internal/sinr"
 )
 
@@ -67,6 +68,13 @@ type Engine struct {
 	zt      *core.ZetaTracker
 	vt      *core.VarphiTracker
 
+	// coord, when non-nil (WithShards), routes the exact ζ/ϕ scans, the
+	// dense affectance builds and the incremental session repairs through
+	// the row-range sharding runtime. Sharded results are bit-identical to
+	// the unsharded paths; the sampled estimators (WithApproxMetricity)
+	// bypass the coordinator.
+	coord *shard.Coordinator
+
 	// approxSamples > 0 routes Zeta/Phi to the sampled estimators
 	// (WithApproxMetricity fired: the space is at or above the size
 	// threshold). targetEps > 0 additionally iterates them, doubling the
@@ -110,6 +118,7 @@ type engineConfig struct {
 	approxSamples   int
 	targetEps       float64
 	tracking        bool
+	shards          int
 }
 
 // EngineOption configures NewEngine.
@@ -217,6 +226,30 @@ func WithTargetPrecision(eps float64) EngineOption {
 	}
 }
 
+// WithShards routes the engine's heavy reductions — the exact ζ/ϕ triplet
+// scans, the dense affectance builds, and the incremental repairs after
+// Update — through a row-range sharding coordinator with k workers
+// (internal/shard). Results are bit-identical to the unsharded engine for
+// every cached product: per-shard maxima merge with max, per-shard band
+// collections seed the same trackers, and per-shard affectance row blocks
+// assemble the same dense matrix. In-process each worker is one goroutine
+// scanning its row range serially, so k is the session's scan parallelism
+// (the unsharded engine instead uses the shared worker pool); the worker
+// boundary is message-shaped, sized for the cross-machine transport the
+// runtime is the substrate for. Dirty rows map to their owning shards
+// during repairs, and every context-accepting entry point propagates
+// cancellation to all k workers. The sampled estimators
+// (WithApproxMetricity) bypass the coordinator.
+func WithShards(k int) EngineOption {
+	return func(ec *engineConfig) error {
+		if k < 1 {
+			return fmt.Errorf("decaynet: WithShards(%d): need at least one shard", k)
+		}
+		ec.shards = k
+		return nil
+	}
+}
+
 // WithMutationTracking pre-arms the incremental session machinery: exact
 // ζ/ϕ computations build their per-row trackers immediately, so even the
 // first Update repairs instead of invalidating. Without the option the
@@ -301,6 +334,17 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	// invalidation after any mutation re-routes through it, even when the
 	// session started from an analytically known ζ.
 	sysOpts := []Option{WithBeta(ec.beta), WithNoise(ec.noise), sinr.WithZetaCtxFunc(e.computeZeta)}
+	if ec.shards > 0 {
+		coord, err := shard.New(dense, 1e-12, ec.shards)
+		if err != nil {
+			return nil, err
+		}
+		e.coord = coord
+		sysOpts = append(sysOpts, sinr.WithAffectanceCtxFunc(
+			func(ctx context.Context, s *System, p Power) (*Affectances, error) {
+				return sinr.ComputeAffectancesSharded(ctx, s, p, coord)
+			}))
+	}
 	if ec.knownZeta > 0 {
 		sysOpts = append(sysOpts, WithZeta(ec.knownZeta))
 	}
@@ -336,6 +380,17 @@ func (e *Engine) computeZeta(ctx context.Context) (float64, error) {
 		e.zetaEst.Store(&est)
 		return est.Value, nil
 	}
+	if e.coord != nil {
+		if e.dynamic {
+			zt, err := e.coord.ZetaTracker(ctx)
+			if err != nil {
+				return 0, err
+			}
+			e.zt = zt
+			return zt.Zeta(), nil
+		}
+		return e.coord.Zeta(ctx)
+	}
 	if e.dynamic {
 		zt, err := core.NewZetaTracker(ctx, e.matrix, 1e-12)
 		if err != nil {
@@ -345,6 +400,15 @@ func (e *Engine) computeZeta(ctx context.Context) (float64, error) {
 		return zt.Zeta(), nil
 	}
 	return core.ZetaTolCtx(ctx, e.matrix, 1e-12)
+}
+
+// Shards returns the shard count of the session's row-range coordinator,
+// or 0 for an unsharded engine.
+func (e *Engine) Shards() int {
+	if e.coord == nil {
+		return 0
+	}
+	return e.coord.Shards()
 }
 
 // System returns the underlying sinr System (shares all caches). Direct
@@ -455,6 +519,19 @@ func (e *Engine) PhiCtx(ctx context.Context) (float64, error) {
 		}
 		e.phiEst = &est
 		vphi = est.Value
+	case e.coord != nil && e.dynamic:
+		vt, err := e.coord.VarphiTracker(ctx)
+		if err != nil {
+			return 0, err
+		}
+		e.vt = vt
+		vphi = vt.Varphi()
+	case e.coord != nil:
+		var err error
+		vphi, err = e.coord.Varphi(ctx)
+		if err != nil {
+			return 0, err
+		}
 	case e.dynamic:
 		vt, err := core.NewVarphiTracker(ctx, e.matrix)
 		if err != nil {

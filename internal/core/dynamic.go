@@ -30,6 +30,15 @@ import (
 // the floor. Values are computed by the same kernels as the one-shot
 // scans, so the tracked maximum is bit-identical to a from-scratch
 // computation.
+//
+// The scan itself — patching, extrema, per-row collection — lives on the
+// ZetaScanState / VarphiScanState replicas (shardscan.go), so a sharding
+// coordinator can run the same phases across row-range workers: build a
+// tracker from per-shard maxima and band collections (NewZetaTrackerFrom),
+// and repair it from per-shard dirty-incident collections (PatchAndDrop +
+// AbsorbRepair + Reseed). The pool-parallel Repair / rescan below and the
+// sharded phases execute identical per-triplet expressions over identical
+// replicas, so both routes track bit-identical values.
 
 // candMargin is the relative width of the candidate band: the floor is
 // (1 − candMargin) · max. Wider bands survive deeper decreases before a
@@ -45,93 +54,145 @@ const (
 	candKeep = 1 << 16
 )
 
-// triplet is one candidate: value and coordinates.
-type triplet struct {
-	val     float64
-	x, y, z int32
-}
-
-// maxTriplet returns the largest candidate value, or floor for an empty
-// set.
-func maxTriplet(set []triplet, floor float64) float64 {
-	v := floor
-	for i := range set {
-		if set[i].val > v {
-			v = set[i].val
-		}
-	}
-	return v
-}
-
-// dropDirty removes candidates incident to a dirty node, in place.
-func dropDirty(set []triplet, mask []bool) []triplet {
-	out := set[:0]
-	for _, c := range set {
-		if !mask[c.x] && !mask[c.y] && !mask[c.z] {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
 // trim enforces the candidate cap: keep the strongest candKeep members and
 // raise the floor to the weakest kept value (the set stays complete above
 // the new floor).
-func trim(set []triplet, floor float64) ([]triplet, float64) {
+func trim(set []BandTriplet, floor float64) ([]BandTriplet, float64) {
 	if len(set) <= candCap {
 		return set, floor
 	}
-	slices.SortFunc(set, func(a, b triplet) int {
+	slices.SortFunc(set, func(a, b BandTriplet) int {
 		switch {
-		case a.val > b.val:
+		case a.Val > b.Val:
 			return -1
-		case a.val < b.val:
+		case a.Val < b.Val:
 			return 1
 		default:
 			return 0
 		}
 	})
 	set = set[:candKeep:candKeep]
-	return set, set[len(set)-1].val
+	return set, set[len(set)-1].Val
 }
 
-// ZetaTracker maintains the metricity ζ of a dense decay space under row /
-// column mutations. It keeps its own log-decay matrix (patched on repair)
-// plus the pruning extrema and the candidate set; the underlying Matrix is
-// read on construction and on each Repair and must reflect the mutation
-// before Repair is called.
-type ZetaTracker struct {
-	m   *Matrix
-	n   int
-	tol float64
+// bandFloor positions the candidate floor a margin below the maximum,
+// never below the parameter's universal floor.
+func bandFloor(max, universal float64) float64 {
+	f := max - candMargin*max
+	if f < universal {
+		return universal
+	}
+	return f
+}
 
-	logs                   []float64 // ln f, row-major, patched on repair
-	rowMax, rowMin, colMin []float64 // off-diagonal extrema of logs
+// ZetaBandFloor returns the candidate-band floor a tracker retains for a
+// full-scan maximum of zmax — the threshold a sharded band-collection
+// phase must use so NewZetaTrackerFrom seeds a complete set.
+func ZetaBandFloor(zmax float64) float64 { return bandFloor(zmax, DefaultZetaFloor) }
+
+// VarphiBandFloor is ZetaBandFloor's ϕ analogue.
+func VarphiBandFloor(vmax float64) float64 { return bandFloor(vmax, varphiFloorValue) }
+
+// ZetaTracker maintains the metricity ζ of a dense decay space under row /
+// column mutations. It scans through a ZetaScanState replica (its own
+// log-decay matrix plus pruning extrema, patched on repair); the
+// underlying Matrix is read on construction and on each Repair and must
+// reflect the mutation before Repair is called.
+type ZetaTracker struct {
+	st *ZetaScanState
 
 	zeta  float64
 	floor float64 // τ: the set holds every triplet with ζ > τ
-	set   []triplet
+	set   []BandTriplet
 }
 
 // NewZetaTracker runs the full scan, fixes the candidate floor a margin
 // below the maximum, and collects the candidate band. ctx is polled
 // between rows; a cancelled build returns ctx.Err().
 func NewZetaTracker(ctx context.Context, m *Matrix, tol float64) (*ZetaTracker, error) {
-	n := m.N()
-	t := &ZetaTracker{m: m, n: n, tol: tol, zeta: DefaultZetaFloor, floor: DefaultZetaFloor}
-	if n < 3 {
+	t := &ZetaTracker{st: NewZetaScanState(m, tol), zeta: DefaultZetaFloor, floor: DefaultZetaFloor}
+	if t.st.n < 3 {
 		return t, ctx.Err()
 	}
-	t.logs = logMatrix(m)
-	t.refreshExtrema()
 	if err := t.rescan(ctx); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
+// NewZetaTrackerFrom seeds a tracker from the results of an externally
+// driven full scan over the given replica: the exact maximum zmax and the
+// band of triplets above ZetaBandFloor(zmax), typically concatenated from
+// per-shard collection phases. The tracker takes ownership of the state
+// (sharing it with the scanning workers is fine — repairs patch it under
+// the session lock).
+func NewZetaTrackerFrom(st *ZetaScanState, zmax float64, band []BandTriplet) *ZetaTracker {
+	t := &ZetaTracker{st: st, zeta: zmax, floor: ZetaBandFloor(zmax), set: band}
+	t.set, t.floor = trim(t.set, t.floor)
+	return t
+}
+
+// State returns the tracker's scan replica (shared with shard workers on
+// sharded sessions).
+func (t *ZetaTracker) State() *ZetaScanState { return t.st }
+
 // Zeta returns the tracked metricity.
 func (t *ZetaTracker) Zeta() float64 { return t.zeta }
+
+// Floor returns the candidate-band floor τ — the threshold an external
+// repair phase must collect above.
+func (t *ZetaTracker) Floor() float64 { return t.floor }
+
+// PatchAndDrop applies the mutation prefix of a repair without scanning:
+// the replica's log matrix and extrema are patched against the mutated
+// Matrix and the candidate set drops its dirty-incident members. An
+// external (sharded) repair then collects the dirty-incident triplets
+// above Floor with ZetaScanState.RepairRange and hands them to
+// AbsorbRepair. The returned dirty-node mask (nil when nothing to do) is
+// the one the collection scans consume.
+func (t *ZetaTracker) PatchAndDrop(dirty []int, rowsOnly bool) []bool {
+	if t.st.n < 3 || len(dirty) == 0 {
+		return nil
+	}
+	t.st.PatchRows(dirty, rowsOnly)
+	mask := dirtyNodeMask(t.st.n, dirty)
+	t.set = dropDirtyBand(t.set, mask)
+	return mask
+}
+
+// dirtyNodeMask builds the dirty-node membership mask the repair scans
+// consume.
+func dirtyNodeMask(n int, dirty []int) []bool {
+	mask := make([]bool, n)
+	for _, r := range dirty {
+		mask[r] = true
+	}
+	return mask
+}
+
+// AbsorbRepair merges an externally collected dirty-incident band into the
+// candidate set and re-derives the tracked ζ. needRescan reports the
+// drained-band case — the maximum fell below the floor — in which the
+// caller must run a full two-phase scan (max + band) and Reseed; the
+// tracked value is not valid until then.
+func (t *ZetaTracker) AbsorbRepair(band []BandTriplet) (zeta float64, needRescan bool) {
+	t.set = append(t.set, band...)
+	if len(t.set) == 0 && t.floor > DefaultZetaFloor {
+		return t.zeta, true
+	}
+	t.set, t.floor = trim(t.set, t.floor)
+	t.zeta = maxBand(t.set, DefaultZetaFloor)
+	return t.zeta, false
+}
+
+// Reseed installs the results of a full external rescan (see
+// NewZetaTrackerFrom): the exact maximum and the band above
+// ZetaBandFloor(zmax).
+func (t *ZetaTracker) Reseed(zmax float64, band []BandTriplet) {
+	t.zeta = zmax
+	t.floor = ZetaBandFloor(zmax)
+	t.set, t.floor = trim(band, t.floor)
+}
 
 // Repair re-establishes the tracked ζ after the underlying matrix mutated
 // on the rows and columns of the given nodes, and returns the new value.
@@ -141,46 +202,11 @@ func (t *ZetaTracker) Zeta() float64 { return t.zeta }
 // Only triplets incident to a dirty node are re-scanned; a drained
 // candidate set triggers the full rescan fallback.
 func (t *ZetaTracker) Repair(dirty []int, rowsOnly bool) float64 {
-	if t.n < 3 || len(dirty) == 0 {
+	if t.st.n < 3 || len(dirty) == 0 {
 		return t.zeta
 	}
-	n := t.n
-	mask := make([]bool, n)
-	for _, r := range dirty {
-		mask[r] = true
-	}
-	// Patch the log matrix: dirty rows wholesale, and — when columns
-	// changed too — dirty columns per entry.
-	par.ForChunked(n, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			row := t.m.row(x)
-			out := t.logs[x*n : (x+1)*n]
-			if mask[x] {
-				for j, v := range row {
-					out[j] = math.Log(v)
-				}
-				continue
-			}
-			if rowsOnly {
-				continue
-			}
-			for _, r := range dirty {
-				out[r] = math.Log(row[r])
-			}
-		}
-	})
-	if rowsOnly {
-		for _, r := range dirty {
-			t.refreshRow(r)
-		}
-	} else {
-		t.rowMax, t.rowMin = rowExtrema(t.logs, n)
-	}
-	// Only the dirty columns' minima are consulted below; refresh exactly
-	// those (a column's minimum shifts whenever any dirty row rewrote its
-	// entry in it, so even rowsOnly mutations move them).
-	refreshColMinima(t.colMin, t.logs, n, dirty)
-	t.set = dropDirty(t.set, mask)
+	n := t.st.n
+	mask := t.PatchAndDrop(dirty, rowsOnly)
 
 	// Collect the dirty-incident triplets that reach the candidate band.
 	var mu sync.Mutex
@@ -188,87 +214,10 @@ func (t *ZetaTracker) Repair(dirty []int, rowsOnly bool) float64 {
 	invT := 1 / tau
 	amgm := 2 * math.Ln2 * tau
 	par.ForChunked(n, func(lo, hi int) {
-		var local []triplet
+		var local []BandTriplet
 		zList := make([]int32, 0, n)
 		for x := lo; x < hi; x++ {
-			rowX := t.logs[x*n : (x+1)*n]
-			if mask[x] {
-				// Every triplet of a dirty row changed: scan all pairs.
-				for z := 0; z < n; z++ {
-					if z != x {
-						local = t.collectPair(local, rowX, x, z, invT, amgm)
-					}
-				}
-				continue
-			}
-			for _, z := range dirty {
-				if z != x {
-					local = t.collectPair(local, rowX, x, z, invT, amgm)
-				}
-			}
-			// The (x, y ∈ M, z ∉ M) slice. The AM-GM necessary condition
-			// b + c + amgm < 2a with c ≥ colMin[y] bounds b from above, so
-			// one pass over the row shortlists the viable z — typically a
-			// small fraction of n — before the per-y loops run.
-			aMax := math.Inf(-1)
-			cMinD := math.Inf(1)
-			live := 0
-			for _, y := range dirty {
-				if y == x {
-					continue
-				}
-				a := rowX[y]
-				if t.rowMin[x]+t.colMin[y]+amgm >= 2*a {
-					continue // pair (x, y) cannot reach the floor
-				}
-				live++
-				if a > aMax {
-					aMax = a
-				}
-				if t.colMin[y] < cMinD {
-					cMinD = t.colMin[y]
-				}
-			}
-			if live == 0 {
-				continue
-			}
-			bLim := 2*aMax - amgm - cMinD
-			zList = zList[:0]
-			for z := 0; z < n; z++ {
-				if z != x && !mask[z] && rowX[z] < bLim {
-					zList = append(zList, int32(z)) // dirty z covered above
-				}
-			}
-			for _, y := range dirty {
-				if y == x {
-					continue
-				}
-				a := rowX[y]
-				if t.rowMin[x]+t.colMin[y]+amgm >= 2*a {
-					continue
-				}
-				bLimY := 2*a - amgm - t.colMin[y]
-				for _, z32 := range zList {
-					z := int(z32)
-					if z == y {
-						continue
-					}
-					b := rowX[z]
-					if b >= bLimY || a <= b {
-						continue
-					}
-					c := t.logs[z*n+y]
-					if a <= c || b+c+amgm >= 2*a {
-						continue
-					}
-					if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
-						continue
-					}
-					if zt := zetaTriplet(a, b, c, t.tol); zt > tau {
-						local = append(local, triplet{zt, int32(x), int32(y), int32(z)})
-					}
-				}
-			}
+			local, zList = t.st.repairRow(local, x, dirty, mask, invT, amgm, zList)
 		}
 		if len(local) > 0 {
 			mu.Lock()
@@ -283,53 +232,8 @@ func (t *ZetaTracker) Repair(dirty []int, rowsOnly bool) float64 {
 		return t.zeta
 	}
 	t.set, t.floor = trim(t.set, t.floor)
-	t.zeta = maxTriplet(t.set, DefaultZetaFloor)
+	t.zeta = maxBand(t.set, DefaultZetaFloor)
 	return t.zeta
-}
-
-// collectPair scans the (x, ·, z) pair — all y against fixed x, z —
-// appending every triplet above the floor to local. The whole-pair prune
-// discharges the pair without entering the loop whenever even its
-// strongest triplet (largest a, smallest c) stays within the floor;
-// surviving pairs walk row x's descending-value order and stop at the
-// first y whose a = ln f(x,y) cannot reach the floor (a necessary
-// condition from the AM-GM bound with c ≥ rowMin[z]), so the loop touches
-// only the handful of strongest y instead of all n.
-func (t *ZetaTracker) collectPair(local []triplet, rowX []float64, x, z int, invT, amgm float64) []triplet {
-	maxX := t.rowMax[x]
-	b := rowX[z]
-	if b+t.rowMin[z]+amgm >= 2*maxX {
-		return local
-	}
-	if math.Exp((b-maxX)*invT)+math.Exp((t.rowMin[z]-maxX)*invT) >= 1 {
-		return local
-	}
-	n := t.n
-	rowZ := t.logs[z*n : (z+1)*n]
-	tau := 1 / invT
-	// Necessary condition on a alone: a > (b + c + amgm)/2 with
-	// c ≥ rowMin[z] — one compare discharges most y before c is read.
-	aMin := (b + t.rowMin[z] + amgm) / 2
-	for y := 0; y < n; y++ {
-		a := rowX[y]
-		if a <= aMin {
-			continue
-		}
-		if y == x || y == z {
-			continue
-		}
-		c := rowZ[y]
-		if a <= c || b+c+amgm >= 2*a {
-			continue
-		}
-		if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
-			continue
-		}
-		if zt := zetaTriplet(a, b, c, t.tol); zt > tau {
-			local = append(local, triplet{zt, int32(x), int32(y), int32(z)})
-		}
-	}
-	return local
 }
 
 // rescan runs the full-matrix pass: an exact maximum scan over the cached
@@ -340,10 +244,7 @@ func (t *ZetaTracker) rescan(ctx context.Context) error {
 		return err
 	}
 	t.zeta = zmax
-	t.floor = zmax - candMargin*zmax
-	if t.floor < DefaultZetaFloor {
-		t.floor = DefaultZetaFloor
-	}
+	t.floor = ZetaBandFloor(zmax)
 	t.set = t.set[:0]
 	if zmax <= DefaultZetaFloor {
 		return ctx.Err() // nothing above the floor to collect
@@ -351,16 +252,17 @@ func (t *ZetaTracker) rescan(ctx context.Context) error {
 	var mu sync.Mutex
 	invT := 1 / t.floor
 	amgm := 2 * math.Ln2 * t.floor
-	err = par.ForChunkedCtx(ctx, t.n, func(lo, hi int) {
-		var local []triplet
+	n := t.st.n
+	err = par.ForChunkedCtx(ctx, n, func(lo, hi int) {
+		var local []BandTriplet
 		for x := lo; x < hi; x++ {
 			if ctx.Err() != nil {
 				return
 			}
-			rowX := t.logs[x*t.n : (x+1)*t.n]
-			for z := 0; z < t.n; z++ {
+			rowX := t.st.logs[x*n : (x+1)*n]
+			for z := 0; z < n; z++ {
 				if z != x {
-					local = t.collectPair(local, rowX, x, z, invT, amgm)
+					local = t.st.collectPair(local, rowX, x, z, invT, amgm)
 				}
 			}
 		}
@@ -381,7 +283,8 @@ func (t *ZetaTracker) rescan(ctx context.Context) error {
 // matrix — ZetaTol's kernel minus the symmetric halving (the tracker
 // serves mutated, generally asymmetric sessions).
 func (t *ZetaTracker) fullMax(ctx context.Context) (float64, error) {
-	n := t.n
+	st := t.st
+	n := st.n
 	var bestBits uint64Max
 	bestBits.store(DefaultZetaFloor)
 	err := par.ForTilesCtx(ctx, n, tripletTile(n), func(xlo, xhi, zlo, zhi int) {
@@ -392,8 +295,8 @@ func (t *ZetaTracker) fullMax(ctx context.Context) (float64, error) {
 			if ctx.Err() != nil {
 				return
 			}
-			rowX := t.logs[x*n : (x+1)*n]
-			maxX := t.rowMax[x]
+			rowX := st.logs[x*n : (x+1)*n]
+			maxX := st.rowMax[x]
 			if g := bestBits.load(); g > local {
 				local = g
 				invT = 1 / local
@@ -404,14 +307,14 @@ func (t *ZetaTracker) fullMax(ctx context.Context) (float64, error) {
 					continue
 				}
 				b := rowX[z]
-				if b+t.rowMin[z]+amgm >= 2*maxX {
+				if b+st.rowMin[z]+amgm >= 2*maxX {
 					continue
 				}
-				if math.Exp((b-maxX)*invT)+math.Exp((t.rowMin[z]-maxX)*invT) >= 1 {
+				if math.Exp((b-maxX)*invT)+math.Exp((st.rowMin[z]-maxX)*invT) >= 1 {
 					continue
 				}
-				rowZ := t.logs[z*n : (z+1)*n]
-				aMin := (b + t.rowMin[z] + amgm) / 2
+				rowZ := st.logs[z*n : (z+1)*n]
+				aMin := (b + st.rowMin[z] + amgm) / 2
 				for y := 0; y < n; y++ {
 					if y == x || y == z {
 						continue
@@ -427,11 +330,11 @@ func (t *ZetaTracker) fullMax(ctx context.Context) (float64, error) {
 					if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
 						continue
 					}
-					if zt := zetaTriplet(a, b, c, t.tol); zt > local {
+					if zt := zetaTriplet(a, b, c, st.tol); zt > local {
 						local = zt
 						invT = 1 / local
 						amgm = 2 * math.Ln2 * local
-						aMin = (b + t.rowMin[z] + amgm) / 2
+						aMin = (b + st.rowMin[z] + amgm) / 2
 						bestBits.storeMax(zt)
 					}
 				}
@@ -445,149 +348,106 @@ func (t *ZetaTracker) fullMax(ctx context.Context) (float64, error) {
 	return bestBits.load(), nil
 }
 
-// refreshExtrema recomputes the off-diagonal row max/min and column min of
-// the log matrix — the pruning bounds. O(n²), parallel, negligible next to
-// any triplet scan.
-func (t *ZetaTracker) refreshExtrema() {
-	t.rowMax, t.rowMin = rowExtrema(t.logs, t.n)
-	t.colMin = colMinima(t.logs, t.n)
-}
-
-// refreshColMinima recomputes mins[j] for the given columns only — one
-// strided pass per column, O(|cols|·n) against colMinima's O(n²).
-func refreshColMinima(mins, vals []float64, n int, cols []int) {
-	for _, j := range cols {
-		mn := math.Inf(1)
-		for i := 0; i < n; i++ {
-			if i == j {
-				continue
-			}
-			if v := vals[i*n+j]; v < mn {
-				mn = v
-			}
-		}
-		mins[j] = mn
-	}
-}
-
-// refreshRow re-derives one row's extrema after its log entries were
-// patched.
-func (t *ZetaTracker) refreshRow(x int) {
-	n := t.n
-	row := t.logs[x*n : (x+1)*n]
-	mx, mn := math.Inf(-1), math.Inf(1)
-	for j, v := range row {
-		if j == x {
-			continue
-		}
-		if v > mx {
-			mx = v
-		}
-		if v < mn {
-			mn = v
-		}
-	}
-	t.rowMax[x], t.rowMin[x] = mx, mn
-}
-
 // VarphiTracker maintains the variant parameter ϕ = max f(x,z) /
 // (f(x,y) + f(y,z)) under mutations, with the same candidate-set scheme as
-// ZetaTracker. It reads the tracked Matrix directly (no private copy): the
-// session layer mutates the matrix first and then calls Repair with the
-// dirty node set.
+// ZetaTracker. It reads the tracked Matrix directly through its
+// VarphiScanState (no private copy): the session layer mutates the matrix
+// first and then calls Repair with the dirty node set.
 type VarphiTracker struct {
-	m *Matrix
-	n int
-
-	rowMaxF, rowMinF, colMinF []float64 // off-diagonal extrema of f
+	st *VarphiScanState
 
 	varphi float64
 	floor  float64
-	set    []triplet
+	set    []BandTriplet
 }
 
 // varphiFloorValue is ϕ's universal lower bound (attained on uniform
 // spaces).
 const varphiFloorValue = 0.5
 
+// VarphiFloor is ϕ's universal lower bound (attained on uniform spaces) —
+// the ϕ analogue of DefaultZetaFloor, exported so the sharded scans merge
+// against the same floor as the pool kernels.
+const VarphiFloor = varphiFloorValue
+
 // NewVarphiTracker runs the full ϕ scan and collects the candidate band.
 // ctx is polled between rows; a cancelled build returns ctx.Err().
 func NewVarphiTracker(ctx context.Context, m *Matrix) (*VarphiTracker, error) {
-	n := m.N()
-	t := &VarphiTracker{m: m, n: n, varphi: varphiFloorValue, floor: varphiFloorValue}
-	if n < 3 {
+	t := &VarphiTracker{st: NewVarphiScanState(m), varphi: varphiFloorValue, floor: varphiFloorValue}
+	if t.st.n < 3 {
 		return t, ctx.Err()
 	}
-	t.refreshExtrema()
 	if err := t.rescan(ctx); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
+// NewVarphiTrackerFrom seeds a tracker from an externally driven full scan
+// (see NewZetaTrackerFrom): the exact maximum vmax and the band above
+// VarphiBandFloor(vmax).
+func NewVarphiTrackerFrom(st *VarphiScanState, vmax float64, band []BandTriplet) *VarphiTracker {
+	t := &VarphiTracker{st: st, varphi: vmax, floor: VarphiBandFloor(vmax), set: band}
+	t.set, t.floor = trim(t.set, t.floor)
+	return t
+}
+
+// State returns the tracker's scan replica.
+func (t *VarphiTracker) State() *VarphiScanState { return t.st }
+
 // Varphi returns the tracked parameter.
 func (t *VarphiTracker) Varphi() float64 { return t.varphi }
+
+// Floor returns the candidate-band floor τ.
+func (t *VarphiTracker) Floor() float64 { return t.floor }
+
+// PatchAndDrop applies the mutation prefix of a repair without scanning
+// (see ZetaTracker.PatchAndDrop).
+func (t *VarphiTracker) PatchAndDrop(dirty []int, rowsOnly bool) []bool {
+	if t.st.n < 3 || len(dirty) == 0 {
+		return nil
+	}
+	t.st.PatchRows(dirty, rowsOnly)
+	mask := dirtyNodeMask(t.st.n, dirty)
+	t.set = dropDirtyBand(t.set, mask)
+	return mask
+}
+
+// AbsorbRepair merges an externally collected dirty-incident band and
+// re-derives the tracked ϕ (see ZetaTracker.AbsorbRepair).
+func (t *VarphiTracker) AbsorbRepair(band []BandTriplet) (varphi float64, needRescan bool) {
+	t.set = append(t.set, band...)
+	if len(t.set) == 0 && t.floor > varphiFloorValue {
+		return t.varphi, true
+	}
+	t.set, t.floor = trim(t.set, t.floor)
+	t.varphi = maxBand(t.set, varphiFloorValue)
+	return t.varphi, false
+}
+
+// Reseed installs the results of a full external rescan.
+func (t *VarphiTracker) Reseed(vmax float64, band []BandTriplet) {
+	t.varphi = vmax
+	t.floor = VarphiBandFloor(vmax)
+	t.set, t.floor = trim(band, t.floor)
+}
 
 // Repair re-establishes the tracked ϕ after the matrix mutated on the rows
 // and columns of the given nodes, and returns the new value. rowsOnly
 // declares a row-only mutation (see ZetaTracker.Repair): clean rows'
 // extrema are then provably unchanged and skipped.
 func (t *VarphiTracker) Repair(dirty []int, rowsOnly bool) float64 {
-	if t.n < 3 || len(dirty) == 0 {
+	if t.st.n < 3 || len(dirty) == 0 {
 		return t.varphi
 	}
-	n := t.n
-	mask := make([]bool, n)
-	for _, r := range dirty {
-		mask[r] = true
-	}
-	if rowsOnly {
-		for _, r := range dirty {
-			t.refreshRowF(r)
-		}
-	} else {
-		t.rowMaxF, t.rowMinF = rowExtrema(t.m.f, n)
-	}
-	refreshColMinima(t.colMinF, t.m.f, n, dirty)
-	t.set = dropDirty(t.set, mask)
+	n := t.st.n
+	mask := t.PatchAndDrop(dirty, rowsOnly)
 	var mu sync.Mutex
 	tau := t.floor
 	par.ForChunked(n, func(lo, hi int) {
-		var local []triplet
+		var local []BandTriplet
 		for x := lo; x < hi; x++ {
-			rowX := t.m.row(x)
-			if mask[x] {
-				for y := 0; y < n; y++ {
-					if y != x {
-						local = t.collectPair(local, rowX, x, y, tau)
-					}
-				}
-				continue
-			}
-			for _, y := range dirty {
-				if y != x {
-					local = t.collectPair(local, rowX, x, y, tau)
-				}
-			}
-			for _, z := range dirty {
-				if z == x {
-					continue
-				}
-				fxz := rowX[z]
-				// Whole-pair prune for fixed (x, z): the largest possible
-				// ratio pairs fxz with the smallest f(x,y) and f(y,z).
-				if fxz <= tau*(t.rowMinF[x]+t.colMinF[z]) {
-					continue
-				}
-				for y := 0; y < n; y++ {
-					if y == x || y == z || mask[y] {
-						continue // dirty y already covered above
-					}
-					if r := fxz / (rowX[y] + t.m.f[y*n+z]); r > tau {
-						local = append(local, triplet{r, int32(x), int32(y), int32(z)})
-					}
-				}
-			}
+			local = t.st.repairRow(local, x, dirty, mask, tau)
 		}
 		if len(local) > 0 {
 			mu.Lock()
@@ -600,30 +460,8 @@ func (t *VarphiTracker) Repair(dirty []int, rowsOnly bool) float64 {
 		return t.varphi
 	}
 	t.set, t.floor = trim(t.set, t.floor)
-	t.varphi = maxTriplet(t.set, varphiFloorValue)
+	t.varphi = maxBand(t.set, varphiFloorValue)
 	return t.varphi
-}
-
-// collectPair scans the (x, y, ·) pair — all z against fixed x, y —
-// appending every ratio above the floor to local.
-func (t *VarphiTracker) collectPair(local []triplet, rowX []float64, x, y int, tau float64) []triplet {
-	fxy := rowX[y]
-	// Whole-pair prune: even the largest numerator over the smallest
-	// denominator cannot reach the floor.
-	if t.rowMaxF[x] <= tau*(fxy+t.rowMinF[y]) {
-		return local
-	}
-	n := t.n
-	rowY := t.m.row(y)
-	for z := 0; z < n; z++ {
-		if z == x || z == y {
-			continue
-		}
-		if r := rowX[z] / (fxy + rowY[z]); r > tau {
-			local = append(local, triplet{r, int32(x), int32(y), int32(z)})
-		}
-	}
-	return local
 }
 
 // rescan runs the full ϕ pass: exact maximum, then candidate collection a
@@ -634,26 +472,24 @@ func (t *VarphiTracker) rescan(ctx context.Context) error {
 		return err
 	}
 	t.varphi = vmax
-	t.floor = vmax - candMargin*vmax
-	if t.floor < varphiFloorValue {
-		t.floor = varphiFloorValue
-	}
+	t.floor = VarphiBandFloor(vmax)
 	t.set = t.set[:0]
 	if vmax <= varphiFloorValue {
 		return ctx.Err()
 	}
 	var mu sync.Mutex
 	tau := t.floor
-	err = par.ForChunkedCtx(ctx, t.n, func(lo, hi int) {
-		var local []triplet
+	n := t.st.n
+	err = par.ForChunkedCtx(ctx, n, func(lo, hi int) {
+		var local []BandTriplet
 		for x := lo; x < hi; x++ {
 			if ctx.Err() != nil {
 				return
 			}
-			rowX := t.m.row(x)
-			for y := 0; y < t.n; y++ {
+			rowX := t.st.m.row(x)
+			for y := 0; y < n; y++ {
 				if y != x {
-					local = t.collectPair(local, rowX, x, y, tau)
+					local = t.st.collectPair(local, rowX, x, y, tau)
 				}
 			}
 		}
@@ -673,7 +509,8 @@ func (t *VarphiTracker) rescan(ctx context.Context) error {
 // fullMax is the exact tiled ϕ maximum over the tracked matrix — Varphi's
 // kernel minus the symmetric halving.
 func (t *VarphiTracker) fullMax(ctx context.Context) (float64, error) {
-	n := t.n
+	st := t.st
+	n := st.n
 	var bestBits uint64Max
 	bestBits.store(varphiFloorValue)
 	err := par.ForTilesCtx(ctx, n, tripletTile(n), func(xlo, xhi, ylo, yhi int) {
@@ -682,8 +519,8 @@ func (t *VarphiTracker) fullMax(ctx context.Context) (float64, error) {
 			if ctx.Err() != nil {
 				return
 			}
-			rowX := t.m.row(x)
-			maxX := t.rowMaxF[x]
+			rowX := st.m.row(x)
+			maxX := st.rowMaxF[x]
 			if g := bestBits.load(); g > best {
 				best = g
 			}
@@ -692,10 +529,10 @@ func (t *VarphiTracker) fullMax(ctx context.Context) (float64, error) {
 					continue
 				}
 				fxy := rowX[y]
-				if maxX <= best*(fxy+t.rowMinF[y]) {
+				if maxX <= best*(fxy+st.rowMinF[y]) {
 					continue
 				}
-				rowY := t.m.row(y)
+				rowY := st.m.row(y)
 				for z := 0; z < n; z++ {
 					if z == x || z == y {
 						continue
@@ -713,29 +550,6 @@ func (t *VarphiTracker) fullMax(ctx context.Context) (float64, error) {
 		return 0, err
 	}
 	return bestBits.load(), nil
-}
-
-func (t *VarphiTracker) refreshExtrema() {
-	t.rowMaxF, t.rowMinF = rowExtrema(t.m.f, t.n)
-	t.colMinF = colMinima(t.m.f, t.n)
-}
-
-// refreshRowF re-derives one row's decay extrema after the row mutated.
-func (t *VarphiTracker) refreshRowF(x int) {
-	row := t.m.row(x)
-	mx, mn := math.Inf(-1), math.Inf(1)
-	for j, v := range row {
-		if j == x {
-			continue
-		}
-		if v > mx {
-			mx = v
-		}
-		if v < mn {
-			mn = v
-		}
-	}
-	t.rowMaxF[x], t.rowMinF[x] = mx, mn
 }
 
 // uint64Max is a small atomic float64 running-maximum (the shared-progress
@@ -780,4 +594,21 @@ func colMinima(vals []float64, n int) []float64 {
 		mu.Unlock()
 	})
 	return mins
+}
+
+// refreshColMinima recomputes mins[j] for the given columns only — one
+// strided pass per column, O(|cols|·n) against colMinima's O(n²).
+func refreshColMinima(mins, vals []float64, n int, cols []int) {
+	for _, j := range cols {
+		mn := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			if v := vals[i*n+j]; v < mn {
+				mn = v
+			}
+		}
+		mins[j] = mn
+	}
 }

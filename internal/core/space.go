@@ -135,6 +135,37 @@ func NewMatrix(rows [][]float64) (*Matrix, error) {
 	return m, nil
 }
 
+// NewMatrixFlat builds a decay space adopting the row-major flat buffer
+// (length n²) without copying — the constructor for pipelines that already
+// assembled a dense grid and cannot afford a second n² allocation (sharded
+// trace cleaning). Validation matches NewMatrix; diagonal entries are
+// forced to zero. The caller must not retain flat.
+func NewMatrixFlat(n int, flat []float64) (*Matrix, error) {
+	if n < 0 || len(flat) != n*n {
+		return nil, fmt.Errorf("%w: %d entries for %d nodes", ErrShape, len(flat), n)
+	}
+	m := &Matrix{n: n, f: flat}
+	for i := 0; i < n; i++ {
+		row := flat[i*n : (i+1)*n]
+		for j, v := range row {
+			if i == j {
+				row[j] = 0
+				continue
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: f(%d,%d) = %v", ErrNotFinite, i, j, v)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("%w: f(%d,%d) = %v", ErrNegativeDecay, i, j, v)
+			}
+			if v == 0 {
+				return nil, fmt.Errorf("%w: f(%d,%d)", ErrZeroOffDiag, i, j)
+			}
+		}
+	}
+	return m, nil
+}
+
 // FromFunc materializes a dense decay space by evaluating f on every
 // ordered pair of n nodes. The same validation as NewMatrix applies.
 func FromFunc(n int, f func(i, j int) float64) (*Matrix, error) {

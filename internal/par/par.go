@@ -130,44 +130,57 @@ func ForTiles(n, tile int, body func(xlo, xhi, zlo, zhi int)) {
 // triplet kernels, so bodies poll ctx between rows to keep cancellation
 // latency well under a tile's runtime.
 func ForTilesCtx(ctx context.Context, n, tile int, body func(xlo, xhi, zlo, zhi int)) error {
-	if n <= 0 {
+	return ForTilesRectCtx(ctx, 0, n, 0, n, tile, body)
+}
+
+// ForTilesRectCtx is ForTilesCtx over the rectangle [xlo,xhi)×[zlo,zhi)
+// instead of the full n×n square — the work-unit form the row-range
+// sharding runtime dispatches: a shard owns a contiguous x-row band and its
+// tile grid is exactly this rectangle. Tiles are dispatched on the shared
+// pool with the same saturation and cancellation behavior as ForTilesCtx
+// (the final tile runs on the caller's goroutine; no new tile starts once
+// ctx is done).
+func ForTilesRectCtx(ctx context.Context, xlo, xhi, zlo, zhi, tile int, body func(xlo, xhi, zlo, zhi int)) error {
+	nx, nz := xhi-xlo, zhi-zlo
+	if nx <= 0 || nz <= 0 {
 		return ctx.Err()
 	}
-	if tile <= 0 || tile >= n {
+	if tile <= 0 || (tile >= nx && tile >= nz) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		body(0, n, 0, n)
+		body(xlo, xhi, zlo, zhi)
 		return ctx.Err()
 	}
 	startOnce.Do(start)
-	tiles := (n + tile - 1) / tile
-	serial := workers < 2 || tiles*tiles < 2
+	xTiles := (nx + tile - 1) / tile
+	zTiles := (nz + tile - 1) / tile
+	serial := workers < 2 || xTiles*zTiles < 2
 	var wg sync.WaitGroup
-	last := tiles*tiles - 1
+	last := xTiles*zTiles - 1
 	for k := 0; k <= last; k++ {
 		if ctx.Err() != nil {
 			break
 		}
-		xlo := (k / tiles) * tile
-		zlo := (k % tiles) * tile
-		xhi, zhi := xlo+tile, zlo+tile
-		if xhi > n {
-			xhi = n
+		xl := xlo + (k/zTiles)*tile
+		zl := zlo + (k%zTiles)*tile
+		xh, zh := xl+tile, zl+tile
+		if xh > xhi {
+			xh = xhi
 		}
-		if zhi > n {
-			zhi = n
+		if zh > zhi {
+			zh = zhi
 		}
 		if serial || k == last {
-			body(xlo, xhi, zlo, zhi)
+			body(xl, xh, zl, zh)
 			continue
 		}
 		wg.Add(1)
-		xl, xh, zl, zh := xlo, xhi, zlo, zhi
+		xl2, xh2, zl2, zh2 := xl, xh, zl, zh
 		select {
-		case jobs <- func() { defer wg.Done(); body(xl, xh, zl, zh) }:
+		case jobs <- func() { defer wg.Done(); body(xl2, xh2, zl2, zh2) }:
 		default:
-			body(xl, xh, zl, zh)
+			body(xl2, xh2, zl2, zh2)
 			wg.Done()
 		}
 	}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -85,5 +86,59 @@ func TestForTilesBlockShape(t *testing.T) {
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+// TestForTilesRectCoversOffsetRectangle: the rectangular driver visits
+// every cell of an offset, non-square rectangle exactly once — the
+// work-unit shape a row-range shard dispatches (its row band of the tile
+// grid starts at xlo > 0).
+func TestForTilesRectCoversOffsetRectangle(t *testing.T) {
+	for _, tc := range []struct{ xlo, xhi, zlo, zhi, tile int }{
+		{5, 37, 0, 64, 16},  // shard band: offset rows, full columns
+		{10, 11, 3, 50, 8},  // single row
+		{0, 64, 20, 23, 16}, // thin column slab
+		{7, 29, 7, 29, 64},  // tile larger than both edges: one block
+		{3, 19, 2, 31, 5},   // ragged boundary tiles
+	} {
+		w := tc.zhi - tc.zlo
+		var mu sync.Mutex
+		hits := make(map[int]int)
+		err := ForTilesRectCtx(context.Background(), tc.xlo, tc.xhi, tc.zlo, tc.zhi, tc.tile,
+			func(xlo, xhi, zlo, zhi int) {
+				if xlo < tc.xlo || xhi > tc.xhi || zlo < tc.zlo || zhi > tc.zhi || xlo >= xhi || zlo >= zhi {
+					t.Errorf("%+v: block [%d,%d)x[%d,%d) outside the rectangle", tc, xlo, xhi, zlo, zhi)
+					return
+				}
+				mu.Lock()
+				for x := xlo; x < xhi; x++ {
+					for z := zlo; z < zhi; z++ {
+						hits[(x-tc.xlo)*w+(z-tc.zlo)]++
+					}
+				}
+				mu.Unlock()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (tc.xhi - tc.xlo) * w
+		if len(hits) != want {
+			t.Fatalf("%+v: visited %d cells, want %d", tc, len(hits), want)
+		}
+		for k, c := range hits {
+			if c != 1 {
+				t.Fatalf("%+v: cell (%d,%d) visited %d times", tc, k/w+tc.xlo, k%w+tc.zlo, c)
+			}
+		}
+	}
+	// Cancellation short-circuits before any block runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForTilesRectCtx(ctx, 0, 8, 0, 8, 2, func(_, _, _, _ int) { ran = true }); err != context.Canceled {
+		t.Fatalf("cancelled ForTilesRectCtx err = %v", err)
+	}
+	if ran {
+		t.Fatal("cancelled ForTilesRectCtx dispatched a block")
 	}
 }

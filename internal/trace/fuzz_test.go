@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+)
+
+// fuzzCleanNodeCap bounds the campaigns the fuzz targets push through the
+// cleaning pipeline: Clean's dense buffers are O(n²), and a single crafted
+// id pair can imply thousands of nodes — parsing must survive those, but
+// cleaning them per exec would turn the fuzzer into an allocator
+// benchmark.
+const fuzzCleanNodeCap = 128
+
+// roundTrip asserts the write/read losslessness property on an accepted
+// campaign: serializing with the matching writer and re-parsing yields the
+// identical readings, node count, and zero malformed records.
+func roundTrip(t *testing.T, c *Campaign, format Format) {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if format == CSV {
+		err = WriteCSV(&buf, c)
+	} else {
+		err = WriteJSONL(&buf, c)
+	}
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), format)
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if back.Malformed != 0 {
+		t.Fatalf("round trip produced %d malformed records", back.Malformed)
+	}
+	if back.N != c.N || len(back.Readings) != len(c.Readings) {
+		t.Fatalf("round trip: %d readings over %d nodes, want %d over %d",
+			len(back.Readings), back.N, len(c.Readings), c.N)
+	}
+	for i, r := range c.Readings {
+		b := back.Readings[i]
+		// NaN never parses (validReading rejects it), so direct equality is
+		// exact: the writers emit shortest-round-trip floats.
+		if b != r {
+			t.Fatalf("round trip reading %d: %+v, want %+v", i, b, r)
+		}
+	}
+}
+
+// cleanAccepted pushes a parsed campaign through the dense and sharded
+// cleaning pipelines and asserts the invariants every accepted campaign
+// must satisfy: a validated Def 2.1 matrix, full measured+imputed
+// coverage, and shard-count independence.
+func cleanAccepted(t *testing.T, c *Campaign) {
+	t.Helper()
+	if len(c.Readings) == 0 || c.N > fuzzCleanNodeCap {
+		return
+	}
+	m, rep, err := Clean(c, Options{})
+	if err != nil {
+		// Clean may legitimately reject (e.g. a single-node campaign); it
+		// must only do so gracefully.
+		return
+	}
+	n := m.N()
+	if n < 2 || n != rep.N {
+		t.Fatalf("cleaned matrix spans %d nodes, report %d", n, rep.N)
+	}
+	covered := rep.PairsMeasured + rep.ImputedReciprocal + rep.ImputedPathLoss + rep.ImputedKNN + rep.ImputedFallback
+	if covered != n*(n-1) {
+		t.Fatalf("measured+imputed covers %d of %d ordered pairs", covered, n*(n-1))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.F(i, j)
+			if i == j {
+				if v != 0 {
+					t.Fatalf("diagonal f(%d,%d) = %v", i, j, v)
+				}
+				continue
+			}
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("cleaned decay f(%d,%d) = %v", i, j, v)
+			}
+		}
+	}
+	sm, srep, err := CleanSharded(context.Background(), c, Options{}, 3)
+	if err != nil {
+		t.Fatalf("sharded clean rejected what the dense path accepted: %v", err)
+	}
+	if sm.N() != n || srep.PairsMeasured != rep.PairsMeasured {
+		t.Fatalf("sharded clean diverged: %d nodes / %d measured, dense %d / %d",
+			sm.N(), srep.PairsMeasured, n, rep.PairsMeasured)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sm.F(i, j) != m.F(i, j) {
+				t.Fatalf("sharded clean f(%d,%d) = %v, dense %v", i, j, sm.F(i, j), m.F(i, j))
+			}
+		}
+	}
+}
+
+// FuzzReadCampaignCSV fuzzes the lenient CSV parser: no input may panic,
+// and whatever parses must survive Clean and the Write→Read round trip.
+func FuzzReadCampaignCSV(f *testing.F) {
+	f.Add([]byte("tx,rx,rssi_dbm,t\n0,1,-42.5,0.25\n1,0,-43,0.5\n"))
+	f.Add([]byte("0,1,-60\n1,2,-61.5\n2,0,-59\n"))
+	f.Add([]byte("rssi,dst,src\n-55,1,0\n# comment\n\n-56,0,1\n"))
+	f.Add([]byte("receiver,sender,dbm,time\n3,2,-70,1\njunk,row,here\n2,3,-71,2\n"))
+	f.Add([]byte("0,0,-50\n-1,2,-50\n0,1,nan\n0,1,-2000\n0,1,-50,bad\n"))
+	f.Add([]byte("tx,rx\n0,1\n"))
+	f.Add([]byte(",,,\n0,1,-50,0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data), CSV)
+		if err != nil {
+			return // graceful rejection is fine; panics are the bug
+		}
+		roundTrip(t, c, CSV)
+		cleanAccepted(t, c)
+	})
+}
+
+// FuzzReadCampaignJSONL fuzzes the JSON-lines parser under the same
+// properties.
+func FuzzReadCampaignJSONL(f *testing.F) {
+	f.Add([]byte(`{"tx":0,"rx":1,"rssi_dbm":-62.5,"t":0.25}` + "\n" + `{"tx":1,"rx":0,"rssi_dbm":-63}` + "\n"))
+	f.Add([]byte(`{"tx":2,"rx":0,"rssi":-55}` + "\n# comment\n" + `{"rx":2,"tx":0,"rssi_dbm":-54,"t":3}` + "\n"))
+	f.Add([]byte(`{"tx":0,"rx":0,"rssi_dbm":-50}` + "\n" + `{"tx":0,"rx":1}` + "\nnot json\n" + `{"tx":0,"rx":1,"rssi_dbm":1e999}` + "\n"))
+	f.Add([]byte(`{"tx":-3,"rx":1,"rssi_dbm":-50}` + "\n" + `{"tx":0,"rx":1,"rssi_dbm":-50,"extra":true}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data), JSONL)
+		if err != nil {
+			return
+		}
+		roundTrip(t, c, JSONL)
+		cleanAccepted(t, c)
+	})
+}

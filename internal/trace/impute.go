@@ -97,57 +97,67 @@ func knnImpute(ctx context.Context, rssi []float64, n, k int, rep *Report) {
 	snap := append([]float64(nil), rssi...)
 	var imputed atomic.Int64
 	par.ForChunkedCtx(ctx, n, func(lo, hi int) {
-		dist := make([]float64, n)
-		bestVal := make([]float64, k)
-		bestDist := make([]float64, k)
-		count := 0
-		for i := lo; i < hi; i++ {
-			if ctx.Err() != nil {
-				break
-			}
-			if !rowHasMissing(snap, i, n) {
-				continue
-			}
-			rowDistances(snap, i, n, dist)
-			for j := 0; j < n; j++ {
-				if i == j || !math.IsNaN(snap[i*n+j]) {
-					continue
-				}
-				// Top-k insertion over rows r with a measurement towards j.
-				found := 0
-				for r := 0; r < n; r++ {
-					v := snap[r*n+j]
-					if r == i || math.IsNaN(v) || math.IsInf(dist[r], 0) {
-						continue
-					}
-					pos := found
-					if pos < k {
-						found++
-					} else if dist[r] >= bestDist[k-1] {
-						continue
-					} else {
-						pos = k - 1
-					}
-					for pos > 0 && bestDist[pos-1] > dist[r] {
-						bestVal[pos], bestDist[pos] = bestVal[pos-1], bestDist[pos-1]
-						pos--
-					}
-					bestVal[pos], bestDist[pos] = v, dist[r]
-				}
-				if found == 0 {
-					continue
-				}
-				sum := 0.0
-				for s := 0; s < found; s++ {
-					sum += bestVal[s]
-				}
-				rssi[i*n+j] = sum / float64(found)
-				count++
-			}
-		}
-		imputed.Add(int64(count))
+		imputed.Add(int64(knnRows(ctx, snap, rssi, n, k, lo, hi)))
 	})
 	rep.ImputedKNN += int(imputed.Load())
+}
+
+// knnRows runs the k-nearest-row prediction for rows [lo, hi), reading the
+// pre-imputation snapshot and writing only those rows of rssi — the shared
+// body of the chunked knnImpute above and the row-range shards of
+// CleanSharded (per-row results depend only on the snapshot, so any
+// partition produces identical fills). Returns the number of imputed
+// entries.
+func knnRows(ctx context.Context, snap, rssi []float64, n, k, lo, hi int) int {
+	dist := make([]float64, n)
+	bestVal := make([]float64, k)
+	bestDist := make([]float64, k)
+	count := 0
+	for i := lo; i < hi; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if !rowHasMissing(snap, i, n) {
+			continue
+		}
+		rowDistances(snap, i, n, dist)
+		for j := 0; j < n; j++ {
+			if i == j || !math.IsNaN(snap[i*n+j]) {
+				continue
+			}
+			// Top-k insertion over rows r with a measurement towards j.
+			found := 0
+			for r := 0; r < n; r++ {
+				v := snap[r*n+j]
+				if r == i || math.IsNaN(v) || math.IsInf(dist[r], 0) {
+					continue
+				}
+				pos := found
+				if pos < k {
+					found++
+				} else if dist[r] >= bestDist[k-1] {
+					continue
+				} else {
+					pos = k - 1
+				}
+				for pos > 0 && bestDist[pos-1] > dist[r] {
+					bestVal[pos], bestDist[pos] = bestVal[pos-1], bestDist[pos-1]
+					pos--
+				}
+				bestVal[pos], bestDist[pos] = v, dist[r]
+			}
+			if found == 0 {
+				continue
+			}
+			sum := 0.0
+			for s := 0; s < found; s++ {
+				sum += bestVal[s]
+			}
+			rssi[i*n+j] = sum / float64(found)
+			count++
+		}
+	}
+	return count
 }
 
 // rowHasMissing reports whether row i has an unmeasured off-diagonal entry.

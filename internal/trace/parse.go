@@ -270,9 +270,14 @@ const maxAbsRSSIdBm = 1000
 
 // validReading applies the semantic checks shared by both parsers (and
 // re-applied by Clean for hand-built campaigns): distinct in-range node
-// ids and a finite, physically bounded RSSI.
+// ids, a finite, physically bounded RSSI, and a finite timestamp. The
+// timestamp bound is a wire-format invariant, not just hygiene: a NaN or
+// infinite T would serialize to a token ("NaN", "+Inf") neither format can
+// parse back, breaking the writers' losslessness guarantee (found by
+// FuzzReadCampaignCSV's round-trip property).
 func validReading(r Reading) bool {
 	return r.TX >= 0 && r.RX >= 0 && r.TX != r.RX &&
 		r.TX < maxNodeID && r.RX < maxNodeID &&
-		!math.IsNaN(r.RSSIdBm) && math.Abs(r.RSSIdBm) <= maxAbsRSSIdBm
+		!math.IsNaN(r.RSSIdBm) && math.Abs(r.RSSIdBm) <= maxAbsRSSIdBm &&
+		!math.IsNaN(r.T) && !math.IsInf(r.T, 0)
 }

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/race"
+)
+
+// cleanConfigs are the option regimes the sharded/dense equivalence
+// property sweeps: every imputation route (path-loss with geometry,
+// k-nearest without, reciprocal on and off) and both aggregates.
+func cleanConfigs(points []geom.Point) map[string]Options {
+	return map[string]Options{
+		"geometry":     {TXPowerDBm: 3, Points: points},
+		"knn":          {TXPowerDBm: 3},
+		"mean":         {Aggregate: Mean, Points: points},
+		"noreciprocal": {NoReciprocal: true},
+		"knn-k2":       {K: 2},
+	}
+}
+
+// TestCleanShardedMatchesClean is the sharded-ingestion equivalence
+// property: for K ∈ {1,2,3,8}, CleanSharded produces a matrix and report
+// bit-identical to Clean across imputation routes, aggregates and drop
+// regimes.
+func TestCleanShardedMatchesClean(t *testing.T) {
+	for _, n := range []int{24, 64} {
+		for _, drop := range []float64{0.3, 0.9} {
+			synth, err := Synthesize(SynthConfig{N: n, Repeats: 2, DropRate: drop, Seed: uint64(n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, opts := range cleanConfigs(synth.Points) {
+				wantM, wantRep, err := Clean(synth.Campaign, opts)
+				if err != nil {
+					t.Fatalf("n=%d drop=%v %s: dense clean: %v", n, drop, name, err)
+				}
+				for _, k := range []int{1, 2, 3, 8} {
+					gotM, gotRep, err := CleanSharded(context.Background(), synth.Campaign, opts, k)
+					if err != nil {
+						t.Fatalf("n=%d drop=%v %s k=%d: %v", n, drop, name, k, err)
+					}
+					if gotM.N() != wantM.N() {
+						t.Fatalf("n=%d %s k=%d: size %d vs %d", n, name, k, gotM.N(), wantM.N())
+					}
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							if gotM.F(i, j) != wantM.F(i, j) {
+								t.Fatalf("n=%d drop=%v %s k=%d: f(%d,%d) = %v, dense %v",
+									n, drop, name, k, i, j, gotM.F(i, j), wantM.F(i, j))
+							}
+						}
+					}
+					if !reflect.DeepEqual(gotRep, wantRep) {
+						t.Fatalf("n=%d drop=%v %s k=%d: report %+v, dense %+v", n, drop, name, k, gotRep, wantRep)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCleanShardedValidation mirrors the dense pipeline's rejections.
+func TestCleanShardedValidation(t *testing.T) {
+	ctx := context.Background()
+	good := &Campaign{Readings: []Reading{{TX: 0, RX: 1, RSSIdBm: -40}, {TX: 1, RX: 0, RSSIdBm: -41}}, N: 2}
+	if _, _, err := CleanSharded(ctx, good, Options{}, 0); err == nil {
+		t.Fatal("accepted 0 shards")
+	}
+	bad := &Campaign{Readings: []Reading{{TX: 0, RX: 0, RSSIdBm: -40}}, N: 1}
+	if _, _, err := CleanSharded(ctx, bad, Options{}, 2); err == nil {
+		t.Fatal("accepted a self-measurement")
+	}
+	if _, _, err := CleanSharded(ctx, &Campaign{}, Options{}, 2); err == nil {
+		t.Fatal("accepted an empty campaign")
+	}
+	// An explicit MaxDensePairs still bounds the sharded pipeline.
+	if _, _, err := CleanSharded(ctx, good, Options{MaxDensePairs: 1}, 2); err == nil {
+		t.Fatal("accepted a campaign beyond the explicit pair budget")
+	}
+	// Cancellation propagates.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := CleanSharded(cancelled, good, Options{}, 2); err != context.Canceled {
+		t.Fatalf("cancelled CleanSharded err = %v", err)
+	}
+}
+
+// TestCleanShardedLiftsDenseCap is the scale acceptance check: a campaign
+// on n > 8192 nodes — which the dense pipeline refuses outright — ingests
+// through the sharded pipeline into a validated matrix. The campaign is
+// sparse (3 directed rays per node over grid geometry), so the path-loss
+// fit imputes the overwhelming majority of the n² pairs.
+func TestCleanShardedLiftsDenseCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n > 8192 ingestion is a multi-second, ~1 GiB test")
+	}
+	if race.Enabled {
+		t.Skip("the ~1 GiB dense grids multiply under the race shadow memory")
+	}
+	n := 8200 // 8200² pairs just exceed the dense path's 2²⁶ budget
+	side := 91 // ceil(sqrt(n)): unit-spaced grid positions, all distinct
+	points := make([]geom.Point, n)
+	for i := range points {
+		points[i] = geom.Pt(float64(i%side), float64(i/side))
+	}
+	const alpha = 3.0
+	c := &Campaign{N: n}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 3; d++ {
+			j := (i + d) % n
+			dist := points[i].Dist(points[j])
+			c.Readings = append(c.Readings, Reading{
+				TX: i, RX: j,
+				RSSIdBm: -10 * alpha * math.Log10(dist),
+			})
+		}
+	}
+	opts := Options{Points: points}
+	if _, _, err := Clean(c, opts); err == nil {
+		t.Fatalf("dense pipeline accepted n=%d (expected the 2^26-pair refusal)", n)
+	}
+	m, rep, err := CleanSharded(context.Background(), c, opts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != n {
+		t.Fatalf("matrix spans %d nodes, want %d", m.N(), n)
+	}
+	if rep.PairsMeasured != len(c.Readings) {
+		t.Fatalf("PairsMeasured %d, want %d", rep.PairsMeasured, len(c.Readings))
+	}
+	if rep.Fit == nil || math.Abs(rep.Fit.Exponent-alpha) > 0.05 {
+		t.Fatalf("path-loss fit %+v, want exponent ≈ %v", rep.Fit, alpha)
+	}
+	if rep.ImputedPathLoss == 0 || rep.ImputedFallback != 0 {
+		t.Fatalf("imputation counters %+v", rep)
+	}
+	total := rep.PairsMeasured + rep.ImputedReciprocal + rep.ImputedPathLoss + rep.ImputedKNN + rep.ImputedFallback
+	if total != n*(n-1) {
+		t.Fatalf("measured+imputed covers %d of %d ordered pairs", total, n*(n-1))
+	}
+	// Spot-check a measured pair's dBm→decay conversion and an imputed
+	// pair's fit prediction: f = 10^((0 − rssi)/10) = dist^α.
+	wantF := math.Pow(10, 10*alpha*math.Log10(points[0].Dist(points[1]))/10)
+	if got := m.F(0, 1); got != wantF {
+		t.Fatalf("measured decay f(0,1) = %v, want %v", got, wantF)
+	}
+	far := m.F(0, n-1)
+	if far <= 0 || math.IsNaN(far) || math.IsInf(far, 0) {
+		t.Fatalf("imputed decay f(0,%d) = %v", n-1, far)
+	}
+}

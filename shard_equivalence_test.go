@@ -1,0 +1,270 @@
+package decaynet_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"decaynet"
+	"decaynet/internal/race"
+)
+
+// shardKs is the shard-count sweep of the equivalence properties.
+var shardKs = []int{1, 2, 3, 8}
+
+// testMatrix builds a deterministic dense space; sym produces an exactly
+// (bitwise) symmetric one, so the sharded and unsharded kernels both take
+// the halved-scan fast path.
+func testMatrix(t *testing.T, n int, seed uint64, sym bool) *decaynet.Matrix {
+	t.Helper()
+	src := newTestRand(seed)
+	base, err := decaynet.FromFunc(n, func(i, j int) float64 { return src.rangef(0.5, 50) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym {
+		return base
+	}
+	m, err := decaynet.FromFunc(n, func(i, j int) float64 {
+		return math.Sqrt(base.F(i, j) * base.F(j, i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildPair builds a sharded engine and its unsharded reference over
+// clones of the same space and link set.
+func buildPair(t *testing.T, m *decaynet.Matrix, k int, extra ...decaynet.EngineOption) (sharded, ref *decaynet.Engine) {
+	t.Helper()
+	mk := func(opts ...decaynet.EngineOption) *decaynet.Engine {
+		eng, err := decaynet.NewEngine(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	common := append([]decaynet.EngineOption{
+		decaynet.PairedLinks(),
+		decaynet.Noise(0.01),
+	}, extra...)
+	sharded = mk(append([]decaynet.EngineOption{
+		decaynet.UsingSpace(decaynet.Materialize(m)),
+		decaynet.WithShards(k),
+	}, common...)...)
+	ref = mk(append([]decaynet.EngineOption{
+		decaynet.UsingSpace(decaynet.Materialize(m)),
+	}, common...)...)
+	if sharded.Shards() != k || ref.Shards() != 0 {
+		t.Fatalf("Shards() = %d / %d, want %d / 0", sharded.Shards(), ref.Shards(), k)
+	}
+	return sharded, ref
+}
+
+// TestShardedEngineEquivalence is the static acceptance property: a
+// sharded engine serves every cached product — Zeta, Phi, Affectances,
+// QuasiMetric, Capacity, Schedule — bit-for-bit equal to the unsharded
+// engine, for K ∈ {1,2,3,8} across sizes and both symmetry regimes.
+func TestShardedEngineEquivalence(t *testing.T) {
+	for _, k := range shardKs {
+		for _, sym := range []bool{false, true} {
+			sizes := []int{8, 32, 96}
+			if k == 3 || k == 8 {
+				sizes = append(sizes, 256)
+			}
+			for _, n := range sizes {
+				m := testMatrix(t, n, uint64(n)*31+uint64(k), sym)
+				sharded, ref := buildPair(t, m, k)
+				assertEquivalent(t, tagKNSym(k, n, sym), sharded, ref)
+			}
+		}
+	}
+}
+
+// TestShardedChurnEquivalence is the dynamic acceptance property: the
+// sharded engine absorbs the harness's churn-replay mutation stream —
+// row retunes, point edits, link churn — through coordinator-routed
+// repairs and stays bit-identical to an unsharded engine replaying the
+// same stream, and to a from-scratch engine on the final state.
+func TestShardedChurnEquivalence(t *testing.T) {
+	for _, k := range shardKs {
+		n := 48
+		m := testMatrix(t, n, uint64(k)*977, false)
+		sharded, ref := buildPair(t, m, k, decaynet.WithMutationTracking())
+		// Warm every cache so Update exercises sharded repair, not rebuild.
+		for _, eng := range []*decaynet.Engine{sharded, ref} {
+			eng.Zeta()
+			eng.Phi()
+			eng.Affectances(eng.UniformPower(1))
+		}
+		src := newTestRand(uint64(k) * 1013)
+		for step := 0; step < 6; step++ {
+			mut := stepMutation(src, n, sharded.Len(), step)
+			if err := sharded.Update(mut); err != nil {
+				t.Fatalf("k=%d step=%d sharded: %v", k, step, err)
+			}
+			if err := ref.Update(mut); err != nil {
+				t.Fatalf("k=%d step=%d ref: %v", k, step, err)
+			}
+			assertEquivalent(t, tagKNSym(k, n, false)+" step", sharded, ref)
+		}
+		assertEquivalent(t, tagKNSym(k, n, false)+" final", sharded, freshTwin(t, sharded, 0))
+	}
+}
+
+// TestShardedChurnScenarioReplay drives the "churn" scenario's node-move
+// stream through a sharded session: the analytic ζ = α must survive pure
+// moves exactly as on unsharded sessions, and the final state must match
+// a fresh engine.
+func TestShardedChurnScenarioReplay(t *testing.T) {
+	cfg := decaynet.ScenarioConfig{Links: 20, Seed: 5}
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("churn", cfg),
+		decaynet.Noise(0.001),
+		decaynet.WithMutationTracking(),
+		decaynet.WithShards(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := eng.Zeta()
+	eng.Phi()
+	eng.Affectances(eng.UniformPower(1))
+	stream, err := decaynet.ChurnStream(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range stream {
+		if err := eng.Update(m); err != nil {
+			t.Fatalf("churn step %d: %v", i, err)
+		}
+	}
+	if got := eng.Zeta(); got != alpha {
+		t.Fatalf("analytic zeta lost across sharded moves: %v, want %v", got, alpha)
+	}
+	assertEquivalent(t, "sharded churn", eng, freshTwin(t, eng, alpha))
+	// A decay retune voids the analytic ζ; the sharded scan takes over.
+	if err := eng.SetDecay(0, 1, 123); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, "sharded churn+retune", eng, freshTwin(t, eng, 0))
+}
+
+// TestShardedUpdateConcurrentReaders interleaves Update with the cached
+// product readers on a sharded session — under -race this checks that the
+// coordinator fan-out and the shared replica patches stay inside the
+// session-lock discipline.
+func TestShardedUpdateConcurrentReaders(t *testing.T) {
+	n := 48
+	m := testMatrix(t, n, 4242, false)
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingSpace(decaynet.Materialize(m)),
+		decaynet.PairedLinks(),
+		decaynet.Noise(0.01),
+		decaynet.WithMutationTracking(),
+		decaynet.WithShards(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := eng.UniformPower(1)
+				eng.Zeta()
+				eng.Phi()
+				eng.Affectances(p)
+				eng.Capacity(p, nil)
+				if _, err := eng.Schedule(p, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				eng.Version()
+			}
+		}()
+	}
+	src := newTestRand(88)
+	steps := 20
+	if race.Enabled {
+		steps = 10
+	}
+	for step := 0; step < steps; step++ {
+		mut := stepMutation(src, n, eng.Len(), step)
+		if err := eng.Update(mut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	assertEquivalent(t, "sharded concurrent", eng, freshTwin(t, eng, 0))
+}
+
+// TestShardedCtxCancelledPromptly mirrors the PR 4 n=1500 load-shedding
+// check on a sharded session: cancellation propagates to every worker and
+// ZetaCtx returns well within 100 ms of the cancel, caching nothing.
+func TestShardedCtxCancelledPromptly(t *testing.T) {
+	build := func() *decaynet.Engine {
+		eng, err := decaynet.NewEngine(
+			decaynet.UsingScenario("random", decaynet.ScenarioConfig{Nodes: 1500, Seed: 3}),
+			decaynet.Noise(0.001),
+			decaynet.WithShards(4),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := build()
+	if _, err := eng.ZetaCtx(pre); err != context.Canceled {
+		t.Fatalf("pre-cancelled sharded ZetaCtx err = %v", err)
+	}
+	// Mid-scan on a fresh session (the sharded replica caches its scan
+	// state, and the pruned n=1500 scan over a warm replica finishes in
+	// ~10 ms — too fast to reliably out-race a timer): cancel 2 ms in, while
+	// the workers are still inside the replica build + first scan rows.
+	eng2 := build()
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err := eng2.ZetaCtx(ctx)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("mid-scan sharded ZetaCtx err = %v (elapsed %v)", err, elapsed)
+	}
+	if !race.Enabled && elapsed > 110*time.Millisecond {
+		t.Fatalf("cancelled sharded ZetaCtx took %v, want < 110ms", elapsed)
+	}
+	// Nothing was cached: both sessions recover with a full recompute.
+	if z := eng2.Zeta(); z < 1 || math.IsNaN(z) {
+		t.Fatalf("post-cancel sharded Zeta = %v", z)
+	}
+	if z := eng.Zeta(); z < 1 || math.IsNaN(z) {
+		t.Fatalf("post-cancel sharded Zeta = %v", z)
+	}
+}
+
+// tagKNSym labels sharded-equivalence failures.
+func tagKNSym(k, n int, sym bool) string {
+	tag := "k=" + itoa(k) + " n=" + itoa(n)
+	if sym {
+		return tag + " sym"
+	}
+	return tag + " asym"
+}

@@ -1,6 +1,7 @@
 package decaynet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -282,13 +283,24 @@ func (e *Engine) repairMetricity(dirty []int, rowsOnly bool) {
 	z, qm, ok := e.sys.Metricity()
 	if !ok {
 		e.zt = nil // a tracker, if any, is stale alongside the cache
+		e.invalidateShardZeta()
 		return
 	}
 	switch {
 	case e.analytic > 0:
 		e.sys.SetMetricity(z, qm.PatchedCopy(dirty, rowsOnly))
 	case e.zt != nil:
-		nz := e.zt.Repair(dirty, rowsOnly)
+		var nz float64
+		if e.coord != nil {
+			// Sharded repair: the tracker patches the shared replica, every
+			// worker re-scans the dirty-incident triplets of its row range,
+			// and the merged band restores the tracked value — bit-identical
+			// to the pool repair. Update carries no context; repairs run to
+			// completion under the session write lock.
+			nz, _ = e.coord.RepairZeta(context.Background(), e.zt, dirty, rowsOnly)
+		} else {
+			nz = e.zt.Repair(dirty, rowsOnly)
+		}
 		if nz == z {
 			e.sys.SetMetricity(z, qm.PatchedCopy(dirty, rowsOnly))
 		} else {
@@ -300,8 +312,25 @@ func (e *Engine) repairMetricity(dirty []int, rowsOnly bool) {
 		// dynamic, unless it routes through the sampled estimators).
 		e.zt = nil
 		e.sys.InvalidateMetricity()
+		e.invalidateShardZeta()
 		e.zetaSamples.Store(0)
 		e.zetaEst.Store(nil)
+	}
+}
+
+// invalidateShardZeta drops the sharding replica's ζ scan state when the
+// session invalidates instead of repairing — the workers must not scan a
+// stale log matrix after the next rebuild.
+func (e *Engine) invalidateShardZeta() {
+	if e.coord != nil {
+		e.coord.Replica().InvalidateZeta()
+	}
+}
+
+// invalidateShardVarphi is invalidateShardZeta's ϕ analogue.
+func (e *Engine) invalidateShardVarphi() {
+	if e.coord != nil {
+		e.coord.Replica().InvalidateVarphi()
 	}
 }
 
@@ -311,14 +340,21 @@ func (e *Engine) repairPhi(dirty []int, rowsOnly bool) {
 	defer e.phiMu.Unlock()
 	if !e.phiOK {
 		e.vt = nil
+		e.invalidateShardVarphi()
 		return
 	}
 	if e.vt != nil {
-		e.phi = math.Log2(e.vt.Repair(dirty, rowsOnly))
+		if e.coord != nil {
+			v, _ := e.coord.RepairVarphi(context.Background(), e.vt, dirty, rowsOnly)
+			e.phi = math.Log2(v)
+		} else {
+			e.phi = math.Log2(e.vt.Repair(dirty, rowsOnly))
+		}
 		return
 	}
 	e.phiOK = false
 	e.phiEst = nil
+	e.invalidateShardVarphi()
 }
 
 // dirtyLinks lists the links whose sender or receiver is a dirty node —
