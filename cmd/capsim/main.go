@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"decaynet"
+	"decaynet/internal/buildinfo"
 	"decaynet/internal/stats"
 )
 
@@ -35,8 +36,13 @@ func main() {
 		matrix       = flag.String("matrix", "", "JSON decay matrix to load instead of a scenario")
 		beta         = flag.Float64("beta", 1, "SINR threshold")
 		noise        = flag.Float64("noise", 0, "ambient noise")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "capsim")
+		return
+	}
 	if *list {
 		for _, name := range decaynet.ScenarioNames() {
 			s, _ := decaynet.LookupScenario(name)

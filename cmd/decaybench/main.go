@@ -8,7 +8,13 @@
 //
 //	decaybench [-only E5] [-skip-ablations]
 //	decaybench -bench [-benchjson BENCH_decaybench.json] [-benchn 256]
-//	          [-benchlarge] [-alloccheck bench_thresholds.json]
+//	          [-benchlarge] [-serve] [-alloccheck bench_thresholds.json]
+//
+// With -serve the benchmark also boots the decaynetd session server on a
+// loopback listener and drives it over real HTTP: "serve/session" records
+// sessions/sec (engine build + registration per wire create) and
+// "serve/mutate-read" the mutation→read path (POST a decay edit, GET the
+// repaired ζ), reporting mean and p99 latency.
 package main
 
 import (
@@ -17,11 +23,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"decaynet"
+	"decaynet/internal/buildinfo"
 	"decaynet/internal/capacity"
 	"decaynet/internal/core"
 	"decaynet/internal/experiments"
@@ -41,12 +53,18 @@ func main() {
 		benchJSON     = flag.String("benchjson", "BENCH_decaybench.json", "output path for benchmark JSON (with -bench)")
 		benchN        = flag.Int("benchn", 256, "matrix size for the benchmarks")
 		benchLarge    = flag.Bool("benchlarge", false, "also run the large-n suite (exact tiled zeta at n=512/1024, sampled estimators at n=4096)")
-		allocCheck    = flag.String("alloccheck", "", "JSON file of per-op allocs/op ceilings; exit non-zero when a measured op regresses above its ceiling")
+		allocCheck    = flag.String("alloccheck", "", "JSON file of per-op ceilings (allocs/op, ns/op, p99 ns/op); exit non-zero when a measured op regresses above one")
+		serve         = flag.Bool("serve", false, "with -bench: also drive a loopback decaynetd and record serve/session and serve/mutate-read rows")
+		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "decaybench")
+		return
+	}
 	var err error
 	if *bench {
-		err = runBench(*benchJSON, *benchN, *benchLarge, *allocCheck)
+		err = runBench(*benchJSON, *benchN, *benchLarge, *serve, *allocCheck)
 	} else {
 		err = run(*only, *skipAblations)
 	}
@@ -93,6 +111,10 @@ type benchResult struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// P99NsPerOp is the 99th-percentile latency for ops measured as a
+	// latency distribution rather than a testing.Benchmark mean (the
+	// serve/* rows); 0 elsewhere.
+	P99NsPerOp int64 `json:"p99_ns_per_op,omitempty"`
 }
 
 // sampledBenchBudget is the triplet budget of the large-n sampled
@@ -109,7 +131,7 @@ const ingestBenchNodes = 1024
 // random matrix space, optionally adds the large-n suite, and writes the
 // rows as JSON. With a non-empty allocCheck path it then gates the
 // measured allocs/op against the checked-in ceilings.
-func runBench(outPath string, n int, large bool, allocCheck string) error {
+func runBench(outPath string, n int, large, serve bool, allocCheck string) error {
 	inst, err := scenario.Build("random", scenario.Config{Nodes: n, Seed: 7})
 	if err != nil {
 		return err
@@ -319,6 +341,14 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 	}
 	updSpeedup()
 
+	if serve {
+		rows, err := benchServe(n)
+		if err != nil {
+			return err
+		}
+		results = append(results, rows...)
+	}
+
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
@@ -336,18 +366,42 @@ func runBench(outPath string, n int, large bool, allocCheck string) error {
 	return nil
 }
 
-// checkAllocs gates measured allocs/op against the checked-in per-op
-// ceilings (the CI bench-smoke regression guard for the allocation-lean
-// scheduling path). Every op named in the ceiling file must have been
-// measured — a silently skipped op would hollow out the gate.
+// opThreshold is one op's regression ceilings. The checked-in file admits
+// two forms per op: a bare number (an allocs/op ceiling, the historical
+// format every pre-serve row uses) or an object naming any of
+// allocs_per_op, ns_per_op and p99_ns_per_op — the serve/* rows gate
+// latency, not allocations, since their cost is the HTTP round trip.
+type opThreshold struct {
+	AllocsPerOp *int64 `json:"allocs_per_op"`
+	NsPerOp     *int64 `json:"ns_per_op"`
+	P99NsPerOp  *int64 `json:"p99_ns_per_op"`
+}
+
+// checkAllocs gates measured rows against the checked-in per-op ceilings
+// (the CI bench-smoke regression guard). Every op named in the ceiling
+// file must have been measured — a silently skipped op would hollow out
+// the gate.
 func checkAllocs(path string, results []benchResult) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var limits map[string]int64
-	if err := json.Unmarshal(data, &limits); err != nil {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	limits := make(map[string]opThreshold, len(raw))
+	for op, msg := range raw {
+		var n int64
+		if err := json.Unmarshal(msg, &n); err == nil {
+			limits[op] = opThreshold{AllocsPerOp: &n}
+			continue
+		}
+		var t opThreshold
+		if err := json.Unmarshal(msg, &t); err != nil {
+			return fmt.Errorf("parsing %s: op %q: %w", path, op, err)
+		}
+		limits[op] = t
 	}
 	var failures []string
 	for op, limit := range limits {
@@ -357,8 +411,14 @@ func checkAllocs(path string, results []benchResult) error {
 				continue
 			}
 			seen = true
-			if r.AllocsPerOp > limit {
-				failures = append(failures, fmt.Sprintf("%s at n=%d allocates %d/op, ceiling %d", op, r.N, r.AllocsPerOp, limit))
+			if limit.AllocsPerOp != nil && r.AllocsPerOp > *limit.AllocsPerOp {
+				failures = append(failures, fmt.Sprintf("%s at n=%d allocates %d/op, ceiling %d", op, r.N, r.AllocsPerOp, *limit.AllocsPerOp))
+			}
+			if limit.NsPerOp != nil && r.NsPerOp > *limit.NsPerOp {
+				failures = append(failures, fmt.Sprintf("%s at n=%d takes %d ns/op, ceiling %d", op, r.N, r.NsPerOp, *limit.NsPerOp))
+			}
+			if limit.P99NsPerOp != nil && r.P99NsPerOp > *limit.P99NsPerOp {
+				failures = append(failures, fmt.Sprintf("%s at n=%d has p99 %d ns, ceiling %d", op, r.N, r.P99NsPerOp, *limit.P99NsPerOp))
 			}
 		}
 		if !seen {
@@ -366,9 +426,9 @@ func checkAllocs(path string, results []benchResult) error {
 		}
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("alloc regression:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("threshold regression:\n  %s", strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("alloc check passed (%d ceilings)\n", len(limits))
+	fmt.Printf("threshold check passed (%d ceilings)\n", len(limits))
 	return nil
 }
 
@@ -477,6 +537,121 @@ func benchEngineUpdate(record func(op string, size int, fn func()), n int) error
 		fresh.Capacity(p, nil)
 	})
 	return nil
+}
+
+// serveCreateSessions and serveMutateReads size the serve ops: enough wire
+// round trips to settle the distribution while keeping the smoke run in
+// single-digit seconds.
+const (
+	serveCreateSessions = 48
+	serveMutateReads    = 200
+)
+
+// benchServe boots the decaynetd session server on a loopback listener
+// and measures the serving hot paths over real HTTP: session creation
+// throughput (wire create → engine build → registration) and the
+// mutation→read path (POST one decay edit, GET the incrementally repaired
+// ζ), whose p99 is the ROADMAP's serving acceptance figure.
+func benchServe(n int) ([]benchResult, error) {
+	srv, err := decaynet.NewServer(decaynet.ServeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	do := func(method, path string, body string) (map[string]any, error) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode/100 != 2 {
+			return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(data)))
+		}
+		out := map[string]any{}
+		if len(data) > 0 {
+			if err := json.Unmarshal(data, &out); err != nil {
+				return nil, fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+			}
+		}
+		return out, nil
+	}
+
+	var results []benchResult
+
+	// Session throughput: each create is a full wire round trip — decode,
+	// scenario build, engine construction, quota registration.
+	createBody := func(seed int) string {
+		return fmt.Sprintf(`{"scenario":"random","config":{"nodes":%d,"seed":%d},"noise":0.01,"tracking":true}`, n, seed)
+	}
+	var firstID string
+	t0 := time.Now()
+	for i := 0; i < serveCreateSessions; i++ {
+		info, err := do("POST", "/v1/sessions", createBody(i+1))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			firstID, _ = info["id"].(string)
+		}
+	}
+	elapsed := time.Since(t0)
+	perOp := elapsed.Nanoseconds() / serveCreateSessions
+	results = append(results, benchResult{Op: "serve/session", N: n, Iters: serveCreateSessions, NsPerOp: perOp})
+	fmt.Printf("%-24s n=%-5d %12d ns/op %10.1f sessions/sec\n",
+		"serve/session", n, perOp, float64(serveCreateSessions)/elapsed.Seconds())
+
+	// Mutation→read: a warm tracking session absorbs one decay edit and
+	// re-serves the incrementally repaired ζ, all over the wire.
+	if firstID == "" {
+		return nil, fmt.Errorf("serve/session: create response carried no id")
+	}
+	sessPath := "/v1/sessions/" + firstID
+	if _, err := do("GET", sessPath+"/zeta", ""); err != nil { // warm: tracker build
+		return nil, err
+	}
+	lat := make([]time.Duration, serveMutateReads)
+	for i := range lat {
+		mut := fmt.Sprintf(`{"set_decays":[{"i":0,"j":1,"f":%g}]}`, 1.5+float64(i%7))
+		t := time.Now()
+		if _, err := do("POST", sessPath+"/mutations", mut); err != nil {
+			return nil, err
+		}
+		if _, err := do("GET", sessPath+"/zeta", ""); err != nil {
+			return nil, err
+		}
+		lat[i] = time.Since(t)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	mean := sum.Nanoseconds() / int64(len(lat))
+	p99 := lat[(len(lat)*99+99)/100-1].Nanoseconds()
+	results = append(results, benchResult{Op: "serve/mutate-read", N: n, Iters: serveMutateReads, NsPerOp: mean, P99NsPerOp: p99})
+	fmt.Printf("%-24s n=%-5d %12d ns/op %12d p99 ns\n", "serve/mutate-read", n, mean, p99)
+	return results, nil
 }
 
 // buildAffectancePerPair is the pre-batching baseline: one AffectanceRaw

@@ -1,0 +1,120 @@
+// Command decaynetd is the multi-tenant decay-space session server: an
+// HTTP/JSON daemon exposing the full Engine session lifecycle — create a
+// session from a registered scenario or an uploaded RSSI campaign, apply
+// version-fenced mutation batches, read ζ/ϕ (exact or sampled with a
+// half-width), affectance rows, capacity picks and schedules — with
+// token-bucket admission control, per-tenant session quotas (LRU eviction
+// or rejection), Prometheus-text /metrics, /healthz + /readyz probes, and
+// graceful drain on SIGTERM/SIGINT: in-flight requests finish, new
+// requests are shed with 503, and every live session checkpoints its
+// version to the log before exit.
+//
+// Usage:
+//
+//	decaynetd -addr :8460
+//	decaynetd -addr 127.0.0.1:8460 -rate 200 -burst 400 \
+//	          -tenant-quota 16 -quota-policy evict -shards 4
+//	decaynetd -version
+//
+// Quickstart against a running daemon:
+//
+//	curl -s -XPOST localhost:8460/v1/sessions \
+//	     -d '{"scenario":"office","config":{"links":20,"seed":1}}'
+//	curl -s localhost:8460/v1/sessions/s-1/zeta
+//	curl -s -XPOST localhost:8460/v1/sessions/s-1/mutations \
+//	     -d '{"base_version":0,"set_decays":[{"i":0,"j":1,"f":2.5}]}'
+//	curl -s localhost:8460/v1/sessions/s-1/capacity
+//	curl -s localhost:8460/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"decaynet"
+	"decaynet/internal/buildinfo"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8460", "listen address")
+		rate         = flag.Float64("rate", 0, "admission control: token refill per second (0 = disabled)")
+		burst        = flag.Int("burst", 64, "admission control: token bucket size")
+		tenantQuota  = flag.Int("tenant-quota", 16, "live sessions per tenant (0 = unlimited)")
+		quotaPolicy  = flag.String("quota-policy", "evict", "behavior at the tenant quota: evict (LRU) or reject")
+		shards       = flag.Int("shards", 0, "default per-session shard count (0 = unsharded)")
+		maxNodes     = flag.Int("max-nodes", 0, "node cap per created session (0 = server default, negative = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful drain waits for in-flight requests")
+		version      = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "decaynetd")
+		return
+	}
+	if err := run(*addr, *rate, *burst, *tenantQuota, *quotaPolicy, *shards, *maxNodes, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "decaynetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, rate float64, burst, tenantQuota int, quotaPolicy string, shards, maxNodes int, drainTimeout time.Duration) error {
+	logger := log.New(os.Stderr, "decaynetd: ", log.LstdFlags)
+	srv, err := decaynet.NewServer(decaynet.ServeConfig{
+		RatePerSec:    rate,
+		Burst:         burst,
+		TenantQuota:   tenantQuota,
+		QuotaPolicy:   quotaPolicy,
+		DefaultShards: shards,
+		MaxNodes:      maxNodes,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s (version %s)", addr, buildinfo.Version())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills immediately instead of draining
+
+	// Graceful drain: shed new requests with 503 while in-flight requests
+	// run to completion, checkpoint every session's version, then close
+	// the listener.
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	cps, err := srv.Drain(dctx)
+	if err != nil {
+		logger.Printf("drain timed out: %v", err)
+	}
+	for _, cp := range cps {
+		logger.Printf("checkpoint: tenant=%s id=%s scenario=%q n=%d links=%d version=%d",
+			cp.Tenant, cp.ID, cp.Scenario, cp.N, cp.Links, cp.Version)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Printf("shut down cleanly (%d sessions checkpointed)", len(cps))
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"decaynet"
+	"decaynet/internal/buildinfo"
 	"decaynet/internal/rng"
 )
 
@@ -38,8 +39,13 @@ func main() {
 		approxAt = flag.Int("approx", 1024, "node count at which zeta/phi switch to the sampled estimators")
 		samples  = flag.Int("samples", 500_000, "triplet budget of the sampled estimators")
 		out      = flag.String("out", "", "write the cleaned decay matrix as JSON to this path")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "decaytrace")
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "decaytrace: -in is required")
 		flag.Usage()

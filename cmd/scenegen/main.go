@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"decaynet"
+	"decaynet/internal/buildinfo"
 )
 
 func main() {
@@ -46,8 +47,13 @@ func main() {
 		repeats      = flag.Int("repeats", 3, "readings per ordered pair (with -trace)")
 		measNoise    = flag.Float64("measnoise", 0.5, "per-reading measurement noise in dB (with -trace)")
 		dropRate     = flag.Float64("droprate", 0, "probability each reading is dropped (with -trace)")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "scenegen")
+		return
+	}
 	if *list {
 		for _, name := range decaynet.ScenarioNames() {
 			s, _ := decaynet.LookupScenario(name)

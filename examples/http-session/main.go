@@ -1,0 +1,202 @@
+// HTTP session: the dynamic-session example, over the wire. An embedded
+// decaynetd (the exact handler cmd/decaynetd binds, here on a loopback
+// listener) hosts a churn-scenario session; the client creates it with one
+// POST, replays the scenario's deterministic mutation stream as
+// version-fenced batches, reads ζ and capacity between batches — every
+// response bit-identical to the corresponding library call — and finally
+// drains the daemon, printing each session's version checkpoint the way a
+// SIGTERM shutdown would log it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"decaynet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. An embedded daemon on a loopback socket. ServeConfig's zero value
+	//    serves; the quota keeps a runaway client from hoarding engines.
+	srv, err := decaynet.NewServer(decaynet.ServeConfig{TenantQuota: 8})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("daemon listening on", base)
+
+	// 2. One POST creates a live Engine session: the churn scenario's
+	//    geometric base, with mutation tracking pre-armed so every batch
+	//    repairs caches incrementally. Zero ambient noise keeps churn's
+	//    arbitrarily long links schedulable.
+	cfg := decaynet.ScenarioConfig{Links: 24, Seed: 42}
+	var info decaynet.SessionInfo
+	if err := post(base+"/v1/sessions",
+		`{"scenario":"churn","config":{"links":24,"seed":42},"beta":1.2,"tracking":true}`, &info); err != nil {
+		return err
+	}
+	sess := base + "/v1/sessions/" + info.ID
+	fmt.Printf("created %s: n=%d links=%d version=%d\n", info.ID, info.N, info.Links, info.Version)
+
+	var zr struct {
+		Zeta float64 `json:"zeta"`
+	}
+	if err := get(sess+"/zeta", &zr); err != nil {
+		return err
+	}
+	fmt.Printf("served zeta %.2f (analytic: the scenario's path-loss exponent)\n", zr.Zeta)
+
+	// 3. Replay the deterministic churn stream as fenced mutation batches.
+	//    The fence makes the replay exactly-once: a retried batch that
+	//    already applied answers 409 with the session's current version.
+	stream, err := decaynet.ChurnStream(cfg, 12)
+	if err != nil {
+		return err
+	}
+	served := 0
+	start := time.Now()
+	version := info.Version
+	for i, m := range stream {
+		batch := wireBatch(m, version)
+		var mr struct {
+			Version uint64 `json:"version"`
+		}
+		if err := post(sess+"/mutations", batch, &mr); err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+		version = mr.Version
+
+		var cr struct {
+			Size int `json:"size"`
+		}
+		if err := get(sess+"/capacity", &cr); err != nil {
+			return err
+		}
+		served += cr.Size
+	}
+	fmt.Printf("replayed %d batches over the wire in %v (version %d)\n",
+		len(stream), time.Since(start).Round(time.Millisecond), version)
+	fmt.Printf("served %d link grants across the churn\n", served)
+
+	var sr struct {
+		Slots [][]int `json:"slots"`
+	}
+	if err := get(sess+"/schedule", &sr); err != nil {
+		return err
+	}
+	if err := get(sess, &info); err != nil { // refresh: churn changed the link set
+		return err
+	}
+	fmt.Printf("final schedule: %d slots for %d links\n", len(sr.Slots), info.Links)
+
+	// 4. Graceful drain — what SIGTERM does in cmd/decaynetd. New requests
+	//    are shed with 503 from here on; the checkpoints record what was
+	//    live and at which version.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cps, err := srv.Drain(ctx)
+	if err != nil {
+		return err
+	}
+	for _, cp := range cps {
+		fmt.Printf("checkpoint: tenant=%s id=%s scenario=%q n=%d links=%d version=%d\n",
+			cp.Tenant, cp.ID, cp.Scenario, cp.N, cp.Links, cp.Version)
+	}
+	if resp, err := http.Get(sess + "/zeta"); err == nil {
+		resp.Body.Close()
+		fmt.Printf("read after drain: HTTP %d (daemon is shedding)\n", resp.StatusCode)
+	}
+	return hs.Shutdown(ctx)
+}
+
+// wireBatch converts a library mutation into its fenced wire JSON.
+func wireBatch(m decaynet.Mutation, baseVersion uint64) string {
+	obj := map[string]any{"base_version": baseVersion}
+	if len(m.SetRows) > 0 {
+		rows := make([]map[string]any, 0, len(m.SetRows))
+		for row, values := range m.SetRows {
+			rows = append(rows, map[string]any{"row": row, "values": values})
+		}
+		obj["set_rows"] = rows
+	}
+	if len(m.SetDecays) > 0 {
+		eds := make([]map[string]any, 0, len(m.SetDecays))
+		for _, ed := range m.SetDecays {
+			eds = append(eds, map[string]any{"i": ed.I, "j": ed.J, "f": ed.F})
+		}
+		obj["set_decays"] = eds
+	}
+	if len(m.Moves) > 0 {
+		mvs := make([]map[string]any, 0, len(m.Moves))
+		for _, mv := range m.Moves {
+			mvs = append(mvs, map[string]any{"node": mv.Node, "x": mv.To.X, "y": mv.To.Y})
+		}
+		obj["moves"] = mvs
+	}
+	if len(m.RemoveLinks) > 0 {
+		obj["remove_links"] = m.RemoveLinks
+	}
+	if len(m.AddLinks) > 0 {
+		links := make([]map[string]any, 0, len(m.AddLinks))
+		for _, l := range m.AddLinks {
+			links = append(links, map[string]any{"sender": l.Sender, "receiver": l.Receiver})
+		}
+		obj["add_links"] = links
+	}
+	data, err := json.Marshal(obj)
+	if err != nil {
+		panic(err)
+	}
+	return string(data)
+}
+
+func post(url, body string, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: HTTP %d: %s", resp.Request.URL.Path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,56 @@
+// Package buildinfo derives a human-readable version string from the
+// binary's embedded build metadata, so every deployed cmd (capsim,
+// scenegen, decaybench, decaytrace, decaynetd) answers -version the same
+// way and a served instance is identifiable from its binary alone.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns "module-version (vcs-revision[-dirty], vcs-time)" as far
+// as the build metadata carries it: module version from the main module
+// ("(devel)" for plain go build), revision and timestamp from the VCS
+// stamping go adds when building inside a checkout.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (stripped build)"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, at string
+	dirty := ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		case "vcs.time":
+			at = s.Value
+		}
+	}
+	if rev == "" {
+		return v
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if at != "" {
+		return fmt.Sprintf("%s (%s%s, %s)", v, rev, dirty, at)
+	}
+	return fmt.Sprintf("%s (%s%s)", v, rev, dirty)
+}
+
+// Fprint writes the one-line -version output for cmd.
+func Fprint(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s %s\n", cmd, Version(), runtime.Version())
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is the daemon's admission controller: a classic token bucket
+// refilled continuously at Rate tokens/second up to Burst. Every API
+// request (probes and /metrics excluded) spends one token; an empty bucket
+// sheds the request with 429 before any session work happens, bounding the
+// sustained request rate a deployment accepts.
+//
+// The zero Rate disables admission entirely (Allow always succeeds) — the
+// embedded/test configuration.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket builds a bucket that starts full. rate <= 0 disables
+// admission control; burst < 1 is raised to 1 so a positive rate always
+// admits at least one request.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &TokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+// Allow spends one token if available.
+func (t *TokenBucket) Allow() bool { return t.AllowAt(time.Now()) }
+
+// AllowAt is Allow against an explicit clock, the deterministic seam the
+// tests drive. Time moving backwards refills nothing.
+func (t *TokenBucket) AllowAt(now time.Time) bool {
+	if t == nil || t.rate <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.last.IsZero() {
+		if dt := now.Sub(t.last).Seconds(); dt > 0 {
+			t.tokens += dt * t.rate
+			if t.tokens > t.burst {
+				t.tokens = t.burst
+			}
+		}
+	}
+	t.last = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketDisabled(t *testing.T) {
+	b := NewTokenBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if !b.Allow() {
+			t.Fatalf("disabled bucket rejected request %d", i)
+		}
+	}
+	var nilBucket *TokenBucket
+	if !nilBucket.AllowAt(time.Now()) {
+		t.Fatal("nil bucket rejected")
+	}
+}
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	b := NewTokenBucket(2, 3) // 2 tokens/sec, holds 3
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if !b.AllowAt(t0) {
+			t.Fatalf("burst request %d rejected with a full bucket", i)
+		}
+	}
+	if b.AllowAt(t0) {
+		t.Fatal("4th request admitted from an empty bucket")
+	}
+	// 0.5s refills one token at rate 2.
+	t1 := t0.Add(500 * time.Millisecond)
+	if !b.AllowAt(t1) {
+		t.Fatal("refilled token not granted")
+	}
+	if b.AllowAt(t1) {
+		t.Fatal("second request admitted after a one-token refill")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b := NewTokenBucket(100, 2)
+	t0 := time.Unix(1000, 0)
+	b.AllowAt(t0) // arm the clock
+	// An hour idle must still hold only burst tokens.
+	t1 := t0.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if b.AllowAt(t1) {
+			granted++
+		}
+	}
+	if granted != 2 {
+		t.Fatalf("granted %d after idle, want burst cap 2", granted)
+	}
+}
+
+func TestTokenBucketBackwardsClock(t *testing.T) {
+	b := NewTokenBucket(1, 1)
+	t0 := time.Unix(1000, 0)
+	if !b.AllowAt(t0) {
+		t.Fatal("first request rejected")
+	}
+	// A clock step backwards must refill nothing.
+	if b.AllowAt(t0.Add(-time.Hour)) {
+		t.Fatal("backwards clock produced a token")
+	}
+}
+
+func TestTokenBucketMinimumBurst(t *testing.T) {
+	b := NewTokenBucket(5, 0) // burst < 1 is raised to 1
+	t0 := time.Unix(1000, 0)
+	if !b.AllowAt(t0) {
+		t.Fatal("positive-rate bucket with zero burst never admits")
+	}
+	if b.AllowAt(t0) {
+		t.Fatal("burst floor admitted two at once")
+	}
+}

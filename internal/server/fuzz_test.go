@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeCreateRequest hammers the session-create decoder: it must never
+// panic, never return a request together with an error, and anything it
+// accepts must survive a marshal → decode round trip (the decoder is its
+// own inverse on its accepted language).
+func FuzzDecodeCreateRequest(f *testing.F) {
+	seeds := []string{
+		`{"scenario":"office","config":{"links":20,"seed":1}}`,
+		`{"scenario":"random","config":{"nodes":64},"noise":0.01,"tracking":true}`,
+		`{"scenario":"plane","beta":1.2,"shards":4,"approx_threshold":512,"approx_samples":100000,"target_eps":0.05}`,
+		`{"campaign":{"format":"csv","data":"tx,rx,rssi_dbm,t\n0,1,-40,0\n1,0,-41,1\n"},"clean":{"txpower_dbm":20,"k":2}}`,
+		`{"campaign":{"format":"jsonl","data":"{\"tx\":0,\"rx\":1,\"rssi_dbm\":-40}"},"links":[{"sender":0,"receiver":1}]}`,
+		`{"scenario":"office","config":{"params":{"rooms":4,"door":1.5}}}`,
+		`{}`,
+		`{"scenario":"office","beta":1e309}`,
+		`[]`,
+		`{"scenario":"office"}{"scenario":"plane"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeCreateRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with a non-nil request")
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("no error and no request")
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		if _, err := DecodeCreateRequest(out); err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal: %q\nremarshalled: %s", err, data, out)
+		}
+	})
+}
+
+// FuzzDecodeMutationRequest does the same for mutation batches, and
+// additionally forces the wire → scenario.Mutation conversion, which must
+// be total on accepted input.
+func FuzzDecodeMutationRequest(f *testing.F) {
+	seeds := []string{
+		`{"base_version":0,"set_decays":[{"i":0,"j":1,"f":2.5}]}`,
+		`{"set_rows":[{"row":1,"values":[2,0,3,4]}]}`,
+		`{"moves":[{"node":3,"x":1.5,"y":-2}],"remove_links":[0,2],"add_links":[{"sender":4,"receiver":5}]}`,
+		`{"base_version":18446744073709551615}`,
+		`{"set_rows":[{"row":2,"values":[1,1,0]},{"row":2,"values":[1,1,0]}]}`,
+		`{"set_decays":[{"i":0,"j":1,"f":-1}]}`,
+		`{}`,
+		`null`,
+		`{"set_rows":[{"row":0,"values":[1e-308,2,3]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeMutationRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with a non-nil request")
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("no error and no request")
+		}
+		m := req.Mutation() // must not panic
+		if req.IsZero() != (len(m.SetRows) == 0 && len(m.SetDecays) == 0 && len(m.Moves) == 0 &&
+			len(m.RemoveLinks) == 0 && len(m.AddLinks) == 0) {
+			t.Fatal("IsZero disagrees with the converted mutation")
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-marshal: %v", err)
+		}
+		if _, err := DecodeMutationRequest(out); err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal: %q\nremarshalled: %s", err, data, out)
+		}
+	})
+}

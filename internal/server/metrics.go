@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// latencyBuckets are the request-duration histogram's upper bounds in
+// seconds: sub-millisecond reads off warm caches up through multi-second
+// cold ζ scans.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics is the daemon's stdlib-only metrics registry, rendered in
+// Prometheus text exposition format by WriteTo. Everything is counters,
+// gauges and fixed-bucket histograms under one mutex — the request path
+// touches it twice per request (count + observe), which is noise next to
+// any session computation.
+type metrics struct {
+	mu sync.Mutex
+	// requests counts finished requests per route and status code.
+	requests map[routeCode]uint64
+	// hist accumulates per-route latency histograms.
+	hist map[string]*histogram
+	// sessionsLive is the number of live sessions across all tenants.
+	sessionsLive int64
+	// admissionRejected counts requests shed by the token bucket.
+	admissionRejected uint64
+	// evicted counts sessions LRU-evicted by tenant quotas.
+	evicted uint64
+	// drainRejected counts requests shed with 503 while draining.
+	drainRejected uint64
+	// draining is 1 once drain has begun.
+	draining int64
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+type histogram struct {
+	counts []uint64 // cumulative per latencyBuckets entry, +Inf implicit in count
+	sum    float64
+	count  uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]uint64),
+		hist:     make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	h := m.hist[route]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.hist[route] = h
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+func (m *metrics) addSessions(delta int64) {
+	m.mu.Lock()
+	m.sessionsLive += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) incAdmissionRejected() {
+	m.mu.Lock()
+	m.admissionRejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) incEvicted() {
+	m.mu.Lock()
+	m.evicted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) incDrainRejected() {
+	m.mu.Lock()
+	m.drainRejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) setDraining() {
+	m.mu.Lock()
+	m.draining = 1
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition. Output order is
+// deterministic (sorted label sets) so scrapes and tests are stable.
+func (m *metrics) render(sb *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	sb.WriteString("# HELP decaynetd_requests_total Finished HTTP requests by route and status code.\n")
+	sb.WriteString("# TYPE decaynetd_requests_total counter\n")
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(sb, "decaynetd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	sb.WriteString("# HELP decaynetd_request_duration_seconds Request latency by route.\n")
+	sb.WriteString("# TYPE decaynetd_request_duration_seconds histogram\n")
+	routes := make([]string, 0, len(m.hist))
+	for r := range m.hist {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := m.hist[r]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(sb, "decaynetd_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				r, strconv.FormatFloat(ub, 'g', -1, 64), h.counts[i])
+		}
+		fmt.Fprintf(sb, "decaynetd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, h.count)
+		fmt.Fprintf(sb, "decaynetd_request_duration_seconds_sum{route=%q} %s\n", r, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(sb, "decaynetd_request_duration_seconds_count{route=%q} %d\n", r, h.count)
+	}
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("decaynetd_sessions_live", "Live sessions across all tenants.", m.sessionsLive)
+	counter("decaynetd_admission_rejected_total", "Requests shed by token-bucket admission control.", m.admissionRejected)
+	counter("decaynetd_sessions_evicted_total", "Sessions evicted by per-tenant quotas.", m.evicted)
+	counter("decaynetd_drain_rejected_total", "Requests shed with 503 during drain.", m.drainRejected)
+	gauge("decaynetd_draining", "1 once graceful drain has begun.", m.draining)
+}

@@ -1,0 +1,389 @@
+// Package server is the multi-tenant session daemon behind cmd/decaynetd:
+// an HTTP/JSON front on the Engine session machinery. It owns everything a
+// production deployment needs around the core API — token-bucket admission
+// control, per-tenant session quotas with LRU eviction, a stdlib-only
+// Prometheus-text /metrics endpoint, /healthz + /readyz probes, and
+// graceful drain (in-flight requests finish, new requests are shed with
+// 503, sessions checkpoint their version) — while staying agnostic about
+// how sessions are built: the public decaynet package injects an
+// Engine-backed SessionBuilder through Config.Build, so this package never
+// imports the root package and tests can substitute stub sessions.
+//
+// The wire surface (v1):
+//
+//	POST   /v1/sessions                 create (scenario or uploaded campaign)
+//	GET    /v1/sessions                 list the tenant's sessions
+//	GET    /v1/sessions/{id}            session info
+//	DELETE /v1/sessions/{id}            close a session
+//	POST   /v1/sessions/{id}/mutations  version-fenced mutation batch
+//	GET    /v1/sessions/{id}/zeta       ζ (exact, or sampled with half-width)
+//	GET    /v1/sessions/{id}/phi        φ = lg ϕ (same routing)
+//	GET    /v1/sessions/{id}/affectance affectance row (?link=w, power knobs)
+//	GET    /v1/sessions/{id}/capacity   Algorithm 1 pick (power knobs)
+//	GET    /v1/sessions/{id}/schedule   feasible slot schedule (power knobs)
+//	GET    /healthz, /readyz, /metrics  probes and metrics
+//
+// Tenancy is by the X-Decaynet-Tenant header ("default" when absent); a
+// session is only visible to the tenant that created it.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/scenario"
+	"decaynet/internal/sinr"
+)
+
+// MaxRequestBytes bounds request bodies (mutation batches carry whole
+// decay rows and campaign uploads carry measurement logs, so the bound is
+// generous; the HTTP layer enforces it with http.MaxBytesReader).
+const MaxRequestBytes = 64 << 20
+
+// CreateRequest is the POST /v1/sessions body: exactly one of Scenario
+// (build from the registered scenario under Config) or Campaign (ingest an
+// uploaded RSSI campaign through the trace cleaning pipeline, tuned by
+// Clean) must be set.
+type CreateRequest struct {
+	// Scenario names a registered scenario ("office", "random", "churn", …).
+	Scenario string `json:"scenario,omitempty"`
+	// Config is the scenario parameter block (ignored for uploads).
+	Config ScenarioParams `json:"config,omitempty"`
+
+	// Campaign is an inline RSSI measurement campaign to ingest instead of
+	// building a scenario.
+	Campaign *CampaignUpload `json:"campaign,omitempty"`
+	// Clean tunes the campaign cleaning pipeline (uploads only).
+	Clean *CleanParams `json:"clean,omitempty"`
+
+	// Links overrides the instance's link set ({sender, receiver} pairs).
+	// Uploads default to the paired convention {2i → 2i+1} when absent.
+	Links []LinkSpec `json:"links,omitempty"`
+
+	// Beta is the SINR threshold β (0 = default 1); Noise the ambient N.
+	Beta  float64 `json:"beta,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+
+	// Shards, when positive, routes the session's heavy reductions through
+	// WithShards(k). 0 inherits the server default.
+	Shards int `json:"shards,omitempty"`
+	// Tracking pre-arms the incremental mutation machinery
+	// (WithMutationTracking) so even the first mutation repairs in place.
+	Tracking bool `json:"tracking,omitempty"`
+
+	// ApproxThreshold/ApproxSamples route ζ/ϕ to the sampled estimators
+	// (WithApproxMetricity) when the space reaches the threshold;
+	// TargetEps additionally iterates them until the Hoeffding 95%
+	// half-width is at most eps (WithTargetPrecision).
+	ApproxThreshold int     `json:"approx_threshold,omitempty"`
+	ApproxSamples   int     `json:"approx_samples,omitempty"`
+	TargetEps       float64 `json:"target_eps,omitempty"`
+}
+
+// ScenarioParams mirrors the scenario registry's Config. Path is
+// deliberately absent: clients upload campaigns inline instead of naming
+// server-side files.
+type ScenarioParams struct {
+	Links   int                `json:"links,omitempty"`
+	Nodes   int                `json:"nodes,omitempty"`
+	Seed    uint64             `json:"seed,omitempty"`
+	Alpha   float64            `json:"alpha,omitempty"`
+	SigmaDB float64            `json:"sigma_db,omitempty"`
+	Side    float64            `json:"side,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+}
+
+// ScenarioConfig converts the wire block into the registry's Config.
+func (p ScenarioParams) ScenarioConfig() scenario.Config {
+	return scenario.Config{
+		Links:   p.Links,
+		Nodes:   p.Nodes,
+		Seed:    p.Seed,
+		Alpha:   p.Alpha,
+		SigmaDB: p.SigmaDB,
+		Side:    p.Side,
+		Params:  p.Params,
+	}
+}
+
+// CampaignUpload is an inline measurement campaign: Format is "csv" or
+// "jsonl" and Data the raw log text (the formats cmd/decaytrace reads).
+type CampaignUpload struct {
+	Format string `json:"format"`
+	Data   string `json:"data"`
+}
+
+// CleanParams tunes the trace cleaning pipeline for uploaded campaigns.
+type CleanParams struct {
+	// TXPowerDBm is the transmit power behind the readings.
+	TXPowerDBm float64 `json:"txpower_dbm,omitempty"`
+	// Mean aggregates repeated readings by mean instead of median.
+	Mean bool `json:"mean,omitempty"`
+	// K is the k-nearest-row imputation width (0 = default 4).
+	K int `json:"k,omitempty"`
+	// NoReciprocal disables reverse-direction imputation.
+	NoReciprocal bool `json:"noreciprocal,omitempty"`
+}
+
+// LinkSpec is a sender→receiver pair on the wire.
+type LinkSpec struct {
+	Sender   int `json:"sender"`
+	Receiver int `json:"receiver"`
+}
+
+// MutationRequest is the POST /v1/sessions/{id}/mutations body: one atomic
+// batch of session edits, optionally fenced on a version.
+type MutationRequest struct {
+	// BaseVersion, when present, fences the batch: it is rejected with 409
+	// (and the current version) unless the session is still at exactly
+	// this version when the batch is applied. Absent = apply regardless.
+	BaseVersion *uint64 `json:"base_version,omitempty"`
+
+	// SetRows overwrites whole decay rows.
+	SetRows []RowEdit `json:"set_rows,omitempty"`
+	// SetDecays overwrites single directed decays.
+	SetDecays []DecayEditSpec `json:"set_decays,omitempty"`
+	// Moves relocates nodes of a geometric session.
+	Moves []NodeMoveSpec `json:"moves,omitempty"`
+	// RemoveLinks lists pre-mutation link indices to delete (compacting).
+	RemoveLinks []int `json:"remove_links,omitempty"`
+	// AddLinks appends links after removals.
+	AddLinks []LinkSpec `json:"add_links,omitempty"`
+}
+
+// RowEdit overwrites one whole decay row: f(Row, ·) = Values.
+type RowEdit struct {
+	Row    int       `json:"row"`
+	Values []float64 `json:"values"`
+}
+
+// DecayEditSpec overwrites one directed decay f(I, J) = F.
+type DecayEditSpec struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	F float64 `json:"f"`
+}
+
+// NodeMoveSpec relocates one node of a geometric session to (X, Y).
+type NodeMoveSpec struct {
+	Node int     `json:"node"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// IsZero reports whether the request carries no edits.
+func (m *MutationRequest) IsZero() bool {
+	return len(m.SetRows) == 0 && len(m.SetDecays) == 0 && len(m.Moves) == 0 &&
+		len(m.RemoveLinks) == 0 && len(m.AddLinks) == 0
+}
+
+// Mutation converts the wire batch into the session mutation the Engine
+// applies. Only shape conversion happens here — range validation against
+// the live session (node counts, link indices) is Update's job, so the
+// same errors surface for wire and in-process callers.
+func (m *MutationRequest) Mutation() scenario.Mutation {
+	var out scenario.Mutation
+	if len(m.SetRows) > 0 {
+		out.SetRows = make(map[int][]float64, len(m.SetRows))
+		for _, re := range m.SetRows {
+			out.SetRows[re.Row] = re.Values
+		}
+	}
+	for _, ed := range m.SetDecays {
+		out.SetDecays = append(out.SetDecays, scenario.DecayEdit{I: ed.I, J: ed.J, F: ed.F})
+	}
+	for _, mv := range m.Moves {
+		out.Moves = append(out.Moves, scenario.NodeMove{Node: mv.Node, To: geom.Pt(mv.X, mv.Y)})
+	}
+	out.RemoveLinks = append(out.RemoveLinks, m.RemoveLinks...)
+	for _, l := range m.AddLinks {
+		out.AddLinks = append(out.AddLinks, sinr.Link{Sender: l.Sender, Receiver: l.Receiver})
+	}
+	return out
+}
+
+// DecodeCreateRequest parses and validates a POST /v1/sessions body.
+// Validation is all-or-nothing: an error means no request object is
+// returned, so a handler can never act on a half-valid create.
+func DecodeCreateRequest(data []byte) (*CreateRequest, error) {
+	var req CreateRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the request's internal consistency (shape and float
+// sanity; live-session range checks happen downstream).
+func (r *CreateRequest) Validate() error {
+	hasScenario := r.Scenario != ""
+	hasCampaign := r.Campaign != nil
+	if hasScenario == hasCampaign {
+		return errors.New("exactly one of scenario and campaign must be set")
+	}
+	if hasScenario {
+		if r.Clean != nil {
+			return errors.New("clean options only apply to campaign uploads")
+		}
+		if err := r.Config.validate(); err != nil {
+			return err
+		}
+	}
+	if hasCampaign {
+		switch r.Campaign.Format {
+		case "csv", "jsonl":
+		default:
+			return fmt.Errorf("campaign format %q: want csv or jsonl", r.Campaign.Format)
+		}
+		if r.Campaign.Data == "" {
+			return errors.New("campaign data is empty")
+		}
+		if r.Clean != nil {
+			if !finite(r.Clean.TXPowerDBm) {
+				return fmt.Errorf("clean txpower_dbm %v is not finite", r.Clean.TXPowerDBm)
+			}
+			if r.Clean.K < 0 {
+				return fmt.Errorf("clean k %d is negative", r.Clean.K)
+			}
+		}
+	}
+	for i, l := range r.Links {
+		if l.Sender < 0 || l.Receiver < 0 || l.Sender == l.Receiver {
+			return fmt.Errorf("links[%d] (%d→%d) invalid", i, l.Sender, l.Receiver)
+		}
+	}
+	if !finite(r.Beta) || r.Beta < 0 {
+		return fmt.Errorf("beta %v must be finite and non-negative", r.Beta)
+	}
+	if !finite(r.Noise) || r.Noise < 0 {
+		return fmt.Errorf("noise %v must be finite and non-negative", r.Noise)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("shards %d is negative", r.Shards)
+	}
+	if r.ApproxThreshold < 0 || r.ApproxSamples < 0 {
+		return fmt.Errorf("approx_threshold %d / approx_samples %d must be non-negative", r.ApproxThreshold, r.ApproxSamples)
+	}
+	if (r.ApproxThreshold > 0) != (r.ApproxSamples > 0) {
+		return errors.New("approx_threshold and approx_samples must be set together")
+	}
+	if !finite(r.TargetEps) || r.TargetEps < 0 {
+		return fmt.Errorf("target_eps %v must be finite and non-negative", r.TargetEps)
+	}
+	return nil
+}
+
+func (p ScenarioParams) validate() error {
+	if p.Links < 0 || p.Nodes < 0 {
+		return fmt.Errorf("config links %d / nodes %d must be non-negative", p.Links, p.Nodes)
+	}
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{{"alpha", p.Alpha}, {"sigma_db", p.SigmaDB}, {"side", p.Side}} {
+		if !finite(v.v) {
+			return fmt.Errorf("config %s %v is not finite", v.name, v.v)
+		}
+	}
+	for k, v := range p.Params {
+		if !finite(v) {
+			return fmt.Errorf("config params[%q] %v is not finite", k, v)
+		}
+	}
+	return nil
+}
+
+// DecodeMutationRequest parses and validates a mutation-batch body. Like
+// DecodeCreateRequest it is validate-then-atomic: an error returns no
+// request. Decay values must be positive and finite and coordinates
+// finite; duplicate row edits are rejected (the wire list would otherwise
+// silently collapse into a map); index range checks against the live
+// session happen in Update.
+func DecodeMutationRequest(data []byte) (*MutationRequest, error) {
+	var req MutationRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the batch's shape and float sanity.
+func (m *MutationRequest) Validate() error {
+	seen := make(map[int]bool, len(m.SetRows))
+	for i, re := range m.SetRows {
+		if re.Row < 0 {
+			return fmt.Errorf("set_rows[%d] row %d is negative", i, re.Row)
+		}
+		if seen[re.Row] {
+			return fmt.Errorf("set_rows lists row %d twice", re.Row)
+		}
+		seen[re.Row] = true
+		if len(re.Values) == 0 {
+			return fmt.Errorf("set_rows[%d] (row %d) has no values", i, re.Row)
+		}
+		for j, v := range re.Values {
+			if j == re.Row {
+				continue // the diagonal entry is ignored by the session
+			}
+			if !finite(v) || v <= 0 {
+				return fmt.Errorf("set_rows[%d] (row %d) value[%d] = %v: decays must be positive and finite", i, re.Row, j, v)
+			}
+		}
+	}
+	for i, ed := range m.SetDecays {
+		if ed.I < 0 || ed.J < 0 {
+			return fmt.Errorf("set_decays[%d] (%d,%d) has a negative index", i, ed.I, ed.J)
+		}
+		if !finite(ed.F) || ed.F <= 0 {
+			return fmt.Errorf("set_decays[%d] = %v: decays must be positive and finite", i, ed.F)
+		}
+	}
+	for i, mv := range m.Moves {
+		if mv.Node < 0 {
+			return fmt.Errorf("moves[%d] node %d is negative", i, mv.Node)
+		}
+		if !finite(mv.X) || !finite(mv.Y) {
+			return fmt.Errorf("moves[%d] to (%v,%v): coordinates must be finite", i, mv.X, mv.Y)
+		}
+	}
+	for i, idx := range m.RemoveLinks {
+		if idx < 0 {
+			return fmt.Errorf("remove_links[%d] %d is negative", i, idx)
+		}
+	}
+	for i, l := range m.AddLinks {
+		if l.Sender < 0 || l.Receiver < 0 || l.Sender == l.Receiver {
+			return fmt.Errorf("add_links[%d] (%d→%d) invalid", i, l.Sender, l.Receiver)
+		}
+	}
+	return nil
+}
+
+// decodeStrict unmarshals one JSON object, rejecting unknown fields (a
+// typoed knob should fail loudly, not silently default) and trailing
+// garbage (concatenated objects are malformed, not a batch).
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return errors.New("trailing data after JSON object")
+	}
+	return nil
+}
+
+// finite reports v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

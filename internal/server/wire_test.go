@@ -1,0 +1,147 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecodeCreateRequestValid(t *testing.T) {
+	req, err := DecodeCreateRequest([]byte(
+		`{"scenario":"office","config":{"links":20,"seed":1},"beta":1.2,"shards":2,"tracking":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Scenario != "office" || req.Config.Links != 20 || req.Config.Seed != 1 {
+		t.Fatalf("decoded %+v", req)
+	}
+	if req.Beta != 1.2 || req.Shards != 2 || !req.Tracking {
+		t.Fatalf("knobs lost: %+v", req)
+	}
+}
+
+func TestDecodeCreateRequestCampaign(t *testing.T) {
+	req, err := DecodeCreateRequest([]byte(
+		`{"campaign":{"format":"csv","data":"tx,rx,rssi_dbm,t\n0,1,-40,0\n"},"clean":{"txpower_dbm":20,"mean":true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Campaign == nil || req.Campaign.Format != "csv" || req.Clean == nil || !req.Clean.Mean {
+		t.Fatalf("decoded %+v", req)
+	}
+}
+
+func TestDecodeCreateRequestRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"neither", `{}`, "exactly one of"},
+		{"both", `{"scenario":"office","campaign":{"format":"csv","data":"x"}}`, "exactly one of"},
+		{"unknown field", `{"scenario":"office","typo":1}`, "typo"},
+		{"trailing garbage", `{"scenario":"office"}{"scenario":"plane"}`, "trailing data"},
+		{"bad campaign format", `{"campaign":{"format":"xml","data":"x"}}`, "want csv or jsonl"},
+		{"empty campaign", `{"campaign":{"format":"csv","data":""}}`, "campaign data is empty"},
+		{"clean without campaign", `{"scenario":"office","clean":{"k":2}}`, "only apply to campaign"},
+		{"negative clean k", `{"campaign":{"format":"csv","data":"x"},"clean":{"k":-1}}`, "negative"},
+		{"negative beta", `{"scenario":"office","beta":-1}`, "beta"},
+		{"negative noise", `{"scenario":"office","noise":-0.5}`, "noise"},
+		{"negative shards", `{"scenario":"office","shards":-1}`, "shards"},
+		{"negative links", `{"scenario":"office","config":{"links":-3}}`, "non-negative"},
+		{"self link", `{"scenario":"office","links":[{"sender":2,"receiver":2}]}`, "links[0]"},
+		{"negative link node", `{"scenario":"office","links":[{"sender":-1,"receiver":2}]}`, "links[0]"},
+		{"approx threshold alone", `{"scenario":"office","approx_threshold":512}`, "set together"},
+		{"approx samples alone", `{"scenario":"office","approx_samples":1000}`, "set together"},
+		{"negative eps", `{"scenario":"office","target_eps":-0.1}`, "target_eps"},
+		{"not json", `hello`, "invalid character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := DecodeCreateRequest([]byte(c.body))
+			if err == nil {
+				t.Fatalf("decoded %+v, want error containing %q", req, c.wantErr)
+			}
+			if req != nil {
+				t.Fatal("error with a non-nil request: validation must be all-or-nothing")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeMutationRequestValid(t *testing.T) {
+	req, err := DecodeMutationRequest([]byte(
+		`{"base_version":7,"set_rows":[{"row":1,"values":[2,0,3]}],"set_decays":[{"i":0,"j":2,"f":1.5}],` +
+			`"moves":[{"node":3,"x":1.5,"y":-2}],"remove_links":[0],"add_links":[{"sender":4,"receiver":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.BaseVersion == nil || *req.BaseVersion != 7 {
+		t.Fatalf("base_version lost: %+v", req)
+	}
+	m := req.Mutation()
+	if len(m.SetRows) != 1 || m.SetRows[1][2] != 3 {
+		t.Fatalf("SetRows conversion: %+v", m.SetRows)
+	}
+	if len(m.SetDecays) != 1 || m.SetDecays[0].F != 1.5 {
+		t.Fatalf("SetDecays conversion: %+v", m.SetDecays)
+	}
+	if len(m.Moves) != 1 || m.Moves[0].Node != 3 {
+		t.Fatalf("Moves conversion: %+v", m.Moves)
+	}
+	if len(m.RemoveLinks) != 1 || len(m.AddLinks) != 1 || m.AddLinks[0].Sender != 4 {
+		t.Fatalf("link churn conversion: %+v", m)
+	}
+}
+
+func TestDecodeMutationRequestDiagonalExempt(t *testing.T) {
+	// values[row] is the ignored diagonal entry — zero there must pass.
+	if _, err := DecodeMutationRequest([]byte(`{"set_rows":[{"row":0,"values":[0,2,3]}]}`)); err != nil {
+		t.Fatalf("diagonal zero rejected: %v", err)
+	}
+	// A zero off the diagonal is a real (invalid) decay.
+	if _, err := DecodeMutationRequest([]byte(`{"set_rows":[{"row":0,"values":[0,0,3]}]}`)); err == nil {
+		t.Fatal("off-diagonal zero decay accepted")
+	}
+}
+
+func TestDecodeMutationRequestRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown field", `{"zap":1}`, "zap"},
+		{"duplicate row", `{"set_rows":[{"row":2,"values":[1,1,0]},{"row":2,"values":[1,1,0]}]}`, "twice"},
+		{"negative row", `{"set_rows":[{"row":-1,"values":[1]}]}`, "negative"},
+		{"empty row", `{"set_rows":[{"row":0,"values":[]}]}`, "no values"},
+		{"zero decay", `{"set_decays":[{"i":0,"j":1,"f":0}]}`, "positive and finite"},
+		{"negative decay index", `{"set_decays":[{"i":-1,"j":1,"f":2}]}`, "negative index"},
+		{"negative move node", `{"moves":[{"node":-1,"x":0,"y":0}]}`, "negative"},
+		{"negative remove index", `{"remove_links":[-2]}`, "negative"},
+		{"self add link", `{"add_links":[{"sender":1,"receiver":1}]}`, "add_links[0]"},
+		{"trailing garbage", `{} []`, "trailing data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := DecodeMutationRequest([]byte(c.body))
+			if err == nil {
+				t.Fatalf("decoded %+v, want error containing %q", req, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestJSONRowMarshalsInfExactly(t *testing.T) {
+	row := jsonRow{1.0 / 3.0, math.Inf(1), 2.5e-300}
+	data, err := row.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[0.3333333333333333,"Inf",2.5e-300]`
+	if string(data) != want {
+		t.Fatalf("marshalled %s, want %s", data, want)
+	}
+}

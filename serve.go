@@ -1,0 +1,192 @@
+package decaynet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"decaynet/internal/server"
+	"decaynet/internal/trace"
+)
+
+// Serving: the session server behind cmd/decaynetd, embeddable anywhere an
+// http.Handler fits. NewServer wires the Engine session machinery into the
+// internal server runtime — every wire session is a full Engine (cached
+// ζ/ϕ/affectance products, incremental Update repairs, per-session RW
+// serialization, optional WithShards routing) built from either a
+// registered scenario or an RSSI campaign uploaded inline.
+type (
+	// Server is the multi-tenant HTTP/JSON session daemon. It implements
+	// http.Handler; see the internal server package docs for the wire
+	// surface (POST /v1/sessions, mutations, ζ/ϕ/affectance/capacity/
+	// schedule reads, /metrics, /healthz, /readyz).
+	Server = server.Server
+	// ServeCheckpoint is one session's graceful-drain record.
+	ServeCheckpoint = server.Checkpoint
+	// SessionCreateRequest is the decoded POST /v1/sessions body.
+	SessionCreateRequest = server.CreateRequest
+	// SessionMutationRequest is the decoded mutation-batch body.
+	SessionMutationRequest = server.MutationRequest
+	// SessionInfo is the wire representation of one live session.
+	SessionInfo = server.SessionInfo
+)
+
+// ServeQuotaEvict and ServeQuotaReject are the per-tenant quota policies:
+// at the session cap, evict the least-recently-used session or reject the
+// create with 429.
+const (
+	ServeQuotaEvict  = string(server.EvictLRU)
+	ServeQuotaReject = string(server.Reject)
+)
+
+// ServeConfig parameterizes NewServer. The zero value serves: no admission
+// control, no tenant quota, unsharded sessions, and the default node cap.
+type ServeConfig struct {
+	// RatePerSec and Burst parameterize token-bucket admission control
+	// over all API routes (probes and /metrics are exempt); RatePerSec
+	// <= 0 disables it.
+	RatePerSec float64
+	Burst      int
+
+	// TenantQuota caps live sessions per tenant (0 = unlimited).
+	// QuotaPolicy is ServeQuotaEvict (default) or ServeQuotaReject.
+	TenantQuota int
+	QuotaPolicy string
+
+	// DefaultShards, when positive, routes every session that does not
+	// ask for its own shard count through WithShards(DefaultShards).
+	DefaultShards int
+
+	// MaxNodes caps the node count of any session a client may create —
+	// scenario-built or uploaded. 0 means DefaultMaxServeNodes; negative
+	// means unlimited (trusted embedders only: an uploaded campaign's
+	// node count is attacker-controlled).
+	MaxNodes int
+
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (create, evict, drain).
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxServeNodes is the served session-size cap when
+// ServeConfig.MaxNodes is zero: large enough for every exact-scan
+// workload, small enough that one hostile upload cannot allocate
+// multi-GiB matrices.
+const DefaultMaxServeNodes = 4096
+
+// NewServer builds the session daemon. The returned Server is an
+// http.Handler ready for an http.Server (cmd/decaynetd), an httptest
+// server (the test wall), or direct embedding.
+func NewServer(cfg ServeConfig) (*Server, error) {
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxServeNodes
+	}
+	return server.New(server.Config{
+		Build:       engineSessionBuilder(cfg.DefaultShards, maxNodes),
+		RatePerSec:  cfg.RatePerSec,
+		Burst:       cfg.Burst,
+		TenantQuota: cfg.TenantQuota,
+		QuotaPolicy: server.QuotaPolicy(cfg.QuotaPolicy),
+		Logf:        cfg.Logf,
+	})
+}
+
+// engineSessionBuilder is the server's session factory: a validated
+// CreateRequest becomes a full Engine, from a registered scenario or from
+// an uploaded campaign cleaned through the trace pipeline. It runs under
+// the request context, so abandoned creates cancel cooperatively.
+func engineSessionBuilder(defaultShards, maxNodes int) server.SessionBuilder {
+	return func(ctx context.Context, req *server.CreateRequest) (server.Session, error) {
+		opts := []EngineOption{}
+		if req.Beta > 0 {
+			opts = append(opts, Beta(req.Beta))
+		}
+		if req.Noise > 0 {
+			opts = append(opts, Noise(req.Noise))
+		}
+		shards := req.Shards
+		if shards == 0 {
+			shards = defaultShards
+		}
+		if shards > 0 {
+			opts = append(opts, WithShards(shards))
+		}
+		if req.Tracking {
+			opts = append(opts, WithMutationTracking())
+		}
+		if req.ApproxThreshold > 0 {
+			opts = append(opts, WithApproxMetricity(req.ApproxThreshold, req.ApproxSamples))
+		}
+		if req.TargetEps > 0 {
+			opts = append(opts, WithTargetPrecision(req.TargetEps))
+		}
+		if len(req.Links) > 0 {
+			links := make([]Link, len(req.Links))
+			for i, l := range req.Links {
+				links[i] = Link{Sender: l.Sender, Receiver: l.Receiver}
+			}
+			opts = append(opts, UsingLinks(links...))
+		}
+		if req.Scenario != "" {
+			// Scenario sessions: the cheap pre-build cap uses the
+			// requested node count; the post-build check below still
+			// catches scenarios that size themselves from other knobs.
+			if maxNodes > 0 && req.Config.Nodes > maxNodes {
+				return nil, fmt.Errorf("decaynet: session of %d nodes exceeds the server cap of %d", req.Config.Nodes, maxNodes)
+			}
+			opts = append(opts, UsingScenario(req.Scenario, req.Config.ScenarioConfig()))
+		} else {
+			matrix, err := cleanUpload(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			if maxNodes > 0 && matrix.N() > maxNodes {
+				return nil, fmt.Errorf("decaynet: uploaded campaign spans %d nodes, server cap is %d", matrix.N(), maxNodes)
+			}
+			opts = append(opts, UsingSpace(matrix))
+			if len(req.Links) == 0 {
+				opts = append(opts, PairedLinks())
+			}
+		}
+		eng, err := NewEngine(opts...)
+		if err != nil {
+			return nil, err
+		}
+		if maxNodes > 0 && eng.N() > maxNodes {
+			return nil, fmt.Errorf("decaynet: session of %d nodes exceeds the server cap of %d", eng.N(), maxNodes)
+		}
+		return eng, nil
+	}
+}
+
+// cleanUpload ingests an inline campaign through the same trace pipeline
+// the "trace" scenario and cmd/decaytrace use, under the request context.
+func cleanUpload(ctx context.Context, req *server.CreateRequest) (*Matrix, error) {
+	if req.Campaign == nil {
+		return nil, errors.New("decaynet: create request has neither scenario nor campaign")
+	}
+	format := TraceCSV
+	if req.Campaign.Format == "jsonl" {
+		format = TraceJSONL
+	}
+	camp, err := trace.Read(strings.NewReader(req.Campaign.Data), format)
+	if err != nil {
+		return nil, fmt.Errorf("decaynet: parsing uploaded campaign: %w", err)
+	}
+	var opts CleanOptions
+	if c := req.Clean; c != nil {
+		opts.TXPowerDBm = c.TXPowerDBm
+		opts.K = c.K
+		opts.NoReciprocal = c.NoReciprocal
+		if c.Mean {
+			opts.Aggregate = AggMean
+		}
+	}
+	matrix, _, err := trace.CleanCtx(ctx, camp, opts)
+	if err != nil {
+		return nil, fmt.Errorf("decaynet: cleaning uploaded campaign: %w", err)
+	}
+	return matrix, nil
+}

@@ -1,0 +1,440 @@
+package decaynet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"decaynet"
+)
+
+// serveClient wraps one httptest daemon with JSON-speaking helpers.
+type serveClient struct {
+	t      *testing.T
+	base   string
+	tenant string
+}
+
+func newServeClient(t *testing.T, cfg decaynet.ServeConfig) *serveClient {
+	t.Helper()
+	srv, err := decaynet.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return &serveClient{t: t, base: hs.URL}
+}
+
+// do runs one request and returns the status code and raw body.
+func (c *serveClient) do(method, path, body string) (int, []byte) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Decaynet-Tenant", c.tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// get expects a 2xx and decodes the JSON body.
+func (c *serveClient) get(path string, out any) {
+	c.t.Helper()
+	code, data := c.do("GET", path, "")
+	if code/100 != 2 {
+		c.t.Fatalf("GET %s: %d %s", path, code, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		c.t.Fatalf("GET %s: decoding %s: %v", path, data, err)
+	}
+}
+
+// create expects a 201 and returns the session id.
+func (c *serveClient) create(body string) string {
+	c.t.Helper()
+	code, data := c.do("POST", "/v1/sessions", body)
+	if code != http.StatusCreated {
+		c.t.Fatalf("create: %d %s", code, data)
+	}
+	var info decaynet.SessionInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		c.t.Fatal(err)
+	}
+	return info.ID
+}
+
+// wireMutation converts a library mutation into its wire JSON, so the test
+// can replay a deterministic stream over HTTP. encoding/json round-trips
+// float64 exactly, so the wire batch carries the very same decays and
+// coordinates the library engine absorbs.
+func wireMutation(m decaynet.Mutation) string {
+	obj := map[string]any{}
+	if len(m.SetRows) > 0 {
+		rows := make([]map[string]any, 0, len(m.SetRows))
+		for row, values := range m.SetRows {
+			rows = append(rows, map[string]any{"row": row, "values": values})
+		}
+		obj["set_rows"] = rows
+	}
+	if len(m.SetDecays) > 0 {
+		eds := make([]map[string]any, 0, len(m.SetDecays))
+		for _, ed := range m.SetDecays {
+			eds = append(eds, map[string]any{"i": ed.I, "j": ed.J, "f": ed.F})
+		}
+		obj["set_decays"] = eds
+	}
+	if len(m.Moves) > 0 {
+		mvs := make([]map[string]any, 0, len(m.Moves))
+		for _, mv := range m.Moves {
+			mvs = append(mvs, map[string]any{"node": mv.Node, "x": mv.To.X, "y": mv.To.Y})
+		}
+		obj["moves"] = mvs
+	}
+	if len(m.RemoveLinks) > 0 {
+		obj["remove_links"] = m.RemoveLinks
+	}
+	if len(m.AddLinks) > 0 {
+		links := make([]map[string]any, 0, len(m.AddLinks))
+		for _, l := range m.AddLinks {
+			links = append(links, map[string]any{"sender": l.Sender, "receiver": l.Receiver})
+		}
+		obj["add_links"] = links
+	}
+	data, err := json.Marshal(obj)
+	if err != nil {
+		panic(err)
+	}
+	return string(data)
+}
+
+// wireRow parses an affectance row response, mapping the "Inf" escape back
+// to +Inf and keeping every finite entry bit-exact (the wire uses shortest
+// round-trip float syntax).
+func wireRow(t *testing.T, raw json.RawMessage) []float64 {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var entries []any
+	if err := dec.Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, len(entries))
+	for i, e := range entries {
+		switch v := e.(type) {
+		case json.Number:
+			f, err := strconv.ParseFloat(v.String(), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row[i] = f
+		case string:
+			if v != "Inf" {
+				t.Fatalf("row[%d]: unexpected string %q", i, v)
+			}
+			row[i] = math.Inf(1)
+		default:
+			t.Fatalf("row[%d]: unexpected %T", i, e)
+		}
+	}
+	return row
+}
+
+// assertServedEquivalence checks every read route against the direct
+// library calls on an equivalent engine — bit-identical, not approximately.
+func assertServedEquivalence(t *testing.T, c *serveClient, id string, eng *decaynet.Engine) {
+	t.Helper()
+	p := eng.UniformPower(1)
+
+	var zr struct {
+		Zeta    float64 `json:"zeta"`
+		Version uint64  `json:"version"`
+	}
+	c.get("/v1/sessions/"+id+"/zeta", &zr)
+	if zr.Zeta != eng.Zeta() {
+		t.Fatalf("served zeta %v != library %v", zr.Zeta, eng.Zeta())
+	}
+	if zr.Version != eng.Version() {
+		t.Fatalf("served version %d != library %d", zr.Version, eng.Version())
+	}
+
+	var pr struct {
+		Phi float64 `json:"phi"`
+	}
+	c.get("/v1/sessions/"+id+"/phi", &pr)
+	if pr.Phi != eng.Phi() {
+		t.Fatalf("served phi %v != library %v", pr.Phi, eng.Phi())
+	}
+
+	aff := eng.Affectances(p)
+	for _, link := range []int{0, eng.Len() / 2, eng.Len() - 1} {
+		var ar struct {
+			Row json.RawMessage `json:"row"`
+		}
+		c.get(fmt.Sprintf("/v1/sessions/%s/affectance?link=%d", id, link), &ar)
+		row := wireRow(t, ar.Row)
+		if len(row) != aff.N() {
+			t.Fatalf("link %d: row length %d, want %d", link, len(row), aff.N())
+		}
+		for v := range row {
+			if row[v] != aff.Raw(link, v) && !(math.IsInf(row[v], 1) && math.IsInf(aff.Raw(link, v), 1)) {
+				t.Fatalf("link %d entry %d: served %v != library %v", link, v, row[v], aff.Raw(link, v))
+			}
+		}
+	}
+
+	var cr struct {
+		Links []int `json:"links"`
+		Size  int   `json:"size"`
+	}
+	c.get("/v1/sessions/"+id+"/capacity", &cr)
+	want := eng.Capacity(p, nil)
+	if cr.Size != len(want) || fmt.Sprint(cr.Links) != fmt.Sprint(want) {
+		t.Fatalf("served capacity %v != library %v", cr.Links, want)
+	}
+
+	var sr struct {
+		Slots [][]int `json:"slots"`
+	}
+	c.get("/v1/sessions/"+id+"/schedule", &sr)
+	slots, err := eng.Schedule(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sr.Slots) != fmt.Sprint(slots) {
+		t.Fatalf("served schedule %v != library %v", sr.Slots, slots)
+	}
+}
+
+// TestServeScenarioRoundTrip: create from a registered scenario, read every
+// route, apply a fenced mutation, and re-verify against the library.
+func TestServeScenarioRoundTrip(t *testing.T) {
+	c := newServeClient(t, decaynet.ServeConfig{})
+	id := c.create(`{"scenario":"office","config":{"links":12,"seed":3},"beta":1.2,"tracking":true}`)
+
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("office", decaynet.ScenarioConfig{Links: 12, Seed: 3}),
+		decaynet.Beta(1.2),
+		decaynet.WithMutationTracking(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertServedEquivalence(t, c, id, eng)
+
+	// A fenced mutation applies exactly once.
+	code, data := c.do("POST", "/v1/sessions/"+id+"/mutations", `{"base_version":0,"set_decays":[{"i":0,"j":1,"f":7.5}]}`)
+	if code != 200 {
+		t.Fatalf("mutation: %d %s", code, data)
+	}
+	if err := eng.SetDecay(0, 1, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the stale fence conflicts and reports the session version.
+	code, data = c.do("POST", "/v1/sessions/"+id+"/mutations", `{"base_version":0,"set_decays":[{"i":0,"j":1,"f":9}]}`)
+	if code != http.StatusConflict {
+		t.Fatalf("stale fence: %d %s", code, data)
+	}
+	var conflict struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(data, &conflict); err != nil {
+		t.Fatal(err)
+	}
+	if conflict.Version != 1 {
+		t.Fatalf("conflict version %d, want 1", conflict.Version)
+	}
+	assertServedEquivalence(t, c, id, eng)
+}
+
+// TestServeChurnReplayBitIdentical replays the churn scenario's whole
+// deterministic mutation stream over the wire and proves every read route
+// stays bit-identical to a library engine absorbing the same stream.
+func TestServeChurnReplayBitIdentical(t *testing.T) {
+	cfg := decaynet.ScenarioConfig{Links: 16, Seed: 5}
+	c := newServeClient(t, decaynet.ServeConfig{})
+	id := c.create(`{"scenario":"churn","config":{"links":16,"seed":5},"beta":1.2,"tracking":true}`)
+
+	// Zero ambient noise keeps churn's arbitrarily long links viable in
+	// isolation, so the final topology always schedules.
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("churn", cfg),
+		decaynet.Beta(1.2),
+		decaynet.WithMutationTracking(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := decaynet.ChurnStream(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range stream {
+		code, data := c.do("POST", "/v1/sessions/"+id+"/mutations", wireMutation(m))
+		if code != 200 {
+			t.Fatalf("churn step %d: %d %s", i, code, data)
+		}
+		if err := eng.Update(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Version() != uint64(len(stream)) {
+		t.Fatalf("library version %d after %d steps", eng.Version(), len(stream))
+	}
+	assertServedEquivalence(t, c, id, eng)
+}
+
+// TestServeCampaignUpload: an RSSI campaign uploaded inline must produce
+// exactly the session the library builds from the same bytes through the
+// same cleaning pipeline.
+func TestServeCampaignUpload(t *testing.T) {
+	// Synthesize a campaign from a small office space.
+	src, err := decaynet.NewEngine(decaynet.UsingScenario("office", decaynet.ScenarioConfig{Links: 6, Seed: 11}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := decaynet.TraceExportConfig{TXPowerDBm: 20, Repeats: 3, NoiseSigmaDB: 0.5, Seed: 9}
+	camp := decaynet.SpaceCampaign(src.Space(), exp)
+	var csv bytes.Buffer
+	if err := decaynet.WriteCampaignCSV(&csv, camp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Library path: read, clean, paired links.
+	reread, err := decaynet.ReadCampaign(bytes.NewReader(csv.Bytes()), decaynet.TraceCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := decaynet.CleanOptions{TXPowerDBm: 20, K: 2}
+	space, _, err := decaynet.CleanCampaign(reread, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := decaynet.NewEngine(decaynet.UsingSpace(space), decaynet.PairedLinks(), decaynet.Noise(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire path: the same bytes, uploaded.
+	body, err := json.Marshal(map[string]any{
+		"campaign": map[string]string{"format": "csv", "data": csv.String()},
+		"clean":    map[string]any{"txpower_dbm": 20, "k": 2},
+		"noise":    0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newServeClient(t, decaynet.ServeConfig{})
+	id := c.create(string(body))
+
+	var info decaynet.SessionInfo
+	c.get("/v1/sessions/"+id, &info)
+	if info.N != eng.N() || info.Links != eng.Len() {
+		t.Fatalf("uploaded session %d nodes / %d links, library %d / %d", info.N, info.Links, eng.N(), eng.Len())
+	}
+	assertServedEquivalence(t, c, id, eng)
+}
+
+// TestServeNodeCap: a hostile create above the server's node cap is a 400,
+// both the scenario and upload paths.
+func TestServeNodeCap(t *testing.T) {
+	c := newServeClient(t, decaynet.ServeConfig{MaxNodes: 8})
+	code, data := c.do("POST", "/v1/sessions", `{"scenario":"random","config":{"nodes":64}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(data), "cap") {
+		t.Fatalf("over-cap scenario create: %d %s", code, data)
+	}
+	// An upload spanning too many nodes is caught after cleaning.
+	var csv strings.Builder
+	csv.WriteString("tx,rx,rssi_dbm,t\n")
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if i != j {
+				fmt.Fprintf(&csv, "%d,%d,-40,0\n", i, j)
+			}
+		}
+	}
+	body, _ := json.Marshal(map[string]any{
+		"campaign": map[string]string{"format": "csv", "data": csv.String()},
+	})
+	code, data = c.do("POST", "/v1/sessions", string(body))
+	if code != http.StatusBadRequest || !strings.Contains(string(data), "cap") {
+		t.Fatalf("over-cap upload: %d %s", code, data)
+	}
+}
+
+// TestServeShardedSession: a session created with shards answers
+// identically to an unsharded one — WithShards is an execution strategy,
+// not a semantic knob, and that must hold across the wire too.
+func TestServeShardedSession(t *testing.T) {
+	c := newServeClient(t, decaynet.ServeConfig{})
+	plain := c.create(`{"scenario":"random","config":{"nodes":48,"seed":21},"noise":0.01}`)
+	sharded := c.create(`{"scenario":"random","config":{"nodes":48,"seed":21},"noise":0.01,"shards":4}`)
+
+	for _, route := range []string{"/zeta", "/phi", "/capacity"} {
+		_, a := c.do("GET", "/v1/sessions/"+plain+route, "")
+		_, b := c.do("GET", "/v1/sessions/"+sharded+route, "")
+		if string(a) != string(b) {
+			t.Fatalf("%s: unsharded %s != sharded %s", route, a, b)
+		}
+	}
+}
+
+// TestServeConcurrentTenants runs real-engine traffic from multiple tenants
+// under quotas; with -race this is the end-to-end lock soundness check.
+func TestServeConcurrentTenants(t *testing.T) {
+	srv, err := decaynet.NewServer(decaynet.ServeConfig{TenantQuota: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := &serveClient{t: t, base: hs.URL, tenant: fmt.Sprintf("tenant-%d", g%2)}
+			for i := 0; i < 4; i++ {
+				seed := g*10 + i
+				id := c.create(fmt.Sprintf(`{"scenario":"random","config":{"nodes":16,"seed":%d},"noise":0.01,"tracking":true}`, seed+1))
+				if code, data := c.do("POST", "/v1/sessions/"+id+"/mutations", `{"set_decays":[{"i":0,"j":1,"f":2.5}]}`); code != 200 && code != http.StatusNotFound {
+					// 404 is legal: another goroutine's create may have
+					// LRU-evicted this session meanwhile.
+					t.Errorf("mutate: %d %s", code, data)
+					return
+				}
+				if code, _ := c.do("GET", "/v1/sessions/"+id+"/zeta", ""); code != 200 && code != http.StatusNotFound {
+					t.Errorf("zeta: %d", code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if srv.Live() > 4 {
+		t.Fatalf("%d sessions live across 2 tenants with quota 2", srv.Live())
+	}
+}
