@@ -9,6 +9,14 @@
 //	decaybench [-only E5] [-skip-ablations]
 //	decaybench -bench [-benchjson BENCH_decaybench.json] [-benchn 256]
 //	          [-benchlarge] [-serve] [-alloccheck bench_thresholds.json]
+//	decaybench -remote host:9471,host:9472 [-remote-n 96] [-remote-iters 8]
+//
+// With -remote the binary becomes the coordinator half of the
+// cross-process fault-tolerance smoke: it syncs the listed
+// decaynet-worker daemons, fans repeated ζ scans out over TCP, checks
+// each merged result bit-for-bit against a local sharded scan, and
+// reports the pool's recovery counters — CI kills one worker mid-run and
+// expects the scan to complete correctly anyway.
 //
 // With -serve the benchmark also boots the decaynetd session server on a
 // loopback listener and drives it over real HTTP: "serve/session" records
@@ -55,6 +63,10 @@ func main() {
 		benchLarge    = flag.Bool("benchlarge", false, "also run the large-n suite (exact tiled zeta at n=512/1024, sampled estimators at n=4096)")
 		allocCheck    = flag.String("alloccheck", "", "JSON file of per-op ceilings (allocs/op, ns/op, p99 ns/op); exit non-zero when a measured op regresses above one")
 		serve         = flag.Bool("serve", false, "with -bench: also drive a loopback decaynetd and record serve/session and serve/mutate-read rows")
+		remoteAddrs   = flag.String("remote", "", "comma-separated decaynet-worker addresses: run the cross-process fault-tolerance smoke driver instead of the experiments")
+		remoteN       = flag.Int("remote-n", 96, "matrix size for the -remote driver")
+		remoteIters   = flag.Int("remote-iters", 8, "scan iterations for the -remote driver")
+		remotePause   = flag.Duration("remote-pause", 500*time.Millisecond, "pause between -remote scan iterations (the kill window of the SIGKILL smoke)")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -63,7 +75,9 @@ func main() {
 		return
 	}
 	var err error
-	if *bench {
+	if *remoteAddrs != "" {
+		err = runRemote(*remoteAddrs, *remoteN, *remoteIters, *remotePause)
+	} else if *bench {
 		err = runBench(*benchJSON, *benchN, *benchLarge, *serve, *allocCheck)
 	} else {
 		err = run(*only, *skipAblations)
@@ -228,6 +242,13 @@ func runBench(outPath string, n int, large, serve bool, allocCheck string) error
 	// is the sharding runtime's speedup curve on a multicore runner; the
 	// shard/zeta vs shard/zeta-k1 gap is the acceptance figure.
 	if err := benchShardZeta(record, space, n); err != nil {
+		return err
+	}
+
+	// Remote sharded ζ scan: the same merged scan routed through the TCP
+	// transport (K=2 loopback workers with synced replicas). Against the
+	// in-process shard rows, the gap is the wire tax.
+	if err := benchRemoteZeta(record, space, n); err != nil {
 		return err
 	}
 

@@ -52,6 +52,8 @@ func main() {
 		quotaPolicy  = flag.String("quota-policy", "evict", "behavior at the tenant quota: evict (LRU) or reject")
 		shards       = flag.Int("shards", 0, "default per-session shard count (0 = unsharded)")
 		maxNodes     = flag.Int("max-nodes", 0, "node cap per created session (0 = server default, negative = unlimited)")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "per-response write deadline (0 = none; a stalled reader otherwise pins a drain)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful drain waits for in-flight requests")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -60,13 +62,13 @@ func main() {
 		buildinfo.Fprint(os.Stdout, "decaynetd")
 		return
 	}
-	if err := run(*addr, *rate, *burst, *tenantQuota, *quotaPolicy, *shards, *maxNodes, *drainTimeout); err != nil {
+	if err := run(*addr, *rate, *burst, *tenantQuota, *quotaPolicy, *shards, *maxNodes, *writeTimeout, *idleTimeout, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "decaynetd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, rate float64, burst, tenantQuota int, quotaPolicy string, shards, maxNodes int, drainTimeout time.Duration) error {
+func run(addr string, rate float64, burst, tenantQuota int, quotaPolicy string, shards, maxNodes int, writeTimeout, idleTimeout, drainTimeout time.Duration) error {
 	logger := log.New(os.Stderr, "decaynetd: ", log.LstdFlags)
 	srv, err := decaynet.NewServer(decaynet.ServeConfig{
 		RatePerSec:    rate,
@@ -84,6 +86,8 @@ func run(addr string, rate float64, burst, tenantQuota int, quotaPolicy string, 
 		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@ import (
 	"decaynet/internal/scenario"
 	"decaynet/internal/schedule"
 	"decaynet/internal/shard"
+	"decaynet/internal/shard/remote"
 	"decaynet/internal/sinr"
 )
 
@@ -68,12 +69,18 @@ type Engine struct {
 	zt      *core.ZetaTracker
 	vt      *core.VarphiTracker
 
-	// coord, when non-nil (WithShards), routes the exact ζ/ϕ scans, the
-	// dense affectance builds and the incremental session repairs through
-	// the row-range sharding runtime. Sharded results are bit-identical to
-	// the unsharded paths; the sampled estimators (WithApproxMetricity)
-	// bypass the coordinator.
+	// coord, when non-nil (WithShards or WithRemoteWorkers), routes the
+	// exact ζ/ϕ scans, the dense affectance builds and the incremental
+	// session repairs through the row-range sharding runtime. Sharded
+	// results are bit-identical to the unsharded paths; the sampled
+	// estimators (WithApproxMetricity) bypass the coordinator.
 	coord *shard.Coordinator
+
+	// pool, when non-nil (WithRemoteWorkers), is the fault-tolerant remote
+	// worker pool the coordinator's workers route through. Update ships
+	// every applied space mutation to it before repairing, keeping worker
+	// replicas at the session's version fence.
+	pool *remote.Pool
 
 	// approxSamples > 0 routes Zeta/Phi to the sampled estimators
 	// (WithApproxMetricity fired: the space is at or above the size
@@ -119,6 +126,8 @@ type engineConfig struct {
 	targetEps       float64
 	tracking        bool
 	shards          int
+	remoteAddrs     []string
+	remoteTweak     func(*remote.PoolConfig)
 }
 
 // EngineOption configures NewEngine.
@@ -250,6 +259,44 @@ func WithShards(k int) EngineOption {
 	}
 }
 
+// WithRemoteWorkers fans the engine's heavy reductions out across remote
+// worker processes (cmd/decaynet-worker daemons), one shard slot per
+// address, over the length-prefixed JSON-over-TCP transport in
+// internal/shard/remote. Construction dials and Syncs every worker
+// strictly — a full-space snapshot brings each replica to the session's
+// version — and every applied Update ships its mutation batch to all
+// workers, fenced on the replica version, before repairs fan out.
+//
+// The pool is fault-tolerant after construction: per-job deadlines and
+// heartbeats detect dead or slow workers, transient failures retry with
+// capped exponential backoff plus jitter, a dead worker's row range is
+// reassigned to survivors (or computed on the coordinator's own replica
+// as graceful degradation), and a rejoining worker is re-admitted only
+// after a fresh Sync catches it up past the fence. Results remain
+// bit-identical to the unsharded engine under every failure mode, because
+// all replicas hold the same space and partial results merge by row
+// range, not arrival order. Close the engine to tear the pool down.
+// Mutually exclusive with WithShards (the in-process variant).
+func WithRemoteWorkers(addrs ...string) EngineOption {
+	return func(ec *engineConfig) error {
+		if len(addrs) == 0 {
+			return errors.New("decaynet: WithRemoteWorkers needs at least one address")
+		}
+		ec.remoteAddrs = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// withRemoteTweak adjusts the remote pool's configuration (timeouts,
+// backoff, fault injection) before it dials. Test seam; exported to the
+// package's tests via export_test.go.
+func withRemoteTweak(tweak func(*remote.PoolConfig)) EngineOption {
+	return func(ec *engineConfig) error {
+		ec.remoteTweak = tweak
+		return nil
+	}
+}
+
 // WithMutationTracking pre-arms the incremental session machinery: exact
 // ζ/ϕ computations build their per-row trackers immediately, so even the
 // first Update repairs instead of invalidating. Without the option the
@@ -334,12 +381,35 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	// invalidation after any mutation re-routes through it, even when the
 	// session started from an analytically known ζ.
 	sysOpts := []Option{WithBeta(ec.beta), WithNoise(ec.noise), sinr.WithZetaCtxFunc(e.computeZeta)}
+	if ec.shards > 0 && len(ec.remoteAddrs) > 0 {
+		return nil, errors.New("decaynet: WithShards and WithRemoteWorkers are mutually exclusive")
+	}
 	if ec.shards > 0 {
 		coord, err := shard.New(dense, 1e-12, ec.shards)
 		if err != nil {
 			return nil, err
 		}
 		e.coord = coord
+	}
+	if len(ec.remoteAddrs) > 0 {
+		cfg := remote.PoolConfig{Addrs: ec.remoteAddrs}
+		if ec.remoteTweak != nil {
+			ec.remoteTweak(&cfg)
+		}
+		pool, err := remote.NewPool(cfg, dense, 1e-12)
+		if err != nil {
+			return nil, err
+		}
+		coord, err := shard.NewWithWorkers(pool.Replica(), pool.Workers())
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		e.pool = pool
+		e.coord = coord
+	}
+	if e.coord != nil {
+		coord := e.coord
 		sysOpts = append(sysOpts, sinr.WithAffectanceCtxFunc(
 			func(ctx context.Context, s *System, p Power) (*Affectances, error) {
 				return sinr.ComputeAffectancesSharded(ctx, s, p, coord)
@@ -409,6 +479,29 @@ func (e *Engine) Shards() int {
 		return 0
 	}
 	return e.coord.Shards()
+}
+
+// RemoteWorkers returns the number of remote worker slots the session
+// fans out to (WithRemoteWorkers), or 0 for a local engine.
+func (e *Engine) RemoteWorkers() int {
+	if e.pool == nil {
+		return 0
+	}
+	return e.coord.Shards()
+}
+
+// Close releases the engine's external resources — the remote worker
+// connections and heartbeat monitor of a WithRemoteWorkers session. It is
+// a no-op for local engines. The engine must not be used after Close.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pool == nil {
+		return nil
+	}
+	err := e.pool.Close()
+	e.pool = nil
+	return err
 }
 
 // System returns the underlying sinr System (shares all caches). Direct

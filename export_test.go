@@ -1,0 +1,17 @@
+package decaynet
+
+import "decaynet/internal/shard/remote"
+
+// WithRemoteTweak exposes the remote pool configuration seam to the
+// package's tests: the fault-injection equivalence wall shrinks timeouts
+// and wraps transports with the deterministic fault injector through it.
+var WithRemoteTweak = withRemoteTweak
+
+// RemotePoolStats returns the recovery counters of a WithRemoteWorkers
+// session (zero for local engines).
+func (e *Engine) RemotePoolStats() remote.Stats {
+	if e.pool == nil {
+		return remote.Stats{}
+	}
+	return e.pool.Stats()
+}

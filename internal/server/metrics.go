@@ -34,6 +34,8 @@ type metrics struct {
 	evicted uint64
 	// drainRejected counts requests shed with 503 while draining.
 	drainRejected uint64
+	// panics counts handler panics recovered into 500s.
+	panics uint64
 	// draining is 1 once drain has begun.
 	draining int64
 }
@@ -99,6 +101,12 @@ func (m *metrics) incDrainRejected() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) incPanics() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
 func (m *metrics) setDraining() {
 	m.mu.Lock()
 	m.draining = 1
@@ -155,5 +163,6 @@ func (m *metrics) render(sb *strings.Builder) {
 	counter("decaynetd_admission_rejected_total", "Requests shed by token-bucket admission control.", m.admissionRejected)
 	counter("decaynetd_sessions_evicted_total", "Sessions evicted by per-tenant quotas.", m.evicted)
 	counter("decaynetd_drain_rejected_total", "Requests shed with 503 during drain.", m.drainRejected)
+	counter("decaynetd_panics_total", "Handler panics recovered into 500 responses.", m.panics)
 	gauge("decaynetd_draining", "1 once graceful drain has begun.", m.draining)
 }

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// panicSession is a stubSession whose zeta read panics: it stands in for
+// a handler bug or a poisoned engine state reached through a request.
+type panicSession struct {
+	stubSession
+}
+
+func (s *panicSession) ZetaCtx(context.Context) (float64, error) {
+	panic("zeta scan exploded")
+}
+
+// TestPanicRecovery proves a panicking handler is converted into a 500,
+// counted in decaynetd_panics_total, and does not take the server down:
+// subsequent requests — including on the same session — still succeed.
+func TestPanicRecovery(t *testing.T) {
+	var logged []string
+	s := newTestServer(t, Config{
+		Build: func(_ context.Context, req *CreateRequest) (Session, error) {
+			return &panicSession{stubSession{name: req.Scenario}}, nil
+		},
+		Logf: func(format string, args ...any) {
+			logged = append(logged, format)
+		},
+	})
+	id := createSession(t, s, "")
+
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	rec := call(t, s, "GET", "/v1/sessions/"+id+"/zeta", "", "", &apiErr)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking route: %d %s, want 500", rec.Code, rec.Body.String())
+	}
+	if apiErr.Error != "internal error" {
+		t.Fatalf("panicking route body: %q", rec.Body.String())
+	}
+
+	// The server must still be fully alive: a healthy route on the same
+	// session, and a second create, both work.
+	var info SessionInfo
+	if rec := call(t, s, "GET", "/v1/sessions/"+id, "", "", &info); rec.Code != 200 {
+		t.Fatalf("healthy route after panic: %d", rec.Code)
+	}
+	if id2 := createSession(t, s, ""); id2 == "" {
+		t.Fatal("create after panic failed")
+	}
+
+	body := call(t, s, "GET", "/metrics", "", "", nil).Body.String()
+	for _, want := range []string{
+		"decaynetd_panics_total 1",
+		`decaynetd_requests_total{route="zeta",code="500"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "panic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("panic was not logged")
+	}
+
+	// In-flight accounting must be balanced after the recovered panic:
+	// drain would otherwise wait forever on a request that already finished.
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("inflight waitgroup unbalanced after recovered panic")
+	}
+}
+
+// TestPanicAfterHeadersSent covers the half-written case: once a handler
+// has started the response body, recover can only count and log — it must
+// not attempt a second WriteHeader.
+func TestPanicAfterHeadersSent(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.mux.HandleFunc("GET /boom", s.instrument("boom", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("partial"))
+		panic("after headers")
+	}))
+
+	rec := call(t, s, "GET", "/boom", "", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status rewritten after headers sent: %d", rec.Code)
+	}
+	if got := rec.Body.String(); got != "partial" {
+		t.Fatalf("body = %q, want the partial write only", got)
+	}
+
+	body := call(t, s, "GET", "/metrics", "", "", nil).Body.String()
+	for _, want := range []string{
+		"decaynetd_panics_total 1",
+		`decaynetd_requests_total{route="boom",code="500"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -219,19 +220,40 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			// Panic recovery: a handler panic must cost one 500, a log
+			// line and a metric — not the connection and the daemon's
+			// crash-loop budget. Re-panicking would let net/http kill the
+			// connection with no response at all.
+			if rec := recover(); rec != nil {
+				s.met.incPanics()
+				s.logf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+				sw.code = http.StatusInternalServerError
+			}
+			s.met.observe(route, sw.code, time.Since(start).Seconds())
+		}()
 		h(sw, r)
-		s.met.observe(route, sw.code, time.Since(start).Seconds())
 	}
 }
 
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool // headers sent: a recovered panic can no longer write a 500
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // Draining reports whether graceful drain has begun.

@@ -1,0 +1,259 @@
+// Package remote is the cross-machine shard transport: a length-prefixed
+// JSON-over-TCP protocol carrying the shard.Worker job/result structs
+// between a coordinator and remote worker processes, each holding its own
+// replica of the session's dense decay space.
+//
+// The package has three layers:
+//
+//   - the wire protocol (this file + client.go + server.go): framed
+//     request/response exchanges multiplexed over one TCP connection, with
+//     a Sync handshake shipping a full-space snapshot to a (re)joining
+//     worker and version-stamped Mutate batches keeping replicas current —
+//     every scan request carries the coordinator's replica version and a
+//     worker whose replica is behind answers with a typed stale-version
+//     error instead of scanning stale state;
+//
+//   - the fault-tolerance layer (pool.go): a Pool of remote workers whose
+//     per-slot robust workers enforce per-job deadlines, retry transient
+//     failures with capped exponential backoff plus jitter, declare a
+//     worker dead after repeated failures and reassign its row-range job
+//     to surviving workers — or compute it locally on the coordinator's
+//     own replica as graceful degradation — and re-admit a rejoining
+//     worker only after a fresh Sync has caught it up past the version
+//     fence. Results stay bit-identical under every failure because all
+//     replicas hold the same space and the coordinator merges partials by
+//     row range, not arrival order;
+//
+//   - the fault-injection harness (fault.go): a deterministic seeded
+//     Transport wrapper injecting drops, delays, error returns,
+//     stale-version replies and mid-job connection crashes, driving the
+//     remote equivalence wall.
+//
+// Float arrays on the wire (space snapshots, mutation rows, affectance
+// inputs/blocks) are encoded as base64 of their little-endian IEEE-754
+// bits rather than decimal JSON numbers: bit-exact round-trips by
+// construction (the equivalence wall's contract), ±Inf-safe (affectance
+// factors of dead links), and about half the bytes of shortest-decimal
+// encoding.
+package remote
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"decaynet/internal/shard"
+)
+
+// Protocol methods. Scan methods mirror shard.Worker one-to-one.
+const (
+	methodSync   = "sync"
+	methodMutate = "mutate"
+	methodPing   = "ping"
+	methodCancel = "cancel"
+
+	methodZetaMax      = "zeta_max"
+	methodZetaBand     = "zeta_band"
+	methodZetaRepair   = "zeta_repair"
+	methodVarphiMax    = "varphi_max"
+	methodVarphiBand   = "varphi_band"
+	methodVarphiRepair = "varphi_repair"
+	methodAffRows      = "aff_rows"
+)
+
+// Error kinds a worker can answer with. The pool maps them to recovery
+// actions: stale_version and no_replica trigger a Sync and a retry, the
+// rest count as job failures toward declaring the worker dead.
+const (
+	// KindStale: the worker's replica version doesn't match the version
+	// stamped on the request — it missed a mutation batch (or the
+	// coordinator restarted). The worker must be re-synced past the fence
+	// before it may serve scans again.
+	KindStale = "stale_version"
+	// KindNoReplica: the worker has no replica yet (a late joiner that
+	// never completed the Sync handshake).
+	KindNoReplica = "no_replica"
+	// KindBadRequest: the request was malformed (undecodable job, unknown
+	// method, out-of-range rows).
+	KindBadRequest = "bad_request"
+	// KindCancelled: the job's context was cancelled server-side.
+	KindCancelled = "cancelled"
+	// KindInternal: the scan itself failed.
+	KindInternal = "internal"
+)
+
+// Error is a typed worker-side failure carried over the wire.
+type Error struct {
+	Kind string
+	Msg  string
+}
+
+func (e *Error) Error() string { return "remote: " + e.Kind + ": " + e.Msg }
+
+// NeedsSync reports whether err is a worker-side answer that a fresh Sync
+// handshake would cure: a stale replica or no replica at all.
+func NeedsSync(err error) bool {
+	var re *Error
+	if errors.As(err, &re) {
+		return re.Kind == KindStale || re.Kind == KindNoReplica
+	}
+	return false
+}
+
+// request is one framed call. ID 0 is reserved for fire-and-forget frames
+// (cancel), which get no response.
+type request struct {
+	ID      uint64          `json:"id"`
+	Method  string          `json:"method"`
+	Version uint64          `json:"v,omitempty"`
+	Job     json.RawMessage `json:"job,omitempty"`
+}
+
+// response answers the request with the matching ID.
+type response struct {
+	ID     uint64          `json:"id"`
+	Kind   string          `json:"kind,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Floats is a []float64 that marshals as base64 little-endian IEEE-754
+// bits: bit-exact (no decimal round-trip), ±Inf/NaN-safe, and compact.
+type Floats []float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Floats) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 8*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	out := make([]byte, 2+base64.StdEncoding.EncodedLen(len(raw)))
+	out[0] = '"'
+	base64.StdEncoding.Encode(out[1:], raw)
+	out[len(out)-1] = '"'
+	return out, nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Floats) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("remote: float array is not a base64 string: %w", err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("remote: float array base64: %w", err)
+	}
+	if len(raw)%8 != 0 {
+		return fmt.Errorf("remote: float array payload is %d bytes, not a multiple of 8", len(raw))
+	}
+	vals := make([]float64, len(raw)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	*f = vals
+	return nil
+}
+
+// SyncJob is the full-space snapshot handshake: the coordinator ships its
+// dense matrix and replica version to a (re)joining worker, which rebuilds
+// its replica from scratch. Tol is the ζ bisection tolerance the worker's
+// scan states must use (it parameterizes the root solve, so differing
+// tolerances would break bit-identity).
+type SyncJob struct {
+	N       int     `json:"n"`
+	Tol     float64 `json:"tol"`
+	Version uint64  `json:"version"`
+	Flat    Floats  `json:"flat"`
+}
+
+// RowEdit carries one updated row (or column) of the dense space.
+type RowEdit struct {
+	Index int    `json:"i"`
+	Vals  Floats `json:"vals"`
+}
+
+// MutateJob ships one applied session mutation to a worker replica,
+// fenced on the replica version: the worker applies it only when its
+// version equals BaseVersion, answering KindStale otherwise (it missed an
+// earlier batch and must re-Sync). Rows hold the full post-mutation values
+// of every dirty row; Cols the full post-mutation values of every dirty
+// column (empty when RowsOnly). After applying, the worker patches its
+// scan states exactly as the coordinator-side tracker patches its own.
+type MutateJob struct {
+	BaseVersion uint64    `json:"base_version"`
+	Version     uint64    `json:"version"`
+	Rows        []RowEdit `json:"rows,omitempty"`
+	Cols        []RowEdit `json:"cols,omitempty"`
+	Dirty       []int     `json:"dirty"`
+	RowsOnly    bool      `json:"rows_only"`
+}
+
+// PingResult answers a heartbeat with the worker's replica version (0 when
+// it has no replica yet).
+type PingResult struct {
+	Version uint64 `json:"version"`
+	Synced  bool   `json:"synced"`
+}
+
+// cancelJob asks the worker to cancel the in-flight request with ID.
+type cancelJob struct {
+	ID uint64 `json:"id"`
+}
+
+// affJob mirrors shard.AffectanceJob with bit-exact float encoding (the
+// noise factors of dead links are +Inf, which encoding/json rejects).
+type affJob struct {
+	Links  shard.Range `json:"links"`
+	Factor Floats      `json:"factor"`
+	Power  Floats      `json:"power"`
+	Recv   []int       `json:"recv"`
+	Send   []int       `json:"send"`
+}
+
+// affBlock mirrors shard.AffectanceBlock (same reasoning).
+type affBlock struct {
+	Lo   int    `json:"lo"`
+	Rows Floats `json:"rows"`
+}
+
+// DefaultMaxFrame bounds a single frame (1 GiB): a full-space snapshot at
+// n = 8192 is ~720 MB encoded, the largest payload the dense tier ships.
+const DefaultMaxFrame = 1 << 30
+
+// writeFrame marshals v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body, rejecting frames larger
+// than maxFrame.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("remote: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

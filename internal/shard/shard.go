@@ -192,6 +192,28 @@ func (r *Replica) InvalidateVarphi() {
 	r.vs = nil
 }
 
+// M returns the dense space the replica scans. Mutating it without a
+// matching Patch leaves the scan states stale — the session layer owns
+// that discipline.
+func (r *Replica) M() *core.Matrix { return r.m }
+
+// Patch refreshes whichever scan states have been built after the
+// underlying matrix mutated on the dirty rows (and, unless rowsOnly,
+// columns) — the replica-side half of a session repair. A remote worker
+// applies a shipped mutation batch to its matrix and then calls Patch, so
+// its subsequent range scans see exactly the state an in-process repair
+// would. Callers serialize Patch against range scans.
+func (r *Replica) Patch(dirty []int, rowsOnly bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.zs != nil {
+		r.zs.PatchRows(dirty, rowsOnly)
+	}
+	if r.vs != nil {
+		r.vs.PatchRows(dirty, rowsOnly)
+	}
+}
+
 // localWorker is the in-process Worker: serial scans over the shared
 // replica. Its parallelism budget is exactly one goroutine — the
 // coordinator's fan-out supplies the concurrency — so K shards scale to K
@@ -256,6 +278,13 @@ func (w *localWorker) AffectanceRows(ctx context.Context, job AffectanceJob) (Af
 	return blk, nil
 }
 
+// NewLocalWorker wraps a replica as an in-process Worker: serial scans on
+// the calling goroutine, exactly the workers New builds. Exported so
+// transports can serve their replicas through the same code path (the
+// remote worker daemon) and so fault-tolerant pools can fall back to
+// coordinator-local computation when every remote worker is dead.
+func NewLocalWorker(rep *Replica) Worker { return &localWorker{rep: rep} }
+
 // dirtyMask builds the membership mask the repair scans consume.
 func dirtyMask(n int, dirty []int) []bool {
 	mask := make([]bool, n)
@@ -294,6 +323,27 @@ func New(m *core.Matrix, tol float64, k int) (*Coordinator, error) {
 		c.work = append(c.work, &localWorker{rep: rep})
 	}
 	return c, nil
+}
+
+// NewWithWorkers builds a coordinator over an explicit worker set — one
+// row-range shard per worker — sharing the given replica for the
+// coordinator-side state (tracker scan states, symmetry checks, local
+// fallback). The workers may be any Worker implementation: in-process
+// scanners, remote transport clients, or fault-tolerant wrappers that
+// reassign a dead worker's row range to survivors. Because every worker
+// computes with the same deterministic kernels over (replicas of) the same
+// space, and the coordinator merges partials by row range rather than
+// arrival order, results stay bit-identical to the unsharded scans no
+// matter which worker actually served each range.
+func NewWithWorkers(rep *Replica, workers []Worker) (*Coordinator, error) {
+	if rep == nil {
+		return nil, errors.New("shard: nil replica")
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("shard: no workers")
+	}
+	n := rep.M().N()
+	return &Coordinator{n: n, ranges: Split(n, len(workers)), work: append([]Worker(nil), workers...), rep: rep}, nil
 }
 
 // NewGrid builds a work-dispatch coordinator over [0, n) with no replica:
@@ -364,10 +414,10 @@ func (c *Coordinator) EachRange(ctx context.Context, n int, body func(ctx contex
 }
 
 // maxPhase fans a ScanJob over the shards and merges the partial maxima.
-func (c *Coordinator) maxPhase(ctx context.Context, sym bool, call func(w Worker, job ScanJob) (MaxResult, error), floor float64) (float64, error) {
+func (c *Coordinator) maxPhase(ctx context.Context, sym bool, call func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error), floor float64) (float64, error) {
 	maxes := make([]float64, len(c.work))
 	err := c.EachRange(ctx, c.n, func(ctx context.Context, i int, r Range) error {
-		res, err := call(c.work[i], ScanJob{Rows: r, Sym: sym})
+		res, err := call(ctx, c.work[i], ScanJob{Rows: r, Sym: sym})
 		if err != nil {
 			return err
 		}
@@ -388,10 +438,10 @@ func (c *Coordinator) maxPhase(ctx context.Context, sym bool, call func(w Worker
 
 // bandPhase fans a BandJob over the shards and concatenates the collected
 // bands in shard order (deterministic; no consumer depends on order).
-func (c *Coordinator) bandPhase(ctx context.Context, floor float64, call func(w Worker, job BandJob) (BandResult, error)) ([]core.BandTriplet, error) {
+func (c *Coordinator) bandPhase(ctx context.Context, floor float64, call func(ctx context.Context, w Worker, job BandJob) (BandResult, error)) ([]core.BandTriplet, error) {
 	parts := make([][]core.BandTriplet, len(c.work))
 	err := c.EachRange(ctx, c.n, func(ctx context.Context, i int, r Range) error {
-		res, err := call(c.work[i], BandJob{Rows: r, Floor: floor})
+		res, err := call(ctx, c.work[i], BandJob{Rows: r, Floor: floor})
 		if err != nil {
 			return err
 		}
@@ -410,10 +460,10 @@ func (c *Coordinator) bandPhase(ctx context.Context, floor float64, call func(w 
 
 // repairPhase fans a RepairJob over the shards and concatenates the
 // dirty-incident collections.
-func (c *Coordinator) repairPhase(ctx context.Context, dirty []int, rowsOnly bool, floor float64, call func(w Worker, job RepairJob) (BandResult, error)) ([]core.BandTriplet, error) {
+func (c *Coordinator) repairPhase(ctx context.Context, dirty []int, rowsOnly bool, floor float64, call func(ctx context.Context, w Worker, job RepairJob) (BandResult, error)) ([]core.BandTriplet, error) {
 	parts := make([][]core.BandTriplet, len(c.work))
 	err := c.EachRange(ctx, c.n, func(ctx context.Context, i int, r Range) error {
-		res, err := call(c.work[i], RepairJob{Rows: r, Dirty: dirty, RowsOnly: rowsOnly, Floor: floor})
+		res, err := call(ctx, c.work[i], RepairJob{Rows: r, Dirty: dirty, RowsOnly: rowsOnly, Floor: floor})
 		if err != nil {
 			return err
 		}
@@ -434,14 +484,14 @@ func (c *Coordinator) repairPhase(ctx context.Context, dirty []int, rowsOnly boo
 // merged with max — bit-identical to core.ZetaTol. Symmetric spaces scan
 // the halved triplet set, exactly as the unsharded kernel does.
 func (c *Coordinator) Zeta(ctx context.Context) (float64, error) {
-	return c.maxPhase(ctx, c.rep.m.Symmetric(), func(w Worker, job ScanJob) (MaxResult, error) {
+	return c.maxPhase(ctx, c.rep.m.Symmetric(), func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.ZetaMax(ctx, job)
 	}, core.DefaultZetaFloor)
 }
 
 // Varphi runs the sharded exact ϕ scan (see Zeta).
 func (c *Coordinator) Varphi(ctx context.Context) (float64, error) {
-	return c.maxPhase(ctx, c.rep.m.Symmetric(), func(w Worker, job ScanJob) (MaxResult, error) {
+	return c.maxPhase(ctx, c.rep.m.Symmetric(), func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.VarphiMax(ctx, job)
 	}, core.VarphiFloor)
 }
@@ -453,7 +503,7 @@ func (c *Coordinator) Varphi(ctx context.Context) (float64, error) {
 // back through them.
 func (c *Coordinator) ZetaTracker(ctx context.Context) (*core.ZetaTracker, error) {
 	st := c.rep.ZetaState()
-	zmax, err := c.maxPhase(ctx, false, func(w Worker, job ScanJob) (MaxResult, error) {
+	zmax, err := c.maxPhase(ctx, false, func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.ZetaMax(ctx, job)
 	}, core.DefaultZetaFloor)
 	if err != nil {
@@ -461,7 +511,7 @@ func (c *Coordinator) ZetaTracker(ctx context.Context) (*core.ZetaTracker, error
 	}
 	var band []core.BandTriplet
 	if zmax > core.DefaultZetaFloor {
-		band, err = c.bandPhase(ctx, core.ZetaBandFloor(zmax), func(w Worker, job BandJob) (BandResult, error) {
+		band, err = c.bandPhase(ctx, core.ZetaBandFloor(zmax), func(ctx context.Context, w Worker, job BandJob) (BandResult, error) {
 			return w.ZetaBand(ctx, job)
 		})
 		if err != nil {
@@ -474,7 +524,7 @@ func (c *Coordinator) ZetaTracker(ctx context.Context) (*core.ZetaTracker, error
 // VarphiTracker is ZetaTracker's ϕ analogue.
 func (c *Coordinator) VarphiTracker(ctx context.Context) (*core.VarphiTracker, error) {
 	st := c.rep.VarphiState()
-	vmax, err := c.maxPhase(ctx, false, func(w Worker, job ScanJob) (MaxResult, error) {
+	vmax, err := c.maxPhase(ctx, false, func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.VarphiMax(ctx, job)
 	}, core.VarphiFloor)
 	if err != nil {
@@ -482,7 +532,7 @@ func (c *Coordinator) VarphiTracker(ctx context.Context) (*core.VarphiTracker, e
 	}
 	var band []core.BandTriplet
 	if vmax > core.VarphiFloor {
-		band, err = c.bandPhase(ctx, core.VarphiBandFloor(vmax), func(w Worker, job BandJob) (BandResult, error) {
+		band, err = c.bandPhase(ctx, core.VarphiBandFloor(vmax), func(ctx context.Context, w Worker, job BandJob) (BandResult, error) {
 			return w.VarphiBand(ctx, job)
 		})
 		if err != nil {
@@ -500,7 +550,7 @@ func (c *Coordinator) VarphiTracker(ctx context.Context) (*core.VarphiTracker, e
 // two-phase rescan. Bit-identical to ZetaTracker.Repair.
 func (c *Coordinator) RepairZeta(ctx context.Context, t *core.ZetaTracker, dirty []int, rowsOnly bool) (float64, error) {
 	t.PatchAndDrop(dirty, rowsOnly)
-	band, err := c.repairPhase(ctx, dirty, rowsOnly, t.Floor(), func(w Worker, job RepairJob) (BandResult, error) {
+	band, err := c.repairPhase(ctx, dirty, rowsOnly, t.Floor(), func(ctx context.Context, w Worker, job RepairJob) (BandResult, error) {
 		return w.ZetaRepair(ctx, job)
 	})
 	if err != nil {
@@ -510,7 +560,7 @@ func (c *Coordinator) RepairZeta(ctx context.Context, t *core.ZetaTracker, dirty
 	if !needRescan {
 		return z, nil
 	}
-	zmax, err := c.maxPhase(ctx, false, func(w Worker, job ScanJob) (MaxResult, error) {
+	zmax, err := c.maxPhase(ctx, false, func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.ZetaMax(ctx, job)
 	}, core.DefaultZetaFloor)
 	if err != nil {
@@ -518,7 +568,7 @@ func (c *Coordinator) RepairZeta(ctx context.Context, t *core.ZetaTracker, dirty
 	}
 	var full []core.BandTriplet
 	if zmax > core.DefaultZetaFloor {
-		full, err = c.bandPhase(ctx, core.ZetaBandFloor(zmax), func(w Worker, job BandJob) (BandResult, error) {
+		full, err = c.bandPhase(ctx, core.ZetaBandFloor(zmax), func(ctx context.Context, w Worker, job BandJob) (BandResult, error) {
 			return w.ZetaBand(ctx, job)
 		})
 		if err != nil {
@@ -532,7 +582,7 @@ func (c *Coordinator) RepairZeta(ctx context.Context, t *core.ZetaTracker, dirty
 // RepairVarphi is RepairZeta's ϕ analogue.
 func (c *Coordinator) RepairVarphi(ctx context.Context, t *core.VarphiTracker, dirty []int, rowsOnly bool) (float64, error) {
 	t.PatchAndDrop(dirty, rowsOnly)
-	band, err := c.repairPhase(ctx, dirty, rowsOnly, t.Floor(), func(w Worker, job RepairJob) (BandResult, error) {
+	band, err := c.repairPhase(ctx, dirty, rowsOnly, t.Floor(), func(ctx context.Context, w Worker, job RepairJob) (BandResult, error) {
 		return w.VarphiRepair(ctx, job)
 	})
 	if err != nil {
@@ -542,7 +592,7 @@ func (c *Coordinator) RepairVarphi(ctx context.Context, t *core.VarphiTracker, d
 	if !needRescan {
 		return v, nil
 	}
-	vmax, err := c.maxPhase(ctx, false, func(w Worker, job ScanJob) (MaxResult, error) {
+	vmax, err := c.maxPhase(ctx, false, func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.VarphiMax(ctx, job)
 	}, core.VarphiFloor)
 	if err != nil {
@@ -550,7 +600,7 @@ func (c *Coordinator) RepairVarphi(ctx context.Context, t *core.VarphiTracker, d
 	}
 	var full []core.BandTriplet
 	if vmax > core.VarphiFloor {
-		full, err = c.bandPhase(ctx, core.VarphiBandFloor(vmax), func(w Worker, job BandJob) (BandResult, error) {
+		full, err = c.bandPhase(ctx, core.VarphiBandFloor(vmax), func(ctx context.Context, w Worker, job BandJob) (BandResult, error) {
 			return w.VarphiBand(ctx, job)
 		})
 		if err != nil {

@@ -181,6 +181,12 @@ func (e *Engine) Update(m Mutation) error {
 	// --- Repair the cached products against the dirty node set. ---
 	if len(dirty) > 0 {
 		rowsOnly := len(m.Moves) == 0
+		if e.pool != nil {
+			// Ship the applied batch to the remote replicas before any
+			// repair fans out: repairs are version-fenced scans, and a
+			// worker still behind the fence would answer stale.
+			e.pool.ShipUpdate(dirty, rowsOnly)
+		}
 		e.repairMetricity(dirty, rowsOnly)
 		e.repairPhi(dirty, rowsOnly)
 		if !linksChanged {
