@@ -261,6 +261,14 @@ func runBench(outPath string, n int, large, serve bool, allocCheck string) error
 		return err
 	}
 
+	// Traffic-simulation hot paths: one event-loop step (heap pop +
+	// dispatch, amortized over a whole run) and one complete fixed-spec
+	// run (two classes, capacity policy, static topology so every
+	// iteration replays the identical event sequence).
+	if err := benchSim(record, n); err != nil {
+		return err
+	}
+
 	if large {
 		for _, ln := range []int{512, 1024} {
 			li, err := scenario.Build("random", scenario.Config{Nodes: ln, Seed: 7})
@@ -556,6 +564,63 @@ func benchEngineUpdate(record func(op string, size int, fn func()), n int) error
 		fresh.Zeta()
 		fresh.Affectances(p)
 		fresh.Capacity(p, nil)
+	})
+	return nil
+}
+
+// benchSim measures the discrete-event traffic simulator on a churn-base
+// instance with n nodes: "sim/step" is one event-loop step (arrival,
+// round boundary or completion — the per-event cost a long horizon
+// multiplies), "sim/run" a complete fixed-spec run including simulator
+// construction and the metrics fold. The spec carries no churn block, so
+// the engine never mutates and every iteration replays the identical
+// deterministic event sequence.
+func benchSim(record func(op string, size int, fn func()), n int) error {
+	links := n / 2
+	if links < 4 {
+		links = 4
+	}
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("churn", decaynet.ScenarioConfig{Links: links, Seed: 7}),
+		decaynet.Noise(0.0005),
+	)
+	if err != nil {
+		return err
+	}
+	spec := &decaynet.SimSpec{
+		Horizon:   0.25,
+		RoundTime: 0.005,
+		Seed:      42,
+		Policy:    "capacity",
+		Classes: []decaynet.SimClassSpec{
+			{Name: "web", Arrival: decaynet.SimArrivalSpec{Dist: "poisson", Rate: 400}, Deadline: 0.1},
+			{Name: "bulk", Arrival: decaynet.SimArrivalSpec{Dist: "weibull", Shape: 0.8, Scale: 0.01},
+				Demand: decaynet.SimDemandSpec{Dist: "uniform", Min: 1, Max: 3}},
+		},
+	}
+	s, err := decaynet.NewTrafficSim(eng, decaynet.SimConfig{Spec: spec})
+	if err != nil {
+		return err
+	}
+	record("sim/step", n, func() {
+		done, err := s.Step()
+		if err != nil {
+			panic(err)
+		}
+		if done {
+			if s, err = decaynet.NewTrafficSim(eng, decaynet.SimConfig{Spec: spec}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	record("sim/run", n, func() {
+		run, err := decaynet.NewTrafficSim(eng, decaynet.SimConfig{Spec: spec})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := run.Run(context.Background()); err != nil {
+			panic(err)
+		}
 	})
 	return nil
 }

@@ -1,0 +1,224 @@
+// Command decaysim runs the deterministic discrete-event traffic
+// simulator against a scenario-built engine: a JSON run file names the
+// scenario and radio parameters and embeds the workload spec
+// (per-class interarrival laws, demand sizes, deadlines, scheduling
+// policy, churn stream), and decaysim reports per-class sojourn
+// percentiles, goodput and the Jain fairness index as JSON (and
+// optionally CSV). Runs are byte-identical for equal run files —
+// across repetitions, across -shards overrides, and across
+// live-vs-replay execution — so piping -out through a digest is a
+// sound regression check.
+//
+// With -trace the per-event JSONL stream (arrivals, rounds, drops,
+// deadline expiries, churn batches) is recorded; -replay feeds such a
+// recording back and regenerates the identical run without consuming
+// any randomness.
+//
+// Usage:
+//
+//	decaysim -spec run.json
+//	decaysim -spec run.json -out metrics.json -csv metrics.csv
+//	decaysim -spec run.json -trace events.jsonl
+//	decaysim -spec run.json -replay events.jsonl -out replayed.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"decaynet"
+	"decaynet/internal/buildinfo"
+)
+
+// runFile is the on-disk run description: how to build the session plus
+// the workload to offer it. The sim block is the same sim.Spec the
+// decaynetd simulate route accepts.
+type runFile struct {
+	// Scenario names the registered instance source ("churn", "office",
+	// "plane", ...; default "churn" — the only base whose churn stream a
+	// sim churn block can mirror).
+	Scenario string `json:"scenario,omitempty"`
+	// Config parameterizes the scenario build.
+	Config scenarioParams `json:"config,omitempty"`
+	// Beta is the SINR threshold β (0 = default 1); Noise the ambient N.
+	Beta  float64 `json:"beta,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+	// Shards routes heavy reductions through WithShards(k) when positive.
+	Shards int `json:"shards,omitempty"`
+	// Sim is the workload spec (see internal/sim.Spec).
+	Sim json.RawMessage `json:"sim"`
+}
+
+// scenarioParams mirrors scenario.Config on the wire with the same field
+// names decaynetd uses; Path additionally admits file-backed scenarios,
+// which a local CLI — unlike the server — can safely read.
+type scenarioParams struct {
+	Links   int                `json:"links,omitempty"`
+	Nodes   int                `json:"nodes,omitempty"`
+	Seed    uint64             `json:"seed,omitempty"`
+	Alpha   float64            `json:"alpha,omitempty"`
+	SigmaDB float64            `json:"sigma_db,omitempty"`
+	Side    float64            `json:"side,omitempty"`
+	Path    string             `json:"path,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+}
+
+func (p scenarioParams) config() decaynet.ScenarioConfig {
+	return decaynet.ScenarioConfig{
+		Links:   p.Links,
+		Nodes:   p.Nodes,
+		Seed:    p.Seed,
+		Alpha:   p.Alpha,
+		SigmaDB: p.SigmaDB,
+		Side:    p.Side,
+		Path:    p.Path,
+		Params:  p.Params,
+	}
+}
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "run file: scenario + radio parameters + sim spec (required)")
+		outPath   = flag.String("out", "", "write the metrics JSON here (default stdout)")
+		csvPath   = flag.String("csv", "", "also write the per-class metrics as CSV here")
+		tracePath = flag.String("trace", "", "record the JSONL event trace here")
+		replay    = flag.String("replay", "", "replay a recorded event trace instead of running live")
+		shards    = flag.Int("shards", 0, "override the run file's shard count (0 = keep)")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "decaysim")
+		return
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "decaysim: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*specPath, *outPath, *csvPath, *tracePath, *replay, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "decaysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, outPath, csvPath, tracePath, replayPath string, shards int) error {
+	rf, spec, err := loadRunFile(specPath)
+	if err != nil {
+		return err
+	}
+	if shards > 0 {
+		rf.Shards = shards
+	}
+
+	eng, err := buildEngine(rf)
+	if err != nil {
+		return fmt.Errorf("build engine: %w", err)
+	}
+	defer eng.Close()
+
+	cfg := decaynet.SimConfig{Spec: spec}
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			return err
+		}
+		events, err := decaynet.ReadSimTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("read trace %s: %w", replayPath, err)
+		}
+		cfg.Replay = events
+	}
+
+	var trace bytes.Buffer
+	if tracePath != "" {
+		cfg.Trace = &trace
+	}
+
+	res, err := eng.Simulate(context.Background(), cfg)
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, trace.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(csvPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return writeResult(outPath, res)
+}
+
+// loadRunFile strictly decodes the run file and its embedded sim spec, so
+// a typo'd knob fails loudly instead of silently simulating the default.
+func loadRunFile(path string) (*runFile, *decaynet.SimSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rf runFile
+	if err := dec.Decode(&rf); err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, nil, fmt.Errorf("parse %s: trailing data after run file", path)
+	}
+	if len(rf.Sim) == 0 {
+		return nil, nil, fmt.Errorf("%s: missing \"sim\" workload block", path)
+	}
+	spec, err := decaynet.DecodeSimSpec(rf.Sim)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: sim block: %w", path, err)
+	}
+	if rf.Scenario == "" {
+		rf.Scenario = "churn"
+	}
+	return &rf, spec, nil
+}
+
+func buildEngine(rf *runFile) (*decaynet.Engine, error) {
+	opts := []decaynet.EngineOption{
+		decaynet.UsingScenario(rf.Scenario, rf.Config.config()),
+	}
+	if rf.Beta > 0 {
+		opts = append(opts, decaynet.Beta(rf.Beta))
+	}
+	if rf.Noise != 0 {
+		opts = append(opts, decaynet.Noise(rf.Noise))
+	}
+	if rf.Shards > 0 {
+		opts = append(opts, decaynet.WithShards(rf.Shards))
+	}
+	return decaynet.NewEngine(opts...)
+}
+
+// writeResult emits the metrics as deterministic indented JSON: equal
+// runs produce byte-equal files, so digest comparison is meaningful.
+func writeResult(path string, res *decaynet.SimResult) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -11,6 +11,7 @@ import (
 
 	"decaynet/internal/core"
 	"decaynet/internal/rng"
+	"decaynet/internal/sinr"
 )
 
 // Params are the radio parameters shared by all nodes in a simulation.
@@ -64,41 +65,13 @@ func (s *Sim) Space() core.Space { return s.space }
 // (half-duplex). The returned map is listener → sender for successful
 // decodes (at most one sender can clear β > 1 at a listener; for β = 1
 // ties are broken toward the strongest signal).
+//
+// The decode predicate is the shared sinr.Clears/sinr.Receptions helper, so
+// the slotted rounds here, the link-level feasibility probes in
+// internal/schedule and the traffic simulator in internal/sim all apply the
+// identical SINR threshold semantics.
 func (s *Sim) Receptions(transmitters []int) map[int]int {
-	isTx := make(map[int]bool, len(transmitters))
-	for _, x := range transmitters {
-		isTx[x] = true
-	}
-	out := make(map[int]int)
-	n := s.space.N()
-	for z := 0; z < n; z++ {
-		if isTx[z] {
-			continue
-		}
-		totalPower := s.params.Noise
-		bestSender, bestSignal := -1, 0.0
-		for _, x := range transmitters {
-			sig := s.params.Power / s.space.F(x, z)
-			totalPower += sig
-			if sig > bestSignal {
-				bestSender, bestSignal = x, sig
-			}
-		}
-		if bestSender < 0 {
-			continue
-		}
-		interference := totalPower - bestSignal
-		if interference <= 0 {
-			if s.params.Noise == 0 {
-				out[z] = bestSender
-			}
-			continue
-		}
-		if bestSignal/interference >= s.params.Beta {
-			out[z] = bestSender
-		}
-	}
-	return out
+	return sinr.Receptions(s.space, s.params.Power, s.params.Noise, s.params.Beta, transmitters)
 }
 
 // Neighborhood returns the nodes within decay radius of z (excluding z):

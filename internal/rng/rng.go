@@ -95,6 +95,39 @@ func (s *Source) Exp(lambda float64) float64 {
 	return -math.Log(u) / lambda
 }
 
+// Gamma returns a Gamma(shape, scale) sample (mean shape·scale) via the
+// Marsaglia-Tsang squeeze method, with the standard shape<1 boost
+// Gamma(a) = Gamma(a+1)·U^(1/a). Used for bursty interarrival mixes whose
+// coefficient of variation differs from the exponential's.
+func (s *Source) Gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		u := 1 - s.Float64() // (0,1]: keeps the boost factor finite
+		return s.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - s.Float64()
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, scale) sample by inversion:
+// scale · (−ln U)^(1/shape). shape < 1 gives heavy-tailed interarrivals,
+// shape > 1 regular ones; shape = 1 is Exp(1/scale).
+func (s *Source) Weibull(shape, scale float64) float64 {
+	u := 1 - s.Float64()
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
 // Perm returns a uniform random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

@@ -140,6 +140,69 @@ func TestExpMean(t *testing.T) {
 	}
 }
 
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 2.0}, {1.0, 1.5}, {2.5, 0.8}, {9.0, 1.0},
+	} {
+		s := New(37)
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := s.Gamma(tc.shape, tc.scale)
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Gamma(%v,%v) produced %v", tc.shape, tc.scale, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		wantMean := tc.shape * tc.scale
+		if math.Abs(mean-wantMean)/wantMean > 0.03 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ~%v", tc.shape, tc.scale, mean, wantMean)
+		}
+		variance := sumSq/n - mean*mean
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(variance-wantVar)/wantVar > 0.08 {
+			t.Errorf("Gamma(%v,%v) variance = %v, want ~%v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.7, 1.0}, {1.0, 2.0}, {2.0, 1.5},
+	} {
+		s := New(41)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := s.Weibull(tc.shape, tc.scale)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Weibull(%v,%v) produced %v", tc.shape, tc.scale, v)
+			}
+			sum += v
+		}
+		got := sum / n
+		want := tc.scale * math.Gamma(1+1/tc.shape)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("Weibull(%v,%v) mean = %v, want ~%v", tc.shape, tc.scale, got, want)
+		}
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	// shape=1 reduces Weibull to Exp(1/scale) and both use the same
+	// inversion, so the streams must agree sample-for-sample.
+	a, b := New(43), New(43)
+	for i := 0; i < 100; i++ {
+		w := a.Weibull(1, 2.0)
+		e := b.Exp(0.5)
+		if math.Abs(w-e) > 1e-12*math.Max(w, e) {
+			t.Fatalf("Weibull(1,2) = %v diverged from Exp(0.5) = %v", w, e)
+		}
+	}
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	s := New(29)
 	for _, n := range []int{0, 1, 2, 10, 100} {

@@ -17,6 +17,7 @@ import (
 
 	"decaynet/internal/core"
 	"decaynet/internal/scenario"
+	"decaynet/internal/sim"
 	"decaynet/internal/sinr"
 )
 
@@ -45,6 +46,7 @@ type Session interface {
 	UniformPower(float64) sinr.Power
 	LinearPower(float64) sinr.Power
 	MeanPower(float64) sinr.Power
+	Simulate(context.Context, sim.Config) (*sim.Result, error)
 	MetricityApproximate() (bool, int)
 	ZetaEstimate() (core.SampledEstimate, bool)
 	PhiEstimate() (core.SampledEstimate, bool)
@@ -163,6 +165,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/affectance", api("affectance", s.handleAffectance))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/capacity", api("capacity", s.handleCapacity))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", api("schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/simulate", api("simulate", s.handleSimulate))
 	// Probes and metrics bypass admission control and drain shedding: a
 	// draining daemon must keep answering its orchestrator.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -529,6 +532,37 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"version": ver})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	ls := s.session(w, r)
+	if ls == nil {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, err := sim.DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The simulator is the session's single writer for the whole run (a
+	// churned spec applies mutation batches through Update), so hold the
+	// writer lock end to end: concurrent mutation batches would otherwise
+	// interleave with the simulated churn stream. Readers stay unblocked —
+	// they serialize inside the session itself.
+	ls.mu.Lock()
+	res, err := ls.sess.Simulate(r.Context(), sim.Config{Spec: spec})
+	ver := ls.sess.Version()
+	ls.mu.Unlock()
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"result": res, "version": ver})
 }
 
 // estimateJSON is the wire form of a sampled ζ/ϕ concentration summary.

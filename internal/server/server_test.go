@@ -14,6 +14,7 @@ import (
 
 	"decaynet/internal/core"
 	"decaynet/internal/scenario"
+	"decaynet/internal/sim"
 	"decaynet/internal/sinr"
 )
 
@@ -67,6 +68,15 @@ func (s *stubSession) ScheduleCtx(ctx context.Context, _ sinr.Power, _ []int) ([
 func (s *stubSession) UniformPower(p float64) sinr.Power { return sinr.Power{p, p} }
 func (s *stubSession) LinearPower(p float64) sinr.Power  { return sinr.Power{p, p} }
 func (s *stubSession) MeanPower(p float64) sinr.Power    { return sinr.Power{p, p} }
+func (s *stubSession) Simulate(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &sim.Result{
+		Horizon: cfg.Spec.Horizon,
+		Classes: []sim.ClassResult{{Name: "stub"}},
+	}, nil
+}
 func (s *stubSession) MetricityApproximate() (bool, int) { return false, 0 }
 func (s *stubSession) ZetaEstimate() (core.SampledEstimate, bool) {
 	return core.SampledEstimate{}, false

@@ -21,6 +21,7 @@
 //	GET    /v1/sessions/{id}/affectance affectance row (?link=w, power knobs)
 //	GET    /v1/sessions/{id}/capacity   Algorithm 1 pick (power knobs)
 //	GET    /v1/sessions/{id}/schedule   feasible slot schedule (power knobs)
+//	POST   /v1/sessions/{id}/simulate   traffic simulation (sim.Spec body)
 //	GET    /healthz, /readyz, /metrics  probes and metrics
 //
 // Tenancy is by the X-Decaynet-Tenant header ("default" when absent); a

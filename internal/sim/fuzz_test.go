@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeSimSpec asserts the workload-spec decoder's contract under
+// arbitrary input: never panic, all-or-nothing validation (an error means
+// no spec), and an accepted spec marshals back to bytes that decode to the
+// same spec (marshal→decode is a fixed point).
+func FuzzDecodeSimSpec(f *testing.F) {
+	seeds := []string{
+		validSpecJSON(),
+		`{"horizon":1,"classes":[{"arrival":{"dist":"poisson","rate":10}}]}`,
+		`{"horizon":2.5,"round_time":0.05,"seed":9,"policy":"backlog","power":"mean","scale":0.5,"max_queue":4,"classes":[{"name":"a","arrival":{"dist":"weibull","shape":1.5,"scale":0.1},"demand":{"dist":"fixed","units":2}}]}`,
+		`{"horizon":1,"classes":[{"arrival":{"dist":"gamma","shape":0.5,"scale":1},"links":[0,1,2],"deadline":0.25}],"churn":{"every":0.1,"links":8,"params":{"linkrate":0.5}}}`,
+		`{"horizon":1e309,"classes":[{"arrival":{"dist":"poisson","rate":1}}]}`,
+		`{"horizon":1,"classes":[{"arrival":{"dist":"poisson","rate":1}}]}{"horizon":2}`,
+		`{"horizon":1,"classes":[],"policy":"nope"}`,
+		`{}`,
+		`[]`,
+		`null`,
+		`{"horizon":1,"classes":[{"arrival":{"dist":"poisson","rate":-5}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeSpec(data)
+		if err != nil {
+			if sp != nil {
+				t.Fatal("error with a non-nil spec")
+			}
+			return
+		}
+		if sp == nil {
+			t.Fatal("no error and no spec")
+		}
+		b, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		sp2, err := DecodeSpec(b)
+		if err != nil {
+			t.Fatalf("marshal of accepted spec does not decode: %v\n%s", err, b)
+		}
+		b2, err := json.Marshal(sp2)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("marshal→decode is not a fixed point:\n%s\n%s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"decaynet/internal/capacity"
+	"decaynet/internal/sinr"
+)
+
+// Candidate describes one backlogged link at a round boundary — the
+// information a scheduling policy sees.
+type Candidate struct {
+	// Link is the link index in the session.
+	Link int
+	// Queued is the number of requests waiting on the link.
+	Queued int
+	// Backlog is the total remaining service demand (units) on the link.
+	Backlog int
+	// Waiting is the arrival time of the head-of-line request.
+	Waiting float64
+	// Deadline is the head-of-line request's absolute deadline, +Inf when
+	// it has none.
+	Deadline float64
+}
+
+// Policy picks the links that transmit in one round: it receives the
+// backlogged links (ascending link order) and must return a SINR-feasible
+// subset of their indices. The builtin policies guarantee feasibility by
+// construction; the simulator additionally discards picks that are not
+// backlogged candidates, so a misbehaving custom policy degrades service
+// but cannot corrupt the run.
+type Policy func(s *sinr.System, p sinr.Power, cands []Candidate) []int
+
+var (
+	policyMu  sync.RWMutex
+	policyReg = map[string]Policy{}
+)
+
+// RegisterPolicy adds a named scheduling policy. It panics on empty or
+// duplicate names, mirroring the scenario registry contract. Policies must
+// be deterministic functions of their arguments or replay equality breaks.
+func RegisterPolicy(name string, p Policy) {
+	if name == "" || p == nil {
+		panic("sim: RegisterPolicy with empty name or nil policy")
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policyReg[name]; dup {
+		panic(fmt.Sprintf("sim: RegisterPolicy called twice for %q", name))
+	}
+	policyReg[name] = p
+}
+
+// Policies lists the registered policy names, sorted.
+func Policies() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	out := make([]string, 0, len(policyReg))
+	for name := range policyReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func policyByName(name string) (Policy, bool) {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	p, ok := policyReg[name]
+	return p, ok
+}
+
+func init() {
+	// "firstfit" is the round-local adapter of schedule.FirstFit: the same
+	// decay-sorted greedy fill with the same allocation-free feasibility
+	// probe, applied to the backlogged links of one round instead of a
+	// whole multi-slot schedule.
+	RegisterPolicy("firstfit", firstFitPolicy)
+	// "capacity" is the round-local adapter of schedule.ByCapacity: every
+	// round is one Algorithm 1 pick over the backlogged links.
+	RegisterPolicy("capacity", capacityPolicy)
+	// "edf" is the SLO-aware policy: earliest head-of-line deadline first
+	// (ties to longest wait, then link order), greedily kept feasible.
+	RegisterPolicy("edf", edfPolicy)
+	// "backlog" drains the deepest queues first — a throughput heuristic
+	// that trades head-of-line latency for queue balance.
+	RegisterPolicy("backlog", backlogPolicy)
+}
+
+func candidateLinks(cands []Candidate) []int {
+	ids := make([]int, len(cands))
+	for i, c := range cands {
+		ids[i] = c.Link
+	}
+	return ids
+}
+
+// greedyFeasible keeps each link of order (in order) whose addition leaves
+// the set SINR-feasible — the exact probe the first-fit scheduler runs.
+func greedyFeasible(s *sinr.System, p sinr.Power, order []int) []int {
+	set := make([]int, 0, len(order))
+	for _, v := range order {
+		if sinr.IsFeasibleWith(s, p, set, v) {
+			set = append(set, v)
+		}
+	}
+	return set
+}
+
+func firstFitPolicy(s *sinr.System, p sinr.Power, cands []Candidate) []int {
+	ids := candidateLinks(cands)
+	sinr.SortByDecay(s, ids, make([]float64, s.Len()))
+	return greedyFeasible(s, p, ids)
+}
+
+func capacityPolicy(s *sinr.System, p sinr.Power, cands []Candidate) []int {
+	return capacity.Algorithm1(s, p, candidateLinks(cands))
+}
+
+func edfPolicy(s *sinr.System, p sinr.Power, cands []Candidate) []int {
+	order := slices.Clone(cands)
+	slices.SortFunc(order, func(a, b Candidate) int {
+		switch {
+		case a.Deadline != b.Deadline:
+			if a.Deadline < b.Deadline {
+				return -1
+			}
+			return 1
+		case a.Waiting != b.Waiting:
+			if a.Waiting < b.Waiting {
+				return -1
+			}
+			return 1
+		default:
+			return a.Link - b.Link
+		}
+	})
+	return greedyFeasible(s, p, candidateLinks(order))
+}
+
+func backlogPolicy(s *sinr.System, p sinr.Power, cands []Candidate) []int {
+	order := slices.Clone(cands)
+	slices.SortFunc(order, func(a, b Candidate) int {
+		if a.Backlog != b.Backlog {
+			return b.Backlog - a.Backlog
+		}
+		return a.Link - b.Link
+	})
+	return greedyFeasible(s, p, candidateLinks(order))
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Result is the structured outcome of a simulation run. All fields are
+// deterministic functions of (session state, spec), so marshaling a Result
+// yields byte-identical JSON across runs with the same inputs.
+type Result struct {
+	// Horizon echoes the spec's simulated duration.
+	Horizon float64 `json:"horizon"`
+	// Rounds is the number of transmission rounds started.
+	Rounds int `json:"rounds"`
+	// Arrivals..ServedUnits are totals over all classes.
+	Arrivals    int64 `json:"arrivals"`
+	Completions int64 `json:"completions"`
+	Dropped     int64 `json:"dropped"`
+	Expired     int64 `json:"expired"`
+	InFlight    int64 `json:"in_flight"`
+	ServedUnits int64 `json:"served_units"`
+	// Goodput is completed service (units of fully-served requests only)
+	// per unit time over the horizon.
+	Goodput float64 `json:"goodput"`
+	// JainIndex is Jain's fairness index over per-class goodput: 1 means
+	// perfectly even service, 1/k means one of k classes took everything.
+	// Defined as 1 when no class completed anything.
+	JainIndex float64 `json:"jain_index"`
+	// FinalVersion is the session's version counter after the run (counts
+	// the churn batches applied).
+	FinalVersion uint64 `json:"final_version"`
+	// Classes holds per-class metrics, in spec order.
+	Classes []ClassResult `json:"classes"`
+}
+
+// ClassResult is one traffic class's share of the run.
+type ClassResult struct {
+	Name        string `json:"name"`
+	Arrivals    int64  `json:"arrivals"`
+	Completions int64  `json:"completions"`
+	Dropped     int64  `json:"dropped"`
+	Expired     int64  `json:"expired"`
+	InFlight    int64  `json:"in_flight"`
+	ServedUnits int64  `json:"served_units"`
+	// Goodput counts only fully-completed requests' units per unit time.
+	Goodput float64 `json:"goodput"`
+	// Sojourn statistics are over completed requests (arrival → last unit
+	// served); all zero when nothing completed.
+	SojournMean float64 `json:"sojourn_mean"`
+	SojournP50  float64 `json:"sojourn_p50"`
+	SojournP99  float64 `json:"sojourn_p99"`
+	SojournMax  float64 `json:"sojourn_max"`
+}
+
+// quantile returns the nearest-rank p-quantile of ascending xs (0 when
+// empty).
+func quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(xs) {
+		rank = len(xs)
+	}
+	return xs[rank-1]
+}
+
+// jain computes Jain's fairness index (Σx)² / (n·Σx²) over xs, defining a
+// degenerate all-zero vector as perfectly fair.
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// classResult folds one class's accumulators into metrics.
+func classResult(name string, st *classStats, horizon float64) ClassResult {
+	cr := ClassResult{
+		Name:        name,
+		Arrivals:    st.arrivals,
+		Completions: st.completions,
+		Dropped:     st.dropped,
+		Expired:     st.expired,
+		InFlight:    st.arrivals - st.completions - st.dropped - st.expired,
+		ServedUnits: st.served,
+		Goodput:     float64(st.completedUnits) / horizon,
+	}
+	if len(st.sojourns) > 0 {
+		xs := append([]float64(nil), st.sojourns...)
+		sort.Float64s(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		cr.SojournMean = sum / float64(len(xs))
+		cr.SojournP50 = quantile(xs, 0.50)
+		cr.SojournP99 = quantile(xs, 0.99)
+		cr.SojournMax = xs[len(xs)-1]
+	}
+	return cr
+}
+
+// WriteCSV writes the per-class metrics as CSV (one header, one row per
+// class, then a "total" row) — the tabular counterpart of the JSON result.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"class", "arrivals", "completions", "dropped", "expired",
+		"in_flight", "served_units", "goodput",
+		"sojourn_mean", "sojourn_p50", "sojourn_p99", "sojourn_max",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, c := range r.Classes {
+		row := []string{
+			c.Name, d(c.Arrivals), d(c.Completions), d(c.Dropped), d(c.Expired),
+			d(c.InFlight), d(c.ServedUnits), f(c.Goodput),
+			f(c.SojournMean), f(c.SojournP50), f(c.SojournP99), f(c.SojournMax),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	total := []string{
+		"total", d(r.Arrivals), d(r.Completions), d(r.Dropped), d(r.Expired),
+		d(r.InFlight), d(r.ServedUnits), f(r.Goodput), "", "", "", "",
+	}
+	if err := cw.Write(total); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sim: write csv: %w", err)
+	}
+	return nil
+}

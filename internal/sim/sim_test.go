@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"decaynet/internal/scenario"
+	"decaynet/internal/sinr"
+)
+
+// stubSession wraps a static sinr.System: enough Session for every
+// churn-free simulation (the root package tests drive churned runs against
+// the real Engine).
+type stubSession struct {
+	sys     *sinr.System
+	version uint64
+}
+
+func (s *stubSession) Len() int                          { return s.sys.Len() }
+func (s *stubSession) Version() uint64                   { return s.version }
+func (s *stubSession) System() *sinr.System              { return s.sys }
+func (s *stubSession) Update(scenario.Mutation) error    { s.version++; return nil }
+func (s *stubSession) UniformPower(p float64) sinr.Power { return sinr.UniformPower(s.sys, p) }
+func (s *stubSession) LinearPower(p float64) sinr.Power  { return sinr.LinearPower(s.sys, p) }
+func (s *stubSession) MeanPower(p float64) sinr.Power    { return sinr.MeanPower(s.sys, p) }
+
+// newStubSession builds a session over the "churn" scenario's base
+// geometric instance with zero noise and β = 1, so singleton rounds are
+// always feasible and every policy makes progress.
+func newStubSession(t testing.TB, links int) *stubSession {
+	t.Helper()
+	inst, err := scenario.Build("churn", scenario.Config{Links: links, Seed: 7})
+	if err != nil {
+		t.Fatalf("build churn instance: %v", err)
+	}
+	sys, err := inst.System(sinr.WithNoise(0), sinr.WithBeta(1))
+	if err != nil {
+		t.Fatalf("build system: %v", err)
+	}
+	return &stubSession{sys: sys}
+}
+
+func baseSpec() *Spec {
+	return &Spec{
+		Horizon:   2.0,
+		RoundTime: 0.01,
+		Seed:      42,
+		Policy:    "capacity",
+		Classes: []ClassSpec{
+			{Name: "web", Arrival: ArrivalSpec{Dist: "poisson", Rate: 40}},
+			{Name: "bulk", Arrival: ArrivalSpec{Dist: "weibull", Shape: 0.8, Scale: 0.05},
+				Demand: DemandSpec{Dist: "uniform", Min: 1, Max: 3}},
+		},
+	}
+}
+
+func runOnce(t *testing.T, spec *Spec, trace *bytes.Buffer) *Result {
+	t.Helper()
+	sess := newStubSession(t, 10)
+	cfg := Config{Spec: spec}
+	if trace != nil {
+		cfg.Trace = trace
+	}
+	s, err := New(sess, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestRunByteIdenticalAcrossRuns(t *testing.T) {
+	var tr1, tr2 bytes.Buffer
+	r1 := runOnce(t, baseSpec(), &tr1)
+	r2 := runOnce(t, baseSpec(), &tr2)
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("results differ:\n%s\n%s", b1, b2)
+	}
+	if !bytes.Equal(tr1.Bytes(), tr2.Bytes()) {
+		t.Fatal("event traces differ between identical runs")
+	}
+	if r1.Arrivals == 0 || r1.Completions == 0 {
+		t.Fatalf("degenerate run: %+v", r1)
+	}
+}
+
+func TestReplayMatchesLive(t *testing.T) {
+	var live bytes.Buffer
+	liveRes := runOnce(t, baseSpec(), &live)
+
+	events, err := ReadTrace(bytes.NewReader(live.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	var replayTrace bytes.Buffer
+	sess := newStubSession(t, 10)
+	s, err := New(sess, Config{Spec: baseSpec(), Replay: events, Trace: &replayTrace})
+	if err != nil {
+		t.Fatalf("New(replay): %v", err)
+	}
+	replayRes, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run(replay): %v", err)
+	}
+
+	if !bytes.Equal(live.Bytes(), replayTrace.Bytes()) {
+		t.Fatal("replay trace differs from live trace")
+	}
+	b1, _ := json.Marshal(liveRes)
+	b2, _ := json.Marshal(replayRes)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("replay result differs:\n%s\n%s", b1, b2)
+	}
+}
+
+// saturatedSpec offers far more load than the round service rate can
+// carry, so queues build up.
+func saturatedSpec() *Spec {
+	return &Spec{
+		Horizon:   1.0,
+		RoundTime: 0.05,
+		Seed:      42,
+		Policy:    "capacity",
+		Classes: []ClassSpec{
+			{Name: "web", Arrival: ArrivalSpec{Dist: "poisson", Rate: 400}},
+			{Name: "bulk", Arrival: ArrivalSpec{Dist: "weibull", Shape: 0.8, Scale: 0.005},
+				Demand: DemandSpec{Dist: "uniform", Min: 1, Max: 3}},
+		},
+	}
+}
+
+func TestConservationFromTrace(t *testing.T) {
+	spec := saturatedSpec()
+	spec.MaxQueue = 2 // force some drops
+	var tr bytes.Buffer
+	res := runOnce(t, spec, &tr)
+
+	counts := map[string]int64{}
+	events, err := ReadTrace(&tr)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	if counts[KindArrive] != res.Arrivals {
+		t.Fatalf("trace arrivals %d != result %d", counts[KindArrive], res.Arrivals)
+	}
+	inFlight := counts[KindArrive] - counts[KindComplete] - counts[KindDrop] - counts[KindExpire]
+	if inFlight != res.InFlight {
+		t.Fatalf("trace-derived in-flight %d != result %d", inFlight, res.InFlight)
+	}
+	if res.Arrivals != res.Completions+res.Dropped+res.Expired+res.InFlight {
+		t.Fatalf("conservation violated: %+v", res)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("expected MaxQueue=2 to drop something")
+	}
+}
+
+func TestDeadlineExpiryUnderEDF(t *testing.T) {
+	spec := saturatedSpec()
+	spec.Policy = "edf"
+	spec.Classes[0].Deadline = 0.015 // tighter than the saturated queue waits
+	res := runOnce(t, spec, nil)
+	if res.Expired == 0 {
+		t.Fatalf("expected expiries under a 15ms deadline, got %+v", res)
+	}
+	if res.Arrivals != res.Completions+res.Dropped+res.Expired+res.InFlight {
+		t.Fatalf("conservation violated: %+v", res)
+	}
+}
+
+func TestEveryPolicyFormsFeasibleRounds(t *testing.T) {
+	for _, pol := range Policies() {
+		t.Run(pol, func(t *testing.T) {
+			spec := baseSpec()
+			spec.Policy = pol
+			sess := newStubSession(t, 10)
+			var tr bytes.Buffer
+			s, err := New(sess, Config{Spec: spec, Trace: &tr})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := s.Run(context.Background())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Rounds == 0 || res.Completions == 0 {
+				t.Fatalf("policy %q made no progress: %+v", pol, res)
+			}
+			events, err := ReadTrace(&tr)
+			if err != nil {
+				t.Fatalf("ReadTrace: %v", err)
+			}
+			p := sess.UniformPower(1)
+			rounds := 0
+			for _, ev := range events {
+				if ev.Kind != KindRound {
+					continue
+				}
+				rounds++
+				if !sinr.IsFeasible(sess.sys, p, ev.Links) {
+					t.Fatalf("policy %q scheduled infeasible round %v", pol, ev.Links)
+				}
+			}
+			if rounds != res.Rounds {
+				t.Fatalf("trace rounds %d != result rounds %d", rounds, res.Rounds)
+			}
+		})
+	}
+}
+
+func TestGammaArrivalsAndPowerSchemes(t *testing.T) {
+	for _, power := range []string{"uniform", "linear", "mean"} {
+		spec := &Spec{
+			Horizon:   1.0,
+			RoundTime: 0.01,
+			Seed:      9,
+			Power:     power,
+			Scale:     2,
+			Classes: []ClassSpec{
+				{Arrival: ArrivalSpec{Dist: "gamma", Shape: 2, Scale: 0.02},
+					Demand: DemandSpec{Dist: "fixed", Units: 2}},
+			},
+		}
+		res := runOnce(t, spec, nil)
+		if res.Arrivals == 0 {
+			t.Fatalf("power %q: no arrivals", power)
+		}
+		if res.Classes[0].Name != "class0" {
+			t.Fatalf("unnamed class should default to class0, got %q", res.Classes[0].Name)
+		}
+	}
+}
+
+func TestClassLinkTargetsRespected(t *testing.T) {
+	spec := baseSpec()
+	spec.Classes[0].Links = []int{3}
+	spec.Classes[1].Links = []int{3}
+	var tr bytes.Buffer
+	runOnce(t, spec, &tr)
+	events, _ := ReadTrace(&tr)
+	for _, ev := range events {
+		if ev.Kind == KindArrive && ev.Link != 3 {
+			t.Fatalf("arrival routed to link %d, want 3", ev.Link)
+		}
+		if ev.Kind == KindRound && (len(ev.Links) != 1 || ev.Links[0] != 3) {
+			t.Fatalf("round scheduled %v, want [3]", ev.Links)
+		}
+	}
+}
+
+func TestSojournStatsOrdered(t *testing.T) {
+	res := runOnce(t, baseSpec(), nil)
+	for _, c := range res.Classes {
+		if c.Completions == 0 {
+			continue
+		}
+		if c.SojournP50 > c.SojournP99 || c.SojournP99 > c.SojournMax {
+			t.Fatalf("quantiles out of order: %+v", c)
+		}
+		if c.SojournMean <= 0 || c.SojournMax <= 0 {
+			t.Fatalf("non-positive sojourns: %+v", c)
+		}
+	}
+	if res.JainIndex <= 0 || res.JainIndex > 1 {
+		t.Fatalf("Jain index out of range: %v", res.JainIndex)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := runOnce(t, baseSpec(), nil)
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(res.Classes)+1 {
+		t.Fatalf("csv has %d lines, want %d", len(lines), 2+len(res.Classes))
+	}
+	if !strings.HasPrefix(lines[0], "class,arrivals,") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "total,") {
+		t.Fatalf("missing total row: %q", lines[len(lines)-1])
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	sess := newStubSession(t, 4)
+	if _, err := New(nil, Config{Spec: baseSpec()}); err == nil {
+		t.Fatal("nil session accepted")
+	}
+	if _, err := New(sess, Config{}); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	sp := baseSpec()
+	sp.Classes[0].Links = []int{99}
+	if _, err := New(sess, Config{Spec: sp}); err == nil {
+		t.Fatal("out-of-range class link accepted")
+	}
+	sp2 := baseSpec()
+	if _, err := New(sess, Config{Spec: sp2, Mutations: []scenario.Mutation{{}}}); err == nil {
+		t.Fatal("Mutations without Spec.Churn accepted")
+	}
+}
+
+func TestResultBeforeDoneErrors(t *testing.T) {
+	sess := newStubSession(t, 4)
+	s, err := New(sess, Config{Spec: baseSpec()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Result(); err == nil {
+		t.Fatal("Result before completion should error")
+	}
+	if ok, err := s.Step(); !ok || err != nil {
+		t.Fatalf("first Step: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	sess := newStubSession(t, 4)
+	s, err := New(sess, Config{Spec: baseSpec()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run under cancelled ctx: %v", err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim is a deterministic discrete-event traffic simulator on top
+// of the capacity and scheduling machinery: workload specs (per-class
+// request mixes with Poisson/Gamma/Weibull interarrivals and configurable
+// demand sizes, all seeded through internal/rng) generate transmission
+// demands against a live session; pluggable link schedulers form
+// SINR-feasible rounds on a shared event clock; topology churn mutations
+// interleave with arrivals on that same clock; and per-class
+// latency/throughput/fairness metrics come out as a structured Result.
+//
+// Everything is a pure function of (session state, Spec): the same seed
+// yields byte-identical results and event traces across runs, across
+// sharding factors, and across live-vs-replay execution — the property the
+// determinism test wall asserts. The event trace recorded by a run is
+// self-contained (arrivals and churn batches carry their payloads), so
+// replaying it regenerates the full run bit-for-bit.
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"decaynet/internal/rng"
+	"decaynet/internal/scenario"
+)
+
+// Spec is the wire-format workload specification: what traffic to offer,
+// how to schedule it, and for how long. It is the unit cmd/decaysim reads
+// from disk and the decaynetd simulate route accepts as a request body.
+// DecodeSpec applies strict decoding and all-or-nothing validation.
+type Spec struct {
+	// Horizon is the simulated duration: events with timestamps beyond it
+	// are not processed. Required, positive.
+	Horizon float64 `json:"horizon"`
+	// RoundTime is the wall duration of one transmission round (slot).
+	// Zero takes the default 1e-3.
+	RoundTime float64 `json:"round_time,omitempty"`
+	// Seed drives all workload randomness. Equal (session, spec) pairs
+	// produce byte-identical runs.
+	Seed uint64 `json:"seed,omitempty"`
+	// Policy names the round scheduler ("capacity" when empty): one of
+	// Policies(), e.g. "firstfit", "capacity", "edf", "backlog".
+	Policy string `json:"policy,omitempty"`
+	// Power selects the power assignment: "uniform" (default), "linear"
+	// or "mean".
+	Power string `json:"power,omitempty"`
+	// Scale is the power level (uniform) or scale factor (linear/mean);
+	// zero takes 1.
+	Scale float64 `json:"scale,omitempty"`
+	// MaxQueue bounds each link's queue; arrivals beyond it are dropped.
+	// Zero means unbounded.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// Classes are the traffic classes; at least one is required.
+	Classes []ClassSpec `json:"classes"`
+	// Churn, when set, interleaves a deterministic topology mutation
+	// stream with the traffic on the same event clock.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+}
+
+// ClassSpec is one traffic class: an interarrival process, a demand-size
+// distribution, an optional target link set and an optional deadline.
+type ClassSpec struct {
+	// Name labels the class in results ("class<i>" when empty).
+	Name string `json:"name,omitempty"`
+	// Arrival is the interarrival-time distribution.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Demand is the request-size distribution (units of round service).
+	Demand DemandSpec `json:"demand,omitempty"`
+	// Links restricts the class to these link indices; empty means all
+	// links of the session, including ones added by churn.
+	Links []int `json:"links,omitempty"`
+	// Deadline is the per-request sojourn budget: a request still queued
+	// this long after arrival expires. Zero means none.
+	Deadline float64 `json:"deadline,omitempty"`
+}
+
+// ArrivalSpec selects and parameterizes an interarrival distribution.
+//
+//	"poisson": Exp(rate) interarrivals — a Poisson process.
+//	"gamma":   Gamma(shape, scale) interarrivals.
+//	"weibull": Weibull(shape, scale) interarrivals.
+type ArrivalSpec struct {
+	Dist  string  `json:"dist"`
+	Rate  float64 `json:"rate,omitempty"`
+	Shape float64 `json:"shape,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// DemandSpec selects a request-size distribution: "fixed" (or empty)
+// serves Units per request (1 when zero); "uniform" draws from
+// [Min, Max].
+type DemandSpec struct {
+	Dist  string `json:"dist,omitempty"`
+	Units int    `json:"units,omitempty"`
+	Min   int    `json:"min,omitempty"`
+	Max   int    `json:"max,omitempty"`
+}
+
+// ChurnSpec regenerates the deterministic mutation stream of the "churn"
+// scenario and schedules one batch every Every simulated time units. The
+// config fields must match the session's build config — the stream is a
+// function of the config alone (scenario.Churn), which is what lets a
+// spec fully describe a dynamic-topology experiment.
+type ChurnSpec struct {
+	// Every is the interval between mutation batches. Required, positive.
+	Every float64 `json:"every"`
+	// Steps caps the number of batches; zero fills the horizon.
+	Steps int `json:"steps,omitempty"`
+	// Links, Nodes, Seed, Alpha, Side and Params mirror the scenario
+	// config that built the session's "churn" instance.
+	Links  int                `json:"links,omitempty"`
+	Nodes  int                `json:"nodes,omitempty"`
+	Seed   uint64             `json:"seed,omitempty"`
+	Alpha  float64            `json:"alpha,omitempty"`
+	Side   float64            `json:"side,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// Stream generates the churn mutation batches for the first `steps` steps.
+func (c *ChurnSpec) Stream(steps int) ([]scenario.Mutation, error) {
+	cfg := scenario.Config{
+		Links:  c.Links,
+		Nodes:  c.Nodes,
+		Seed:   c.Seed,
+		Alpha:  c.Alpha,
+		Side:   c.Side,
+		Params: c.Params,
+	}
+	return scenario.Churn(cfg, steps)
+}
+
+// DecodeSpec parses a workload spec with the same strictness as the
+// daemon's wire decoders: unknown fields and trailing data are rejected,
+// and validation is all-or-nothing — either a fully valid *Spec comes
+// back, or an error and no partial state.
+func DecodeSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("sim: decode spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return nil, errors.New("sim: trailing data after spec")
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// Validate checks the spec without mutating it (defaults are applied at
+// simulator construction, keeping marshal→decode round-trips exact).
+func (sp *Spec) Validate() error {
+	if !(sp.Horizon > 0) || !finite(sp.Horizon) {
+		return fmt.Errorf("sim: horizon must be positive and finite, got %v", sp.Horizon)
+	}
+	if sp.RoundTime < 0 || !finite(sp.RoundTime) {
+		return fmt.Errorf("sim: round_time must be non-negative and finite, got %v", sp.RoundTime)
+	}
+	if sp.Policy != "" {
+		if _, ok := policyByName(sp.Policy); !ok {
+			return fmt.Errorf("sim: unknown policy %q (have %v)", sp.Policy, Policies())
+		}
+	}
+	switch sp.Power {
+	case "", "uniform", "linear", "mean":
+	default:
+		return fmt.Errorf("sim: unknown power scheme %q", sp.Power)
+	}
+	if sp.Scale < 0 || !finite(sp.Scale) {
+		return fmt.Errorf("sim: scale must be non-negative and finite, got %v", sp.Scale)
+	}
+	if sp.MaxQueue < 0 {
+		return fmt.Errorf("sim: max_queue must be non-negative, got %d", sp.MaxQueue)
+	}
+	if len(sp.Classes) == 0 {
+		return errors.New("sim: at least one traffic class is required")
+	}
+	for i := range sp.Classes {
+		if err := sp.Classes[i].validate(); err != nil {
+			return fmt.Errorf("sim: class %d: %w", i, err)
+		}
+	}
+	if sp.Churn != nil {
+		if err := sp.Churn.validate(); err != nil {
+			return fmt.Errorf("sim: churn: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *ClassSpec) validate() error {
+	if err := c.Arrival.validate(); err != nil {
+		return err
+	}
+	if err := c.Demand.validate(); err != nil {
+		return err
+	}
+	for _, l := range c.Links {
+		if l < 0 {
+			return fmt.Errorf("negative link index %d", l)
+		}
+	}
+	if c.Deadline < 0 || !finite(c.Deadline) {
+		return fmt.Errorf("deadline must be non-negative and finite, got %v", c.Deadline)
+	}
+	return nil
+}
+
+func (a *ArrivalSpec) validate() error {
+	switch a.Dist {
+	case "poisson":
+		if !(a.Rate > 0) || !finite(a.Rate) {
+			return fmt.Errorf("poisson arrivals need a positive finite rate, got %v", a.Rate)
+		}
+	case "gamma", "weibull":
+		if !(a.Shape > 0) || !finite(a.Shape) {
+			return fmt.Errorf("%s arrivals need a positive finite shape, got %v", a.Dist, a.Shape)
+		}
+		if !(a.Scale > 0) || !finite(a.Scale) {
+			return fmt.Errorf("%s arrivals need a positive finite scale, got %v", a.Dist, a.Scale)
+		}
+	default:
+		return fmt.Errorf("unknown arrival distribution %q (have poisson, gamma, weibull)", a.Dist)
+	}
+	return nil
+}
+
+// sample draws one interarrival gap from the validated distribution.
+func (a *ArrivalSpec) sample(src *rng.Source) float64 {
+	switch a.Dist {
+	case "poisson":
+		return src.Exp(a.Rate)
+	case "gamma":
+		return src.Gamma(a.Shape, a.Scale)
+	case "weibull":
+		return src.Weibull(a.Shape, a.Scale)
+	}
+	panic("sim: unvalidated arrival spec")
+}
+
+func (d *DemandSpec) validate() error {
+	switch d.Dist {
+	case "", "fixed":
+		if d.Units < 0 {
+			return fmt.Errorf("fixed demand units must be non-negative, got %d", d.Units)
+		}
+	case "uniform":
+		if d.Min < 1 {
+			return fmt.Errorf("uniform demand min must be at least 1, got %d", d.Min)
+		}
+		if d.Max < d.Min {
+			return fmt.Errorf("uniform demand max %d is below min %d", d.Max, d.Min)
+		}
+	default:
+		return fmt.Errorf("unknown demand distribution %q (have fixed, uniform)", d.Dist)
+	}
+	return nil
+}
+
+// sample draws one request size; fixed demand with zero units serves 1.
+func (d *DemandSpec) sample(src *rng.Source) int {
+	switch d.Dist {
+	case "", "fixed":
+		if d.Units == 0 {
+			return 1
+		}
+		return d.Units
+	case "uniform":
+		return d.Min + src.Intn(d.Max-d.Min+1)
+	}
+	panic("sim: unvalidated demand spec")
+}
+
+func (c *ChurnSpec) validate() error {
+	if !(c.Every > 0) || !finite(c.Every) {
+		return fmt.Errorf("every must be positive and finite, got %v", c.Every)
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("steps must be non-negative, got %d", c.Steps)
+	}
+	if c.Links < 0 || c.Nodes < 0 {
+		return fmt.Errorf("links/nodes must be non-negative, got %d/%d", c.Links, c.Nodes)
+	}
+	if c.Alpha < 0 || !finite(c.Alpha) {
+		return fmt.Errorf("alpha must be non-negative and finite, got %v", c.Alpha)
+	}
+	if c.Side < 0 || !finite(c.Side) {
+		return fmt.Errorf("side must be non-negative and finite, got %v", c.Side)
+	}
+	for k, v := range c.Params {
+		if !finite(v) {
+			return fmt.Errorf("param %q must be finite, got %v", k, v)
+		}
+	}
+	return nil
+}
+
+// finite reports v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validSpecJSON() string {
+	return `{
+		"horizon": 5,
+		"round_time": 0.01,
+		"seed": 7,
+		"policy": "edf",
+		"power": "linear",
+		"scale": 2,
+		"max_queue": 16,
+		"classes": [
+			{"name": "web", "arrival": {"dist": "poisson", "rate": 50}, "deadline": 0.5},
+			{"arrival": {"dist": "gamma", "shape": 2, "scale": 0.01},
+			 "demand": {"dist": "uniform", "min": 1, "max": 4}, "links": [0, 2]},
+			{"arrival": {"dist": "weibull", "shape": 0.9, "scale": 0.02},
+			 "demand": {"dist": "fixed", "units": 3}}
+		],
+		"churn": {"every": 0.5, "steps": 4, "links": 12, "seed": 3, "params": {"moves": 1}}
+	}`
+}
+
+func TestDecodeSpecValid(t *testing.T) {
+	sp, err := DecodeSpec([]byte(validSpecJSON()))
+	if err != nil {
+		t.Fatalf("DecodeSpec: %v", err)
+	}
+	if sp.Policy != "edf" || len(sp.Classes) != 3 || sp.Churn == nil {
+		t.Fatalf("decoded spec off: %+v", sp)
+	}
+	// Marshal → decode must round-trip exactly (validation is pure).
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	sp2, err := DecodeSpec(b)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Fatalf("round trip changed the spec:\n%+v\n%+v", sp, sp2)
+	}
+}
+
+func TestDecodeSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":      `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}}], "bogus": 1}`,
+		"trailing data":      `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}}]} extra`,
+		"missing horizon":    `{"classes": [{"arrival": {"dist": "poisson", "rate": 1}}]}`,
+		"negative horizon":   `{"horizon": -1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}}]}`,
+		"no classes":         `{"horizon": 1, "classes": []}`,
+		"unknown dist":       `{"horizon": 1, "classes": [{"arrival": {"dist": "pareto", "rate": 1}}]}`,
+		"zero rate":          `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson"}}]}`,
+		"bad gamma shape":    `{"horizon": 1, "classes": [{"arrival": {"dist": "gamma", "shape": 0, "scale": 1}}]}`,
+		"bad uniform demand": `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}, "demand": {"dist": "uniform", "min": 3, "max": 2}}]}`,
+		"negative link":      `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}, "links": [-1]}]}`,
+		"unknown policy":     `{"horizon": 1, "policy": "lifo", "classes": [{"arrival": {"dist": "poisson", "rate": 1}}]}`,
+		"unknown power":      `{"horizon": 1, "power": "max", "classes": [{"arrival": {"dist": "poisson", "rate": 1}}]}`,
+		"negative deadline":  `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}, "deadline": -2}]}`,
+		"churn no every":     `{"horizon": 1, "classes": [{"arrival": {"dist": "poisson", "rate": 1}}], "churn": {"steps": 2}}`,
+		"not json":           `horizon`,
+		"wrong type":         `[1, 2]`,
+		"null":               `null`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeSpec([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+func TestValidateNonFinite(t *testing.T) {
+	sp := &Spec{Horizon: math.Inf(1), Classes: []ClassSpec{{Arrival: ArrivalSpec{Dist: "poisson", Rate: 1}}}}
+	if err := sp.Validate(); err == nil {
+		t.Fatal("infinite horizon accepted")
+	}
+	sp = &Spec{Horizon: 1, Classes: []ClassSpec{{Arrival: ArrivalSpec{Dist: "poisson", Rate: math.NaN()}}}}
+	if err := sp.Validate(); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	sp = &Spec{Horizon: 1,
+		Classes: []ClassSpec{{Arrival: ArrivalSpec{Dist: "poisson", Rate: 1}}},
+		Churn:   &ChurnSpec{Every: 0.5, Params: map[string]float64{"moves": math.Inf(1)}}}
+	if err := sp.Validate(); err == nil {
+		t.Fatal("infinite churn param accepted")
+	}
+}
+
+func TestPoliciesRegistry(t *testing.T) {
+	have := strings.Join(Policies(), ",")
+	for _, want := range []string{"backlog", "capacity", "edf", "firstfit"} {
+		if !strings.Contains(have, want) {
+			t.Fatalf("builtin policy %q missing from %s", want, have)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate RegisterPolicy did not panic")
+		}
+	}()
+	RegisterPolicy("capacity", capacityPolicy)
+}
+
+func TestChurnSpecStreamDeterministic(t *testing.T) {
+	cs := &ChurnSpec{Every: 0.5, Links: 12, Seed: 3}
+	a, err := cs.Stream(5)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	b, _ := cs.Stream(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("churn stream not deterministic")
+	}
+	if len(a) != 5 {
+		t.Fatalf("got %d steps, want 5", len(a))
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"decaynet/internal/scenario"
+)
+
+// Event is one line of the JSONL event trace. A trace is self-contained:
+// the input events ("arrive" with its routing/size/deadline draws, "churn"
+// with its embedded mutation batch) carry everything the simulator needs
+// to regenerate the run, and the derived events ("drop", "expire",
+// "round", "complete") are recomputed on replay — so replay reproduces the
+// full trace and the Result byte-for-byte.
+type Event struct {
+	// Seq is the emission sequence number, starting at 1.
+	Seq int64 `json:"seq"`
+	// T is the simulated timestamp.
+	T float64 `json:"t"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Class is the traffic class index (arrive/drop/expire/complete).
+	Class int `json:"class,omitempty"`
+	// Req is the request id (arrive/drop/expire/complete).
+	Req int64 `json:"req,omitempty"`
+	// Link is the target link index; -1 marks an unroutable arrival.
+	Link int `json:"link,omitempty"`
+	// Units is the request's service demand (arrive).
+	Units int `json:"units,omitempty"`
+	// Deadline is the request's absolute deadline; 0 means none.
+	Deadline float64 `json:"deadline,omitempty"`
+	// Links are the round's scheduled links (round).
+	Links []int `json:"links,omitempty"`
+	// Step is the churn step index (churn).
+	Step int `json:"step,omitempty"`
+	// Version is the session version after the batch applied (churn).
+	Version uint64 `json:"version,omitempty"`
+	// Mutation is the applied batch (churn) — the replay payload.
+	Mutation *scenario.Mutation `json:"mutation,omitempty"`
+}
+
+// Trace event kinds.
+const (
+	KindArrive   = "arrive"   // input: a request entered the system
+	KindDrop     = "drop"     // derived: rejected (full queue, no route, or churned-away link)
+	KindExpire   = "expire"   // derived: deadline passed while queued
+	KindRound    = "round"    // derived: a transmission round started
+	KindComplete = "complete" // derived: a request finished service
+	KindChurn    = "churn"    // input: a topology mutation batch applied
+)
+
+// ReadTrace decodes a JSONL event trace, e.g. one recorded via
+// Config.Trace, for replay through Config.Replay.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("sim: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: read trace: %w", err)
+	}
+	return out, nil
+}

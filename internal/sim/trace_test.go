@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"decaynet/internal/geom"
+	"decaynet/internal/scenario"
+	"decaynet/internal/sinr"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, T: 0.1, Kind: KindArrive, Class: 1, Req: 1, Link: 3, Units: 2, Deadline: 0.6},
+		{Seq: 2, T: 0.2, Kind: KindRound, Links: []int{0, 3}},
+		{Seq: 3, T: 0.5, Kind: KindChurn, Step: 2, Version: 3, Mutation: &scenario.Mutation{
+			SetRows:     map[int][]float64{1: {0, 2, 3}},
+			SetDecays:   []scenario.DecayEdit{{I: 0, J: 1, F: 2.5}},
+			Moves:       []scenario.NodeMove{{Node: 2, To: geom.Pt(1.5, -0.25)}},
+			RemoveLinks: []int{1},
+			AddLinks:    []sinr.Link{{Sender: 0, Receiver: 3}},
+		}},
+		{Seq: 4, T: 0.7, Kind: KindArrive, Class: 0, Req: 2, Link: -1},
+	}
+	var buf bytes.Buffer
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(events, got) {
+		t.Fatalf("round trip changed events:\n%+v\n%+v", events, got)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"seq\":1}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader("\n{\"seq\":1,\"t\":0,\"kind\":\"arrive\"}\n\n"))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != 1 || got[0].Kind != KindArrive {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -71,7 +71,8 @@ func SINR(s *System, p Power, set []int, v int) float64 {
 // Succeeds reports whether link v meets the SINR threshold β when set
 // transmits.
 func Succeeds(s *System, p Power, set []int, v int) bool {
-	return SINR(s, p, set, v) >= s.beta
+	sig, itf := signalInterference(s, p, set, v, v)
+	return Clears(sig, itf, s.beta)
 }
 
 // IsFeasible reports whether every link in the set meets the SINR
@@ -90,11 +91,11 @@ func IsFeasible(s *System, p Power, set []int) bool {
 // scheduler runs once per (link, slot) pair. extra must not already be a
 // member of set.
 func IsFeasibleWith(s *System, p Power, set []int, extra int) bool {
-	if sinrWith(s, p, set, extra, extra) < s.beta {
+	if sig, itf := signalInterference(s, p, set, extra, extra); !Clears(sig, itf, s.beta) {
 		return false
 	}
 	for _, v := range set {
-		if sinrWith(s, p, set, extra, v) < s.beta {
+		if sig, itf := signalInterference(s, p, set, extra, v); !Clears(sig, itf, s.beta) {
 			return false
 		}
 	}
@@ -103,8 +104,21 @@ func IsFeasibleWith(s *System, p Power, set []int, extra int) bool {
 
 // sinrWith is SINR over the implicit set ∪ {extra}, evaluated at link v.
 func sinrWith(s *System, p Power, set []int, extra, v int) float64 {
-	signal := p[v] / s.Decay(v)
-	interference := s.noise
+	signal, interference := signalInterference(s, p, set, extra, v)
+	if interference == 0 {
+		return math.Inf(1)
+	}
+	return signal / interference
+}
+
+// signalInterference decomposes the SINR of link v under set ∪ {extra} into
+// its numerator and denominator, the pair Clears decides on. Every SINR
+// comparison in the package funnels through this plus Clears so that the
+// threshold semantics (including the zero-interference corner) live in
+// exactly one place.
+func signalInterference(s *System, p Power, set []int, extra, v int) (signal, interference float64) {
+	signal = p[v] / s.Decay(v)
+	interference = s.noise
 	for _, w := range set {
 		if w == v {
 			continue
@@ -114,10 +128,7 @@ func sinrWith(s *System, p Power, set []int, extra, v int) float64 {
 	if extra != v {
 		interference += p[extra] / s.CrossDecay(extra, v)
 	}
-	if interference == 0 {
-		return math.Inf(1)
-	}
-	return signal / interference
+	return signal, interference
 }
 
 // IsKFeasible reports whether a_S(v) ≤ 1/K for every link v in S (with

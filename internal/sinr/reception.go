@@ -1,0 +1,71 @@
+package sinr
+
+// This file holds the one SINR decode predicate every slotted/simulated
+// layer shares. The feasibility probes in affectance.go, the traffic
+// simulator in internal/sim and the node-level slotted rounds in
+// internal/distributed all reduce a decode decision to Clears, so the three
+// layers agree on the threshold semantics by construction instead of by
+// parallel reimplementation.
+
+import "decaynet/internal/core"
+
+// Clears reports whether a received signal clears the SINR threshold beta
+// against the given interference-plus-noise denominator. An exactly-zero
+// denominator is an interference-free, noise-free channel: any positive
+// signal decodes (the ratio is +Inf). Callers must not pass a negative
+// denominator — clamp float cancellation artifacts to zero first.
+func Clears(signal, interference, beta float64) bool {
+	if interference == 0 {
+		return true
+	}
+	return signal/interference >= beta
+}
+
+// Receptions computes, for one slotted round over a raw decay space with
+// uniform transmit power, which (sender → listener) deliveries succeed:
+// listener → sender for every listener that decodes some transmitter.
+// Transmitting nodes hear nothing (half-duplex). At most one sender can
+// clear β > 1 at a listener; for β = 1 ties break toward the strongest
+// signal. This is the node-level analogue of Succeeds — links don't exist
+// yet, every silent node is a potential receiver — used by the distributed
+// local-broadcast algorithms of Sec 3.
+func Receptions(space core.Space, power, noise, beta float64, transmitters []int) map[int]int {
+	isTx := make(map[int]bool, len(transmitters))
+	for _, x := range transmitters {
+		isTx[x] = true
+	}
+	out := make(map[int]int)
+	n := space.N()
+	for z := 0; z < n; z++ {
+		if isTx[z] {
+			continue
+		}
+		totalPower := noise
+		bestSender, bestSignal := -1, 0.0
+		for _, x := range transmitters {
+			sig := power / space.F(x, z)
+			totalPower += sig
+			if sig > bestSignal {
+				bestSender, bestSignal = x, sig
+			}
+		}
+		if bestSender < 0 {
+			continue
+		}
+		interference := totalPower - bestSignal
+		if interference <= 0 {
+			// The subtraction cancelled to (or below) zero. With real
+			// ambient noise that is float absorption under a dominant
+			// signal, not a noise-free channel — refuse the decode, as the
+			// pre-refactor slotted simulator did.
+			if noise != 0 {
+				continue
+			}
+			interference = 0
+		}
+		if Clears(bestSignal, interference, beta) {
+			out[z] = bestSender
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package decaynet
+
+import (
+	"context"
+
+	"decaynet/internal/sim"
+)
+
+// Traffic simulation: the deterministic discrete-event layer of
+// internal/sim surfaced on the public API. A SimSpec describes offered
+// traffic (per-class Poisson/Gamma/Weibull interarrivals, demand sizes,
+// deadlines), a scheduling policy and an optional churn stream;
+// Engine.Simulate runs it on this session and returns per-class
+// latency/throughput/fairness metrics. Runs are byte-identical for equal
+// (session, spec) pairs — across repetitions, across WithShards(k), and
+// across live-vs-replay execution.
+type (
+	// SimSpec is the wire-format workload specification.
+	SimSpec = sim.Spec
+	// SimClassSpec is one traffic class of a SimSpec.
+	SimClassSpec = sim.ClassSpec
+	// SimArrivalSpec selects an interarrival distribution.
+	SimArrivalSpec = sim.ArrivalSpec
+	// SimDemandSpec selects a request-size distribution.
+	SimDemandSpec = sim.DemandSpec
+	// SimChurnSpec schedules the deterministic churn stream on the event clock.
+	SimChurnSpec = sim.ChurnSpec
+	// SimConfig configures a run beyond the spec (trace sink, replay, explicit mutations).
+	SimConfig = sim.Config
+	// SimResult is the structured metrics outcome.
+	SimResult = sim.Result
+	// SimClassResult is one class's share of a SimResult.
+	SimClassResult = sim.ClassResult
+	// SimEvent is one line of the JSONL event trace.
+	SimEvent = sim.Event
+	// SimCandidate is the per-link state a scheduling policy sees.
+	SimCandidate = sim.Candidate
+	// SimPolicy picks the links transmitting in one round.
+	SimPolicy = sim.Policy
+	// TrafficSim is the stepwise simulator for callers that drive the
+	// event loop themselves; Engine.Simulate covers the common case.
+	TrafficSim = sim.Simulator
+)
+
+var (
+	// DecodeSimSpec strictly parses and validates a workload spec.
+	DecodeSimSpec = sim.DecodeSpec
+	// ReadSimTrace decodes a recorded JSONL event trace for replay.
+	ReadSimTrace = sim.ReadTrace
+	// RegisterSimPolicy adds a named scheduling policy.
+	RegisterSimPolicy = sim.RegisterPolicy
+	// SimPolicies lists the registered policy names.
+	SimPolicies = sim.Policies
+	// NewTrafficSim builds a stepwise simulator over any sim.Session.
+	NewTrafficSim = sim.New
+)
+
+// Simulate runs a traffic simulation against this session and returns the
+// metrics. The simulator drives the session as its single writer: when the
+// spec carries churn, Engine.Update applies the batches, so do not mutate
+// the engine concurrently (concurrent readers are fine — every batch
+// applies under the engine's write lock). The session is left in its
+// post-churn state; Result.FinalVersion records it.
+func (e *Engine) Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	s, err := sim.New(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx)
+}

@@ -1,0 +1,199 @@
+package decaynet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"decaynet"
+)
+
+// simTestSpec is a churned workload over the "churn" scenario base
+// instance that every traffic-simulation test shares: two classes with
+// different interarrival laws, a deadline on one, and a churn stream
+// matching the engine's build config.
+func simTestSpec() *decaynet.SimSpec {
+	return &decaynet.SimSpec{
+		Horizon:   1.5,
+		RoundTime: 0.01,
+		Seed:      42,
+		Policy:    "capacity",
+		Classes: []decaynet.SimClassSpec{
+			{Name: "web", Arrival: decaynet.SimArrivalSpec{Dist: "poisson", Rate: 60}, Deadline: 0.4},
+			{Name: "bulk", Arrival: decaynet.SimArrivalSpec{Dist: "gamma", Shape: 2, Scale: 0.02},
+				Demand: decaynet.SimDemandSpec{Dist: "uniform", Min: 1, Max: 3}},
+		},
+		Churn: &decaynet.SimChurnSpec{Every: 0.25, Links: 16, Seed: 5},
+	}
+}
+
+func newChurnEngine(t *testing.T, shards int) *decaynet.Engine {
+	t.Helper()
+	opts := []decaynet.EngineOption{
+		decaynet.UsingScenario("churn", decaynet.ScenarioConfig{Links: 16, Seed: 5}),
+		decaynet.Noise(0.0005),
+	}
+	if shards > 0 {
+		opts = append(opts, decaynet.WithShards(shards))
+	}
+	eng, err := decaynet.NewEngine(opts...)
+	if err != nil {
+		t.Fatalf("NewEngine(shards=%d): %v", shards, err)
+	}
+	return eng
+}
+
+func runSim(t *testing.T, shards int, cfg decaynet.SimConfig) (*decaynet.SimResult, []byte) {
+	t.Helper()
+	eng := newChurnEngine(t, shards)
+	var trace bytes.Buffer
+	cfg.Trace = &trace
+	res, err := eng.Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Simulate(shards=%d): %v", shards, err)
+	}
+	return res, trace.Bytes()
+}
+
+// TestSimulateByteIdenticalAcrossShards is the determinism wall: the same
+// (session, spec) pair must produce byte-identical results and event
+// traces whether the engine computes unsharded or over any worker split —
+// the simulator only consumes shard-invariant quantities.
+func TestSimulateByteIdenticalAcrossShards(t *testing.T) {
+	baseRes, baseTrace := runSim(t, 0, decaynet.SimConfig{Spec: simTestSpec()})
+	baseJSON, err := json.Marshal(baseRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.Arrivals == 0 || baseRes.Completions == 0 || baseRes.FinalVersion == 0 {
+		t.Fatalf("degenerate churned run: %+v", baseRes)
+	}
+	if baseRes.Arrivals != baseRes.Completions+baseRes.Dropped+baseRes.Expired+baseRes.InFlight {
+		t.Fatalf("conservation violated: %+v", baseRes)
+	}
+	for _, k := range []int{2, 3} {
+		res, trace := runSim(t, k, decaynet.SimConfig{Spec: simTestSpec()})
+		j, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseJSON, j) {
+			t.Fatalf("shards=%d result differs:\n%s\n%s", k, baseJSON, j)
+		}
+		if !bytes.Equal(baseTrace, trace) {
+			t.Fatalf("shards=%d event trace differs from unsharded", k)
+		}
+	}
+}
+
+// TestSimulateReplayMatchesLiveWithChurn replays a recorded churned run on
+// a fresh engine and requires the regenerated trace and metrics to be
+// byte-identical to the live originals.
+func TestSimulateReplayMatchesLiveWithChurn(t *testing.T) {
+	liveRes, liveTrace := runSim(t, 0, decaynet.SimConfig{Spec: simTestSpec()})
+
+	events, err := decaynet.ReadSimTrace(bytes.NewReader(liveTrace))
+	if err != nil {
+		t.Fatalf("ReadSimTrace: %v", err)
+	}
+	replayRes, replayTrace := runSim(t, 0, decaynet.SimConfig{Spec: simTestSpec(), Replay: events})
+
+	if !bytes.Equal(liveTrace, replayTrace) {
+		t.Fatal("replay trace differs from live trace")
+	}
+	a, _ := json.Marshal(liveRes)
+	b, _ := json.Marshal(replayRes)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replay result differs:\n%s\n%s", a, b)
+	}
+	if liveRes.FinalVersion == 0 {
+		t.Fatal("expected churn batches to have applied")
+	}
+}
+
+// TestSimulateChurnDropsQueuedOnRemovedLink pins the remap semantics: work
+// queued on a link that churn removes is dropped (and counted), and a
+// class whose only target vanished can never be served again.
+func TestSimulateChurnDropsQueuedOnRemovedLink(t *testing.T) {
+	eng := newChurnEngine(t, 0)
+	spec := &decaynet.SimSpec{
+		Horizon:   1.0,
+		RoundTime: 0.05, // slow service: the queue is non-empty at churn time
+		Seed:      7,
+		Policy:    "firstfit",
+		Classes: []decaynet.SimClassSpec{
+			{Name: "pinned", Arrival: decaynet.SimArrivalSpec{Dist: "poisson", Rate: 200},
+				Links: []int{0}},
+		},
+		Churn: &decaynet.SimChurnSpec{Every: 0.3},
+	}
+	res, err := eng.Simulate(context.Background(), decaynet.SimConfig{
+		Spec:      spec,
+		Mutations: []decaynet.Mutation{{RemoveLinks: []int{0}}},
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("expected drops from the removed target link: %+v", res)
+	}
+	if res.InFlight != 0 {
+		t.Fatalf("nothing can stay in flight once the only target is gone: %+v", res)
+	}
+	if res.Arrivals != res.Completions+res.Dropped+res.Expired {
+		t.Fatalf("conservation violated: %+v", res)
+	}
+	if eng.Len() != 15 {
+		t.Fatalf("engine should have 15 links after the removal, got %d", eng.Len())
+	}
+}
+
+// TestServeSimulateRoute drives POST /v1/sessions/{id}/simulate end to end
+// and requires the wire result to equal a direct library run on an
+// identically-built engine.
+func TestServeSimulateRoute(t *testing.T) {
+	direct := newChurnEngine(t, 0)
+	spec := simTestSpec()
+	want, err := direct.Simulate(context.Background(), decaynet.SimConfig{Spec: spec})
+	if err != nil {
+		t.Fatalf("direct Simulate: %v", err)
+	}
+
+	c := newServeClient(t, decaynet.ServeConfig{})
+	id := c.create(`{"scenario":"churn","config":{"links":16,"seed":5},"noise":0.0005}`)
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, data := c.do("POST", "/v1/sessions/"+id+"/simulate", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("simulate route: %d %s", code, data)
+	}
+	var resp struct {
+		Result  *decaynet.SimResult `json:"result"`
+		Version uint64              `json:"version"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("decode response %s: %v", data, err)
+	}
+	if !reflect.DeepEqual(want, resp.Result) {
+		a, _ := json.Marshal(want)
+		b, _ := json.Marshal(resp.Result)
+		t.Fatalf("wire result differs from direct run:\n%s\n%s", a, b)
+	}
+	if resp.Version != want.FinalVersion {
+		t.Fatalf("response version %d != final version %d", resp.Version, want.FinalVersion)
+	}
+
+	// Malformed and invalid specs are rejected with 400.
+	if code, _ := c.do("POST", "/v1/sessions/"+id+"/simulate", `{"horizon":-1}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: got %d, want 400", code)
+	}
+	if code, _ := c.do("POST", "/v1/sessions/"+id+"/simulate", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: got %d, want 400", code)
+	}
+}
