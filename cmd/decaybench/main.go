@@ -50,6 +50,7 @@ import (
 	"decaynet/internal/schedule"
 	"decaynet/internal/shard"
 	"decaynet/internal/sinr"
+	"decaynet/internal/tier"
 	"decaynet/internal/trace"
 )
 
@@ -269,6 +270,18 @@ func runBench(outPath string, n int, large, serve bool, allocCheck string) error
 		return err
 	}
 
+	// Tiered-storage rows: tier/zeta times an exact ζ scan answered from
+	// the tiered row store (near-field CSR + float32 tail) at the bench
+	// size, and tier/bytes records — as bytes_per_op — the bytes a
+	// model-tail tiered space holds for an n=4096 "urban" session, the
+	// memory-wall acceptance figure (the dense float64 matrix it replaces
+	// is 128 MiB at that size).
+	tierRow, err := benchTier(record, space, n)
+	if err != nil {
+		return err
+	}
+	results = append(results, tierRow)
+
 	if large {
 		for _, ln := range []int{512, 1024} {
 			li, err := scenario.Build("random", scenario.Config{Nodes: ln, Seed: 7})
@@ -398,12 +411,14 @@ func runBench(outPath string, n int, large, serve bool, allocCheck string) error
 // opThreshold is one op's regression ceilings. The checked-in file admits
 // two forms per op: a bare number (an allocs/op ceiling, the historical
 // format every pre-serve row uses) or an object naming any of
-// allocs_per_op, ns_per_op and p99_ns_per_op — the serve/* rows gate
-// latency, not allocations, since their cost is the HTTP round trip.
+// allocs_per_op, ns_per_op, p99_ns_per_op and bytes_per_op — the serve/*
+// rows gate latency, not allocations, since their cost is the HTTP round
+// trip, and tier/bytes gates the storage a tiered space holds.
 type opThreshold struct {
 	AllocsPerOp *int64 `json:"allocs_per_op"`
 	NsPerOp     *int64 `json:"ns_per_op"`
 	P99NsPerOp  *int64 `json:"p99_ns_per_op"`
+	BytesPerOp  *int64 `json:"bytes_per_op"`
 }
 
 // checkAllocs gates measured rows against the checked-in per-op ceilings
@@ -449,6 +464,9 @@ func checkAllocs(path string, results []benchResult) error {
 			if limit.P99NsPerOp != nil && r.P99NsPerOp > *limit.P99NsPerOp {
 				failures = append(failures, fmt.Sprintf("%s at n=%d has p99 %d ns, ceiling %d", op, r.N, r.P99NsPerOp, *limit.P99NsPerOp))
 			}
+			if limit.BytesPerOp != nil && r.BytesPerOp > *limit.BytesPerOp {
+				failures = append(failures, fmt.Sprintf("%s at n=%d holds %d B/op, ceiling %d", op, r.N, r.BytesPerOp, *limit.BytesPerOp))
+			}
 		}
 		if !seen {
 			failures = append(failures, fmt.Sprintf("%s has a ceiling but was not measured", op))
@@ -465,6 +483,54 @@ func checkAllocs(path string, results []benchResult) error {
 // recorded shard/zeta and shard/ingest rows (shard/zeta-k1 and -k2/-k4
 // rows trace the scaling curve below it).
 const shardBenchK = 8
+
+// tierBytesN is the fixed acceptance size of the tier/bytes row: 4096
+// nodes, where a dense float64 matrix pins 128 MiB and the model-tail
+// tiered store is gated an order of magnitude under it.
+const tierBytesN = 4096
+
+// benchTier records the tiered-storage rows. tier/zeta is a timed op: an
+// exact ζ scan over a float32-tail tiered space at the bench size, paying
+// row reconstruction from the near-field CSR and the compressed tail on
+// every read. tier/bytes is a held-storage measurement, not a timed one —
+// the returned row reports Accounting().TotalBytes() of an n=4096 "urban"
+// model-tail space as bytes_per_op (its ns_per_op is the one-time build
+// cost), so the bench-threshold gate can hold the memory-wall line.
+func benchTier(record func(op string, size int, fn func()), space core.Space, n int) (benchResult, error) {
+	k := 32
+	if k > n-1 {
+		k = n - 1
+	}
+	ts, err := tier.Build(space, tier.Options{Config: tier.Config{K: k, Tail: tier.TailFloat32}})
+	if err != nil {
+		return benchResult{}, err
+	}
+	record("tier/zeta", n, func() { core.ZetaTol(ts, 1e-12) })
+
+	urban, err := scenario.Build("urban", scenario.Config{Nodes: tierBytesN, Links: 64, Seed: 7})
+	if err != nil {
+		return benchResult{}, err
+	}
+	start := time.Now()
+	tb, err := tier.Build(urban.Space, tier.Options{
+		Config: tier.Config{K: 32, Tail: tier.TailModel},
+		Points: urban.Points,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	acct := tb.Accounting()
+	row := benchResult{
+		Op:         "tier/bytes",
+		N:          tierBytesN,
+		Iters:      1,
+		NsPerOp:    time.Since(start).Nanoseconds(),
+		BytesPerOp: acct.TotalBytes(),
+	}
+	fmt.Printf("%-24s n=%-5d %12d ns/op %10d B held (dense %d)\n",
+		row.Op, row.N, row.NsPerOp, row.BytesPerOp, acct.DenseBytes)
+	return row, nil
+}
 
 // benchShardZeta measures the sharded exact ζ scan at n nodes for
 // K ∈ {1, 2, 4, 8}: each op fans the row ranges out to K single-goroutine

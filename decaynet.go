@@ -65,6 +65,7 @@ import (
 	"decaynet/internal/hardness"
 	"decaynet/internal/schedule"
 	"decaynet/internal/sinr"
+	"decaynet/internal/tier"
 	"decaynet/internal/trace"
 	"decaynet/internal/workload"
 )
@@ -164,6 +165,50 @@ var (
 	// WriteCampaignCSV and WriteCampaignJSONL serialize campaigns.
 	WriteCampaignCSV   = trace.WriteCSV
 	WriteCampaignJSONL = trace.WriteJSONL
+)
+
+// Tiered row storage (internal/tier): the memory-wall escape for n ≥ 16k
+// sessions. A tiered space keeps the K strongest neighbors per row exact
+// over a float32 or fitted path-loss-model far field; Engine sessions opt
+// in with WithTieredStorage.
+type (
+	// TierOptions configures WithTieredStorage: the serializable TierConfig
+	// plus the node geometry a model tail needs.
+	TierOptions = tier.Options
+	// TierConfig is the serializable tiering configuration (near-field
+	// width K, tail mode, sampling budget and seed).
+	TierConfig = tier.Config
+	// TierTailMode selects the far-field representation (TailFloat32 or
+	// TailModel).
+	TierTailMode = tier.TailMode
+	// TierModel is the fitted far-field tail model decay(d) = C·dᵞ.
+	TierModel = tier.Model
+	// TierAccounting reports bytes held per tier and the tail fit error.
+	TierAccounting = tier.Accounting
+	// TierErrorReport summarizes a model tail's fit residual in dB.
+	TierErrorReport = tier.TailErrorReport
+)
+
+// Far-field tail modes of a tiered space.
+const (
+	// TailFloat32 stores full float32 rows (n²·4 bytes, relative error
+	// ≤ 2⁻²⁴ per entry).
+	TailFloat32 = tier.TailFloat32
+	// TailModel stores a fitted power-law path-loss model over the node
+	// geometry (O(1) bytes for the tail).
+	TailModel = tier.TailModel
+)
+
+// Tiered-space construction and wire codecs.
+var (
+	// BuildTieredSpace tiers any decay space directly (Engine sessions use
+	// WithTieredStorage instead).
+	BuildTieredSpace = tier.Build
+	// ParseTierConfig and ParseTierModel decode the strict-JSON wire forms
+	// (unknown fields, trailing data and out-of-range values rejected;
+	// all-or-nothing).
+	ParseTierConfig = tier.ParseConfig
+	ParseTierModel  = tier.ParseModel
 )
 
 // SINR machinery (Sec 2.4).

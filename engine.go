@@ -17,6 +17,7 @@ import (
 	"decaynet/internal/shard"
 	"decaynet/internal/shard/remote"
 	"decaynet/internal/sinr"
+	"decaynet/internal/tier"
 )
 
 // Engine is the batch-first session object of the public API: it owns a
@@ -47,7 +48,9 @@ type Engine struct {
 	version uint64
 
 	sys    *System
-	matrix *core.Matrix       // the dense space sys wraps (mutation target)
+	matrix *core.Matrix       // the dense space sys wraps (nil for tiered sessions)
+	space  core.Space         // the session space every read path consumes (== matrix unless tiered)
+	tiered *tier.Space        // the tiered space of a WithTieredStorage session, else nil
 	inst   *scenario.Instance // nil when built from an explicit space
 
 	// Geometry of the session, when built from a geometric scenario or
@@ -128,6 +131,7 @@ type engineConfig struct {
 	shards          int
 	remoteAddrs     []string
 	remoteTweak     func(*remote.PoolConfig)
+	tierOpts        *tier.Options
 }
 
 // EngineOption configures NewEngine.
@@ -297,6 +301,48 @@ func withRemoteTweak(tweak func(*remote.PoolConfig)) EngineOption {
 	}
 }
 
+// WithTieredStorage replaces the engine's dense float64 matrix with tiered
+// row storage (internal/tier): an exact near-field of the K strongest
+// (smallest-decay) neighbors per row over a float32 or fitted path-loss
+// model far field. Every cached product — ζ/ϕ (exact, sampled, or sharded),
+// affectance, capacity, scheduling, simulation — runs unchanged against the
+// tiered space through the ordinary Space/RowSpace contracts; what changes
+// is the memory wall: a TierConfig{Tail: TailModel} session holds O(n·K)
+// instead of n²·8 bytes, which is what makes n ≥ 16k sessions (the "urban"
+// scenario family) fit in ordinary heaps. TierAccounting reports the bytes
+// actually held per tier and the tail model's fit-error summary.
+//
+// Accuracy contract: near-field entries are served bit-identically to the
+// source space; a float32 tail perturbs each far entry by a relative error
+// ≤ tier.Float32RelTol (≈ 6e-8), with derived ζ/ϕ/affectance error budgets
+// documented (and property-tested) in internal/tier; a model tail replaces
+// far entries with the fitted decay(d) = C·dᵞ, whose residual the
+// accounting reports in dB. An analytically known ζ of the source space
+// (KnownZeta, or a scenario's ζ = α) is therefore discarded: the tiered
+// session computes its own metricity.
+//
+// Tiered sessions are immutable: Update and every mutation convenience
+// return ErrTieredImmutable. They compose with WithShards — the shard
+// workers then run the out-of-core streamed scans (core.StreamScan),
+// paging row tiles through a bounded cache instead of materializing a log
+// matrix — and with WithApproxMetricity, the intended ζ/ϕ route at n ≥ 16k.
+// Mutually exclusive with WithMutationTracking and WithRemoteWorkers
+// (remote replicas sync dense snapshots).
+//
+// For TailModel the node geometry is taken from opts.Points, or, when
+// empty, from the scenario instance the engine was built from.
+func WithTieredStorage(opts TierOptions) EngineOption {
+	return func(ec *engineConfig) error {
+		if err := opts.Config.Valid(); err != nil {
+			return err
+		}
+		o := opts
+		o.Points = append([]Point(nil), opts.Points...)
+		ec.tierOpts = &o
+		return nil
+	}
+}
+
 // WithMutationTracking pre-arms the incremental session machinery: exact
 // ζ/ϕ computations build their per-row trackers immediately, so even the
 // first Update repairs instead of invalidating. Without the option the
@@ -313,7 +359,8 @@ func WithMutationTracking() EngineOption {
 // UsingScenario or UsingSpace (exactly one required); links come from the
 // scenario, UsingLinks, or PairedLinks. The space is materialized into a
 // dense matrix up front so every downstream consumer takes the batch fast
-// path.
+// path — unless WithTieredStorage replaces the dense matrix with tiered row
+// storage, the memory-wall escape for n ≥ 16k sessions.
 func NewEngine(opts ...EngineOption) (*Engine, error) {
 	var ec engineConfig
 	ec.beta = 1
@@ -343,19 +390,46 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	if ec.space == nil {
 		return nil, errors.New("decaynet: an Engine needs UsingScenario or UsingSpace")
 	}
-	dense := core.Dense(ec.space)
+	e := &Engine{
+		inst:      inst,
+		analytic:  ec.knownZeta,
+		dynamic:   ec.tracking,
+		targetEps: ec.targetEps,
+	}
+	if ec.tierOpts != nil {
+		if ec.tracking {
+			return nil, errors.New("decaynet: WithTieredStorage and WithMutationTracking are mutually exclusive (tiered sessions are immutable)")
+		}
+		if len(ec.remoteAddrs) > 0 {
+			return nil, errors.New("decaynet: WithTieredStorage and WithRemoteWorkers are mutually exclusive (remote replicas sync dense snapshots)")
+		}
+		topts := *ec.tierOpts
+		if topts.Tail == tier.TailModel && len(topts.Points) == 0 && inst != nil {
+			topts.Points = inst.Points
+		}
+		ts, err := tier.Build(ec.space, topts)
+		if err != nil {
+			return nil, err
+		}
+		e.tiered = ts
+		e.space = ts
+		// Tiering perturbs far-field decays, so an analytic ζ of the
+		// source space no longer holds exactly; the session computes its
+		// own metricity.
+		e.analytic = 0
+		ec.knownZeta = 0
+	} else {
+		// The space is materialized into a dense matrix up front so every
+		// downstream consumer takes the batch fast path.
+		dense := core.Dense(ec.space)
+		e.matrix = dense
+		e.space = dense
+	}
 	if ec.pairLinks {
 		if len(ec.links) > 0 {
 			return nil, errors.New("decaynet: PairedLinks conflicts with explicit links")
 		}
-		ec.links = scenario.PairedLinks(dense.N())
-	}
-	e := &Engine{
-		inst:      inst,
-		matrix:    dense,
-		analytic:  ec.knownZeta,
-		dynamic:   ec.tracking,
-		targetEps: ec.targetEps,
+		ec.links = scenario.PairedLinks(e.space.N())
 	}
 	// Capture the session geometry MoveNode needs: positions from the
 	// scenario instance (or the space itself) and the path-loss exponent
@@ -372,7 +446,7 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	if inst != nil && len(inst.Points) > 0 {
 		e.points = append([]Point(nil), inst.Points...)
 	}
-	approx := ec.approxThreshold > 0 && dense.N() >= ec.approxThreshold
+	approx := ec.approxThreshold > 0 && e.space.N() >= ec.approxThreshold
 	if approx {
 		e.approxSamples = ec.approxSamples
 	}
@@ -385,7 +459,18 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		return nil, errors.New("decaynet: WithShards and WithRemoteWorkers are mutually exclusive")
 	}
 	if ec.shards > 0 {
-		coord, err := shard.New(dense, 1e-12, ec.shards)
+		var (
+			coord *shard.Coordinator
+			err   error
+		)
+		if e.tiered != nil {
+			// Tiered + sharded: workers run the out-of-core streamed scans,
+			// paging row tiles through a bounded cache (core.StreamScan)
+			// instead of materializing a dense log matrix per replica.
+			coord, err = shard.NewStreamed(context.Background(), e.tiered, 1e-12, ec.shards, 0, 0)
+		} else {
+			coord, err = shard.New(e.matrix, 1e-12, ec.shards)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -396,7 +481,7 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		if ec.remoteTweak != nil {
 			ec.remoteTweak(&cfg)
 		}
-		pool, err := remote.NewPool(cfg, dense, 1e-12)
+		pool, err := remote.NewPool(cfg, e.matrix, 1e-12)
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +503,7 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	if ec.knownZeta > 0 {
 		sysOpts = append(sysOpts, WithZeta(ec.knownZeta))
 	}
-	sys, err := NewSystem(dense, ec.links, sysOpts...)
+	sys, err := NewSystem(e.space, ec.links, sysOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -439,9 +524,9 @@ func (e *Engine) computeZeta(ctx context.Context) (float64, error) {
 			err error
 		)
 		if e.targetEps > 0 {
-			est, err = core.ZetaSampledTarget(ctx, e.matrix, e.approxSamples, e.targetEps, rng.New(approxMetricitySeed))
+			est, err = core.ZetaSampledTarget(ctx, e.space, e.approxSamples, e.targetEps, rng.New(approxMetricitySeed))
 		} else {
-			est, err = core.ZetaSampledEstimateCtx(ctx, e.matrix, e.approxSamples, rng.New(approxMetricitySeed))
+			est, err = core.ZetaSampledEstimateCtx(ctx, e.space, e.approxSamples, rng.New(approxMetricitySeed))
 		}
 		if err != nil {
 			return 0, err
@@ -469,7 +554,7 @@ func (e *Engine) computeZeta(ctx context.Context) (float64, error) {
 		e.zt = zt
 		return zt.Zeta(), nil
 	}
-	return core.ZetaTolCtx(ctx, e.matrix, 1e-12)
+	return core.ZetaTolCtx(ctx, e.space, 1e-12)
 }
 
 // Shards returns the shard count of the session's row-range coordinator,
@@ -504,13 +589,29 @@ func (e *Engine) Close() error {
 	return err
 }
 
+// Tiered reports whether the session runs on tiered row storage
+// (WithTieredStorage) instead of a dense float64 matrix.
+func (e *Engine) Tiered() bool { return e.tiered != nil }
+
+// TierAccounting returns the tiered session's per-tier storage accounting —
+// bytes held by the exact near field, the far-field tail and the geometry,
+// against the dense baseline — plus the tail model and its fit-error report
+// when the tail is modeled. ok is false for dense sessions.
+func (e *Engine) TierAccounting() (TierAccounting, bool) {
+	if e.tiered == nil {
+		return TierAccounting{}, false
+	}
+	return e.tiered.Accounting(), true
+}
+
 // System returns the underlying sinr System (shares all caches). Direct
 // System use is not serialized against Update — hold off mutating the
 // engine while working through it.
 func (e *Engine) System() *System { return e.sys }
 
-// Space returns the engine's dense decay space. The returned space is the
-// live session matrix: Update mutates it in place.
+// Space returns the engine's decay space — the live session matrix that
+// Update mutates in place, or the immutable tiered space of a
+// WithTieredStorage session.
 func (e *Engine) Space() Space { return e.sys.Space() }
 
 // Links returns a copy of the link set.
@@ -528,7 +629,7 @@ func (e *Engine) Len() int {
 }
 
 // N returns the number of nodes.
-func (e *Engine) N() int { return e.matrix.N() }
+func (e *Engine) N() int { return e.space.N() }
 
 // Version returns the session version: 0 at construction, incremented by
 // every applied Update. Two reads returning the same version bracket an
@@ -603,9 +704,9 @@ func (e *Engine) PhiCtx(ctx context.Context) (float64, error) {
 			err error
 		)
 		if e.targetEps > 0 {
-			est, err = core.VarphiSampledTarget(ctx, e.matrix, e.approxSamples, e.targetEps, rng.New(approxMetricitySeed+1))
+			est, err = core.VarphiSampledTarget(ctx, e.space, e.approxSamples, e.targetEps, rng.New(approxMetricitySeed+1))
 		} else {
-			est, err = core.VarphiSampledEstimateCtx(ctx, e.matrix, e.approxSamples, rng.New(approxMetricitySeed+1))
+			est, err = core.VarphiSampledEstimateCtx(ctx, e.space, e.approxSamples, rng.New(approxMetricitySeed+1))
 		}
 		if err != nil {
 			return 0, err
@@ -634,7 +735,7 @@ func (e *Engine) PhiCtx(ctx context.Context) (float64, error) {
 		vphi = vt.Varphi()
 	default:
 		var err error
-		vphi, err = core.VarphiCtx(ctx, e.matrix)
+		vphi, err = core.VarphiCtx(ctx, e.space)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"decaynet/internal/par"
+)
+
+// Out-of-core forms of the exact triplet kernels. A StreamScan is the
+// row-streamed analogue of ZetaScanState/VarphiScanState: instead of
+// materializing the n² (log-)decay matrix it holds only the O(n) pruning
+// extrema and pages rows through a bounded tile cache (RowPager) while the
+// range scans run. Every triplet value still comes from the same
+// deterministic per-triplet functions evaluated on the same float64 decays,
+// and the scan visits triplets in the same order with the same pruning
+// bounds as the dense range kernels, so per-range maxima merge bit-identically
+// with ZetaScanState.MaxRange / VarphiScanState.MaxRange — and therefore
+// with the unsharded ZetaTol / Varphi scans. This is what lets
+// internal/shard row-range jobs run on spaces that never fit dense float64
+// (see internal/tier): a worker's working set is maxTiles·tileRows rows,
+// not n².
+
+// Default paging geometry for streamed scans: tiles of 256 rows, at most 4
+// resident per scan. A ζ range scan touches one x-band and one z-tile at a
+// time (the triplet kernels are blocked at tripletTile(n) ≤ 64 rows), so 4
+// tiles hold the whole working set with a spare against boundary straddle.
+const (
+	DefaultStreamTileRows = 256
+	DefaultStreamMaxTiles = 4
+)
+
+// RowPager pages rows of a RowSpace through a fixed-size LRU cache of row
+// tiles, applying an optional in-place transform (ln for the ζ kernels) to
+// each row as it is loaded. It is a single-goroutine helper: the slices
+// returned by Row alias tile buffers that a later Row call may evict and
+// reuse, so callers copy any row they hold across a subsequent fetch (the
+// streamed kernels copy their x-row and consume z/y-rows immediately).
+type RowPager struct {
+	rs        RowSpace
+	n         int
+	tileRows  int
+	maxTiles  int
+	transform func(row []float64)
+
+	tiles map[int]*pagerTile
+	tick  int64
+	loads int64
+}
+
+type pagerTile struct {
+	rows []float64
+	last int64
+}
+
+// NewRowPager builds a pager over rs with the given tile geometry.
+// Non-positive tileRows / maxTiles select the defaults; maxTiles is clamped
+// to ≥ 2 so an x-band and a z-tile can be resident simultaneously.
+func NewRowPager(rs RowSpace, tileRows, maxTiles int, transform func(row []float64)) *RowPager {
+	if tileRows <= 0 {
+		tileRows = DefaultStreamTileRows
+	}
+	if maxTiles <= 0 {
+		maxTiles = DefaultStreamMaxTiles
+	}
+	if maxTiles < 2 {
+		maxTiles = 2
+	}
+	return &RowPager{
+		rs:        rs,
+		n:         rs.N(),
+		tileRows:  tileRows,
+		maxTiles:  maxTiles,
+		transform: transform,
+		tiles:     make(map[int]*pagerTile, maxTiles),
+	}
+}
+
+// Row returns row i (transformed), loading and possibly evicting a tile.
+// The slice is valid until the next Row call that faults a tile.
+func (p *RowPager) Row(i int) []float64 {
+	t := i / p.tileRows
+	pt := p.tiles[t]
+	if pt == nil {
+		pt = p.load(t)
+	}
+	p.tick++
+	pt.last = p.tick
+	off := (i - t*p.tileRows) * p.n
+	return pt.rows[off : off+p.n]
+}
+
+// load faults tile t, evicting the least-recently-used tile (and reusing
+// its buffer) once maxTiles are resident.
+func (p *RowPager) load(t int) *pagerTile {
+	var pt *pagerTile
+	if len(p.tiles) >= p.maxTiles {
+		victim, oldest := -1, int64(math.MaxInt64)
+		for k, cand := range p.tiles {
+			if cand.last < oldest {
+				victim, oldest = k, cand.last
+			}
+		}
+		pt = p.tiles[victim]
+		delete(p.tiles, victim)
+	} else {
+		pt = &pagerTile{rows: make([]float64, p.tileRows*p.n)}
+	}
+	lo := t * p.tileRows
+	hi := lo + p.tileRows
+	if hi > p.n {
+		hi = p.n
+	}
+	for r := lo; r < hi; r++ {
+		row := pt.rows[(r-lo)*p.n : (r-lo+1)*p.n]
+		p.rs.Row(r, row)
+		if p.transform != nil {
+			p.transform(row)
+		}
+	}
+	p.loads++
+	p.tiles[t] = pt
+	return pt
+}
+
+// Loads returns how many tile faults the pager has served — the streaming
+// overhead a test can bound.
+func (p *RowPager) Loads() int64 { return p.loads }
+
+// HeldBytes returns the bytes currently pinned in resident tiles.
+func (p *RowPager) HeldBytes() int64 {
+	return int64(len(p.tiles)) * int64(p.tileRows) * int64(p.n) * 8
+}
+
+// lnRow maps a decay row to its logarithms in place (the ζ kernels work on
+// ln f; the diagonal becomes ln 0 = -Inf and is skipped like everywhere).
+func lnRow(row []float64) {
+	for j, v := range row {
+		row[j] = math.Log(v)
+	}
+}
+
+// StreamScan is the streamed scan replica over a RowSpace: the O(n) pruning
+// extrema of both the decay and log-decay matrices, plus the paging
+// geometry its range scans use. Construction streams every row exactly
+// once (parallel, transient buffers); after that the state is immutable
+// and safe for concurrent range scans — each scan runs its own private
+// RowPager. Peak memory per concurrent scan is maxTiles·tileRows·n·8 bytes.
+type StreamScan struct {
+	rs       RowSpace
+	n        int
+	tol      float64
+	tileRows int
+	maxTiles int
+
+	logMax, logMin []float64 // off-diagonal extrema of ln f per row
+	fMax, fMin     []float64 // off-diagonal extrema of f per row
+}
+
+// NewStreamScan derives the pruning extrema of rs for streamed ζ (at
+// bisection tolerance tol) and ϕ range scans. Non-positive tileRows /
+// maxTiles select the package defaults.
+func NewStreamScan(ctx context.Context, rs RowSpace, tol float64, tileRows, maxTiles int) (*StreamScan, error) {
+	n := rs.N()
+	s := &StreamScan{rs: rs, n: n, tol: tol, tileRows: tileRows, maxTiles: maxTiles}
+	if n < 3 {
+		return s, ctx.Err()
+	}
+	s.logMax = make([]float64, n)
+	s.logMin = make([]float64, n)
+	s.fMax = make([]float64, n)
+	s.fMin = make([]float64, n)
+	err := par.ForChunkedCtx(ctx, n, func(lo, hi int) {
+		buf := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rs.Row(i, buf)
+			mx, mn := math.Inf(-1), math.Inf(1)
+			for j, v := range buf {
+				if j == i {
+					continue
+				}
+				if v > mx {
+					mx = v
+				}
+				if v < mn {
+					mn = v
+				}
+			}
+			s.fMax[i], s.fMin[i] = mx, mn
+			// ln is strictly increasing on the positive decays, so the log
+			// extrema are the logs of the decay extrema — bit-identical to
+			// rowExtrema over logMatrix.
+			s.logMax[i], s.logMin[i] = math.Log(mx), math.Log(mn)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// N returns the number of nodes scanned.
+func (s *StreamScan) N() int { return s.n }
+
+// ZetaMaxRange returns the exact ζ maximum over the ordered triplets whose
+// first index lies in [xlo, xhi), streaming log-decay rows through a
+// private pager instead of reading a materialized log matrix. The scan
+// mirrors ZetaScanState.MaxRange statement for statement — same triplet
+// order, same pruning bounds, same zetaTriplet evaluations — so its result
+// is bit-identical and per-range maxima max-merge exactly as the dense
+// shard scans do. sym certifies exact decay symmetry (y starts at x+1).
+func (s *StreamScan) ZetaMaxRange(ctx context.Context, xlo, xhi int, sym bool) (float64, error) {
+	best := DefaultZetaFloor
+	if s.n < 3 || xlo >= xhi {
+		return best, ctx.Err()
+	}
+	n := s.n
+	invT := 1 / best
+	amgm := 2 * math.Ln2 * best
+	tile := tripletTile(n)
+	if tile <= 0 {
+		tile = n
+	}
+	pager := NewRowPager(s.rs, s.tileRows, s.maxTiles, lnRow)
+	rowX := make([]float64, n) // pinned copy: z-row faults may evict x's tile
+	for ztile := 0; ztile < n; ztile += tile {
+		zhi := ztile + tile
+		if zhi > n {
+			zhi = n
+		}
+		for x := xlo; x < xhi; x++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			copy(rowX, pager.Row(x))
+			maxX := s.logMax[x]
+			yStart := 0
+			if sym {
+				yStart = x + 1
+			}
+			for z := ztile; z < zhi; z++ {
+				if z == x {
+					continue
+				}
+				b := rowX[z]
+				if b+s.logMin[z]+amgm >= 2*maxX {
+					continue
+				}
+				if math.Exp((b-maxX)*invT)+math.Exp((s.logMin[z]-maxX)*invT) >= 1 {
+					continue
+				}
+				rowZ := pager.Row(z)
+				aMin := (b + s.logMin[z] + amgm) / 2
+				for y := yStart; y < n; y++ {
+					if y == x || y == z {
+						continue
+					}
+					a := rowX[y]
+					if a <= aMin {
+						continue
+					}
+					c := rowZ[y]
+					if a <= c || b+c+amgm >= 2*a {
+						continue
+					}
+					if math.Exp((b-a)*invT)+math.Exp((c-a)*invT) >= 1 {
+						continue
+					}
+					if zt := zetaTriplet(a, b, c, s.tol); zt > best {
+						best = zt
+						invT = 1 / best
+						amgm = 2 * math.Ln2 * best
+						aMin = (b + s.logMin[z] + amgm) / 2
+					}
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// VarphiMaxRange returns the exact ϕ maximum over triplets with first index
+// in [xlo, xhi), streaming raw decay rows — the ϕ analogue of ZetaMaxRange,
+// mirroring VarphiScanState.MaxRange bit for bit. sym halves the scan on
+// exactly symmetric spaces (z starts at x+1).
+func (s *StreamScan) VarphiMaxRange(ctx context.Context, xlo, xhi int, sym bool) (float64, error) {
+	best := varphiFloorValue
+	if s.n < 3 || xlo >= xhi {
+		return best, ctx.Err()
+	}
+	n := s.n
+	tile := tripletTile(n)
+	if tile <= 0 {
+		tile = n
+	}
+	pager := NewRowPager(s.rs, s.tileRows, s.maxTiles, nil)
+	rowX := make([]float64, n)
+	for ytile := 0; ytile < n; ytile += tile {
+		yhi := ytile + tile
+		if yhi > n {
+			yhi = n
+		}
+		for x := xlo; x < xhi; x++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			copy(rowX, pager.Row(x))
+			maxX := s.fMax[x]
+			zStart := 0
+			if sym {
+				zStart = x + 1
+			}
+			for y := ytile; y < yhi; y++ {
+				if y == x {
+					continue
+				}
+				fxy := rowX[y]
+				if maxX <= best*(fxy+s.fMin[y]) {
+					continue
+				}
+				rowY := pager.Row(y)
+				for z := zStart; z < n; z++ {
+					if z == x || z == y {
+						continue
+					}
+					if r := rowX[z] / (fxy + rowY[z]); r > best {
+						best = r
+					}
+				}
+			}
+		}
+	}
+	return best, nil
+}

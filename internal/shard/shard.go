@@ -139,22 +139,85 @@ type Worker interface {
 	AffectanceRows(ctx context.Context, job AffectanceJob) (AffectanceBlock, error)
 }
 
+// ErrStreamed is returned for phases a streamed (row-paged, non-dense)
+// replica cannot serve: band collection, trackers and repairs all assume a
+// mutable dense matrix, and streamed sessions are immutable by contract.
+var ErrStreamed = errors.New("shard: operation not supported on a streamed replica (streamed sessions are immutable)")
+
 // Replica is the session state a worker scans: the dense decay matrix plus
 // lazily built scan replicas (log matrix, pruning extrema). In-process,
 // one Replica is shared by every worker and patched in place by the
 // session's repairs (under the session write lock); cross-machine, each
 // worker would hold its own and apply shipped mutation batches.
+//
+// A streamed replica (NewStreamedReplica) holds no dense matrix at all:
+// instead of an n² log matrix it carries a core.StreamScan — O(n) pruning
+// extrema over a core.RowSpace — and its workers page rows through bounded
+// tile caches during range scans. Max scans and affectance blocks work
+// identically (and bit-identically); trackers and repairs return
+// ErrStreamed.
 type Replica struct {
 	mu  sync.Mutex
-	m   *core.Matrix
+	m   *core.Matrix // nil for streamed replicas
 	tol float64
 	zs  *core.ZetaScanState
 	vs  *core.VarphiScanState
+
+	rows core.RowSpace    // streamed replicas: the row source
+	ss   *core.StreamScan // streamed replicas: extrema + paging geometry
 }
 
 // NewReplica wraps a dense space for scanning at ζ bisection tolerance tol.
 func NewReplica(m *core.Matrix, tol float64) *Replica {
 	return &Replica{m: m, tol: tol}
+}
+
+// NewStreamedReplica wraps a row-streamed space for scanning at ζ bisection
+// tolerance tol without ever materializing it densely: construction streams
+// every row once to derive the O(n) pruning extrema (cancellable via ctx),
+// and each range scan holds at most maxTiles·tileRows rows (non-positive
+// values select the core.DefaultStream* geometry). The replica is immutable:
+// scans may run concurrently, but Patch/Invalidate have nothing to refresh
+// and the tracker/repair phases report ErrStreamed.
+func NewStreamedReplica(ctx context.Context, rs core.RowSpace, tol float64, tileRows, maxTiles int) (*Replica, error) {
+	if rs == nil {
+		return nil, errors.New("shard: nil row space")
+	}
+	ss, err := core.NewStreamScan(ctx, rs, tol, tileRows, maxTiles)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{tol: tol, rows: rs, ss: ss}, nil
+}
+
+// Streamed reports whether this replica pages rows instead of holding a
+// dense matrix.
+func (r *Replica) Streamed() bool { return r.m == nil && r.rows != nil }
+
+// N returns the node count regardless of replica kind.
+func (r *Replica) N() int {
+	if r.m != nil {
+		return r.m.N()
+	}
+	return r.rows.N()
+}
+
+// rowSource returns the space rows are read from: the dense matrix, or the
+// streamed row source.
+func (r *Replica) rowSource() core.RowSpace {
+	if r.m != nil {
+		return r.m
+	}
+	return r.rows
+}
+
+// symmetric reports whether the replica's space certifies exact symmetry
+// (the halved triplet scans rely on it).
+func (r *Replica) symmetric() bool {
+	if r.m != nil {
+		return r.m.Symmetric()
+	}
+	return core.KnownSymmetric(r.rows)
 }
 
 // ZetaState returns the replica's ζ scan state, building it on first use.
@@ -223,32 +286,52 @@ type localWorker struct {
 }
 
 func (w *localWorker) ZetaMax(ctx context.Context, job ScanJob) (MaxResult, error) {
+	if w.rep.Streamed() {
+		max, err := w.rep.ss.ZetaMaxRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Sym)
+		return MaxResult{Max: max}, err
+	}
 	max, err := w.rep.ZetaState().MaxRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Sym)
 	return MaxResult{Max: max}, err
 }
 
 func (w *localWorker) ZetaBand(ctx context.Context, job BandJob) (BandResult, error) {
+	if w.rep.Streamed() {
+		return BandResult{}, ErrStreamed
+	}
 	band, err := w.rep.ZetaState().CollectRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Floor)
 	return BandResult{Band: band}, err
 }
 
 func (w *localWorker) ZetaRepair(ctx context.Context, job RepairJob) (BandResult, error) {
+	if w.rep.Streamed() {
+		return BandResult{}, ErrStreamed
+	}
 	mask := dirtyMask(w.rep.m.N(), job.Dirty)
 	band, err := w.rep.ZetaState().RepairRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Dirty, mask, job.Floor)
 	return BandResult{Band: band}, err
 }
 
 func (w *localWorker) VarphiMax(ctx context.Context, job ScanJob) (MaxResult, error) {
+	if w.rep.Streamed() {
+		max, err := w.rep.ss.VarphiMaxRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Sym)
+		return MaxResult{Max: max}, err
+	}
 	max, err := w.rep.VarphiState().MaxRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Sym)
 	return MaxResult{Max: max}, err
 }
 
 func (w *localWorker) VarphiBand(ctx context.Context, job BandJob) (BandResult, error) {
+	if w.rep.Streamed() {
+		return BandResult{}, ErrStreamed
+	}
 	band, err := w.rep.VarphiState().CollectRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Floor)
 	return BandResult{Band: band}, err
 }
 
 func (w *localWorker) VarphiRepair(ctx context.Context, job RepairJob) (BandResult, error) {
+	if w.rep.Streamed() {
+		return BandResult{}, ErrStreamed
+	}
 	mask := dirtyMask(w.rep.m.N(), job.Dirty)
 	band, err := w.rep.VarphiState().RepairRange(ctx, job.Rows.Lo, job.Rows.Hi, job.Dirty, mask, job.Floor)
 	return BandResult{Band: band}, err
@@ -258,13 +341,14 @@ func (w *localWorker) AffectanceRows(ctx context.Context, job AffectanceJob) (Af
 	nLinks := len(job.Factor)
 	lo, hi := job.Links.Lo, job.Links.Hi
 	blk := AffectanceBlock{Lo: lo, Rows: make([]float64, (hi-lo)*nLinks)}
-	nodes := w.rep.m.N()
+	src := w.rep.rowSource()
+	nodes := src.N()
 	buf := make([]float64, nodes)
 	for l := lo; l < hi; l++ {
 		if err := ctx.Err(); err != nil {
 			return AffectanceBlock{}, err
 		}
-		w.rep.m.Row(job.Send[l], buf)
+		src.Row(job.Send[l], buf)
 		out := blk.Rows[(l-lo)*nLinks : (l-lo+1)*nLinks]
 		pw := job.Power[l]
 		for v := 0; v < nLinks; v++ {
@@ -325,6 +409,28 @@ func New(m *core.Matrix, tol float64, k int) (*Coordinator, error) {
 	return c, nil
 }
 
+// NewStreamed builds a coordinator over a row-streamed space with k
+// in-process workers sharing one streamed replica — the out-of-core shard
+// path. ζ/ϕ maxima and affectance blocks work bit-identically to New over
+// the materialized space while each worker's row working set stays at
+// maxTiles·tileRows rows (non-positive values select the core defaults);
+// trackers and repairs return ErrStreamed. Construction streams every row
+// once for the pruning extrema and is cancellable via ctx.
+func NewStreamed(ctx context.Context, rs core.RowSpace, tol float64, k, tileRows, maxTiles int) (*Coordinator, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: %d shards", k)
+	}
+	rep, err := NewStreamedReplica(ctx, rs, tol, tileRows, maxTiles)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{n: rep.N(), ranges: Split(rep.N(), k), rep: rep}
+	for i := 0; i < k; i++ {
+		c.work = append(c.work, &localWorker{rep: rep})
+	}
+	return c, nil
+}
+
 // NewWithWorkers builds a coordinator over an explicit worker set — one
 // row-range shard per worker — sharing the given replica for the
 // coordinator-side state (tracker scan states, symmetry checks, local
@@ -342,7 +448,7 @@ func NewWithWorkers(rep *Replica, workers []Worker) (*Coordinator, error) {
 	if len(workers) == 0 {
 		return nil, errors.New("shard: no workers")
 	}
-	n := rep.M().N()
+	n := rep.N()
 	return &Coordinator{n: n, ranges: Split(n, len(workers)), work: append([]Worker(nil), workers...), rep: rep}, nil
 }
 
@@ -484,14 +590,14 @@ func (c *Coordinator) repairPhase(ctx context.Context, dirty []int, rowsOnly boo
 // merged with max — bit-identical to core.ZetaTol. Symmetric spaces scan
 // the halved triplet set, exactly as the unsharded kernel does.
 func (c *Coordinator) Zeta(ctx context.Context) (float64, error) {
-	return c.maxPhase(ctx, c.rep.m.Symmetric(), func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
+	return c.maxPhase(ctx, c.rep.symmetric(), func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.ZetaMax(ctx, job)
 	}, core.DefaultZetaFloor)
 }
 
 // Varphi runs the sharded exact ϕ scan (see Zeta).
 func (c *Coordinator) Varphi(ctx context.Context) (float64, error) {
-	return c.maxPhase(ctx, c.rep.m.Symmetric(), func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
+	return c.maxPhase(ctx, c.rep.symmetric(), func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.VarphiMax(ctx, job)
 	}, core.VarphiFloor)
 }
@@ -502,6 +608,9 @@ func (c *Coordinator) Varphi(ctx context.Context) (float64, error) {
 // which then shares its scan replica with the workers, so repairs route
 // back through them.
 func (c *Coordinator) ZetaTracker(ctx context.Context) (*core.ZetaTracker, error) {
+	if c.rep.Streamed() {
+		return nil, ErrStreamed
+	}
 	st := c.rep.ZetaState()
 	zmax, err := c.maxPhase(ctx, false, func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.ZetaMax(ctx, job)
@@ -523,6 +632,9 @@ func (c *Coordinator) ZetaTracker(ctx context.Context) (*core.ZetaTracker, error
 
 // VarphiTracker is ZetaTracker's ϕ analogue.
 func (c *Coordinator) VarphiTracker(ctx context.Context) (*core.VarphiTracker, error) {
+	if c.rep.Streamed() {
+		return nil, ErrStreamed
+	}
 	st := c.rep.VarphiState()
 	vmax, err := c.maxPhase(ctx, false, func(ctx context.Context, w Worker, job ScanJob) (MaxResult, error) {
 		return w.VarphiMax(ctx, job)
@@ -549,6 +661,9 @@ func (c *Coordinator) VarphiTracker(ctx context.Context) (*core.VarphiTracker, e
 // the tracked value. A drained band falls back to the full sharded
 // two-phase rescan. Bit-identical to ZetaTracker.Repair.
 func (c *Coordinator) RepairZeta(ctx context.Context, t *core.ZetaTracker, dirty []int, rowsOnly bool) (float64, error) {
+	if c.rep.Streamed() {
+		return 0, ErrStreamed
+	}
 	t.PatchAndDrop(dirty, rowsOnly)
 	band, err := c.repairPhase(ctx, dirty, rowsOnly, t.Floor(), func(ctx context.Context, w Worker, job RepairJob) (BandResult, error) {
 		return w.ZetaRepair(ctx, job)
@@ -581,6 +696,9 @@ func (c *Coordinator) RepairZeta(ctx context.Context, t *core.ZetaTracker, dirty
 
 // RepairVarphi is RepairZeta's ϕ analogue.
 func (c *Coordinator) RepairVarphi(ctx context.Context, t *core.VarphiTracker, dirty []int, rowsOnly bool) (float64, error) {
+	if c.rep.Streamed() {
+		return 0, ErrStreamed
+	}
 	t.PatchAndDrop(dirty, rowsOnly)
 	band, err := c.repairPhase(ctx, dirty, rowsOnly, t.Floor(), func(ctx context.Context, w Worker, job RepairJob) (BandResult, error) {
 		return w.VarphiRepair(ctx, job)

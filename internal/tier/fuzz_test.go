@@ -1,0 +1,79 @@
+package tier_test
+
+import (
+	"bytes"
+	"testing"
+
+	. "decaynet/internal/tier"
+)
+
+// FuzzParseTierConfig fuzzes the strict wire decoders of the tier
+// subsystem — Config and the tail Model arrive in untrusted session
+// requests — for three properties:
+//
+//  1. no panic on any input,
+//  2. all-or-nothing: an error always comes with the zero value,
+//  3. marshal→decode fixed point: a successfully decoded value re-encodes
+//     to bytes that decode to the same value (and re-encode identically).
+func FuzzParseTierConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tail":"float32"}`))
+	f.Add([]byte(`{"k":64,"tail":"model","tail_samples":4096,"seed":7}`))
+	f.Add([]byte(`{"k":65536,"tail":"float32","tail_samples":16777216}`))
+	f.Add([]byte(`{"c":2.5,"gamma":-3.1}`))
+	f.Add([]byte(`{"c":1e-300,"gamma":0}`))
+	f.Add([]byte(`{"tail":"model"}{"k":1}`))
+	f.Add([]byte(`{"k":-1}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseConfig(data)
+		if err != nil {
+			if c != (Config{}) {
+				t.Fatalf("ParseConfig(%q) returned %+v alongside error %v", data, c, err)
+			}
+		} else {
+			if verr := c.Valid(); verr != nil {
+				t.Fatalf("ParseConfig(%q) accepted invalid config %+v: %v", data, c, verr)
+			}
+			enc := c.Encode()
+			c2, err2 := ParseConfig(enc)
+			if err2 != nil {
+				t.Fatalf("re-decode of %s failed: %v", enc, err2)
+			}
+			if c2 != c {
+				t.Fatalf("decode fixed point broken: %+v → %s → %+v", c, enc, c2)
+			}
+			if !bytes.Equal(c2.Encode(), enc) {
+				t.Fatalf("encode fixed point broken: %s vs %s", enc, c2.Encode())
+			}
+		}
+		m, err := ParseModel(data)
+		if err != nil {
+			if m != (Model{}) {
+				t.Fatalf("ParseModel(%q) returned %+v alongside error %v", data, m, err)
+			}
+		} else {
+			if verr := m.Valid(); verr != nil {
+				t.Fatalf("ParseModel(%q) accepted invalid model %+v: %v", data, m, verr)
+			}
+			enc := m.Encode()
+			m2, err2 := ParseModel(enc)
+			if err2 != nil {
+				t.Fatalf("re-decode of %s failed: %v", enc, err2)
+			}
+			if m2 != m {
+				t.Fatalf("decode fixed point broken: %+v → %s → %+v", m, enc, m2)
+			}
+			if !bytes.Equal(m2.Encode(), enc) {
+				t.Fatalf("encode fixed point broken: %s vs %s", enc, m2.Encode())
+			}
+			// A decoded model must evaluate positive finite everywhere.
+			for _, d := range []float64{0, 1e-30, 1, 1e30} {
+				if v := m.Eval(d); v <= 0 {
+					t.Fatalf("decoded model %+v evaluates to %v at d=%v", m, v, d)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,516 @@
+package tier
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/par"
+	"decaynet/internal/rng"
+	"decaynet/internal/stats"
+)
+
+// Documented per-tier error budgets, asserted by the property tests
+// against the dense float64 oracle across scenario families (tier_test.go
+// and the root tier integration tests).
+const (
+	// Float32RelTol bounds the relative error of any single tail entry
+	// under TailFloat32: one float32 rounding, ≤ 2⁻²⁴ (saturated entries
+	// excepted; those are counted in Accounting.Saturated and only occur
+	// outside float32's ~10^±38 range).
+	Float32RelTol = 1.0 / (1 << 24)
+	// Float32ZetaTol bounds the absolute ζ error of a TailFloat32 space:
+	// each triplet's root moves by O(ζ·δ) for per-entry log perturbation
+	// δ ≤ 2⁻²⁴, well under this budget on the tested scenario families.
+	Float32ZetaTol = 1e-5
+	// Float32VarphiRelTol bounds the relative ϕ error: ϕ is a ratio of
+	// sums of entries, so its relative error is ≤ ~3·Float32RelTol.
+	Float32VarphiRelTol = 1e-6
+	// Float32AffectanceRelTol bounds the relative error of any affectance
+	// entry: a single-entry quotient, ≤ ~2·Float32RelTol.
+	Float32AffectanceRelTol = 1e-6
+)
+
+// Options configures Build: the serializable Config plus the node geometry
+// the model tail needs.
+type Options struct {
+	Config
+	// Points are the node positions (length N of the source space).
+	// Required for TailModel; ignored for TailFloat32.
+	Points []geom.Point
+}
+
+// Accounting reports what a tiered space holds per tier, against the dense
+// baseline it replaces.
+type Accounting struct {
+	// Nodes is n; NearK the effective per-row near-field width (before
+	// symmetric closure, which can widen rows up to 2K).
+	Nodes int `json:"nodes"`
+	NearK int `json:"near_k"`
+	// NearEntries is the total number of exact near-field entries held
+	// (after symmetric closure); NearBytes their storage including the
+	// row index.
+	NearEntries int   `json:"near_entries"`
+	NearBytes   int64 `json:"near_bytes"`
+	// TailBytes is the far-field storage: n²·4 for TailFloat32, the two
+	// model coefficients for TailModel.
+	Tail      TailMode `json:"tail"`
+	TailBytes int64    `json:"tail_bytes"`
+	// PointsBytes is the geometry held by a model tail (0 otherwise).
+	PointsBytes int64 `json:"points_bytes"`
+	// DenseBytes is what one dense float64 matrix would hold (n²·8) — the
+	// baseline TotalBytes is measured against.
+	DenseBytes int64 `json:"dense_bytes"`
+	// Saturated counts float32 conversions clamped at the range ends.
+	Saturated int64 `json:"saturated,omitempty"`
+	// Model and TailError describe a fitted model tail.
+	Model     *Model           `json:"model,omitempty"`
+	TailError *TailErrorReport `json:"tail_error,omitempty"`
+}
+
+// TotalBytes is the storage actually held across all tiers.
+func (a Accounting) TotalBytes() int64 {
+	return a.NearBytes + a.TailBytes + a.PointsBytes
+}
+
+// TailErrorReport summarizes the model tail's fit residual over the
+// deterministic sample set Build drew (near-field pairs excluded — those
+// are served exactly).
+type TailErrorReport struct {
+	// Pairs is the number of tail pairs the report covers.
+	Pairs int `json:"pairs"`
+	// RMSdB and MaxdB are the residuals in decibels:
+	// 10·|log₁₀(model/true)|.
+	RMSdB float64 `json:"rms_db"`
+	MaxdB float64 `json:"max_db"`
+	// R2 is the coefficient of determination of the ln d → ln f fit.
+	R2 float64 `json:"r2"`
+}
+
+// Space is a tiered decay space: exact near-field entries over a float32
+// or model far-field tail, behind the core.Space / core.RowSpace /
+// core.Symmetric contracts. Immutable after Build and safe for concurrent
+// reads.
+type Space struct {
+	n    int
+	sym  bool
+	mode TailMode
+	cfg  Config
+
+	// Near field, CSR over rows: for row i the exact entries are
+	// nearIdx/nearVal[nearStart[i]:nearStart[i+1]], sorted by column.
+	nearStart []int
+	nearIdx   []int32
+	nearVal   []float64
+
+	f32   []float32 // TailFloat32: row-major n×n
+	model Model     // TailModel
+	pts   []geom.Point
+
+	acct Accounting
+}
+
+var (
+	_ core.Space     = (*Space)(nil)
+	_ core.RowSpace  = (*Space)(nil)
+	_ core.Symmetric = (*Space)(nil)
+)
+
+// N returns the number of nodes.
+func (s *Space) N() int { return s.n }
+
+// Symmetric reports whether the source certified exact symmetry — tiering
+// preserves it: the near-field closure keeps exact entries mirrored, the
+// float32 conversion is deterministic per value, and the model tail
+// depends only on the (symmetric) distance.
+func (s *Space) Symmetric() bool { return s.sym }
+
+// Mode returns the far-field representation.
+func (s *Space) Mode() TailMode { return s.mode }
+
+// Config returns the effective configuration (defaults applied).
+func (s *Space) Config() Config { return s.cfg }
+
+// TailModel returns the fitted tail model (TailModel spaces only).
+func (s *Space) TailModel() (Model, bool) {
+	return s.model, s.mode == TailModel
+}
+
+// Accounting returns the per-tier storage and error report.
+func (s *Space) Accounting() Accounting { return s.acct }
+
+// nearAt returns the exact near-field entry (i,j), if held.
+func (s *Space) nearAt(i, j int) (float64, bool) {
+	lo, hi := s.nearStart[i], s.nearStart[i+1]
+	row := s.nearIdx[lo:hi]
+	a, b := 0, len(row)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if row[mid] < int32(j) {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	if a < len(row) && row[a] == int32(j) {
+		return s.nearVal[lo+a], true
+	}
+	return 0, false
+}
+
+// F returns the decay from i to j: the exact value when (i,j) is in the
+// near field, the tail representation otherwise.
+func (s *Space) F(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if v, ok := s.nearAt(i, j); ok {
+		return v
+	}
+	if s.mode == TailFloat32 {
+		return float64(s.f32[i*s.n+j])
+	}
+	return s.model.Eval(s.pts[i].Dist(s.pts[j]))
+}
+
+// Row fills dst[:N()] with row i: the tail representation overlaid with
+// the exact near-field entries, diagonal forced to zero. Bit-identical to
+// calling F per column.
+func (s *Space) Row(i int, dst []float64) {
+	n := s.n
+	dst = dst[:n]
+	if s.mode == TailFloat32 {
+		base := i * n
+		for j := range dst {
+			dst[j] = float64(s.f32[base+j])
+		}
+	} else {
+		pi := s.pts[i]
+		for j := range dst {
+			dst[j] = s.model.Eval(pi.Dist(s.pts[j]))
+		}
+	}
+	for t := s.nearStart[i]; t < s.nearStart[i+1]; t++ {
+		dst[s.nearIdx[t]] = s.nearVal[t]
+	}
+	dst[i] = 0
+}
+
+// clamp32 converts a float64 decay to float32, saturating instead of
+// under/overflowing so the tiered space keeps Def 2.1's positive finite
+// off-diagonal decays. sat is bumped for each clamped entry.
+func clamp32(v float64, sat *int64) float32 {
+	f := float32(v)
+	if f == 0 && v > 0 {
+		*sat++
+		return math.SmallestNonzeroFloat32
+	}
+	if math.IsInf(float64(f), 0) {
+		*sat++
+		return math.MaxFloat32
+	}
+	return f
+}
+
+// Build constructs a tiered space from src. The source is streamed one row
+// at a time through the core.RowSpace contract (sources that don't
+// implement it are materialized densely first by core.Rows — fine at test
+// sizes, self-defeating at n ≥ 16k, so large sources should be lazily
+// row-computable like the "urban" scenario space). Every off-diagonal
+// entry is validated against Def 2.1 on the way through. The build is
+// deterministic: near-field selection is per-row, the model fit folds
+// per-row sample moments in row order, and tail sampling derives from
+// rng.PairStream(seed, row).
+func Build(src core.Space, opts Options) (*Space, error) {
+	n := src.N()
+	cfg := opts.Config
+	if err := cfg.Valid(); err != nil {
+		return nil, err
+	}
+	if cfg.K == 0 {
+		cfg.K = DefaultK
+	}
+	if cfg.TailSamples == 0 {
+		cfg.TailSamples = DefaultTailSamples
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	k := cfg.K
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if cfg.Tail == TailModel && len(opts.Points) != n {
+		return nil, fmt.Errorf("tier: model tail needs %d node positions, got %d", n, len(opts.Points))
+	}
+
+	rows := core.Rows(src)
+	sym := core.KnownSymmetric(src)
+	s := &Space{n: n, sym: sym, mode: cfg.Tail, cfg: cfg, pts: opts.Points}
+	if cfg.Tail == TailFloat32 {
+		s.f32 = make([]float32, n*n)
+		s.pts = nil
+	}
+
+	// Pass 1 (parallel, one transient row buffer per chunk): validate,
+	// select the K smallest off-diagonal decays per row, convert the
+	// float32 tail, and draw the model tail samples.
+	nearIdx := make([][]int32, n)
+	nearVal := make([][]float64, n)
+	rowErr := make([]error, n)
+	var sampD, sampF [][]float64
+	var sampJ [][]int32
+	quota := 0
+	if cfg.Tail == TailModel {
+		sampD = make([][]float64, n)
+		sampF = make([][]float64, n)
+		sampJ = make([][]int32, n)
+		quota = (cfg.TailSamples + n - 1) / n
+		if quota > n-1 {
+			quota = n - 1
+		}
+		if quota < 1 {
+			quota = 1
+		}
+	}
+	var saturated atomic.Int64
+	par.ForChunked(n, func(lo, hi int) {
+		buf := make([]float64, n)
+		var sat int64
+		for i := lo; i < hi; i++ {
+			rows.Row(i, buf)
+			idx := make([]int32, 0, k)
+			val := make([]float64, 0, k)
+			for j, v := range buf {
+				if j == i {
+					continue
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					rowErr[i] = fmt.Errorf("tier: invalid decay f(%d,%d) = %v", i, j, v)
+					break
+				}
+				// Insertion-select the k smallest, stable on ties
+				// (earlier column wins) for determinism.
+				if len(val) < k || v < val[len(val)-1] {
+					p := len(val)
+					for p > 0 && v < val[p-1] {
+						p--
+					}
+					if len(val) < k {
+						idx = append(idx, 0)
+						val = append(val, 0)
+					}
+					copy(idx[p+1:], idx[p:])
+					copy(val[p+1:], val[p:])
+					idx[p], val[p] = int32(j), v
+				}
+			}
+			if rowErr[i] != nil {
+				continue
+			}
+			// Re-sort the row's near entries by column for CSR lookup.
+			sortByIdx(idx, val)
+			nearIdx[i], nearVal[i] = idx, val
+			switch cfg.Tail {
+			case TailFloat32:
+				base := i * n
+				for j, v := range buf {
+					if j == i {
+						s.f32[base+j] = 0
+						continue
+					}
+					s.f32[base+j] = clamp32(v, &sat)
+				}
+			case TailModel:
+				pi := opts.Points[i]
+				srcR := rng.PairStream(cfg.Seed, i, 0)
+				d := make([]float64, 0, quota)
+				f := make([]float64, 0, quota)
+				js := make([]int32, 0, quota)
+				for t := 0; t < quota; t++ {
+					j := srcR.Intn(n)
+					if j == i {
+						continue
+					}
+					dist := pi.Dist(opts.Points[j])
+					if dist < minTailDist {
+						continue
+					}
+					d = append(d, math.Log(dist))
+					f = append(f, math.Log(buf[j]))
+					js = append(js, int32(j))
+				}
+				sampD[i], sampF[i], sampJ[i] = d, f, js
+			}
+		}
+		saturated.Add(sat)
+	})
+	for i := 0; i < n; i++ {
+		if rowErr[i] != nil {
+			return nil, rowErr[i]
+		}
+	}
+
+	// Pass 2: symmetric closure. For a certified-symmetric source, make
+	// near-field membership symmetric (j ∈ near(i) ⇒ i ∈ near(j)) by
+	// mirroring the exact value, so the tiered space stays bitwise
+	// symmetric — the halved ζ/ϕ kernels rely on exact equality.
+	if sym && k > 0 {
+		extraIdx := make([][]int32, n)
+		extraVal := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := nearIdx[i]
+			for t, j32 := range row {
+				j := int(j32)
+				if !containsIdx(nearIdx[j], int32(i)) {
+					extraIdx[j] = append(extraIdx[j], int32(i))
+					extraVal[j] = append(extraVal[j], nearVal[i][t])
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if len(extraIdx[j]) > 0 {
+				nearIdx[j], nearVal[j] = mergeByIdx(nearIdx[j], nearVal[j], extraIdx[j], extraVal[j])
+			}
+		}
+	}
+
+	// Flatten to CSR.
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(nearIdx[i])
+	}
+	s.nearStart = make([]int, n+1)
+	s.nearIdx = make([]int32, 0, total)
+	s.nearVal = make([]float64, 0, total)
+	for i := 0; i < n; i++ {
+		s.nearStart[i] = len(s.nearIdx)
+		s.nearIdx = append(s.nearIdx, nearIdx[i]...)
+		s.nearVal = append(s.nearVal, nearVal[i]...)
+	}
+	s.nearStart[n] = len(s.nearIdx)
+
+	// Pass 3 (model tail): fit ln f = ln C + γ·ln d by least squares over
+	// the drawn samples, then report the tail residual over the samples
+	// that ended up outside the near field.
+	if cfg.Tail == TailModel {
+		var xs, ys []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, sampD[i]...)
+			ys = append(ys, sampF[i]...)
+		}
+		if a, b, r2, err := stats.LinearFit(xs, ys); err == nil {
+			s.model = Model{C: math.Exp(a), Gamma: b}
+			s.acct.TailError = &TailErrorReport{R2: r2}
+		} else if len(ys) > 0 {
+			// Degenerate geometry (constant distances): fall back to the
+			// constant tail at the geometric-mean decay.
+			s.model = Model{C: math.Exp(stats.Mean(ys)), Gamma: 0}
+			s.acct.TailError = &TailErrorReport{}
+		} else {
+			return nil, fmt.Errorf("tier: no usable tail samples for model fit (n=%d)", n)
+		}
+		if err := s.model.Valid(); err != nil {
+			return nil, err
+		}
+		rep := s.acct.TailError
+		var sum2, worst float64
+		for i := 0; i < n; i++ {
+			for t, j32 := range sampJ[i] {
+				if containsIdx(s.nearIdx[s.nearStart[i]:s.nearStart[i+1]], j32) {
+					continue // served exactly; not a tail pair
+				}
+				// dB residual between model and truth: the model is
+				// evaluated exactly as F will serve it (clamped Eval).
+				lnModel := math.Log(s.model.Eval(math.Exp(sampD[i][t])))
+				db := math.Abs(lnModel-sampF[i][t]) * (10 / math.Ln10)
+				sum2 += db * db
+				if db > worst {
+					worst = db
+				}
+				rep.Pairs++
+			}
+		}
+		if rep.Pairs > 0 {
+			rep.RMSdB = math.Sqrt(sum2 / float64(rep.Pairs))
+			rep.MaxdB = worst
+		}
+	}
+
+	// Accounting.
+	s.acct.Nodes = n
+	s.acct.NearK = k
+	s.acct.NearEntries = len(s.nearIdx)
+	s.acct.NearBytes = int64(len(s.nearIdx))*4 + int64(len(s.nearVal))*8 + int64(len(s.nearStart))*8
+	s.acct.Tail = cfg.Tail
+	s.acct.DenseBytes = int64(n) * int64(n) * 8
+	s.acct.Saturated = saturated.Load()
+	switch cfg.Tail {
+	case TailFloat32:
+		s.acct.TailBytes = int64(len(s.f32)) * 4
+	case TailModel:
+		s.acct.TailBytes = 16 // two float64 coefficients
+		s.acct.PointsBytes = int64(len(s.pts)) * 16
+		m := s.model
+		s.acct.Model = &m
+	}
+	return s, nil
+}
+
+// sortByIdx sorts the paired (idx, val) slices by idx ascending. The
+// slices are near-field rows (≤ K entries), so insertion sort is right.
+func sortByIdx(idx []int32, val []float64) {
+	for i := 1; i < len(idx); i++ {
+		ci, cv := idx[i], val[i]
+		j := i
+		for j > 0 && idx[j-1] > ci {
+			idx[j], val[j] = idx[j-1], val[j-1]
+			j--
+		}
+		idx[j], val[j] = ci, cv
+	}
+}
+
+// containsIdx reports membership in a sorted int32 slice.
+func containsIdx(row []int32, j int32) bool {
+	a, b := 0, len(row)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if row[mid] < j {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a < len(row) && row[a] == j
+}
+
+// mergeByIdx merges two idx-sorted (idx, val) pairs into one. The extra
+// entries are distinct from the base by construction (closure only adds
+// missing mirrors).
+func mergeByIdx(idx []int32, val []float64, exIdx []int32, exVal []float64) ([]int32, []float64) {
+	outI := make([]int32, 0, len(idx)+len(exIdx))
+	outV := make([]float64, 0, len(val)+len(exVal))
+	a, b := 0, 0
+	for a < len(idx) && b < len(exIdx) {
+		if idx[a] <= exIdx[b] {
+			outI = append(outI, idx[a])
+			outV = append(outV, val[a])
+			a++
+		} else {
+			outI = append(outI, exIdx[b])
+			outV = append(outV, exVal[b])
+			b++
+		}
+	}
+	outI = append(outI, idx[a:]...)
+	outV = append(outV, val[a:]...)
+	outI = append(outI, exIdx[b:]...)
+	outV = append(outV, exVal[b:]...)
+	return outI, outV
+}

@@ -1,0 +1,513 @@
+// The tests live in an external test package: scenario (pulled in for the
+// "urban" family) transitively imports trace, whose model-export seam
+// imports tier — an in-package test would close that cycle.
+package tier_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"decaynet/internal/core"
+	"decaynet/internal/rng"
+	"decaynet/internal/scenario"
+	. "decaynet/internal/tier"
+)
+
+// oracle materializes the dense float64 truth of a space.
+func oracle(t *testing.T, src core.Space) *core.Matrix {
+	t.Helper()
+	return core.Materialize(src)
+}
+
+// asymMatrix builds a random asymmetric dense space.
+func asymMatrix(t *testing.T, n int, seed uint64) *core.Matrix {
+	t.Helper()
+	src := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			if i != j {
+				rows[i][j] = src.Range(0.25, 400)
+			}
+		}
+	}
+	m, err := core.NewMatrix(rows)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	return m
+}
+
+// urbanInstance builds the symmetric lazy-row scenario family the tiered
+// storage layer is sized for.
+func urbanInstance(t *testing.T, cfg scenario.Config) *scenario.Instance {
+	t.Helper()
+	inst, err := scenario.Build("urban", cfg)
+	if err != nil {
+		t.Fatalf("Build(urban): %v", err)
+	}
+	return inst
+}
+
+// TestFloat32TierEntryBudget is the per-entry contract of the float32 tail
+// against the dense float64 oracle, on a symmetric scenario instance and an
+// asymmetric random space: every near-field entry is bit-identical, every
+// tail entry is within Float32RelTol relative error, and at least K entries
+// per row are exact.
+func TestFloat32TierEntryBudget(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 8, Nodes: 64, Seed: 3})
+	for _, tc := range []struct {
+		name string
+		src  core.Space
+	}{
+		{"sym-urban", inst.Space},
+		{"asym-random", asymMatrix(t, 48, 11)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const k = 6
+			s, err := Build(tc.src, Options{Config: Config{K: k, Tail: TailFloat32}})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			dense := oracle(t, tc.src)
+			n := s.N()
+			row := make([]float64, n)
+			for i := 0; i < n; i++ {
+				dense.Row(i, row)
+				exact := 0
+				for j := 0; j < n; j++ {
+					got := s.F(i, j)
+					if j == i {
+						if got != 0 {
+							t.Fatalf("F(%d,%d) = %v, want 0", i, i, got)
+						}
+						continue
+					}
+					if got == row[j] {
+						exact++
+						continue
+					}
+					rel := math.Abs(got-row[j]) / row[j]
+					if rel > Float32RelTol {
+						t.Fatalf("F(%d,%d) = %v vs %v: rel err %v > %v", i, j, got, row[j], rel, Float32RelTol)
+					}
+				}
+				if exact < k {
+					t.Fatalf("row %d holds %d exact entries, want ≥ %d", i, exact, k)
+				}
+			}
+		})
+	}
+}
+
+// TestFullNearFieldBitIdentical: with K = n−1 every entry is near-field, so
+// the tiered space must reproduce the oracle bit for bit (the "exact tier
+// bit-identical" clause of the error budget).
+func TestFullNearFieldBitIdentical(t *testing.T) {
+	m := asymMatrix(t, 40, 5)
+	s, err := Build(m, Options{Config: Config{K: 39, Tail: TailFloat32}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	n := m.N()
+	want := make([]float64, n)
+	got := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.Row(i, want)
+		s.Row(i, got)
+		for j := 0; j < n; j++ {
+			if got[j] != want[j] {
+				t.Fatalf("Row(%d)[%d] = %v, want %v (bitwise)", i, j, got[j], want[j])
+			}
+		}
+	}
+	if z, want := core.ZetaTol(s, 1e-12), core.ZetaTol(m, 1e-12); z != want {
+		t.Fatalf("full-near ζ = %v, dense %v (must be bit-identical)", z, want)
+	}
+	if v, want := core.Varphi(s), core.Varphi(m); v != want {
+		t.Fatalf("full-near ϕ = %v, dense %v (must be bit-identical)", v, want)
+	}
+}
+
+// TestRowMatchesF: Row must be bit-identical to calling F per column — the
+// batched consumers and the per-pair consumers see one space.
+func TestRowMatchesF(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 6, Nodes: 40, Seed: 9})
+	for _, cfg := range []Config{
+		{K: 4, Tail: TailFloat32},
+		{K: 4, Tail: TailModel},
+	} {
+		s, err := Build(inst.Space, Options{Config: cfg, Points: inst.Points})
+		if err != nil {
+			t.Fatalf("Build(%v): %v", cfg.Tail, err)
+		}
+		n := s.N()
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s.Row(i, row)
+			for j := 0; j < n; j++ {
+				if f := s.F(i, j); f != row[j] {
+					t.Fatalf("tail %v: F(%d,%d) = %v but Row = %v", cfg.Tail, i, j, f, row[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetryPreserved: a certified-symmetric source stays bitwise
+// symmetric through tiering (near-field closure mirrors exact values; the
+// halved ζ/ϕ kernels rely on this).
+func TestSymmetryPreserved(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 8, Nodes: 56, Seed: 17})
+	if !core.KnownSymmetric(inst.Space) {
+		t.Fatal("urban space should certify symmetry")
+	}
+	for _, cfg := range []Config{
+		{K: 5, Tail: TailFloat32},
+		{K: 5, Tail: TailModel},
+	} {
+		s, err := Build(inst.Space, Options{Config: cfg, Points: inst.Points})
+		if err != nil {
+			t.Fatalf("Build(%v): %v", cfg.Tail, err)
+		}
+		if !s.Symmetric() {
+			t.Fatalf("tail %v: tiered space lost the symmetry certificate", cfg.Tail)
+		}
+		n := s.N()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if a, b := s.F(i, j), s.F(j, i); a != b {
+					t.Fatalf("tail %v: F(%d,%d) = %v but F(%d,%d) = %v", cfg.Tail, i, j, a, j, i, b)
+				}
+			}
+		}
+	}
+	// An asymmetric source must not be certified.
+	s, err := Build(asymMatrix(t, 24, 2), Options{Config: Config{K: 3, Tail: TailFloat32}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if s.Symmetric() {
+		t.Fatal("asymmetric source must not certify symmetry")
+	}
+}
+
+// TestFloat32ZetaPhiBudgets: the derived ζ/ϕ error budgets of the float32
+// tier against the dense oracle, across the symmetric and asymmetric
+// families.
+func TestFloat32ZetaPhiBudgets(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 12, Nodes: 96, Seed: 21})
+	for _, tc := range []struct {
+		name string
+		src  core.Space
+	}{
+		{"sym-urban", inst.Space},
+		{"asym-random", asymMatrix(t, 72, 31)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Build(tc.src, Options{Config: Config{K: 8, Tail: TailFloat32}})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			dense := oracle(t, tc.src)
+			if dz := math.Abs(core.ZetaTol(s, 1e-12) - core.ZetaTol(dense, 1e-12)); dz > Float32ZetaTol {
+				t.Fatalf("|Δζ| = %v > %v", dz, Float32ZetaTol)
+			}
+			vd := core.Varphi(dense)
+			if rel := math.Abs(core.Varphi(s)-vd) / vd; rel > Float32VarphiRelTol {
+				t.Fatalf("ϕ rel err = %v > %v", rel, Float32VarphiRelTol)
+			}
+		})
+	}
+}
+
+// TestModelTailReconstructsPowerLaw: on the shadowless urban family
+// (sigma = corner = 0) the source is exactly f = d^α, so the fitted tail
+// must reconstruct it to near machine precision and report a ≈ 0 dB
+// residual with R² ≈ 1.
+func TestModelTailReconstructsPowerLaw(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{
+		Links: 10, Nodes: 80, Seed: 4, Alpha: 2.5,
+		Params: map[string]float64{"sigma": 0, "corner": 0},
+	})
+	if inst.KnownZeta != 2.5 {
+		t.Fatalf("shadowless urban KnownZeta = %v, want α", inst.KnownZeta)
+	}
+	s, err := Build(inst.Space, Options{Config: Config{K: 4, Tail: TailModel}, Points: inst.Points})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	model, ok := s.TailModel()
+	if !ok {
+		t.Fatal("TailModel() not available on a model-tail space")
+	}
+	if math.Abs(model.Gamma-2.5) > 1e-9 || math.Abs(model.C-1) > 1e-9 {
+		t.Fatalf("fitted model C=%v γ=%v, want ≈ (1, 2.5)", model.C, model.Gamma)
+	}
+	dense := oracle(t, inst.Space)
+	n := s.N()
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dense.Row(i, row)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			got := s.F(i, j)
+			if rel := math.Abs(got-row[j]) / row[j]; rel > 1e-9 {
+				t.Fatalf("F(%d,%d) = %v vs %v: rel err %v on an exact power law", i, j, got, row[j], rel)
+			}
+		}
+	}
+	acct := s.Accounting()
+	if acct.TailError == nil {
+		t.Fatal("model tail must report a TailError")
+	}
+	if acct.TailError.RMSdB > 1e-6 || acct.TailError.MaxdB > 1e-6 {
+		t.Fatalf("shadowless fit residual RMS=%v Max=%v dB, want ≈ 0", acct.TailError.RMSdB, acct.TailError.MaxdB)
+	}
+	if acct.TailError.R2 < 1-1e-9 {
+		t.Fatalf("shadowless fit R² = %v, want ≈ 1", acct.TailError.R2)
+	}
+	if acct.TailError.Pairs == 0 {
+		t.Fatal("TailError covered no pairs")
+	}
+}
+
+// TestModelTailShadowedResidual: with shadowing on, the fit is inexact but
+// the report must cover it honestly — a positive residual in the right
+// ballpark of the shadowing σ.
+func TestModelTailShadowedResidual(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 10, Nodes: 80, Seed: 6, SigmaDB: 6})
+	s, err := Build(inst.Space, Options{Config: Config{K: 4, Tail: TailModel}, Points: inst.Points})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rep := s.Accounting().TailError
+	if rep == nil || rep.Pairs == 0 {
+		t.Fatal("shadowed model tail must report residuals")
+	}
+	if rep.RMSdB <= 0.5 || rep.RMSdB > 60 {
+		t.Fatalf("RMS residual %v dB implausible for σ = 6 dB shadowing + corner losses", rep.RMSdB)
+	}
+	if rep.MaxdB < rep.RMSdB {
+		t.Fatalf("Max residual %v < RMS %v", rep.MaxdB, rep.RMSdB)
+	}
+}
+
+// TestAccounting checks the per-tier byte accounting against the documented
+// layout, and the memory-wall claim itself: a model-tail space holds far
+// less than the dense baseline.
+func TestAccounting(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 16, Nodes: 256, Seed: 8})
+	const k = 8
+	f32, err := Build(inst.Space, Options{Config: Config{K: k, Tail: TailFloat32}})
+	if err != nil {
+		t.Fatalf("Build(float32): %v", err)
+	}
+	mod, err := Build(inst.Space, Options{Config: Config{K: k, Tail: TailModel}, Points: inst.Points})
+	if err != nil {
+		t.Fatalf("Build(model): %v", err)
+	}
+	n := int64(256)
+	for _, s := range []*Space{f32, mod} {
+		acct := s.Accounting()
+		if acct.Nodes != 256 || acct.NearK != k {
+			t.Fatalf("accounting header = %+v", acct)
+		}
+		if acct.NearEntries < 256*k {
+			t.Fatalf("NearEntries = %d, want ≥ n·k after closure", acct.NearEntries)
+		}
+		if acct.DenseBytes != n*n*8 {
+			t.Fatalf("DenseBytes = %d", acct.DenseBytes)
+		}
+		wantNear := int64(acct.NearEntries)*12 + (n+1)*8
+		if acct.NearBytes != wantNear {
+			t.Fatalf("NearBytes = %d, want %d", acct.NearBytes, wantNear)
+		}
+	}
+	if got, want := f32.Accounting().TailBytes, n*n*4; got != want {
+		t.Fatalf("float32 TailBytes = %d, want %d", got, want)
+	}
+	ma := mod.Accounting()
+	if ma.TailBytes != 16 || ma.PointsBytes != n*16 || ma.Model == nil {
+		t.Fatalf("model accounting = %+v", ma)
+	}
+	if ma.TotalBytes() >= ma.DenseBytes/8 {
+		t.Fatalf("model tier holds %d bytes, not far under the dense %d", ma.TotalBytes(), ma.DenseBytes)
+	}
+	if f32.Accounting().TotalBytes() >= f32.Accounting().DenseBytes {
+		t.Fatal("float32 tier fails to undercut the dense baseline")
+	}
+}
+
+// TestFloat32Saturation: decays outside float32's range clamp positive
+// finite (Def 2.1 survives) and are counted.
+func TestFloat32Saturation(t *testing.T) {
+	rows := [][]float64{
+		{0, 1e-300, 2},
+		{1e308, 0, 3},
+		{2, 3, 0},
+	}
+	m, err := core.NewMatrix(rows)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	s, err := Build(m, Options{Config: Config{K: 1, Tail: TailFloat32}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	n := s.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := s.F(i, j)
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("F(%d,%d) = %v violates Def 2.1 after clamping", i, j, v)
+			}
+		}
+	}
+	if s.Accounting().Saturated == 0 {
+		t.Fatal("saturation went uncounted")
+	}
+}
+
+// badSpace is a non-RowSpace source with one invalid decay.
+type badSpace struct{ n int }
+
+func (b badSpace) N() int { return b.n }
+func (b badSpace) F(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i == 1 && j == 2 {
+		return -4
+	}
+	return 1 + float64(i+j)
+}
+
+// TestBuildValidation: config rejection, missing geometry, invalid decays.
+func TestBuildValidation(t *testing.T) {
+	m := asymMatrix(t, 8, 1)
+	if _, err := Build(m, Options{Config: Config{K: -1}}); err == nil {
+		t.Fatal("negative K accepted")
+	}
+	if _, err := Build(m, Options{Config: Config{Tail: TailMode(7)}}); err == nil {
+		t.Fatal("unknown tail mode accepted")
+	}
+	if _, err := Build(m, Options{Config: Config{Tail: TailModel}}); err == nil {
+		t.Fatal("model tail without geometry accepted")
+	}
+	if _, err := Build(badSpace{n: 8}, Options{}); err == nil {
+		t.Fatal("invalid decay accepted")
+	}
+}
+
+// TestConfigCodecRoundtrip: Encode∘ParseConfig and Encode∘ParseModel are
+// fixed points, and the strict decoders reject malformed wire input with
+// the zero value (all-or-nothing).
+func TestConfigCodecRoundtrip(t *testing.T) {
+	for _, c := range []Config{
+		{},
+		{K: 64, Tail: TailModel, TailSamples: 4096, Seed: 99},
+		{K: MaxK, Tail: TailFloat32, TailSamples: MaxTailSamples},
+	} {
+		enc := c.Encode()
+		dec, err := ParseConfig(enc)
+		if err != nil {
+			t.Fatalf("ParseConfig(%s): %v", enc, err)
+		}
+		if dec != c {
+			t.Fatalf("roundtrip %s → %+v, want %+v", enc, dec, c)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Fatalf("re-encode of %s drifted to %s", enc, dec.Encode())
+		}
+	}
+	for _, bad := range []string{
+		``,
+		`{`,
+		`{"k": -1}`,
+		`{"k": 70000}`,
+		`{"tail": "quantized"}`,
+		`{"tail": 3}`,
+		`{"unknown": 1}`,
+		`{"tail":"model"} trailing`,
+		`{"tail":"model"}{"k":1}`,
+		`{"tail_samples": 999999999}`,
+	} {
+		if got, err := ParseConfig([]byte(bad)); err == nil {
+			t.Fatalf("ParseConfig(%q) accepted", bad)
+		} else if got != (Config{}) {
+			t.Fatalf("ParseConfig(%q) returned %+v with error", bad, got)
+		}
+	}
+	mdl := Model{C: 2.5, Gamma: -3.1}
+	dec, err := ParseModel(mdl.Encode())
+	if err != nil || dec != mdl {
+		t.Fatalf("model roundtrip = %+v, %v", dec, err)
+	}
+	for _, bad := range []string{
+		`{"c": 0, "gamma": 1}`,
+		`{"c": 1e999, "gamma": 1}`,
+		`{"c": 1, "gamma": "x"}`,
+		`{"c": 1}x`,
+	} {
+		if got, err := ParseModel([]byte(bad)); err == nil {
+			t.Fatalf("ParseModel(%q) accepted", bad)
+		} else if got != (Model{}) {
+			t.Fatalf("ParseModel(%q) returned %+v with error", bad, got)
+		}
+	}
+}
+
+// TestModelEvalClamps: Eval stays positive finite on hostile inputs.
+func TestModelEvalClamps(t *testing.T) {
+	for _, m := range []Model{
+		{C: 1, Gamma: 5000},
+		{C: 1, Gamma: -5000},
+		{C: 1e-300, Gamma: -10},
+		{C: 1e300, Gamma: 10},
+	} {
+		for _, d := range []float64{0, 1e-15, 1, 1e12} {
+			v := m.Eval(d)
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("Eval(%v) of %+v = %v", d, m, v)
+			}
+		}
+	}
+}
+
+// TestBuildDeterminism: two builds of the same source and config are
+// byte-for-byte the same space (CSR layout, model, accounting).
+func TestBuildDeterminism(t *testing.T) {
+	inst := urbanInstance(t, scenario.Config{Links: 8, Nodes: 64, Seed: 13, SigmaDB: 5})
+	build := func() *Space {
+		s, err := Build(inst.Space, Options{Config: Config{K: 6, Tail: TailModel, Seed: 7}, Points: inst.Points})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return s
+	}
+	a, b := build(), build()
+	if am, bm := a.Accounting(), b.Accounting(); am.NearEntries != bm.NearEntries ||
+		am.Model == nil || bm.Model == nil || *am.Model != *bm.Model ||
+		*am.TailError != *bm.TailError {
+		t.Fatalf("accounting differs across identical builds:\n%+v\n%+v", am, bm)
+	}
+	n := a.N()
+	ra, rb := make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		a.Row(i, ra)
+		b.Row(i, rb)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d differs at %d across identical builds", i, j)
+			}
+		}
+	}
+}

@@ -42,9 +42,9 @@ type Options struct {
 	Points []geom.Point
 	// MaxDensePairs bounds the n² ordered pairs the dense cleaning buffers
 	// may span; campaigns beyond it are rejected rather than silently
-	// allocating multi-gigabyte grids. 0 means the package default of 2²⁶
-	// pairs (n ≤ 8192); see the package documentation for the memory
-	// implications of raising it.
+	// allocating multi-gigabyte grids. 0 means the pipeline default: 2²⁶
+	// pairs (n ≤ 8192) for Clean, 2²⁸ (n ≤ 16384) for CleanSharded; see
+	// the package documentation for the memory implications of raising it.
 	MaxDensePairs int
 }
 
@@ -84,9 +84,9 @@ type Report struct {
 	Fit *PathLossFit
 }
 
-// maxDensePairs is the default Options.MaxDensePairs: dense n×n cleaning
-// buffers up to n ≤ 8192. Larger campaigns need a sharded pipeline this
-// package does not yet provide.
+// maxDensePairs is the default Options.MaxDensePairs of the unsharded
+// pipeline: dense n×n cleaning buffers up to n ≤ 8192. CleanSharded
+// defaults to the larger shardedDensePairs budget (n ≤ 16384).
 const maxDensePairs = 1 << 26
 
 // Clean runs the aggregation/conversion/imputation pipeline on a parsed

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"errors"
+	"math"
+
+	"decaynet/internal/tier"
+)
+
+// DecayModel converts the path-loss fit into the decay-domain tail model
+// tiered storage consumes (tier.Model): the fitted RSSI law
+//
+//	rssi(d) = InterceptDBm − 10·Exponent·log₁₀ d
+//
+// composed with the campaign's dBm→decay conversion f = 10^((TX−rssi)/10)
+// is the power law
+//
+//	f(d) = 10^((TX−InterceptDBm)/10) · d^Exponent,
+//
+// i.e. C = 10^((TX−InterceptDBm)/10) and γ = Exponent. This is the seam
+// between measured-campaign ingestion and the tiered far field: fit a
+// campaign once (CleanOptions.Points present), then build tiered sessions
+// whose model tail is the measured propagation law instead of a refit.
+// txPowerDBm must be the transmit power the campaign was cleaned with, so
+// the model reproduces the same decays the fit imputed.
+func (f *PathLossFit) DecayModel(txPowerDBm float64) (tier.Model, error) {
+	if f == nil {
+		return tier.Model{}, errors.New("trace: DecayModel on a nil fit (no geometry was supplied to Clean)")
+	}
+	m := tier.Model{
+		C:     math.Pow(10, (txPowerDBm-f.InterceptDBm)/10),
+		Gamma: f.Exponent,
+	}
+	if err := m.Valid(); err != nil {
+		return tier.Model{}, err
+	}
+	return m, nil
+}

@@ -19,9 +19,12 @@
 // snapshot for imputation, and the produced matrix), so the campaign's
 // node count is capped: the default Options.MaxDensePairs of 2²⁶ ordered
 // pairs admits n ≤ 8192 (three n² float64 buffers ≈ 1.5 GiB at the cap).
-// Raising MaxDensePairs lifts the cap at a proportional memory cost;
-// campaigns beyond any dense budget need a sharded aggregation this
-// package does not yet provide (pairs partition naturally by tx row).
+// Raising MaxDensePairs lifts the cap at a proportional memory cost, and
+// CleanSharded — the same pipeline fanned out over per-tx-row shards,
+// bit-identical where both run — defaults to 2²⁸ pairs (n ≤ 16384).
+// Campaigns at that scale still produce a dense matrix; sessions that
+// cannot afford one can re-tier the result (internal/tier, or
+// PathLossFit.DecayModel for the fitted far-field tail directly).
 package trace
 
 // Reading is one raw campaign measurement: node TX transmitted, node RX

@@ -1,0 +1,270 @@
+package decaynet_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"decaynet"
+	"decaynet/internal/tier"
+)
+
+// tieredPair builds a tiered engine and its dense reference over the same
+// space and links.
+func tieredPair(t *testing.T, m *decaynet.Matrix, opts decaynet.TierOptions, extra ...decaynet.EngineOption) (tiered, ref *decaynet.Engine) {
+	t.Helper()
+	common := append([]decaynet.EngineOption{
+		decaynet.PairedLinks(),
+		decaynet.Noise(0.01),
+	}, extra...)
+	var err error
+	tiered, err = decaynet.NewEngine(append([]decaynet.EngineOption{
+		decaynet.UsingSpace(decaynet.Materialize(m)),
+		decaynet.WithTieredStorage(opts),
+	}, common...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err = decaynet.NewEngine(append([]decaynet.EngineOption{
+		decaynet.UsingSpace(decaynet.Materialize(m)),
+	}, common...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tiered, ref
+}
+
+// TestTieredFullNearFieldBitIdentical: with K = n−1 the whole space sits in
+// the exact tier, so every cached product of the tiered engine — ζ, ϕ,
+// affectances, capacity, schedule — must equal the dense engine bit for
+// bit, sharded (streamed scans) or not.
+func TestTieredFullNearFieldBitIdentical(t *testing.T) {
+	const n = 32
+	for _, sym := range []bool{false, true} {
+		m := testMatrix(t, n, 42, sym)
+		for _, shards := range []int{0, 3} {
+			var extra []decaynet.EngineOption
+			if shards > 0 {
+				extra = append(extra, decaynet.WithShards(shards))
+			}
+			tiered, ref := tieredPair(t, m,
+				decaynet.TierOptions{Config: decaynet.TierConfig{K: n - 1, Tail: decaynet.TailFloat32}},
+				extra...)
+			if !tiered.Tiered() || ref.Tiered() {
+				t.Fatal("Tiered() misreports")
+			}
+			if got, want := tiered.Zeta(), ref.Zeta(); got != want {
+				t.Fatalf("sym=%v shards=%d: tiered ζ %v, dense %v", sym, shards, got, want)
+			}
+			if got, want := tiered.Phi(), ref.Phi(); got != want {
+				t.Fatalf("sym=%v shards=%d: tiered φ %v, dense %v", sym, shards, got, want)
+			}
+			p := tiered.UniformPower(1)
+			got, want := tiered.Affectances(p), ref.Affectances(p)
+			for w := 0; w < want.N(); w++ {
+				for v := 0; v < want.N(); v++ {
+					if got.Raw(w, v) != want.Raw(w, v) {
+						t.Fatalf("affectance (%d,%d) %v, want %v", w, v, got.Raw(w, v), want.Raw(w, v))
+					}
+				}
+			}
+			gc, wc := tiered.Capacity(p, nil), ref.Capacity(p, nil)
+			if len(gc) != len(wc) {
+				t.Fatalf("capacity %v, dense %v", gc, wc)
+			}
+			for i := range gc {
+				if gc[i] != wc[i] {
+					t.Fatalf("capacity %v, dense %v", gc, wc)
+				}
+			}
+			gs, err := tiered.Schedule(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := ref.Schedule(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gs) != len(ws) {
+				t.Fatalf("schedule depth %d, dense %d", len(gs), len(ws))
+			}
+			if err := tiered.ValidateSchedule(p, nil, gs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestTieredFloat32Budgets: with a small near field, the tiered engine's
+// ζ/ϕ/affectances stay inside the documented float32 error budgets of the
+// dense oracle, and the capacity/schedule products remain feasible.
+func TestTieredFloat32Budgets(t *testing.T) {
+	const n = 48
+	for _, sym := range []bool{false, true} {
+		m := testMatrix(t, n, 7, sym)
+		tiered, ref := tieredPair(t, m,
+			decaynet.TierOptions{Config: decaynet.TierConfig{K: 6, Tail: decaynet.TailFloat32}})
+		if dz := math.Abs(tiered.Zeta() - ref.Zeta()); dz > tier.Float32ZetaTol {
+			t.Fatalf("sym=%v: |Δζ| = %v > %v", sym, dz, tier.Float32ZetaTol)
+		}
+		// φ = lg ϕ: a relative ϕ budget is an absolute lg-domain budget of
+		// rel/ln 2.
+		if dphi := math.Abs(tiered.Phi() - ref.Phi()); dphi > 2*tier.Float32VarphiRelTol {
+			t.Fatalf("sym=%v: |Δφ| = %v", sym, dphi)
+		}
+		p := tiered.UniformPower(1)
+		got, want := tiered.Affectances(p), ref.Affectances(p)
+		for w := 0; w < want.N(); w++ {
+			for v := 0; v < want.N(); v++ {
+				g, wv := got.Raw(w, v), want.Raw(w, v)
+				if wv == 0 {
+					if g != 0 {
+						t.Fatalf("affectance (%d,%d) = %v, want 0", w, v, g)
+					}
+					continue
+				}
+				if rel := math.Abs(g-wv) / wv; rel > tier.Float32AffectanceRelTol {
+					t.Fatalf("affectance (%d,%d) rel err %v > %v", w, v, rel, tier.Float32AffectanceRelTol)
+				}
+			}
+		}
+		cap := tiered.Capacity(p, nil)
+		if len(cap) == 0 || !tiered.Feasible(p, cap) {
+			t.Fatalf("tiered capacity %v infeasible", cap)
+		}
+		slots, err := tiered.Schedule(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tiered.ValidateSchedule(p, nil, slots); err != nil {
+			t.Fatalf("tiered schedule invalid: %v", err)
+		}
+	}
+}
+
+// TestTieredUrbanScenarioSession: the intended composition — the "urban"
+// scenario family under a model-tail tiered session, geometry flowing from
+// the scenario instance into the tail fit automatically.
+func TestTieredUrbanScenarioSession(t *testing.T) {
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("urban", decaynet.ScenarioConfig{Links: 12, Nodes: 128, Seed: 5}),
+		decaynet.WithTieredStorage(decaynet.TierOptions{
+			Config: decaynet.TierConfig{K: 8, Tail: decaynet.TailModel},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Tiered() {
+		t.Fatal("urban session not tiered")
+	}
+	acct, ok := eng.TierAccounting()
+	if !ok {
+		t.Fatal("TierAccounting unavailable on a tiered session")
+	}
+	if acct.Model == nil || acct.TailError == nil {
+		t.Fatalf("model-tail accounting incomplete: %+v", acct)
+	}
+	if acct.TotalBytes() >= acct.DenseBytes {
+		t.Fatalf("tiered session holds %d bytes ≥ dense %d", acct.TotalBytes(), acct.DenseBytes)
+	}
+	if z := eng.Zeta(); z < 1 || math.IsInf(z, 0) || math.IsNaN(z) {
+		t.Fatalf("urban tiered ζ = %v", z)
+	}
+	p := eng.LinearPower(1)
+	slots, err := eng.Schedule(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ValidateSchedule(p, nil, slots); err != nil {
+		t.Fatal(err)
+	}
+	if eng.N() != 128 || eng.Len() != 12 {
+		t.Fatalf("session shape n=%d links=%d", eng.N(), eng.Len())
+	}
+}
+
+// TestTieredSessionImmutable: every mutation path reports
+// ErrTieredImmutable and leaves the session version untouched.
+func TestTieredSessionImmutable(t *testing.T) {
+	m := testMatrix(t, 16, 3, false)
+	eng, _ := tieredPair(t, m, decaynet.TierOptions{Config: decaynet.TierConfig{K: 4, Tail: decaynet.TailFloat32}})
+	checks := []error{
+		eng.SetDecay(0, 1, 5),
+		eng.SetDecayRows(map[int][]float64{0: make([]float64, 16)}),
+		eng.MoveNode(0, decaynet.Pt(1, 1)),
+		eng.AddLinks(decaynet.Link{Sender: 0, Receiver: 3}),
+		eng.RemoveLinks(0),
+	}
+	for i, err := range checks {
+		if !errors.Is(err, decaynet.ErrTieredImmutable) {
+			t.Fatalf("mutation %d: err = %v, want ErrTieredImmutable", i, err)
+		}
+	}
+	if eng.Version() != 0 {
+		t.Fatalf("rejected mutations bumped the version to %d", eng.Version())
+	}
+	// The zero mutation stays a no-op even on tiered sessions.
+	if err := eng.Update(decaynet.Mutation{}); err != nil {
+		t.Fatalf("zero mutation: %v", err)
+	}
+}
+
+// TestTieredOptionConflicts: the option combinations a tiered session
+// cannot honor fail loudly at construction.
+func TestTieredOptionConflicts(t *testing.T) {
+	m := testMatrix(t, 8, 1, false)
+	base := []decaynet.EngineOption{
+		decaynet.UsingSpace(m),
+		decaynet.PairedLinks(),
+		decaynet.WithTieredStorage(decaynet.TierOptions{Config: decaynet.TierConfig{K: 2, Tail: decaynet.TailFloat32}}),
+	}
+	if _, err := decaynet.NewEngine(append(base, decaynet.WithMutationTracking())...); err == nil {
+		t.Fatal("tiered + mutation tracking accepted")
+	}
+	if _, err := decaynet.NewEngine(append(base, decaynet.WithRemoteWorkers("127.0.0.1:1"))...); err == nil {
+		t.Fatal("tiered + remote workers accepted")
+	}
+	// Invalid tier configs are rejected by the option itself.
+	if _, err := decaynet.NewEngine(
+		decaynet.UsingSpace(m),
+		decaynet.WithTieredStorage(decaynet.TierOptions{Config: decaynet.TierConfig{K: -3}}),
+	); err == nil {
+		t.Fatal("invalid tier config accepted")
+	}
+	// A model tail with no geometry anywhere fails in Build.
+	if _, err := decaynet.NewEngine(
+		decaynet.UsingSpace(m),
+		decaynet.PairedLinks(),
+		decaynet.WithTieredStorage(decaynet.TierOptions{Config: decaynet.TierConfig{Tail: decaynet.TailModel}}),
+	); err == nil {
+		t.Fatal("model tail without geometry accepted")
+	}
+}
+
+// TestTieredDropsAnalyticZeta: a scenario's analytic ζ = α must not leak
+// into a tiered session (the tiered space is a perturbation of the source);
+// the session computes its own metricity, which still lands within the
+// float32 budget of α on a geometric family.
+func TestTieredDropsAnalyticZeta(t *testing.T) {
+	cfg := decaynet.ScenarioConfig{Links: 10, Seed: 2, Alpha: 2.2}
+	tiered, err := decaynet.NewEngine(
+		decaynet.UsingScenario("plane", cfg),
+		decaynet.WithTieredStorage(decaynet.TierOptions{Config: decaynet.TierConfig{K: 5, Tail: decaynet.TailFloat32}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := decaynet.NewEngine(decaynet.UsingScenario("plane", cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dz := math.Abs(tiered.Zeta() - dense.Zeta()); dz > tier.Float32ZetaTol {
+		t.Fatalf("tiered plane ζ off by %v from analytic α", dz)
+	}
+	ctx := context.Background()
+	if _, err := tiered.ZetaCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

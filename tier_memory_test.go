@@ -1,0 +1,109 @@
+package decaynet_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"decaynet"
+	"decaynet/internal/race"
+)
+
+// tieredHeapCapBytes is the CI-enforced heap budget of the n = 16384 tiered
+// "urban" session: 256 MiB, an eighth of the 2 GiB a dense float64 matrix
+// alone would pin (and a quarter of the 1 GiB float32 full-matrix tail).
+const tieredHeapCapBytes = 256 << 20
+
+// liveHeap forces a full collection and returns the live heap bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestTieredUrbanMemoryBudget is the memory-wall acceptance smoke: an
+// n = 16384 "urban" session under model-tail tiered storage must build,
+// answer sampled ζ (with its concentration half-width), extract a capacity
+// set and a schedule over a sampled link subset — all while the live heap
+// stays under tieredHeapCapBytes. The dense path this replaces would pin
+// 2 GiB in the decay matrix before computing anything.
+func TestTieredUrbanMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=16384 session build in -short mode")
+	}
+	if race.Enabled {
+		t.Skip("race instrumentation distorts both heap and runtime")
+	}
+	const (
+		nLinks = 1024
+		nNodes = 16384
+	)
+	eng, err := decaynet.NewEngine(
+		decaynet.UsingScenario("urban", decaynet.ScenarioConfig{
+			Links: nLinks, Nodes: nNodes, Seed: 1, Side: 4096,
+		}),
+		decaynet.WithTieredStorage(decaynet.TierOptions{
+			Config: decaynet.TierConfig{K: 32, Tail: decaynet.TailModel},
+		}),
+		decaynet.WithApproxMetricity(8192, 4096),
+		decaynet.Noise(1e-9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.N() != nNodes || !eng.Tiered() {
+		t.Fatalf("session shape: n=%d tiered=%v", eng.N(), eng.Tiered())
+	}
+	acct, _ := eng.TierAccounting()
+	if acct.TotalBytes() >= tieredHeapCapBytes/4 {
+		t.Fatalf("tiered space alone holds %d bytes", acct.TotalBytes())
+	}
+	if heap := liveHeap(); heap > tieredHeapCapBytes {
+		t.Fatalf("live heap after build = %d bytes > cap %d", heap, tieredHeapCapBytes)
+	}
+
+	// Sampled ζ with its concentration summary.
+	ctx := context.Background()
+	z, err := eng.ZetaCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z < 1 {
+		t.Fatalf("sampled ζ = %v", z)
+	}
+	if approx, samples := eng.MetricityApproximate(); !approx || samples == 0 {
+		t.Fatalf("ζ did not come from the sampled estimator (approx=%v samples=%d)", approx, samples)
+	}
+	est, ok := eng.ZetaEstimate()
+	if !ok || est.HalfWidth95 <= 0 {
+		t.Fatalf("ζ estimate summary missing: ok=%v %+v", ok, est)
+	}
+	t.Logf("n=%d tiered urban: ζ = %v ± %v (95%%), tier bytes = %d", nNodes, z, est.HalfWidth95, acct.TotalBytes())
+
+	// Capacity and a schedule over a sampled subset of the links (the full
+	// 1024-link schedule loop is a throughput question, not a memory one).
+	subset := make([]int, 128)
+	for i := range subset {
+		subset[i] = i * (nLinks / 128)
+	}
+	p := eng.LinearPower(1)
+	cap, err := eng.CapacityCtx(ctx, p, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap) == 0 || !eng.Feasible(p, cap) {
+		t.Fatalf("capacity set of %d links infeasible", len(cap))
+	}
+	slots, err := eng.ScheduleCtx(ctx, p, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ValidateSchedule(p, subset, slots); err != nil {
+		t.Fatal(err)
+	}
+
+	if heap := liveHeap(); heap > tieredHeapCapBytes {
+		t.Fatalf("live heap after ζ/capacity/schedule = %d bytes > cap %d", heap, tieredHeapCapBytes)
+	}
+}

@@ -32,6 +32,12 @@ type (
 // cfg) to reproduce the same dynamic session anywhere.
 var ChurnStream = scenario.Churn
 
+// ErrTieredImmutable is returned by Update (and every mutation convenience)
+// on a WithTieredStorage session: tiered row storage shares entries across
+// rows (near-field closure, fitted tail), so in-place edits cannot be
+// repaired consistently. Rebuild the engine to change a tiered session.
+var ErrTieredImmutable = errors.New("decaynet: tiered sessions are immutable (rebuild the engine to change the space or links)")
+
 // Update applies a batch of topology and decay edits to the session under
 // its version counter. The mutation is validated in full before anything
 // is applied — a returned error leaves the engine untouched — and every
@@ -63,6 +69,9 @@ func (e *Engine) Update(m Mutation) error {
 	defer e.mu.Unlock()
 	if m.IsZero() {
 		return nil
+	}
+	if e.matrix == nil {
+		return ErrTieredImmutable
 	}
 	n := e.matrix.N()
 
