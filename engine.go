@@ -269,7 +269,11 @@ func WithShards(k int) EngineOption {
 // internal/shard/remote. Construction dials and Syncs every worker
 // strictly — a full-space snapshot brings each replica to the session's
 // version — and every applied Update ships its mutation batch to all
-// workers, fenced on the replica version, before repairs fan out.
+// workers, fenced on the replica version, before repairs fan out. With
+// WithTieredStorage the handshake ships the tiered snapshot instead of a
+// dense matrix (O(K·n) on the wire for a model tail) and workers scan
+// reconstructed streamed replicas; tiered sessions never mutate, so the
+// version fence stays at its construction value.
 //
 // The pool is fault-tolerant after construction: per-job deadlines and
 // heartbeats detect dead or slow workers, transient failures retry with
@@ -325,9 +329,12 @@ func withRemoteTweak(tweak func(*remote.PoolConfig)) EngineOption {
 // return ErrTieredImmutable. They compose with WithShards — the shard
 // workers then run the out-of-core streamed scans (core.StreamScan),
 // paging row tiles through a bounded cache instead of materializing a log
-// matrix — and with WithApproxMetricity, the intended ζ/ϕ route at n ≥ 16k.
-// Mutually exclusive with WithMutationTracking and WithRemoteWorkers
-// (remote replicas sync dense snapshots).
+// matrix — with WithRemoteWorkers — the Sync handshake ships the tiered
+// snapshot (CSR near field + tail + scan extrema, O(K·n) on the wire for
+// a model tail) and remote workers scan a reconstructed streamed replica
+// bit-identically to the coordinator — and with WithApproxMetricity, the
+// intended ζ/ϕ route at n ≥ 16k. Mutually exclusive with
+// WithMutationTracking.
 //
 // For TailModel the node geometry is taken from opts.Points, or, when
 // empty, from the scenario instance the engine was built from.
@@ -399,9 +406,6 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	if ec.tierOpts != nil {
 		if ec.tracking {
 			return nil, errors.New("decaynet: WithTieredStorage and WithMutationTracking are mutually exclusive (tiered sessions are immutable)")
-		}
-		if len(ec.remoteAddrs) > 0 {
-			return nil, errors.New("decaynet: WithTieredStorage and WithRemoteWorkers are mutually exclusive (remote replicas sync dense snapshots)")
 		}
 		topts := *ec.tierOpts
 		if topts.Tail == tier.TailModel && len(topts.Points) == 0 && inst != nil {
@@ -481,7 +485,23 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		if ec.remoteTweak != nil {
 			ec.remoteTweak(&cfg)
 		}
-		pool, err := remote.NewPool(cfg, e.matrix, 1e-12)
+		var (
+			pool *remote.Pool
+			err  error
+		)
+		if e.tiered != nil {
+			// Tiered + remote: the coordinator derives the streamed-scan
+			// extrema once, then the Sync handshake ships the tiered snapshot
+			// plus the extrema — O(K·n) on the wire for a model tail — and
+			// each worker rebuilds an identical streamed replica.
+			rep, rerr := shard.NewStreamedReplica(context.Background(), e.tiered, 1e-12, 0, 0)
+			if rerr != nil {
+				return nil, rerr
+			}
+			pool, err = remote.NewTieredPool(cfg, rep)
+		} else {
+			pool, err = remote.NewPool(cfg, e.matrix, 1e-12)
+		}
 		if err != nil {
 			return nil, err
 		}

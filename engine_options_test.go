@@ -1,0 +1,138 @@
+package decaynet_test
+
+import (
+	"strings"
+	"testing"
+
+	"decaynet"
+)
+
+// TestEngineOptionPairwiseConflicts is the construction-time compatibility
+// table: every pair of composable engine options either builds a working
+// session or fails loudly with the documented conflict — never a silent
+// misconfiguration. The tiered × remote row is the one the tiered remote
+// transport flipped from conflict to composition.
+func TestEngineOptionPairwiseConflicts(t *testing.T) {
+	farm := startFarm(t, 2)
+	space := func() decaynet.EngineOption {
+		return decaynet.UsingSpace(decaynet.Materialize(testMatrix(t, 12, 77, false)))
+	}
+	tiered := func() decaynet.EngineOption {
+		return decaynet.WithTieredStorage(decaynet.TierOptions{
+			Config: decaynet.TierConfig{K: 3, Tail: decaynet.TailFloat32},
+		})
+	}
+	remoteOpts := func() []decaynet.EngineOption {
+		return []decaynet.EngineOption{
+			decaynet.WithRemoteWorkers(farm.addrs...),
+			decaynet.WithRemoteTweak(fastPool),
+		}
+	}
+	cases := []struct {
+		name    string
+		opts    func() []decaynet.EngineOption
+		wantErr string // "" means the pair must build
+	}{
+		{
+			name: "scenario+space",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{
+					decaynet.UsingScenario("plane", decaynet.ScenarioConfig{Links: 4, Seed: 1}),
+					space(),
+				}
+			},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name:    "no space",
+			opts:    func() []decaynet.EngineOption { return []decaynet.EngineOption{decaynet.PairedLinks()} },
+			wantErr: "needs UsingScenario or UsingSpace",
+		},
+		{
+			name: "paired+explicit links",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{
+					space(),
+					decaynet.UsingLinks(decaynet.Link{Sender: 0, Receiver: 1}),
+					decaynet.PairedLinks(),
+				}
+			},
+			wantErr: "conflicts with explicit links",
+		},
+		{
+			name: "tiered+tracking",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{space(), decaynet.PairedLinks(), tiered(), decaynet.WithMutationTracking()}
+			},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name: "tracking+tiered (order reversed)",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{space(), decaynet.PairedLinks(), decaynet.WithMutationTracking(), tiered()}
+			},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name: "shards+remote",
+			opts: func() []decaynet.EngineOption {
+				return append([]decaynet.EngineOption{space(), decaynet.PairedLinks(), decaynet.WithShards(2)}, remoteOpts()...)
+			},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name: "tiered+shards",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{space(), decaynet.PairedLinks(), tiered(), decaynet.WithShards(2)}
+			},
+		},
+		{
+			name: "tiered+remote",
+			opts: func() []decaynet.EngineOption {
+				return append([]decaynet.EngineOption{space(), decaynet.PairedLinks(), tiered()}, remoteOpts()...)
+			},
+		},
+		{
+			name: "tiered+approx",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{space(), decaynet.PairedLinks(), tiered(), decaynet.WithApproxMetricity(8, 256)}
+			},
+		},
+		{
+			name: "tracking+shards",
+			opts: func() []decaynet.EngineOption {
+				return []decaynet.EngineOption{space(), decaynet.PairedLinks(), decaynet.WithMutationTracking(), decaynet.WithShards(2)}
+			},
+		},
+		{
+			name: "tracking+remote",
+			opts: func() []decaynet.EngineOption {
+				return append([]decaynet.EngineOption{space(), decaynet.PairedLinks(), decaynet.WithMutationTracking()}, remoteOpts()...)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := decaynet.NewEngine(tc.opts()...)
+			if tc.wantErr != "" {
+				if err == nil {
+					eng.Close()
+					t.Fatalf("conflicting pair accepted")
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("compatible pair rejected: %v", err)
+			}
+			defer eng.Close()
+			// A pair that builds must also serve: ζ is the deepest product
+			// (it exercises whichever compute route the pair wired up).
+			if z := eng.Zeta(); !(z > 0) {
+				t.Fatalf("Zeta() = %v on a freshly built pair", z)
+			}
+		})
+	}
+}

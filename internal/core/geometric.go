@@ -70,6 +70,17 @@ func (g *GeometricSpace) Symmetric() bool {
 	return true
 }
 
+// DecayLowerBound certifies the monotone distance→decay trend (the
+// DecayBounded contract): every pair at distance ≥ d decays by at least
+// d^α, shrunk a relative hair so math.Pow's sub-ulp wobble can never make
+// the bound optimistic.
+func (g *GeometricSpace) DecayLowerBound(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return math.Pow(d, g.alpha) * (1 - 1e-9)
+}
+
 // Alpha returns the path-loss exponent.
 func (g *GeometricSpace) Alpha() float64 {
 	return g.alpha

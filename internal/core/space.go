@@ -54,6 +54,22 @@ func KnownSymmetric(d Space) bool {
 	return ok && s.Symmetric()
 }
 
+// DecayBounded is the optional contract on geometry-backed decay spaces
+// certifying a monotone distance→decay trend: DecayLowerBound(d) returns a
+// lower bound on f(i, j) valid for EVERY ordered pair whose endpoints sit
+// at Euclidean distance ≥ d, and the bound is nondecreasing in d.
+// Implementations must be conservative — shadowing, penalty terms and
+// floating-point rounding all have to be absorbed into the bound — because
+// consumers (the tiered spatial-index build) prune exact searches on it:
+// an optimistic bound silently corrupts results rather than slowing them.
+// A bound of 0 is always valid and disables pruning.
+type DecayBounded interface {
+	Space
+	// DecayLowerBound returns a nondecreasing lower bound on the decay of
+	// any pair at Euclidean distance ≥ d.
+	DecayLowerBound(d float64) float64
+}
+
 // RowSpace is the optional batch contract on decay spaces: Row fills dst
 // (length ≥ N()) with the decays f(i, 0..N-1) in one call. Batch consumers
 // (ζ/ϕ scans, dense affectance, quasi-metric materialization) use it to

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"decaynet/internal/par"
@@ -204,6 +205,51 @@ func NewStreamScan(ctx context.Context, rs RowSpace, tol float64, tileRows, maxT
 
 // N returns the number of nodes scanned.
 func (s *StreamScan) N() int { return s.n }
+
+// StreamExtrema is the serializable O(n) pruning state of a StreamScan:
+// the per-row off-diagonal extrema of the decay and log-decay matrices.
+// Shipping it lets a remote replica of an immutable streamed session skip
+// the O(n²) extrema derivation pass — NewStreamScanFrom rebuilds an
+// equivalent scan from it, bit-identically, because range scans read only
+// these arrays and the shared row source. All four slices are empty when
+// n < 3 (no triplets to scan).
+type StreamExtrema struct {
+	LogMax []float64
+	LogMin []float64
+	FMax   []float64
+	FMin   []float64
+}
+
+// Extrema returns the scan's pruning extrema. The slices are the scan's
+// own (immutable by contract); callers that mutate must copy.
+func (s *StreamScan) Extrema() StreamExtrema {
+	return StreamExtrema{LogMax: s.logMax, LogMin: s.logMin, FMax: s.fMax, FMin: s.fMin}
+}
+
+// Geometry returns the scan's configured paging geometry as given (zero
+// values mean the package defaults, applied at pager construction).
+func (s *StreamScan) Geometry() (tileRows, maxTiles int) {
+	return s.tileRows, s.maxTiles
+}
+
+// NewStreamScanFrom rebuilds a streamed scan from previously derived
+// extrema (see Extrema) instead of streaming every row — the O(n) sync
+// path for remote replicas of immutable streamed sessions. The caller
+// certifies that ex was derived from a space bit-identical to rs; range
+// scans over the result are then bit-identical to scans over the original.
+func NewStreamScanFrom(rs RowSpace, tol float64, tileRows, maxTiles int, ex StreamExtrema) (*StreamScan, error) {
+	n := rs.N()
+	s := &StreamScan{rs: rs, n: n, tol: tol, tileRows: tileRows, maxTiles: maxTiles}
+	if n < 3 {
+		return s, nil
+	}
+	if len(ex.LogMax) != n || len(ex.LogMin) != n || len(ex.FMax) != n || len(ex.FMin) != n {
+		return nil, fmt.Errorf("core: stream extrema of %d/%d/%d/%d rows for n=%d",
+			len(ex.LogMax), len(ex.LogMin), len(ex.FMax), len(ex.FMin), n)
+	}
+	s.logMax, s.logMin, s.fMax, s.fMin = ex.LogMax, ex.LogMin, ex.FMax, ex.FMin
+	return s, nil
+}
 
 // ZetaMaxRange returns the exact ζ maximum over the ordered triplets whose
 // first index lies in [xlo, xhi), streaming log-decay rows through a

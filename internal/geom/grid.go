@@ -2,13 +2,30 @@ package geom
 
 import "math"
 
-// Grid is a spatial hash over points supporting approximate neighborhood
-// queries. It buckets points into square cells of a fixed size; Neighbors
-// scans the cells overlapping the query disk.
+// maxDenseCellsPerPoint caps the dense bucket array: a grid whose cell
+// bounding box holds more than this many cells per indexed point falls back
+// to map-backed buckets (pathological extents — a tight cluster plus far
+// outliers — would otherwise allocate an array proportional to the spanned
+// area rather than the point count).
+const maxDenseCellsPerPoint = 8
+
+// Grid is a spatial hash over points supporting neighborhood queries. It
+// buckets points into square cells of a fixed size; Neighbors scans the
+// cells overlapping the query disk, and NewSweep starts the ring-by-ring
+// traversal exact nearest-neighbor searches prune on. Buckets live in a
+// dense array over the occupied cell bounding box when that fits (O(1)
+// array lookup per cell, the hot-path layout for uniform extents), else in
+// a map.
 type Grid struct {
 	cell   float64
 	points []Point
-	cells  map[[2]int][]int
+	// Cell-index bounding box of the occupied cells (valid when len(points)
+	// > 0): bucket lookups and NewSweep's ring cap derive from it in O(1).
+	loCell, hiCell [2]int
+	// Dense layout: buckets[(ky−lo)·cw + (kx−lo)] — nil when map-backed.
+	dense [][]int32
+	cw    int
+	cells map[[2]int][]int32
 }
 
 // NewGrid builds a grid with the given cell size over points. The grid keeps
@@ -17,20 +34,57 @@ func NewGrid(cell float64, points []Point) *Grid {
 	if cell <= 0 {
 		cell = 1
 	}
-	g := &Grid{
-		cell:   cell,
-		points: append([]Point(nil), points...),
-		cells:  make(map[[2]int][]int, len(points)),
-	}
+	g := &Grid{cell: cell, points: append([]Point(nil), points...)}
+	keys := make([][2]int, len(g.points))
 	for i, p := range g.points {
 		k := g.key(p)
-		g.cells[k] = append(g.cells[k], i)
+		keys[i] = k
+		if i == 0 {
+			g.loCell, g.hiCell = k, k
+			continue
+		}
+		for ax := 0; ax < 2; ax++ {
+			if k[ax] < g.loCell[ax] {
+				g.loCell[ax] = k[ax]
+			}
+			if k[ax] > g.hiCell[ax] {
+				g.hiCell[ax] = k[ax]
+			}
+		}
+	}
+	cw := g.hiCell[0] - g.loCell[0] + 1
+	ch := g.hiCell[1] - g.loCell[1] + 1
+	if n := len(g.points); n > 0 && cw > 0 && ch > 0 &&
+		int64(cw)*int64(ch) <= int64(n)*maxDenseCellsPerPoint+1024 {
+		g.cw = cw
+		g.dense = make([][]int32, cw*ch)
+		for i, k := range keys {
+			at := (k[1]-g.loCell[1])*cw + (k[0] - g.loCell[0])
+			g.dense[at] = append(g.dense[at], int32(i))
+		}
+		return g
+	}
+	g.cells = make(map[[2]int][]int32, len(g.points))
+	for i, k := range keys {
+		g.cells[k] = append(g.cells[k], int32(i))
 	}
 	return g
 }
 
 func (g *Grid) key(p Point) [2]int {
 	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// bucket returns the point indices of cell k (nil when empty or out of the
+// occupied bounding box).
+func (g *Grid) bucket(k [2]int) []int32 {
+	if k[0] < g.loCell[0] || k[0] > g.hiCell[0] || k[1] < g.loCell[1] || k[1] > g.hiCell[1] {
+		return nil
+	}
+	if g.dense != nil {
+		return g.dense[(k[1]-g.loCell[1])*g.cw+(k[0]-g.loCell[0])]
+	}
+	return g.cells[k]
 }
 
 // Len returns the number of indexed points.
@@ -43,26 +97,60 @@ func (g *Grid) Point(i int) Point {
 	return g.points[i]
 }
 
+// Cell returns the grid's cell size.
+func (g *Grid) Cell() float64 { return g.cell }
+
 // Neighbors returns the indices of all points within distance r of q
 // (inclusive), in unspecified order.
 func (g *Grid) Neighbors(q Point, r float64) []int {
-	if r < 0 {
+	if r < 0 || len(g.points) == 0 {
 		return nil
 	}
 	lo := g.key(Pt(q.X-r, q.Y-r))
 	hi := g.key(Pt(q.X+r, q.Y+r))
+	// Clamp to the occupied box — cells outside hold nothing.
+	for ax := 0; ax < 2; ax++ {
+		lo[ax] = maxInt(lo[ax], g.loCell[ax])
+		hi[ax] = minInt(hi[ax], g.hiCell[ax])
+	}
 	var out []int
 	r2 := r * r
+	if g.cells != nil && spanExceeds(lo, hi, len(g.cells)) {
+		// Map-backed with a query disk spanning more cells than are
+		// occupied (sparse pathological extents): walk the occupied cells
+		// instead of the cell range.
+		for k, bucket := range g.cells {
+			if k[0] < lo[0] || k[0] > hi[0] || k[1] < lo[1] || k[1] > hi[1] {
+				continue
+			}
+			for _, i := range bucket {
+				if g.points[i].Dist2(q) <= r2 {
+					out = append(out, int(i))
+				}
+			}
+		}
+		return out
+	}
 	for cx := lo[0]; cx <= hi[0]; cx++ {
 		for cy := lo[1]; cy <= hi[1]; cy++ {
-			for _, i := range g.cells[[2]int{cx, cy}] {
+			for _, i := range g.bucket([2]int{cx, cy}) {
 				if g.points[i].Dist2(q) <= r2 {
-					out = append(out, i)
+					out = append(out, int(i))
 				}
 			}
 		}
 	}
 	return out
+}
+
+// spanExceeds reports whether the inclusive cell range [lo, hi] holds more
+// cells than budget, guarding against overflow on planet-sized ranges.
+func spanExceeds(lo, hi [2]int, budget int) bool {
+	if lo[0] > hi[0] || lo[1] > hi[1] {
+		return false
+	}
+	w, h := int64(hi[0]-lo[0])+1, int64(hi[1]-lo[1])+1
+	return w > int64(budget) || h > int64(budget) || w*h > int64(budget)
 }
 
 // Nearest returns the index of the point nearest to q and its distance.
@@ -73,36 +161,17 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 	if len(g.points) == 0 {
 		return best, bestD
 	}
-	center := g.key(q)
-	maxRing := 1
-	// Upper bound on rings: the whole bounding box of stored cells.
-	for k := range g.cells {
-		dx, dy := abs(k[0]-center[0]), abs(k[1]-center[1])
-		if dx > maxRing {
-			maxRing = dx
-		}
-		if dy > maxRing {
-			maxRing = dy
-		}
-	}
-	for ring := 0; ring <= maxRing; ring++ {
-		found := false
-		for cx := center[0] - ring; cx <= center[0]+ring; cx++ {
-			for cy := center[1] - ring; cy <= center[1]+ring; cy++ {
-				if abs(cx-center[0]) != ring && abs(cy-center[1]) != ring {
-					continue // only the ring boundary
-				}
-				for _, i := range g.cells[[2]int{cx, cy}] {
-					found = true
-					if d := g.points[i].Dist(q); d < bestD {
-						best, bestD = i, d
-					}
-				}
+	sw := g.NewSweep(q)
+	for {
+		sw.Next(func(i int) {
+			if d := g.points[i].Dist(q); d < bestD {
+				best, bestD = i, d
 			}
-		}
-		// Once something is found, one extra ring guarantees correctness
-		// (a nearer point can hide in the next ring only).
-		if found && float64(ring)*g.cell > bestD {
+		})
+		// Stop once a nearer point can no longer hide in an unvisited ring
+		// (bestD stays +Inf until something is found, so the sweep keeps
+		// widening) or the sweep has seen every point.
+		if bound := sw.Unexamined(); math.IsInf(bound, 1) || bound > bestD {
 			break
 		}
 	}

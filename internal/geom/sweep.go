@@ -1,0 +1,167 @@
+package geom
+
+import "math"
+
+// sweepSafety shrinks the sweep's distance lower bound by a relative hair:
+// the cell indices come from floating-point division, so a point can land
+// one index further out than exact arithmetic would place it while sitting
+// a few ulps inside the nominal ring distance. Consumers that prune on
+// Unexamined() stay exact under the shrunken bound.
+const sweepSafety = 1 - 1e-9
+
+// Sweep is a ring-by-ring traversal of a grid around a query point: ring 0
+// is the query's cell, ring r the square annulus of cells at Chebyshev
+// index distance r. After visiting rings 0..r, every unvisited point
+// provably lies at Euclidean distance ≥ r·cell from the query — the
+// Unexamined() lower bound exact nearest-neighbor searches prune on.
+//
+// Cost is bounded by the occupied extent, not the ring count: iteration is
+// clamped to the occupied cell bounding box, rings before the box fast-
+// forward in O(1), and on a map-backed grid (sparse pathological extents) a
+// sweep that outlives its proportionate ring budget flushes the remaining
+// cells in one pass — so driving any sweep to exhaustion is O(points +
+// bounding-box cells) on dense grids and O(points + budgeted rings) on map
+// grids, never O(maxRing²).
+//
+// A Sweep is a cheap value; grids are immutable, so concurrent sweeps over
+// one grid are safe.
+type Sweep struct {
+	g         *Grid
+	center    [2]int
+	ring      int // next ring to visit
+	maxRing   int // largest ring holding any cell
+	flushRing int // map-backed grids: ring after which Next flushes (0 = never)
+}
+
+// NewSweep starts a ring sweep around q. The grid's cell bounding box caps
+// the ring count, so a sweep always terminates even for queries far outside
+// the indexed extent.
+func (g *Grid) NewSweep(q Point) Sweep {
+	s := Sweep{g: g, center: g.key(q)}
+	if len(g.points) == 0 {
+		s.maxRing = -1
+		return s
+	}
+	for ax := 0; ax < 2; ax++ {
+		if d := abs(g.loCell[ax] - s.center[ax]); d > s.maxRing {
+			s.maxRing = d
+		}
+		if d := abs(g.hiCell[ax] - s.center[ax]); d > s.maxRing {
+			s.maxRing = d
+		}
+	}
+	if g.cells != nil {
+		// Sparse extents can span ~1e8 rings around a tight cluster; ring
+		// iteration past the proportionate budget flushes instead.
+		s.flushRing = int(math.Sqrt(float64(8*len(g.points)))) + 2
+	}
+	return s
+}
+
+// Next visits every point of the next ring, calling visit with each point
+// index, and reports whether any unvisited ring remains afterwards. Once it
+// returns false the sweep has seen every indexed point and further calls
+// visit nothing. Rings that provably hold no cells are skipped without
+// being counted as visited, so Unexamined never weakens.
+func (s *Sweep) Next(visit func(i int)) bool {
+	if s.ring > s.maxRing {
+		return false
+	}
+	g := s.g
+	cx0, cy0 := s.center[0], s.center[1]
+	// Fast-forward across rings that cannot intersect the occupied box: the
+	// first intersecting ring is the Chebyshev distance from the center to
+	// the box, and every ring from there to maxRing intersects it.
+	if first := chebToBox(s.center, g.loCell, g.hiCell); s.ring < first {
+		s.ring = first
+	}
+	ring := s.ring
+	s.ring++
+	if s.flushRing > 0 && ring > s.flushRing {
+		// Terminal flush (map-backed): visit every cell not covered by the
+		// rings already swept, in one pass over the occupied cells.
+		for k, bucket := range g.cells {
+			if maxInt(abs(k[0]-cx0), abs(k[1]-cy0)) >= ring {
+				for _, i := range bucket {
+					visit(int(i))
+				}
+			}
+		}
+		s.ring = s.maxRing + 1
+		return false
+	}
+	if ring == 0 {
+		for _, i := range g.bucket([2]int{cx0, cy0}) {
+			visit(int(i))
+		}
+		return s.ring <= s.maxRing
+	}
+	// Hollow square annulus, clamped to the occupied box (cells outside it
+	// are empty by construction).
+	xlo, xhi := maxInt(cx0-ring, g.loCell[0]), minInt(cx0+ring, g.hiCell[0])
+	ylo, yhi := maxInt(cy0-ring, g.loCell[1]), minInt(cy0+ring, g.hiCell[1])
+	for cx := xlo; cx <= xhi; cx++ {
+		if cx == cx0-ring || cx == cx0+ring {
+			for cy := ylo; cy <= yhi; cy++ {
+				for _, i := range g.bucket([2]int{cx, cy}) {
+					visit(int(i))
+				}
+			}
+			continue
+		}
+		for _, cy := range [2]int{cy0 - ring, cy0 + ring} {
+			if cy < ylo || cy > yhi {
+				continue
+			}
+			for _, i := range g.bucket([2]int{cx, cy}) {
+				visit(int(i))
+			}
+		}
+	}
+	return s.ring <= s.maxRing
+}
+
+// Unexamined returns a lower bound on the distance from the query to any
+// point the sweep has not visited yet: after Next has swept rings 0..k−1,
+// every unvisited point sits in a cell at Chebyshev index distance ≥ k,
+// hence at Euclidean distance ≥ (k−1)·cell (the query can sit anywhere
+// inside its own cell). It returns 0 before any ring could matter and +Inf
+// once every indexed point has been visited.
+func (s *Sweep) Unexamined() float64 {
+	if s.ring > s.maxRing {
+		return math.Inf(1)
+	}
+	if s.ring <= 1 {
+		return 0
+	}
+	return float64(s.ring-1) * s.g.cell * sweepSafety
+}
+
+// chebToBox returns the Chebyshev distance from c to the box [lo, hi]
+// (0 when inside).
+func chebToBox(c, lo, hi [2]int) int {
+	d := 0
+	for ax := 0; ax < 2; ax++ {
+		if v := lo[ax] - c[ax]; v > d {
+			d = v
+		}
+		if v := c[ax] - hi[ax]; v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"decaynet/internal/rng"
+)
+
+// sweepGeometries are the point layouts the sweep invariants are checked
+// over: uniform spreads, the adversarial shapes the tiered spatial index
+// must survive (collinear, duplicates, a tight cluster with far outliers
+// that forces the map-backed grid, everything in one cell), and empties.
+func sweepGeometries() map[string][]Point {
+	src := rng.New(41)
+	uniform := randomPoints(7, 400, 1000)
+	line := make([]Point, 150)
+	for i := range line {
+		line[i] = Pt(float64(i)*3.7, 5)
+	}
+	dup := make([]Point, 90)
+	for i := range dup {
+		dup[i] = Pt(float64(i%3), float64(i%3))
+	}
+	cluster := make([]Point, 120)
+	for i := range cluster {
+		cluster[i] = Pt(src.Float64(), src.Float64())
+	}
+	cluster = append(cluster, Pt(1e7, -3e6), Pt(-2e7, 4e7), Pt(9e6, 9e6))
+	one := make([]Point, 40)
+	for i := range one {
+		one[i] = Pt(0.1+0.001*src.Float64(), 0.2+0.001*src.Float64())
+	}
+	return map[string][]Point{
+		"uniform":         uniform,
+		"collinear":       line,
+		"duplicates":      dup,
+		"cluster+outlier": cluster,
+		"one-cell":        one,
+		"single":          {Pt(3, 4)},
+		"empty":           nil,
+	}
+}
+
+// TestSweepVisitsEveryPointOnce drives every sweep to exhaustion and checks
+// the fundamental completeness contract: each indexed point is visited
+// exactly once, and Unexamined reports +Inf afterwards.
+func TestSweepVisitsEveryPointOnce(t *testing.T) {
+	for name, pts := range sweepGeometries() {
+		for _, cell := range []float64{0.5, 13, 1e6} {
+			g := NewGrid(cell, pts)
+			for _, q := range []Point{Pt(0, 0), Pt(500, 500), Pt(-1e8, 1e8)} {
+				seen := make(map[int]int)
+				sw := g.NewSweep(q)
+				for sw.Next(func(i int) { seen[i]++ }) {
+				}
+				if len(seen) != len(pts) {
+					t.Fatalf("%s cell=%v q=%v: visited %d of %d points", name, cell, q, len(seen), len(pts))
+				}
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("%s cell=%v: point %d visited %d times", name, cell, i, c)
+					}
+				}
+				if !math.IsInf(sw.Unexamined(), 1) {
+					t.Fatalf("%s: exhausted sweep reports Unexamined %v", name, sw.Unexamined())
+				}
+			}
+		}
+	}
+}
+
+// TestSweepUnexaminedLowerBound checks the pruning contract after every
+// ring: no point the sweep has not visited yet may sit closer to the query
+// than Unexamined claims.
+func TestSweepUnexaminedLowerBound(t *testing.T) {
+	for name, pts := range sweepGeometries() {
+		for _, cell := range []float64{0.9, 21} {
+			g := NewGrid(cell, pts)
+			for _, q := range []Point{Pt(3, 3), Pt(480, 512), Pt(-40, 900)} {
+				unvisited := make(map[int]bool, len(pts))
+				for i := range pts {
+					unvisited[i] = true
+				}
+				sw := g.NewSweep(q)
+				for {
+					more := sw.Next(func(i int) { delete(unvisited, i) })
+					bound := sw.Unexamined()
+					for i := range unvisited {
+						if d := pts[i].Dist(q); d < bound {
+							t.Fatalf("%s cell=%v q=%v: unvisited point %d at %v inside bound %v", name, cell, q, i, d, bound)
+						}
+					}
+					if !more {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridNearestAdversarial cross-checks the sweep-backed Nearest against
+// brute force on the adversarial layouts (the uniform case is covered by
+// TestGridNearestMatchesBrute).
+func TestGridNearestAdversarial(t *testing.T) {
+	src := rng.New(99)
+	for name, pts := range sweepGeometries() {
+		if len(pts) == 0 {
+			continue
+		}
+		g := NewGrid(2.5, pts)
+		for trial := 0; trial < 40; trial++ {
+			q := Pt(src.Range(-100, 1100), src.Range(-100, 1100))
+			bi, bd := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := p.Dist(q); d < bd {
+					bi, bd = i, d
+				}
+			}
+			gi, gd := g.Nearest(q)
+			if gd != bd || pts[gi] != pts[bi] {
+				t.Fatalf("%s: Nearest(%v) = (%d, %v), brute (%d, %v)", name, q, gi, gd, bi, bd)
+			}
+		}
+	}
+}
+
+// TestGridDenseAndMapLayoutsAgree forces both bucket layouts over the same
+// points and checks Neighbors parity — the cluster+outlier extent exceeds
+// the dense-cell budget at small cells, so the two runs genuinely exercise
+// different storage.
+func TestGridDenseAndMapLayoutsAgree(t *testing.T) {
+	pts := sweepGeometries()["cluster+outlier"]
+	small := NewGrid(0.25, pts) // spans ~1e8/0.25 cells: map-backed
+	big := NewGrid(5e7, pts)    // handful of cells: dense
+	if small.dense != nil {
+		t.Fatalf("expected map layout for wide extent at small cell")
+	}
+	if big.dense == nil {
+		t.Fatalf("expected dense layout at coarse cell")
+	}
+	for _, q := range []Point{Pt(0.5, 0.5), Pt(1e7, -3e6), Pt(5e6, 5e6)} {
+		for _, r := range []float64{1, 1e6, 1e8} {
+			a := bruteNeighbors(pts, q, r)
+			got := small.Neighbors(q, r)
+			if len(got) != len(a) {
+				t.Fatalf("map grid Neighbors(%v, %v): %d hits, brute %d", q, r, len(got), len(a))
+			}
+			got = big.Neighbors(q, r)
+			if len(got) != len(a) {
+				t.Fatalf("dense grid Neighbors(%v, %v): %d hits, brute %d", q, r, len(got), len(a))
+			}
+		}
+	}
+}

@@ -55,10 +55,18 @@ type urbanSpace struct {
 }
 
 var (
-	_ core.Space     = (*urbanSpace)(nil)
-	_ core.RowSpace  = (*urbanSpace)(nil)
-	_ core.Symmetric = (*urbanSpace)(nil)
+	_ core.Space        = (*urbanSpace)(nil)
+	_ core.RowSpace     = (*urbanSpace)(nil)
+	_ core.Symmetric    = (*urbanSpace)(nil)
+	_ core.DecayBounded = (*urbanSpace)(nil)
 )
+
+// urbanZMax is the deterministic supremum of |rng.Normal()|: the Box-Muller
+// draw is sqrt(−2·ln(1−Float64()))·cos(2π·u2) with 1−Float64() ≥ 2⁻⁵³, so
+// |z| ≤ sqrt(106·ln 2) ≈ 8.5716. The tiny relative bump absorbs the at most
+// few-ulp rounding of Sqrt/Log/Cos, keeping the decay lower bound valid for
+// every draw the shadowing stream can ever produce.
+var urbanZMax = math.Sqrt(106*math.Ln2) * (1 + 1e-9)
 
 func (u *urbanSpace) N() int { return len(u.pts) }
 
@@ -108,6 +116,37 @@ func (u *urbanSpace) pair(i, j int) float64 {
 		ln = -maxLnDecay
 	}
 	return math.Exp(ln)
+}
+
+// DecayLowerBound certifies the monotone distance→decay trend (the
+// core.DecayBounded contract) the tiered spatial-index build prunes on: for
+// any pair at distance ≥ d,
+//
+//	ln f ≥ α·ln(max(d, 1e-3)) − |σ|·zMax + min(0, L_corner)
+//
+// — the same-street case drops the corner penalty (only a negative penalty
+// can lower the decay further) and the shadowing draw is bounded by the
+// deterministic |Normal()| supremum. The clamp to ±maxLnDecay is monotone,
+// so applying it to the lower ln keeps the bound below every pair's F. The
+// bound is nondecreasing in d whenever α ≥ 0; a negative α voids the trend,
+// so the bound degrades to 0 (valid, prunes nothing).
+func (u *urbanSpace) DecayLowerBound(d float64) float64 {
+	if u.alpha < 0 {
+		return 0
+	}
+	if d < 1e-3 {
+		d = 1e-3
+	}
+	ln := u.alpha*math.Log(d) - math.Abs(u.sigmaLn)*urbanZMax
+	if u.nlosLn < 0 {
+		ln += u.nlosLn
+	}
+	if ln > maxLnDecay {
+		ln = maxLnDecay
+	} else if ln < -maxLnDecay {
+		ln = -maxLnDecay
+	}
+	return math.Exp(ln) * (1 - 1e-9)
 }
 
 // urbanGrid subdivides the side×side square into blocks no wider than

@@ -152,6 +152,7 @@ type Pool struct {
 	tol     float64
 	rep     *shard.Replica
 	local   shard.Worker
+	snapFn  func(version uint64) SyncJob
 	version atomic.Uint64
 	members []*member
 
@@ -175,6 +176,22 @@ var errMemberDead = errors.New("remote: worker declared dead")
 // directly on local fallback — and tol the ζ bisection tolerance every
 // replica must share.
 func NewPool(cfg PoolConfig, m *core.Matrix, tol float64) (*Pool, error) {
+	rep := shard.NewReplica(m, tol)
+	return newPool(cfg, rep, func(version uint64) SyncJob {
+		n := m.N()
+		flat := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			m.Row(i, flat[i*n:(i+1)*n])
+		}
+		return SyncJob{N: n, Tol: tol, Version: version, Flat: flat}
+	})
+}
+
+// newPool wires the shared pool machinery around a replica and a snapshot
+// source. snap builds the Sync handshake at a given version — dense pools
+// re-read the session matrix on every call (it mutates), tiered pools hand
+// back a precomputed immutable payload.
+func newPool(cfg PoolConfig, rep *shard.Replica, snap func(version uint64) SyncJob) (*Pool, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("remote: no worker addresses")
 	}
@@ -183,12 +200,12 @@ func NewPool(cfg PoolConfig, m *core.Matrix, tol float64) (*Pool, error) {
 			return Dial(addr, DialOptions{Version: ver})
 		}
 	}
-	rep := shard.NewReplica(m, tol)
 	p := &Pool{
-		cfg:   cfg,
-		tol:   tol,
-		rep:   rep,
-		local: shard.NewLocalWorker(rep),
+		cfg:    cfg,
+		tol:    rep.Tol(),
+		rep:    rep,
+		local:  shard.NewLocalWorker(rep),
+		snapFn: snap,
 	}
 	for i, addr := range cfg.Addrs {
 		p.members = append(p.members, &member{
@@ -197,11 +214,11 @@ func NewPool(cfg PoolConfig, m *core.Matrix, tol float64) (*Pool, error) {
 			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i))),
 		})
 	}
-	snap := p.snapshot()
+	handshake := p.snapshot()
 	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.jobTimeout())
 	defer cancel()
 	for _, mb := range p.members {
-		if err := p.admit(ctx, mb, snap); err != nil {
+		if err := p.admit(ctx, mb, handshake); err != nil {
 			p.closeMembers()
 			return nil, fmt.Errorf("remote: worker %s: %w", mb.addr, err)
 		}
@@ -234,16 +251,11 @@ func (p *Pool) admit(ctx context.Context, mb *member, snap SyncJob) error {
 }
 
 // snapshot captures the session space and version as a Sync handshake.
-// Callers must hold the session lock (scans: read, updates: write) so the
-// matrix is stable while its rows are copied.
+// Callers must hold the session lock (scans: read, updates: write) so a
+// dense matrix is stable while its rows are copied; tiered payloads are
+// immutable and need no lock.
 func (p *Pool) snapshot() SyncJob {
-	m := p.rep.M()
-	n := m.N()
-	flat := make([]float64, n*n)
-	for i := 0; i < n; i++ {
-		m.Row(i, flat[i*n:(i+1)*n])
-	}
-	return SyncJob{N: n, Tol: p.tol, Version: p.version.Load(), Flat: flat}
+	return p.snapFn(p.version.Load())
 }
 
 // Replica returns the pool's local replica — the coordinator scans it for
@@ -303,6 +315,11 @@ func (p *Pool) closeMembers() {
 // replica is now behind the fence, and the next job on it triggers a
 // Sync-based revival (or reassignment if it stays down).
 func (p *Pool) ShipUpdate(dirty []int, rowsOnly bool) {
+	if p.rep.Streamed() {
+		// Tiered sessions are immutable; nothing can be dirty.
+		p.cfg.logf("remote: ShipUpdate ignored on immutable tiered pool")
+		return
+	}
 	base := p.version.Load()
 	next := base + 1
 	m := p.rep.M()

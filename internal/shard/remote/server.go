@@ -11,6 +11,7 @@ import (
 
 	"decaynet/internal/core"
 	"decaynet/internal/shard"
+	"decaynet/internal/tier"
 )
 
 // ServerOptions parameterizes Serve.
@@ -267,8 +268,14 @@ func (s *serverConn) dispatch(ctx context.Context, req *request) (any, error) {
 	return nil, &Error{Kind: KindBadRequest, Msg: "unknown method " + req.Method}
 }
 
-// handleSync rebuilds the replica from a full-space snapshot.
+// handleSync rebuilds the replica from a full-space snapshot: either the
+// dense flat matrix or the tiered payload (CSR near field + tail + scan
+// extrema), which reconstructs a streamed replica that scans
+// bit-identically to the coordinator's.
 func (s *serverConn) handleSync(job *SyncJob) (any, error) {
+	if job.Tiered != nil {
+		return s.handleTieredSync(job)
+	}
 	if job.N < 0 || len(job.Flat) != job.N*job.N {
 		return nil, &Error{Kind: KindBadRequest, Msg: fmt.Sprintf("sync: %d values for n=%d", len(job.Flat), job.N)}
 	}
@@ -286,6 +293,35 @@ func (s *serverConn) handleSync(job *SyncJob) (any, error) {
 	return struct{}{}, nil
 }
 
+// handleTieredSync materializes a streamed replica from a tiered snapshot.
+// The payload is untrusted: the config/model re-run the strict parsers,
+// tier.FromSnapshot validates the CSR structure, and the shipped extrema
+// lengths are checked against n before the scan is assembled.
+func (s *serverConn) handleTieredSync(job *SyncJob) (any, error) {
+	if job.N < 0 || len(job.Flat) != 0 {
+		return nil, &Error{Kind: KindBadRequest, Msg: fmt.Sprintf("sync: tiered payload with n=%d and %d dense values", job.N, len(job.Flat))}
+	}
+	snap, ex, err := job.Tiered.decodeTiered(job.N)
+	if err != nil {
+		return nil, &Error{Kind: KindBadRequest, Msg: err.Error()}
+	}
+	ts, err := tier.FromSnapshot(snap)
+	if err != nil {
+		return nil, &Error{Kind: KindBadRequest, Msg: "sync: " + err.Error()}
+	}
+	rep, err := shard.NewStreamedReplicaFrom(ts, job.Tol, job.Tiered.TileRows, job.Tiered.MaxTiles, ex)
+	if err != nil {
+		return nil, &Error{Kind: KindBadRequest, Msg: "sync: " + err.Error()}
+	}
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	s.rep = rep
+	s.work = shard.NewLocalWorker(rep)
+	s.version = job.Version
+	s.opts.logf("worker: synced tiered replica n=%d version=%d (%d near entries)", job.N, job.Version, len(snap.NearIdx))
+	return struct{}{}, nil
+}
+
 // handleMutate applies a version-fenced mutation batch to the replica and
 // patches its scan states, mirroring the coordinator-side repair prefix.
 func (s *serverConn) handleMutate(job *MutateJob) (any, error) {
@@ -296,6 +332,9 @@ func (s *serverConn) handleMutate(job *MutateJob) (any, error) {
 	}
 	if s.version != job.BaseVersion {
 		return nil, &Error{Kind: KindStale, Msg: fmt.Sprintf("replica at version %d, mutation fenced on %d", s.version, job.BaseVersion)}
+	}
+	if s.rep.Streamed() {
+		return nil, &Error{Kind: KindBadRequest, Msg: "mutate: tiered replica is immutable"}
 	}
 	m := s.rep.M()
 	n := m.N()

@@ -159,16 +159,125 @@ func (f *Floats) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Int32s is a []int32 that marshals as base64 little-endian bytes — the
+// column-index and row-start arrays of a tiered snapshot (same reasoning
+// as Floats: bit-exact, compact).
+type Int32s []int32
+
+// MarshalJSON implements json.Marshaler.
+func (f Int32s) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 4*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(v))
+	}
+	return wrapBase64(raw), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Int32s) UnmarshalJSON(data []byte) error {
+	raw, err := unwrapBase64(data, 4)
+	if err != nil {
+		return err
+	}
+	vals := make([]int32, len(raw)/4)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	*f = vals
+	return nil
+}
+
+// Float32s is a []float32 that marshals as base64 little-endian IEEE-754
+// bits — the float32 tail pages of a tiered snapshot.
+type Float32s []float32
+
+// MarshalJSON implements json.Marshaler.
+func (f Float32s) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 4*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return wrapBase64(raw), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float32s) UnmarshalJSON(data []byte) error {
+	raw, err := unwrapBase64(data, 4)
+	if err != nil {
+		return err
+	}
+	vals := make([]float32, len(raw)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	*f = vals
+	return nil
+}
+
+// wrapBase64 encodes raw bytes as a quoted base64 JSON string.
+func wrapBase64(raw []byte) []byte {
+	out := make([]byte, 2+base64.StdEncoding.EncodedLen(len(raw)))
+	out[0] = '"'
+	base64.StdEncoding.Encode(out[1:], raw)
+	out[len(out)-1] = '"'
+	return out
+}
+
+// unwrapBase64 decodes a quoted base64 JSON string, requiring the payload
+// length to be a multiple of stride.
+func unwrapBase64(data []byte, stride int) ([]byte, error) {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("remote: packed array is not a base64 string: %w", err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("remote: packed array base64: %w", err)
+	}
+	if len(raw)%stride != 0 {
+		return nil, fmt.Errorf("remote: packed array payload is %d bytes, not a multiple of %d", len(raw), stride)
+	}
+	return raw, nil
+}
+
+// TieredSnap is the tiered-session alternative to a dense Flat snapshot:
+// the CSR near field, the tail payload (model + flattened point pairs, or
+// float32 pages), and the streamed-scan pruning extrema — O(K·n) on the
+// wire for a model tail instead of O(n²). The worker rebuilds a
+// tier.Space via tier.FromSnapshot and a streamed replica via
+// shard.NewStreamedReplicaFrom, so its row-range scans are bit-identical
+// to the coordinator's local streamed scans. Tiered sessions are
+// immutable, so no Mutate batch ever follows; the version still fences
+// scans (a coordinator restart re-Syncs).
+type TieredSnap struct {
+	Sym       bool            `json:"sym"`
+	Cfg       json.RawMessage `json:"cfg"`
+	NearStart Int32s          `json:"near_start"`
+	NearIdx   Int32s          `json:"near_idx"`
+	NearVal   Floats          `json:"near_val"`
+	F32       Float32s        `json:"f32,omitempty"`
+	Model     json.RawMessage `json:"model,omitempty"`
+	Pts       Floats          `json:"pts,omitempty"` // x0,y0,x1,y1,...
+	LogMax    Floats          `json:"log_max,omitempty"`
+	LogMin    Floats          `json:"log_min,omitempty"`
+	FMax      Floats          `json:"f_max,omitempty"`
+	FMin      Floats          `json:"f_min,omitempty"`
+	TileRows  int             `json:"tile_rows,omitempty"`
+	MaxTiles  int             `json:"max_tiles,omitempty"`
+}
+
 // SyncJob is the full-space snapshot handshake: the coordinator ships its
-// dense matrix and replica version to a (re)joining worker, which rebuilds
-// its replica from scratch. Tol is the ζ bisection tolerance the worker's
-// scan states must use (it parameterizes the root solve, so differing
-// tolerances would break bit-identity).
+// space and replica version to a (re)joining worker, which rebuilds its
+// replica from scratch. Dense sessions ship the flat matrix; tiered
+// sessions ship the O(K·n) Tiered payload instead. Tol is the ζ bisection
+// tolerance the worker's scan states must use (it parameterizes the root
+// solve, so differing tolerances would break bit-identity).
 type SyncJob struct {
-	N       int     `json:"n"`
-	Tol     float64 `json:"tol"`
-	Version uint64  `json:"version"`
-	Flat    Floats  `json:"flat"`
+	N       int         `json:"n"`
+	Tol     float64     `json:"tol"`
+	Version uint64      `json:"version"`
+	Flat    Floats      `json:"flat,omitempty"`
+	Tiered  *TieredSnap `json:"tiered,omitempty"`
 }
 
 // RowEdit carries one updated row (or column) of the dense space.

@@ -190,9 +190,44 @@ func NewStreamedReplica(ctx context.Context, rs core.RowSpace, tol float64, tile
 	return &Replica{tol: tol, rows: rs, ss: ss}, nil
 }
 
+// NewStreamedReplicaFrom rebuilds a streamed replica from previously
+// derived scan extrema instead of streaming every row — the O(n) path a
+// remote worker takes when the coordinator ships a tiered snapshot with
+// the extrema attached (streamed sessions are immutable, so the extrema
+// stay valid for the replica's lifetime). Scans over the result are
+// bit-identical to scans over a NewStreamedReplica of the same space.
+func NewStreamedReplicaFrom(rs core.RowSpace, tol float64, tileRows, maxTiles int, ex core.StreamExtrema) (*Replica, error) {
+	if rs == nil {
+		return nil, errors.New("shard: nil row space")
+	}
+	ss, err := core.NewStreamScanFrom(rs, tol, tileRows, maxTiles, ex)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{tol: tol, rows: rs, ss: ss}, nil
+}
+
 // Streamed reports whether this replica pages rows instead of holding a
 // dense matrix.
 func (r *Replica) Streamed() bool { return r.m == nil && r.rows != nil }
+
+// Tol returns the ζ bisection tolerance the replica scans at.
+func (r *Replica) Tol() float64 { return r.tol }
+
+// StreamSource returns a streamed replica's row source (nil for dense
+// replicas) — the space a transport snapshots for remote replication.
+func (r *Replica) StreamSource() core.RowSpace { return r.rows }
+
+// StreamExtrema returns a streamed replica's scan extrema and paging
+// geometry for transport (see core.StreamScan.Extrema). ok is false for
+// dense replicas.
+func (r *Replica) StreamExtrema() (ex core.StreamExtrema, tileRows, maxTiles int, ok bool) {
+	if r.ss == nil {
+		return core.StreamExtrema{}, 0, 0, false
+	}
+	tileRows, maxTiles = r.ss.Geometry()
+	return r.ss.Extrema(), tileRows, maxTiles, true
+}
 
 // N returns the node count regardless of replica kind.
 func (r *Replica) N() int {

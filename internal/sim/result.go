@@ -2,12 +2,57 @@ package sim
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strconv"
 )
+
+// Stat is a statistic that distinguishes "undefined" — no observations to
+// compute it from — from a genuine zero. Undefined is represented as NaN
+// in memory, marshals to JSON null and an empty CSV cell, and
+// round-trips. Defined values marshal exactly as a plain float64 would,
+// so existing byte-identity of results over defined statistics is
+// unchanged.
+type Stat float64
+
+// UndefinedStat is the no-observations value.
+func UndefinedStat() Stat { return Stat(math.NaN()) }
+
+// Defined reports whether the statistic was computed from at least one
+// observation.
+func (s Stat) Defined() bool { return !math.IsNaN(float64(s)) }
+
+func (s Stat) MarshalJSON() ([]byte, error) {
+	if !s.Defined() {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(s))
+}
+
+func (s *Stat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*s = UndefinedStat()
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*s = Stat(v)
+	return nil
+}
+
+// csvCell renders the statistic for the tabular writer: an empty cell for
+// undefined, the full-precision float otherwise.
+func (s Stat) csvCell() string {
+	if !s.Defined() {
+		return ""
+	}
+	return strconv.FormatFloat(float64(s), 'g', -1, 64)
+}
 
 // Result is the structured outcome of a simulation run. All fields are
 // deterministic functions of (session state, spec), so marshaling a Result
@@ -50,18 +95,21 @@ type ClassResult struct {
 	// Goodput counts only fully-completed requests' units per unit time.
 	Goodput float64 `json:"goodput"`
 	// Sojourn statistics are over completed requests (arrival → last unit
-	// served); all zero when nothing completed.
-	SojournMean float64 `json:"sojourn_mean"`
-	SojournP50  float64 `json:"sojourn_p50"`
-	SojournP99  float64 `json:"sojourn_p99"`
-	SojournMax  float64 `json:"sojourn_max"`
+	// served). When nothing completed they are undefined — JSON null and an
+	// empty CSV cell — which is distinguishable from a genuine zero sojourn
+	// (a request completed in the instant it arrived).
+	SojournMean Stat `json:"sojourn_mean"`
+	SojournP50  Stat `json:"sojourn_p50"`
+	SojournP99  Stat `json:"sojourn_p99"`
+	SojournMax  Stat `json:"sojourn_max"`
 }
 
-// quantile returns the nearest-rank p-quantile of ascending xs (0 when
-// empty).
+// quantile returns the nearest-rank p-quantile of ascending xs, undefined
+// (NaN) when empty — a zero here would be indistinguishable from a real
+// zero-valued observation.
 func quantile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	rank := int(math.Ceil(p * float64(len(xs))))
 	if rank < 1 {
@@ -101,6 +149,10 @@ func classResult(name string, st *classStats, horizon float64) ClassResult {
 		InFlight:    st.arrivals - st.completions - st.dropped - st.expired,
 		ServedUnits: st.served,
 		Goodput:     float64(st.completedUnits) / horizon,
+		SojournMean: UndefinedStat(),
+		SojournP50:  UndefinedStat(),
+		SojournP99:  UndefinedStat(),
+		SojournMax:  UndefinedStat(),
 	}
 	if len(st.sojourns) > 0 {
 		xs := append([]float64(nil), st.sojourns...)
@@ -109,10 +161,10 @@ func classResult(name string, st *classStats, horizon float64) ClassResult {
 		for _, x := range xs {
 			sum += x
 		}
-		cr.SojournMean = sum / float64(len(xs))
-		cr.SojournP50 = quantile(xs, 0.50)
-		cr.SojournP99 = quantile(xs, 0.99)
-		cr.SojournMax = xs[len(xs)-1]
+		cr.SojournMean = Stat(sum / float64(len(xs)))
+		cr.SojournP50 = Stat(quantile(xs, 0.50))
+		cr.SojournP99 = Stat(quantile(xs, 0.99))
+		cr.SojournMax = Stat(xs[len(xs)-1])
 	}
 	return cr
 }
@@ -135,7 +187,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		row := []string{
 			c.Name, d(c.Arrivals), d(c.Completions), d(c.Dropped), d(c.Expired),
 			d(c.InFlight), d(c.ServedUnits), f(c.Goodput),
-			f(c.SojournMean), f(c.SojournP50), f(c.SojournP99), f(c.SojournMax),
+			c.SojournMean.csvCell(), c.SojournP50.csvCell(), c.SojournP99.csvCell(), c.SojournMax.csvCell(),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

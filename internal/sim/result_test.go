@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestStatJSONRoundTrip: undefined marshals to null and round-trips;
+// defined values marshal exactly like plain float64 (byte-identity of
+// existing results over defined statistics is preserved), including a
+// genuine zero — the ambiguity the type exists to remove.
+func TestStatJSONRoundTrip(t *testing.T) {
+	cases := []Stat{UndefinedStat(), 0, 1.5, 1e-9, 12345.6789, Stat(math.MaxFloat64)}
+	for _, s := range cases {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Defined() {
+			if string(b) != "null" {
+				t.Fatalf("undefined Stat marshaled to %q", b)
+			}
+		} else {
+			want, _ := json.Marshal(float64(s))
+			if !bytes.Equal(b, want) {
+				t.Fatalf("Stat(%v) marshaled to %q, float64 gives %q", float64(s), b, want)
+			}
+		}
+		var back Stat
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Defined() != s.Defined() {
+			t.Fatalf("round trip changed definedness: %v -> %v", s.Defined(), back.Defined())
+		}
+		if s.Defined() && back != s {
+			t.Fatalf("round trip changed value: %v -> %v", float64(s), float64(back))
+		}
+	}
+	// Strict decoding still rejects garbage.
+	var s Stat
+	if err := json.Unmarshal([]byte(`"NaN"`), &s); err == nil {
+		t.Fatal("string decoded into a Stat")
+	}
+}
+
+// TestClassResultUndefinedSojourns: a class that completed nothing reports
+// undefined sojourn statistics — JSON null, empty CSV cells — while a
+// class whose only completion had a zero sojourn reports a defined 0.
+// Before the Stat type both cases serialized identically as 0.
+func TestClassResultUndefinedSojourns(t *testing.T) {
+	empty := classResult("idle", &classStats{arrivals: 3, dropped: 3}, 10)
+	for name, s := range map[string]Stat{
+		"mean": empty.SojournMean, "p50": empty.SojournP50,
+		"p99": empty.SojournP99, "max": empty.SojournMax,
+	} {
+		if s.Defined() {
+			t.Fatalf("no-completions class has defined sojourn %s = %v", name, float64(s))
+		}
+	}
+	zero := classResult("instant", &classStats{
+		arrivals: 1, completions: 1, completedUnits: 1, served: 1, sojourns: []float64{0},
+	}, 10)
+	if !zero.SojournP50.Defined() || zero.SojournP50 != 0 {
+		t.Fatalf("zero-sojourn class p50 = %v (defined=%v)", float64(zero.SojournP50), zero.SojournP50.Defined())
+	}
+
+	r := Result{Classes: []ClassResult{empty, zero}}
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"sojourn_mean":null`)) {
+		t.Fatalf("no-completions class not null in JSON: %s", b)
+	}
+	if !bytes.Contains(b, []byte(`"sojourn_p50":0`)) {
+		t.Fatalf("zero-sojourn class not 0 in JSON: %s", b)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Classes[0].SojournMax.Defined() || !back.Classes[1].SojournMax.Defined() {
+		t.Fatalf("JSON round trip lost definedness: %+v", back.Classes)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := r.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want header + 2 classes + total", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], ",,,,") {
+		t.Fatalf("no-completions CSV row does not end with empty sojourn cells: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",0,0,0,0") {
+		t.Fatalf("zero-sojourn CSV row does not carry explicit zeros: %q", lines[2])
+	}
+}
+
+// TestQuantileUndefinedOnEmpty pins the kernel-level contract the result
+// layer builds on.
+func TestQuantileUndefinedOnEmpty(t *testing.T) {
+	if q := quantile(nil, 0.5); !math.IsNaN(q) {
+		t.Fatalf("quantile(nil) = %v, want NaN", q)
+	}
+	if q := quantile([]float64{0}, 0.99); q != 0 {
+		t.Fatalf("quantile([0]) = %v, want 0", q)
+	}
+}

@@ -1,0 +1,140 @@
+package tier
+
+import (
+	"fmt"
+	"math"
+
+	"decaynet/internal/core"
+	"decaynet/internal/geom"
+	"decaynet/internal/rng"
+)
+
+// indexGrid builds the uniform candidate grid for the spatial-index build
+// path. The cell size targets ~2 points per cell under a uniform spread
+// (sqrt(2·area/n)), with degenerate fallbacks: collinear extents fall back
+// to the long axis over sqrt(n), fully coincident points to a unit cell —
+// either way the grid stays valid and the sweep stays exact (the bound,
+// not the cell choice, carries correctness; cell size is purely a
+// performance knob).
+func indexGrid(pts []geom.Point) *geom.Grid {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	w, h := maxX-minX, maxY-minY
+	n := float64(len(pts))
+	cell := math.Sqrt(w * h * 2 / n)
+	if !(cell > 0) || math.IsInf(cell, 0) {
+		cell = math.Max(w, h) / math.Sqrt(n)
+	}
+	if !(cell > 0) || math.IsInf(cell, 0) {
+		cell = 1
+	}
+	return geom.NewGrid(cell, pts)
+}
+
+// indexRow selects row i's K smallest off-diagonal decays under (value,
+// column) lexicographic order from spatially generated candidates — the
+// exact set the dense sweep selects, found without touching most of the
+// row. The grid sweep widens ring by ring; each visited candidate is
+// validated against Def 2.1 and lexicographically inserted into the held
+// top-K. The sweep stops once the K-th held value strictly dominates the
+// decay lower bound of every unexamined point — strict, so an unexamined
+// column could at best tie on value and would then lose the (value,
+// column) tie-break to a held entry only if it were examined, which the
+// strict comparison makes irrelevant: ties at the bound cannot occur
+// below it. Terminal fallback: sweep exhaustion (every point examined) is
+// reported via exhausted and is trivially exact.
+//
+// Returns the CSR-ready row (sorted by column), the number of candidate
+// decay evaluations, the exhaustion flag, and the first validation error.
+func indexRow(src core.Space, bnd core.DecayBounded, grid *geom.Grid, pts []geom.Point, i, k int) ([]int32, []float64, int64, bool, error) {
+	idx := make([]int32, 0, k)
+	val := make([]float64, 0, k)
+	var cand int64
+	var verr error
+	sw := grid.NewSweep(pts[i])
+	exhausted := false
+	for {
+		more := sw.Next(func(p int) {
+			if p == i || verr != nil {
+				return
+			}
+			v := src.F(i, p)
+			cand++
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				verr = fmt.Errorf("tier: invalid decay f(%d,%d) = %v", i, p, v)
+				return
+			}
+			j := int32(p)
+			if len(val) == k {
+				if last := len(val) - 1; !(v < val[last] || (v == val[last] && j < idx[last])) {
+					return
+				}
+				idx = idx[:k-1]
+				val = val[:k-1]
+			}
+			// Lexicographic shift-insert, keeping (value, column) order —
+			// arrival order (ring order here, column order on the dense
+			// path) never leaks into the held set.
+			q := len(val)
+			idx = append(idx, 0)
+			val = append(val, 0)
+			for q > 0 && (v < val[q-1] || (v == val[q-1] && j < idx[q-1])) {
+				idx[q], val[q] = idx[q-1], val[q-1]
+				q--
+			}
+			idx[q], val[q] = j, v
+		})
+		if verr != nil {
+			return nil, nil, cand, false, verr
+		}
+		if len(val) == k && bnd.DecayLowerBound(sw.Unexamined()) > val[k-1] {
+			break
+		}
+		if !more {
+			exhausted = true
+			break
+		}
+	}
+	sortByIdx(idx, val)
+	return idx, val, cand, exhausted, nil
+}
+
+// drawTailSamples draws row i's model-tail fit samples, replicating the
+// dense path's stream bit for bit: same rng.PairStream(seed, i, 0) source,
+// same quota of Intn draws, same skip rules (self pairs and sub-minTailDist
+// distances consume draws), same (ln d, ln f, j) triples — with ln f taken
+// from src.F, which the core.RowSpace contract keeps bitwise equal to the
+// row buffer the dense path reads. Sampled decays are validated here
+// because the indexed path never sees the full row.
+func drawTailSamples(src core.Space, pts []geom.Point, seed uint64, i, quota int) ([]float64, []float64, []int32, error) {
+	n := len(pts)
+	pi := pts[i]
+	srcR := rng.PairStream(seed, i, 0)
+	d := make([]float64, 0, quota)
+	f := make([]float64, 0, quota)
+	js := make([]int32, 0, quota)
+	for t := 0; t < quota; t++ {
+		j := srcR.Intn(n)
+		if j == i {
+			continue
+		}
+		dist := pi.Dist(pts[j])
+		if dist < minTailDist {
+			continue
+		}
+		v := src.F(i, j)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, nil, nil, fmt.Errorf("tier: invalid decay f(%d,%d) = %v", i, j, v)
+		}
+		d = append(d, math.Log(dist))
+		f = append(f, math.Log(v))
+		js = append(js, int32(j))
+	}
+	return d, f, js, nil
+}

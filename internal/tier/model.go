@@ -142,9 +142,17 @@ type Config struct {
 	// model fit and its error report draw, spread over rows.
 	// 0 means DefaultTailSamples.
 	TailSamples int `json:"tail_samples,omitempty"`
-	// Seed drives the deterministic tail sampling. 0 means 1.
+	// Seed drives the deterministic tail sampling. 0 means DefaultSeed — a
+	// reserved substream, so explicit seeds (including 1) always draw their
+	// own distinct sampling streams.
 	Seed uint64 `json:"seed,omitempty"`
 }
+
+// DefaultSeed is the tail-sampling seed substituted for Config.Seed == 0.
+// It is a reserved constant (the 64-bit golden-ratio mix word) rather than a
+// small integer, so no explicit user seed silently collides with the
+// default; Accounting.SampleAudit witnesses the distinction.
+const DefaultSeed uint64 = 0x9e3779b97f4a7c15
 
 // Wire-format bounds: a Config is untrusted input (it arrives in session
 // requests), so the decoder rejects values outside these rather than

@@ -1,0 +1,122 @@
+package tier
+
+import (
+	"fmt"
+	"math"
+
+	"decaynet/internal/geom"
+)
+
+// Snapshot is the serializable state of a built tiered space: the CSR near
+// field, the far-field tail (float32 pages or the fitted model plus
+// geometry), the effective config, and the accounting. It is what a remote
+// shard transport ships instead of a dense n² matrix — O(K·n) for a model
+// tail — and FromSnapshot reconstructs a Space that serves every entry
+// bit-identically to the original (both read the same stored values
+// through the same code paths).
+//
+// The slices are shared with the originating Space (immutable after Build
+// by contract); a transport that needs ownership must copy before the
+// source is released.
+type Snapshot struct {
+	N         int
+	Sym       bool
+	Cfg       Config
+	NearStart []int
+	NearIdx   []int32
+	NearVal   []float64
+	F32       []float32    // TailFloat32 only: row-major n×n pages
+	Model     Model        // TailModel only
+	Pts       []geom.Point // TailModel only
+	Acct      Accounting
+}
+
+// Snapshot captures the space's state for transport. O(1): the returned
+// snapshot aliases the space's immutable storage.
+func (s *Space) Snapshot() Snapshot {
+	return Snapshot{
+		N:         s.n,
+		Sym:       s.sym,
+		Cfg:       s.cfg,
+		NearStart: s.nearStart,
+		NearIdx:   s.nearIdx,
+		NearVal:   s.nearVal,
+		F32:       s.f32,
+		Model:     s.model,
+		Pts:       s.pts,
+		Acct:      s.acct,
+	}
+}
+
+// FromSnapshot reconstructs a tiered space from a snapshot, validating the
+// wire-level invariants a hostile or corrupted payload could violate: CSR
+// shape (monotone row starts covering exactly the entry arrays), per-row
+// column indices sorted, in-range and off-diagonal, positive finite near
+// values, tail payload matching the tail mode, and a Valid model. The
+// reconstructed space serves F/Row bit-identically to the space the
+// snapshot was taken from.
+func FromSnapshot(snap Snapshot) (*Space, error) {
+	n := snap.N
+	if n < 0 {
+		return nil, fmt.Errorf("tier: snapshot with n=%d", n)
+	}
+	if err := snap.Cfg.Valid(); err != nil {
+		return nil, err
+	}
+	if len(snap.NearStart) != n+1 {
+		return nil, fmt.Errorf("tier: snapshot row index of %d entries for n=%d", len(snap.NearStart), n)
+	}
+	if len(snap.NearIdx) != len(snap.NearVal) {
+		return nil, fmt.Errorf("tier: snapshot near field %d columns vs %d values", len(snap.NearIdx), len(snap.NearVal))
+	}
+	if snap.NearStart[0] != 0 || snap.NearStart[n] != len(snap.NearIdx) {
+		return nil, fmt.Errorf("tier: snapshot row index spans [%d,%d], entries %d", snap.NearStart[0], snap.NearStart[n], len(snap.NearIdx))
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := snap.NearStart[i], snap.NearStart[i+1]
+		if lo > hi || hi > len(snap.NearIdx) {
+			return nil, fmt.Errorf("tier: snapshot row %d spans [%d,%d)", i, lo, hi)
+		}
+		prev := int32(-1)
+		for t := lo; t < hi; t++ {
+			j := snap.NearIdx[t]
+			if j < 0 || int(j) >= n || int(j) == i {
+				return nil, fmt.Errorf("tier: snapshot row %d holds column %d", i, j)
+			}
+			if j <= prev {
+				return nil, fmt.Errorf("tier: snapshot row %d columns not strictly sorted at %d", i, j)
+			}
+			prev = j
+			if v := snap.NearVal[t]; !(v > 0) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("tier: snapshot near value f(%d,%d) = %v", i, j, v)
+			}
+		}
+	}
+	s := &Space{
+		n:         n,
+		sym:       snap.Sym,
+		mode:      snap.Cfg.Tail,
+		cfg:       snap.Cfg,
+		nearStart: snap.NearStart,
+		nearIdx:   snap.NearIdx,
+		nearVal:   snap.NearVal,
+		acct:      snap.Acct,
+	}
+	switch snap.Cfg.Tail {
+	case TailFloat32:
+		if len(snap.F32) != n*n {
+			return nil, fmt.Errorf("tier: snapshot float32 tail of %d entries for n=%d", len(snap.F32), n)
+		}
+		s.f32 = snap.F32
+	case TailModel:
+		if err := snap.Model.Valid(); err != nil {
+			return nil, err
+		}
+		if len(snap.Pts) != n {
+			return nil, fmt.Errorf("tier: snapshot model tail with %d points for n=%d", len(snap.Pts), n)
+		}
+		s.model = snap.Model
+		s.pts = snap.Pts
+	}
+	return s, nil
+}

@@ -68,6 +68,21 @@ type Accounting struct {
 	// Model and TailError describe a fitted model tail.
 	Model     *Model           `json:"model,omitempty"`
 	TailError *TailErrorReport `json:"tail_error,omitempty"`
+	// SampleAudit is an order-sensitive FNV-1a digest of the (row, column)
+	// tail-sample pairs a model-tail build drew — the fingerprint of the
+	// seeded sampling stream (distinct seeds draw distinct streams, which
+	// the regression tests assert); 0 for float32 tails.
+	SampleAudit uint64 `json:"sample_audit,omitempty"`
+	// IndexedRows counts near-field rows built through the spatial
+	// candidate index (n on a fully indexed build, 0 on the dense sweep
+	// path); IndexCandidates is the total number of candidate decay
+	// evaluations those rows examined — the indexed analogue of the dense
+	// sweep's n² — and IndexExhausted counts rows whose ring sweep examined
+	// every node before the decay bound could prove domination (the
+	// verified terminal fallback, still exact).
+	IndexedRows     int   `json:"indexed_rows,omitempty"`
+	IndexCandidates int64 `json:"index_candidates,omitempty"`
+	IndexExhausted  int64 `json:"index_exhausted,omitempty"`
 }
 
 // TotalBytes is the storage actually held across all tiers.
@@ -214,15 +229,33 @@ func clamp32(v float64, sat *int64) float32 {
 	return f
 }
 
-// Build constructs a tiered space from src. The source is streamed one row
-// at a time through the core.RowSpace contract (sources that don't
-// implement it are materialized densely first by core.Rows — fine at test
-// sizes, self-defeating at n ≥ 16k, so large sources should be lazily
-// row-computable like the "urban" scenario space). Every off-diagonal
-// entry is validated against Def 2.1 on the way through. The build is
-// deterministic: near-field selection is per-row, the model fit folds
-// per-row sample moments in row order, and tail sampling derives from
-// rng.PairStream(seed, row).
+// Build constructs a tiered space from src.
+//
+// Near-field selection takes one of two exact, bit-identical paths. The
+// dense sweep streams the source one row at a time through the
+// core.RowSpace contract (sources that don't implement it are materialized
+// densely first by core.Rows — fine at test sizes, self-defeating at
+// n ≥ 16k, so large sources should be lazily row-computable like the
+// "urban" scenario space) and validates every off-diagonal entry against
+// Def 2.1 on the way through. When the source certifies a monotone
+// distance→decay trend (core.DecayBounded), the tail is a model tail and
+// opts.Points carries the geometry, the spatial-index path takes over: a
+// uniform grid over the points generates each row's candidates ring by
+// ring, widening until the K-th candidate provably dominates every
+// unexamined cell (DecayLowerBound(ring distance) strictly exceeds the
+// K-th value — strict, so boundary ties can never admit an unexamined
+// column), with sweep exhaustion as the verified terminal fallback. The
+// indexed path evaluates O(candidates) ≪ n² decays per row and therefore
+// validates Def 2.1 only on the entries it examines (candidates and tail
+// samples), not the full matrix; Accounting reports IndexedRows /
+// IndexCandidates / IndexExhausted so callers can see which path ran and
+// what it cost. opts.Points must be the same geometry the source decays
+// were generated from — the same contract the model tail already imposes.
+//
+// The build is deterministic either way: near-field selection is per-row
+// (K smallest decays under (value, column) lexicographic order — identical
+// by construction across both paths), the model fit folds per-row samples
+// in row order, and tail sampling derives from rng.PairStream(seed, row).
 func Build(src core.Space, opts Options) (*Space, error) {
 	n := src.N()
 	cfg := opts.Config
@@ -236,7 +269,7 @@ func Build(src core.Space, opts Options) (*Space, error) {
 		cfg.TailSamples = DefaultTailSamples
 	}
 	if cfg.Seed == 0 {
-		cfg.Seed = 1
+		cfg.Seed = DefaultSeed
 	}
 	k := cfg.K
 	if k > n-1 {
@@ -249,7 +282,6 @@ func Build(src core.Space, opts Options) (*Space, error) {
 		return nil, fmt.Errorf("tier: model tail needs %d node positions, got %d", n, len(opts.Points))
 	}
 
-	rows := core.Rows(src)
 	sym := core.KnownSymmetric(src)
 	s := &Space{n: n, sym: sym, mode: cfg.Tail, cfg: cfg, pts: opts.Points}
 	if cfg.Tail == TailFloat32 {
@@ -279,6 +311,46 @@ func Build(src core.Space, opts Options) (*Space, error) {
 		}
 	}
 	var saturated atomic.Int64
+	if bnd, ok := src.(core.DecayBounded); ok && cfg.Tail == TailModel && k > 0 && n > 1 {
+		// Spatial-index path: grid candidates instead of full rows. The
+		// sweep per row widens until the bound proves every unexamined
+		// point dominated; the selected set is identical to the dense
+		// sweep's because both keep the K lexicographically smallest
+		// (value, column) pairs and the strict bound comparison excludes
+		// even value-tied unexamined columns.
+		grid := indexGrid(opts.Points)
+		var cand, exhausted atomic.Int64
+		par.ForChunked(n, func(lo, hi int) {
+			var c, ex int64
+			for i := lo; i < hi; i++ {
+				idx, val, rc, rex, err := indexRow(src, bnd, grid, opts.Points, i, k)
+				c += rc
+				if rex {
+					ex++
+				}
+				if err != nil {
+					rowErr[i] = err
+					continue
+				}
+				nearIdx[i], nearVal[i] = idx, val
+				d, f, js, err := drawTailSamples(src, opts.Points, cfg.Seed, i, quota)
+				if err != nil {
+					rowErr[i] = err
+					continue
+				}
+				sampD[i], sampF[i], sampJ[i] = d, f, js
+			}
+			cand.Add(c)
+			exhausted.Add(ex)
+		})
+		s.acct.IndexedRows = n
+		s.acct.IndexCandidates = cand.Load()
+		s.acct.IndexExhausted = exhausted.Load()
+		return finishBuild(s, cfg, n, k, sym, nearIdx, nearVal, rowErr, sampD, sampF, sampJ, &saturated)
+	}
+	// Dense sweep path: stream full rows (materializing non-RowSpace
+	// sources) and validate every off-diagonal entry.
+	rows := core.Rows(src)
 	par.ForChunked(n, func(lo, hi int) {
 		buf := make([]float64, n)
 		var sat int64
@@ -350,6 +422,15 @@ func Build(src core.Space, opts Options) (*Space, error) {
 		}
 		saturated.Add(sat)
 	})
+	return finishBuild(s, cfg, n, k, sym, nearIdx, nearVal, rowErr, sampD, sampF, sampJ, &saturated)
+}
+
+// finishBuild runs the path-independent back half of Build — symmetric
+// closure, CSR flattening, the model-tail fit and accounting — over the
+// per-row selections pass 1 produced (dense sweep or spatial index alike).
+func finishBuild(s *Space, cfg Config, n, k int, sym bool,
+	nearIdx [][]int32, nearVal [][]float64, rowErr []error,
+	sampD, sampF [][]float64, sampJ [][]int32, saturated *atomic.Int64) (*Space, error) {
 	for i := 0; i < n; i++ {
 		if rowErr[i] != nil {
 			return nil, rowErr[i]
@@ -440,6 +521,21 @@ func Build(src core.Space, opts Options) (*Space, error) {
 			rep.RMSdB = math.Sqrt(sum2 / float64(rep.Pairs))
 			rep.MaxdB = worst
 		}
+		// Audit digest of the sampling stream: order-sensitive FNV-1a over
+		// the (row, column) pairs in row order. Distinct seeds draw distinct
+		// streams, so distinct audits — the regression tests' witness that
+		// the seed actually reached the sampler.
+		h := uint64(0xcbf29ce484222325)
+		for i := 0; i < n; i++ {
+			for _, j := range sampJ[i] {
+				w := uint64(i)<<32 | uint64(uint32(j))
+				for b := 0; b < 64; b += 8 {
+					h ^= (w >> b) & 0xff
+					h *= 0x100000001b3
+				}
+			}
+		}
+		s.acct.SampleAudit = h
 	}
 
 	// Accounting.

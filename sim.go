@@ -31,6 +31,9 @@ type (
 	SimResult = sim.Result
 	// SimClassResult is one class's share of a SimResult.
 	SimClassResult = sim.ClassResult
+	// SimStat is a statistic that distinguishes "undefined" (no
+	// observations; JSON null, empty CSV cell) from a genuine zero.
+	SimStat = sim.Stat
 	// SimEvent is one line of the JSONL event trace.
 	SimEvent = sim.Event
 	// SimCandidate is the per-link state a scheduling policy sees.

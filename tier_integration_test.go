@@ -223,9 +223,6 @@ func TestTieredOptionConflicts(t *testing.T) {
 	if _, err := decaynet.NewEngine(append(base, decaynet.WithMutationTracking())...); err == nil {
 		t.Fatal("tiered + mutation tracking accepted")
 	}
-	if _, err := decaynet.NewEngine(append(base, decaynet.WithRemoteWorkers("127.0.0.1:1"))...); err == nil {
-		t.Fatal("tiered + remote workers accepted")
-	}
 	// Invalid tier configs are rejected by the option itself.
 	if _, err := decaynet.NewEngine(
 		decaynet.UsingSpace(m),
